@@ -1,0 +1,98 @@
+// Ablations of the middleware's design choices (DESIGN.md A1-A3):
+//   A1  scheduler ordering (Rule 3 smallest-CC-first vs FIFO vs largest)
+//       under tight CC memory;
+//   A2  filter-expression pushdown (§4.3.1) on vs off;
+//   A3  file-split threshold sweep (§4.3.2) from never-split to per-node.
+
+#include "bench_util.h"
+#include "datagen/random_tree.h"
+
+using namespace sqlclass;
+using namespace sqlclass::bench;
+
+int main() {
+  ScopedDir dir("ablation");
+  SqlServer server(dir.path());
+
+  RandomTreeParams params;
+  params.num_leaves = static_cast<int>(150 * BenchScale());
+  params.cases_per_leaf = 80;
+  params.seed = 1201;
+  auto dataset = RandomTreeDataset::Create(params);
+  if (!dataset.ok()) return 1;
+  if (!LoadIntoServer(&server, "data", (*dataset)->schema(),
+                      [&](const RowSink& sink) {
+                        return (*dataset)->Generate(sink);
+                      })
+           .ok()) {
+    return 1;
+  }
+  const uint64_t rows = (*dataset)->TotalRows();
+  const uint64_t data_bytes = rows * (*dataset)->schema().RowBytes();
+  std::printf("# Ablations (data: %llu rows, %.2f MB)\n\n",
+              (unsigned long long)rows, Mb(data_bytes));
+
+  // ------------------------------ A1 -------------------------------------
+  std::printf("[A1] scheduler ordering under tight CC memory "
+              "(staging off)\n");
+  std::printf("%-20s %14s %14s\n", "policy", "sim_seconds", "server_scans");
+  struct Policy {
+    const char* name;
+    OrderPolicy policy;
+  };
+  for (const Policy& p :
+       {Policy{"smallest_cc_first", OrderPolicy::kSmallestCcFirst},
+        Policy{"fifo", OrderPolicy::kFifo},
+        Policy{"largest_cc_first", OrderPolicy::kLargestCcFirst}}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes = 48 << 10;  // tight: frontier won't fit
+    config.enable_file_staging = false;
+    config.enable_memory_staging = false;
+    config.order_policy = p.policy;
+    config.staging_dir = dir.path();
+    TreeRunResult result = GrowTreeWithMiddleware(
+        &server, "data", (*dataset)->schema(), rows, config);
+    if (!result.ok) return 1;
+    std::printf("%-20s %14.3f %14llu\n", p.name, result.sim_seconds,
+                (unsigned long long)result.mw_stats.server_scans);
+  }
+
+  // ------------------------------ A2 -------------------------------------
+  std::printf("\n[A2] filter-expression pushdown (staging off)\n");
+  std::printf("%-20s %14s %18s\n", "pushdown", "sim_seconds",
+              "rows_transferred");
+  for (bool pushdown : {true, false}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes = 4ull << 20;
+    config.enable_file_staging = false;
+    config.enable_memory_staging = false;
+    config.enable_filter_pushdown = pushdown;
+    config.staging_dir = dir.path();
+    TreeRunResult result = GrowTreeWithMiddleware(
+        &server, "data", (*dataset)->schema(), rows, config);
+    if (!result.ok) return 1;
+    std::printf("%-20s %14.3f %18llu\n", pushdown ? "on" : "off",
+                result.sim_seconds,
+                (unsigned long long)result.counters.cursor_rows_transferred);
+  }
+
+  // ------------------------------ A3 -------------------------------------
+  std::printf("\n[A3] file-split threshold (file staging only, low "
+              "memory)\n");
+  std::printf("%-12s %14s %12s %12s\n", "threshold", "sim_seconds",
+              "files", "file_scans");
+  for (double threshold : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes = static_cast<size_t>(0.08 * data_bytes);
+    config.enable_memory_staging = false;
+    config.file_split_threshold = threshold;
+    config.staging_dir = dir.path();
+    TreeRunResult result = GrowTreeWithMiddleware(
+        &server, "data", (*dataset)->schema(), rows, config);
+    if (!result.ok) return 1;
+    std::printf("%-12.2f %14.3f %12d %12llu\n", threshold,
+                result.sim_seconds, result.files_created,
+                (unsigned long long)result.mw_stats.file_scans);
+  }
+  return 0;
+}

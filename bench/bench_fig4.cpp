@@ -1,0 +1,120 @@
+// Figure 4 (§5.2.1): effect of middleware memory size and database size.
+//
+// Left chart:  fixed random-tree data set; sweep available memory; compare
+//              data caching (staging enabled) vs no caching. With caching,
+//              once memory exceeds data + CC needs the whole set loads into
+//              middleware memory on the first scan and the curve flattens
+//              far below the no-caching curve; without caching extra memory
+//              stops helping once one frontier's CC tables fit.
+// Right chart: fixed small/large memory; sweep database size; caching helps
+//              until the data outgrows memory.
+//
+// Sizes are scaled from the paper's 50 MB / 8-96 MB sweep by the same
+// ratios (set SQLCLASS_BENCH_SCALE to enlarge).
+
+#include "bench_util.h"
+#include "datagen/random_tree.h"
+
+using namespace sqlclass;
+using namespace sqlclass::bench;
+
+namespace {
+
+RandomTreeParams DataParams(double cases_per_leaf) {
+  RandomTreeParams params;  // paper defaults: 25 attrs, ~4 values, 10 classes
+  params.num_leaves = static_cast<int>(200 * BenchScale());
+  params.cases_per_leaf = cases_per_leaf;
+  params.seed = 4401;
+  return params;
+}
+
+TreeRunResult Run(SqlServer* server, const Schema& schema, uint64_t rows,
+                  const std::string& dir, size_t memory_bytes,
+                  bool caching) {
+  MiddlewareConfig config;
+  config.memory_budget_bytes = memory_bytes;
+  config.enable_file_staging = false;  // isolate the memory-staging effect
+  config.enable_memory_staging = caching;
+  config.staging_dir = dir;
+  return GrowTreeWithMiddleware(server, "data", schema, rows, config);
+}
+
+}  // namespace
+
+int main() {
+  ScopedDir dir("fig4");
+
+  // ---------------- left: memory sweep at fixed data size ----------------
+  auto dataset = RandomTreeDataset::Create(DataParams(100));
+  if (!dataset.ok()) return 1;
+  SqlServer server(dir.path());
+  if (!LoadIntoServer(&server, "data", (*dataset)->schema(),
+                      [&](const RowSink& sink) {
+                        return (*dataset)->Generate(sink);
+                      })
+           .ok()) {
+    return 1;
+  }
+  const uint64_t rows = (*dataset)->TotalRows();
+  const uint64_t data_bytes = rows * (*dataset)->schema().RowBytes();
+  std::printf("# Figure 4 — memory size and database size (data: %llu rows,"
+              " %.2f MB)\n",
+              (unsigned long long)rows, Mb(data_bytes));
+
+  std::printf("\n[fig4-left] time vs middleware memory (data fixed)\n");
+  std::printf("%-12s %-12s %16s %16s %10s\n", "memory_mb", "mem/data",
+              "caching_sec", "no_caching_sec", "nodes");
+  for (double fraction : {0.15, 0.3, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
+    const size_t memory = static_cast<size_t>(fraction * data_bytes);
+    TreeRunResult with_cache =
+        Run(&server, (*dataset)->schema(), rows, dir.path(), memory, true);
+    TreeRunResult no_cache =
+        Run(&server, (*dataset)->schema(), rows, dir.path(), memory, false);
+    if (!with_cache.ok || !no_cache.ok) return 1;
+    std::printf("%-12.2f %-12.2f %16.3f %16.3f %10d\n", Mb(memory), fraction,
+                with_cache.sim_seconds, no_cache.sim_seconds,
+                with_cache.nodes);
+  }
+
+  // ---------------- right: data sweep at fixed memory --------------------
+  std::printf("\n[fig4-right] time vs data size (memory fixed)\n");
+  const size_t small_memory = static_cast<size_t>(0.12 * data_bytes);
+  const size_t large_memory = static_cast<size_t>(0.45 * data_bytes);
+  std::printf("%-10s %18s %18s %18s %18s\n", "data_mb", "small_mem_cache",
+              "small_mem_nocache", "large_mem_cache", "large_mem_nocache");
+  int table_id = 0;
+  for (double cases : {25.0, 50.0, 100.0, 150.0, 200.0}) {
+    auto sweep_ds = RandomTreeDataset::Create(DataParams(cases));
+    if (!sweep_ds.ok()) return 1;
+    const std::string table = "sweep" + std::to_string(table_id++);
+    if (!LoadIntoServer(&server, table, (*sweep_ds)->schema(),
+                        [&](const RowSink& sink) {
+                          return (*sweep_ds)->Generate(sink);
+                        })
+             .ok()) {
+      return 1;
+    }
+    const uint64_t sweep_rows = (*sweep_ds)->TotalRows();
+    const uint64_t sweep_bytes =
+        sweep_rows * (*sweep_ds)->schema().RowBytes();
+
+    auto run = [&](size_t memory, bool caching) {
+      MiddlewareConfig config;
+      config.memory_budget_bytes = memory;
+      config.enable_file_staging = false;
+      config.enable_memory_staging = caching;
+      config.staging_dir = dir.path();
+      return GrowTreeWithMiddleware(&server, table, (*sweep_ds)->schema(),
+                                    sweep_rows, config);
+    };
+    TreeRunResult sc = run(small_memory, true);
+    TreeRunResult sn = run(small_memory, false);
+    TreeRunResult lc = run(large_memory, true);
+    TreeRunResult ln = run(large_memory, false);
+    if (!sc.ok || !sn.ok || !lc.ok || !ln.ok) return 1;
+    std::printf("%-10.2f %18.3f %18.3f %18.3f %18.3f\n", Mb(sweep_bytes),
+                sc.sim_seconds, sn.sim_seconds, lc.sim_seconds,
+                ln.sim_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 5 (§5.2.1/§5.2.3): (a) limited memory for count tables — when one
+// frontier's CC tables do not fit, the middleware needs multiple scans per
+// tree level and time climbs steeply as memory shrinks; (b) scale-up with
+// the number of rows at fixed memory — past the point where data outgrows
+// memory, a smaller fraction can be staged and time grows superlinearly.
+
+#include "bench_util.h"
+#include "datagen/random_tree.h"
+
+using namespace sqlclass;
+using namespace sqlclass::bench;
+
+namespace {
+
+RandomTreeParams DataParams(double cases_per_leaf, uint64_t seed) {
+  RandomTreeParams params;
+  params.num_leaves = static_cast<int>(200 * BenchScale());
+  params.cases_per_leaf = cases_per_leaf;
+  params.seed = seed;
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  ScopedDir dir("fig5");
+  SqlServer server(dir.path());
+
+  // ------------- (a) limited memory for count tables, no staging ---------
+  auto dataset = RandomTreeDataset::Create(DataParams(60, 5501));
+  if (!dataset.ok()) return 1;
+  if (!LoadIntoServer(&server, "data", (*dataset)->schema(),
+                      [&](const RowSink& sink) {
+                        return (*dataset)->Generate(sink);
+                      })
+           .ok()) {
+    return 1;
+  }
+  const uint64_t rows = (*dataset)->TotalRows();
+  const uint64_t data_bytes = rows * (*dataset)->schema().RowBytes();
+  std::printf("# Figure 5 (data: %llu rows, %.2f MB)\n",
+              (unsigned long long)rows, Mb(data_bytes));
+
+  std::printf("\n[fig5a] time vs available CC memory (no data caching)\n");
+  std::printf("%-12s %14s %14s %10s\n", "memory_kb", "sim_seconds",
+              "server_scans", "batches");
+  for (double kb : {24.0, 32.0, 48.0, 64.0, 96.0, 160.0, 320.0, 640.0}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes =
+        static_cast<size_t>(kb * 1024 * BenchScale());
+    config.enable_file_staging = false;
+    config.enable_memory_staging = false;
+    config.staging_dir = dir.path();
+    TreeRunResult result = GrowTreeWithMiddleware(
+        &server, "data", (*dataset)->schema(), rows, config);
+    if (!result.ok) return 1;
+    std::printf("%-12.0f %14.3f %14llu %10llu\n", kb * BenchScale(),
+                result.sim_seconds,
+                (unsigned long long)result.mw_stats.server_scans,
+                (unsigned long long)result.mw_stats.batches);
+  }
+
+  // ------------- (b) increasing number of rows, fixed memory -------------
+  std::printf("\n[fig5b] time vs number of rows (memory fixed, caching on)\n");
+  // Fixed budget sized so mid-sweep data stops fitting in memory.
+  const size_t memory = static_cast<size_t>(data_bytes);
+  std::printf("(memory budget: %.2f MB)\n", Mb(memory));
+  std::printf("%-12s %-10s %14s %14s %10s\n", "rows", "data_mb",
+              "sim_seconds", "server_scans", "nodes");
+  int table_id = 0;
+  for (double cases : {15.0, 30.0, 60.0, 120.0, 240.0, 480.0}) {
+    auto sweep_ds = RandomTreeDataset::Create(DataParams(cases, 5501));
+    if (!sweep_ds.ok()) return 1;
+    const std::string table = "rows" + std::to_string(table_id++);
+    if (!LoadIntoServer(&server, table, (*sweep_ds)->schema(),
+                        [&](const RowSink& sink) {
+                          return (*sweep_ds)->Generate(sink);
+                        })
+             .ok()) {
+      return 1;
+    }
+    const uint64_t sweep_rows = (*sweep_ds)->TotalRows();
+    MiddlewareConfig config;
+    config.memory_budget_bytes = memory;
+    config.enable_file_staging = false;
+    config.enable_memory_staging = true;
+    config.staging_dir = dir.path();
+    TreeRunResult result = GrowTreeWithMiddleware(
+        &server, table, (*sweep_ds)->schema(), sweep_rows, config);
+    if (!result.ok) return 1;
+    std::printf("%-12llu %-10.2f %14.3f %14llu %10d\n",
+                (unsigned long long)sweep_rows,
+                Mb(sweep_rows * (*sweep_ds)->schema().RowBytes()),
+                result.sim_seconds,
+                (unsigned long long)result.mw_stats.server_scans,
+                result.nodes);
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 8 (§5.2.4): effect of the shape of the generating tree.
+//
+// (a) Increasing values per attribute on a long lop-sided tree: compares a
+//     continuous server cursor (WHERE-pushdown keeps transfers shrinking as
+//     the active set shrinks) against a client "file based data store" that
+//     re-reads its full local copy every round — the file looks good early
+//     and loses late, exactly the trade-off §5.2.4 describes.
+// (b) Increasing the number of leaves at a fixed data size: more leaves =>
+//     less similar points => bigger frontiers and more CC memory pressure;
+//     run with a small count-table budget, with and without data caching.
+
+#include "baseline/extract_all.h"
+#include "bench_util.h"
+#include "datagen/random_tree.h"
+
+using namespace sqlclass;
+using namespace sqlclass::bench;
+
+int main() {
+  ScopedDir dir("fig8");
+  SqlServer server(dir.path());
+
+  // --------------------- (a) values per attribute ------------------------
+  std::printf("# Figure 8a — attribute values on a lop-sided tree\n");
+  std::printf("%-8s %-10s %18s %18s %10s %10s\n", "values", "data_mb",
+              "cursor_nocache", "file_based_store", "scans", "file_reads");
+  int table_id = 0;
+  for (int values : {2, 4, 8, 12, 16}) {
+    RandomTreeParams params;
+    // Fully lop-sided *binary* generating tree: one split per level, so the
+    // grown tree is ~num_leaves levels deep and the late rounds (tiny
+    // active set) dominate — the regime where the server's WHERE clause
+    // pays and the full-file re-reads do not (§5.2.4).
+    params.num_leaves = static_cast<int>(150 * BenchScale());
+    params.cases_per_leaf = 60;
+    params.num_attributes = 40;
+    params.mean_values_per_attribute = values;
+    params.values_stddev = 0.0;
+    params.skew = 1.0;
+    params.complete_splits = false;
+    params.seed = 8801;
+    auto dataset = RandomTreeDataset::Create(params);
+    if (!dataset.ok()) return 1;
+    const std::string table = "vals" + std::to_string(table_id++);
+    if (!LoadIntoServer(&server, table, (*dataset)->schema(),
+                        [&](const RowSink& sink) {
+                          return (*dataset)->Generate(sink);
+                        })
+             .ok()) {
+      return 1;
+    }
+    const uint64_t rows = (*dataset)->TotalRows();
+
+    MiddlewareConfig config;
+    config.memory_budget_bytes = 1ull << 20;
+    config.enable_file_staging = false;
+    config.enable_memory_staging = false;
+    config.staging_dir = dir.path();
+    TreeRunResult cursor = GrowTreeWithMiddleware(
+        &server, table, (*dataset)->schema(), rows, config);
+
+    auto extract = ExtractAllProvider::Create(&server, table, dir.path());
+    if (!extract.ok()) return 1;
+    TreeRunResult file_store =
+        GrowTree(&server, (*dataset)->schema(), rows, extract->get());
+    if (!cursor.ok || !file_store.ok) return 1;
+
+    std::printf("%-8d %-10.2f %18.3f %18.3f %10llu %10llu\n", values,
+                Mb(rows * (*dataset)->schema().RowBytes()),
+                cursor.sim_seconds, file_store.sim_seconds,
+                (unsigned long long)cursor.mw_stats.server_scans,
+                (unsigned long long)(*extract)->file_scans());
+  }
+
+  // --------------------------- (b) leaves --------------------------------
+  std::printf("\n# Figure 8b — leaves in the generating tree "
+              "(fixed ~data size, small CC memory)\n");
+  std::printf("%-8s %-10s %14s %14s %10s\n", "leaves", "rows",
+              "caching_sec", "no_caching", "nodes");
+  const double total_cases = 12000 * BenchScale();
+  for (int leaves : {25, 50, 100, 200, 400}) {
+    RandomTreeParams params;
+    params.num_leaves = leaves;
+    params.cases_per_leaf = total_cases / leaves;
+    params.seed = 8802;
+    auto dataset = RandomTreeDataset::Create(params);
+    if (!dataset.ok()) return 1;
+    const std::string table = "leaves" + std::to_string(leaves);
+    if (!LoadIntoServer(&server, table, (*dataset)->schema(),
+                        [&](const RowSink& sink) {
+                          return (*dataset)->Generate(sink);
+                        })
+             .ok()) {
+      return 1;
+    }
+    const uint64_t rows = (*dataset)->TotalRows();
+    auto run = [&](bool caching) {
+      MiddlewareConfig config;
+      // Small CC memory relative to data (the paper's 8 MB for 10 MB).
+      config.memory_budget_bytes = static_cast<size_t>(
+          0.4 * rows * (*dataset)->schema().RowBytes());
+      config.enable_file_staging = false;
+      config.enable_memory_staging = caching;
+      config.staging_dir = dir.path();
+      return GrowTreeWithMiddleware(&server, table, (*dataset)->schema(),
+                                    rows, config);
+    };
+    TreeRunResult with_cache = run(true);
+    TreeRunResult no_cache = run(false);
+    if (!with_cache.ok || !no_cache.ok) return 1;
+    std::printf("%-8d %-10llu %14.3f %14.3f %10d\n", leaves,
+                (unsigned long long)rows, with_cache.sim_seconds,
+                no_cache.sim_seconds, with_cache.nodes);
+  }
+  return 0;
+}

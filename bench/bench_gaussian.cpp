@@ -1,0 +1,103 @@
+// §5.1.2 variation study: the mixture-of-Gaussians workload lets the paper
+// "omit dimensions and still have a mixture of Gaussians" (varying
+// dimensionality with data properties fixed) and "take out some of the
+// Gaussians" (varying class count). This bench sweeps both axes through the
+// middleware and reports how cost scales — dimensionality inflates CC
+// tables and per-row counting work; class count widens each CC entry.
+
+#include "bench_util.h"
+#include "datagen/gaussian.h"
+
+using namespace sqlclass;
+using namespace sqlclass::bench;
+
+int main() {
+  ScopedDir dir("gauss");
+  SqlServer server(dir.path());
+
+  const uint64_t samples_per_class =
+      static_cast<uint64_t>(800 * BenchScale());
+
+  std::printf("# Gaussian mixtures — dimensionality sweep "
+              "(10 classes, %llu samples/class)\n",
+              (unsigned long long)samples_per_class);
+  std::printf("%-8s %-10s %14s %12s %10s\n", "dims", "data_mb",
+              "sim_seconds", "scans", "nodes");
+  int table_id = 0;
+  for (int dims : {10, 25, 50, 100}) {
+    GaussianMixtureParams params;
+    params.dimensions = dims;
+    params.num_classes = 10;
+    params.samples_per_class = samples_per_class;
+    params.seed = 100;  // same seed: lower-dim runs are projections
+    auto dataset = GaussianMixtureDataset::Create(params);
+    if (!dataset.ok()) return 1;
+    const std::string table = "dims" + std::to_string(table_id++);
+    if (!LoadIntoServer(&server, table, (*dataset)->schema(),
+                        [&](const RowSink& sink) {
+                          return (*dataset)->Generate(sink);
+                        })
+             .ok()) {
+      return 1;
+    }
+    MiddlewareConfig config;
+    config.memory_budget_bytes = 8ull << 20;
+    config.staging_dir = dir.path();
+    TreeClientConfig client_config;
+    client_config.max_depth = 10;
+    TreeRunResult result = GrowTreeWithMiddleware(
+        &server, table, (*dataset)->schema(), (*dataset)->TotalRows(),
+        config, client_config);
+    if (!result.ok) return 1;
+    std::printf("%-8d %-10.2f %14.3f %12llu %10d\n", dims,
+                Mb((*dataset)->TotalRows() * (*dataset)->schema().RowBytes()),
+                result.sim_seconds,
+                (unsigned long long)(result.mw_stats.server_scans +
+                                     result.mw_stats.file_scans +
+                                     result.mw_stats.memory_scans),
+                result.nodes);
+  }
+
+  std::printf("\n# Gaussian mixtures — class-count sweep "
+              "(25 dims, %llu samples/class)\n",
+              (unsigned long long)samples_per_class);
+  std::printf("%-8s %-10s %14s %10s %12s\n", "classes", "rows",
+              "sim_seconds", "nodes", "accuracy");
+  for (int classes : {2, 4, 6, 10}) {
+    GaussianMixtureParams params;
+    params.dimensions = 25;
+    params.num_classes = classes;
+    params.samples_per_class = samples_per_class;
+    params.seed = 100;
+    auto dataset = GaussianMixtureDataset::Create(params);
+    if (!dataset.ok()) return 1;
+    const std::string table = "cls" + std::to_string(classes);
+    if (!LoadIntoServer(&server, table, (*dataset)->schema(),
+                        [&](const RowSink& sink) {
+                          return (*dataset)->Generate(sink);
+                        })
+             .ok()) {
+      return 1;
+    }
+    MiddlewareConfig config;
+    config.memory_budget_bytes = 8ull << 20;
+    config.staging_dir = dir.path();
+    TreeClientConfig client_config;
+    client_config.max_depth = 10;
+
+    auto mw = ClassificationMiddleware::Create(&server, table, config);
+    if (!mw.ok()) return 1;
+    server.ResetCostCounters();
+    DecisionTreeClient client((*dataset)->schema(), client_config);
+    auto tree = client.Grow(mw->get(), (*dataset)->TotalRows());
+    if (!tree.ok()) return 1;
+    const double sim = server.SimulatedSeconds();
+
+    std::vector<Row> rows;
+    if (!(*dataset)->Generate(CollectInto(&rows)).ok()) return 1;
+    std::printf("%-8d %-10llu %14.3f %10d %12.3f\n", classes,
+                (unsigned long long)(*dataset)->TotalRows(), sim,
+                tree->num_nodes(), *tree->Accuracy(rows));
+  }
+  return 0;
+}

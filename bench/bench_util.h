@@ -1,0 +1,116 @@
+#ifndef SQLCLASS_BENCH_BENCH_UTIL_H_
+#define SQLCLASS_BENCH_BENCH_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "datagen/load.h"
+#include "middleware/middleware.h"
+#include "mining/tree_client.h"
+#include "server/server.h"
+
+namespace sqlclass {
+namespace bench {
+
+/// Scratch directory for one bench process, removed on destruction.
+class ScopedDir {
+ public:
+  explicit ScopedDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("sqlclass_bench_" + tag + "_" + std::to_string(getpid())))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Scale multiplier for experiment sizes: benches default to a laptop-fast
+/// scale whose *ratios* (memory:data, CC:data) match the paper; set
+/// SQLCLASS_BENCH_SCALE=4 (say) to run larger instances.
+inline double BenchScale() {
+  const char* env = std::getenv("SQLCLASS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+struct TreeRunResult {
+  bool ok = false;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  int nodes = 0;
+  int leaves = 0;
+  int depth = 0;
+  ClassificationMiddleware::Stats mw_stats;
+  int files_created = 0;
+  int memory_stores_created = 0;
+  CostCounters counters;
+};
+
+/// Grows a full tree through an arbitrary provider, measuring simulated and
+/// wall time. Resets the server's cost counters first.
+inline TreeRunResult GrowTree(SqlServer* server, const Schema& schema,
+                              uint64_t rows, CcProvider* provider,
+                              TreeClientConfig client_config = {}) {
+  TreeRunResult result;
+  server->ResetCostCounters();
+  Stopwatch watch;
+  DecisionTreeClient client(schema, client_config);
+  auto tree = client.Grow(provider, rows);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "grow failed: %s\n",
+                 tree.status().ToString().c_str());
+    return result;
+  }
+  result.ok = true;
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.sim_seconds = server->SimulatedSeconds();
+  result.counters = server->cost_counters();
+  result.nodes = tree->num_nodes();
+  result.leaves = tree->CountLeaves();
+  result.depth = tree->MaxDepth();
+  return result;
+}
+
+/// Grows through a freshly created middleware with `config`.
+inline TreeRunResult GrowTreeWithMiddleware(
+    SqlServer* server, const std::string& table, const Schema& schema,
+    uint64_t rows, MiddlewareConfig config,
+    TreeClientConfig client_config = {}) {
+  auto middleware =
+      ClassificationMiddleware::Create(server, table, std::move(config));
+  if (!middleware.ok()) {
+    std::fprintf(stderr, "middleware: %s\n",
+                 middleware.status().ToString().c_str());
+    return TreeRunResult{};
+  }
+  TreeRunResult result =
+      GrowTree(server, schema, rows, middleware->get(), client_config);
+  result.mw_stats = (*middleware)->stats();
+  result.files_created = (*middleware)->staging().files_created();
+  result.memory_stores_created =
+      (*middleware)->staging().memory_stores_created();
+  return result;
+}
+
+inline double Mb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace bench
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_BENCH_BENCH_UTIL_H_

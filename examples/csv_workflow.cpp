@@ -1,0 +1,115 @@
+// CSV-to-model workflow: import a CSV file, load it into the embedded SQL
+// server, rank attributes from a single middleware scan, grow a tree over
+// the top features, and persist the model to disk — the path a downstream
+// user takes with their own data.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/csv.h"
+#include "datagen/load.h"
+#include "middleware/middleware.h"
+#include "mining/feature_selection.h"
+#include "mining/tree_client.h"
+#include "mining/tree_io.h"
+#include "server/server.h"
+
+using namespace sqlclass;
+
+namespace {
+
+/// Writes a demo CSV (classic "play tennis"-style data, expanded) so the
+/// example is self-contained; pass a path argument to use your own file.
+std::string WriteDemoCsv(const std::string& dir) {
+  const std::string path = dir + "/weather.csv";
+  std::ofstream out(path);
+  out << "outlook,temp,humidity,wind,play\n";
+  const char* outlooks[] = {"sunny", "overcast", "rain"};
+  const char* temps[] = {"hot", "mild", "cool"};
+  const char* humidities[] = {"high", "normal"};
+  const char* winds[] = {"weak", "strong"};
+  for (int i = 0; i < 600; ++i) {
+    const char* outlook = outlooks[i % 3];
+    const char* temp = temps[(i / 3) % 3];
+    const char* humidity = humidities[(i / 9) % 2];
+    const char* wind = winds[(i / 18) % 2];
+    // Deterministic concept: play unless (sunny & high humidity) or
+    // (rain & strong wind).
+    const bool play = !((i % 3 == 0 && (i / 9) % 2 == 0) ||
+                        (i % 3 == 2 && (i / 18) % 2 == 1));
+    out << outlook << ',' << temp << ',' << humidity << ',' << wind << ','
+        << (play ? "yes" : "no") << "\n";
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "sqlclass_csv";
+  std::filesystem::create_directories(dir);
+
+  const std::string csv_path = argc > 1 ? argv[1] : WriteDemoCsv(dir);
+  const std::string class_column = argc > 2 ? argv[2] : "play";
+
+  auto dataset = ReadCsvFile(csv_path, class_column);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "csv: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("imported %zu rows, %d columns (class: %s)\n",
+              dataset->rows.size(), dataset->schema.num_columns(),
+              class_column.c_str());
+
+  SqlServer server(dir);
+  if (!server.CreateTable("data", dataset->schema).ok()) return 1;
+  if (!server.LoadRows("data", dataset->rows).ok()) return 1;
+
+  MiddlewareConfig config;
+  config.staging_dir = dir;
+  auto mw = ClassificationMiddleware::Create(&server, "data", config);
+  if (!mw.ok()) return 1;
+
+  // One scan's worth of sufficient statistics ranks every attribute.
+  CcRequest request;
+  request.node_id = 0;
+  request.predicate = Expr::True();
+  request.active_attrs = dataset->schema.PredictorColumns();
+  if (!(*mw)->QueueRequest(std::move(request)).ok()) return 1;
+  auto results = (*mw)->FulfillSome();
+  if (!results.ok() || results->size() != 1) return 1;
+  const CcTable& root_cc = (*results)[0].cc;
+
+  std::printf("\nattribute relevance (from one scan):\n");
+  for (const AttributeScore& score :
+       RankAttributes(root_cc, dataset->schema.PredictorColumns())) {
+    std::printf("  %-12s I(A;C)=%.4f bits  gain-ratio=%.4f  (%d values)\n",
+                dataset->schema.attribute(score.attr).name.c_str(),
+                score.mutual_information, score.gain_ratio,
+                score.distinct_values);
+  }
+
+  DecisionTreeClient client(dataset->schema, TreeClientConfig());
+  auto tree = client.Grow(mw->get(), dataset->rows.size());
+  if (!tree.ok()) {
+    std::fprintf(stderr, "grow: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntree: %d nodes, depth %d, training accuracy %.3f\n",
+              tree->CountReachableNodes(), tree->MaxDepth(),
+              *tree->Accuracy(dataset->rows));
+  std::printf("\n%s\n", tree->ToString(16).c_str());
+
+  const std::string model_path = dir + "/model.tree";
+  if (!SaveTree(*tree, model_path).ok()) return 1;
+  auto loaded = LoadTree(model_path);
+  if (!loaded.ok()) return 1;
+  std::printf("model saved and reloaded from %s (signatures match: %s)\n",
+              model_path.c_str(),
+              loaded->Signature() == tree->Signature() ? "yes" : "NO");
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

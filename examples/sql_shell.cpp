@@ -1,0 +1,97 @@
+// Interactive shell over the embedded SQL engine — loads a demo table and
+// executes the SQL subset (SELECT / WHERE / GROUP BY / UNION ALL) against
+// it. Useful for exploring the substrate the middleware talks to, and for
+// issuing the CC-table query of §2.3 by hand.
+//
+// Usage:  ./build/examples/sql_shell
+//         sql> SELECT class, COUNT(*) FROM census GROUP BY class
+//         sql> \cc A1           (prints the CC query for attribute age)
+//         sql> \quit
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "datagen/census.h"
+#include "datagen/load.h"
+#include "mining/cc_sql.h"
+#include "server/server.h"
+
+using namespace sqlclass;
+
+int main() {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "sqlclass_shell";
+  std::filesystem::create_directories(dir);
+  SqlServer server(dir);
+
+  CensusParams params;
+  params.rows = 5000;
+  auto dataset = CensusDataset::Create(params);
+  if (!dataset.ok()) return 1;
+  const Schema& schema = (*dataset)->schema();
+  if (!LoadIntoServer(&server, "census", schema,
+                      [&](const RowSink& sink) {
+                        return (*dataset)->Generate(sink);
+                      })
+           .ok()) {
+    return 1;
+  }
+
+  std::printf("Loaded table 'census' (%llu rows). Columns:\n",
+              (unsigned long long)params.rows);
+  for (const AttributeDef& attr : schema.attributes()) {
+    std::printf("  %-14s (%d values)%s\n", attr.name.c_str(),
+                attr.cardinality,
+                attr.name == "income" ? "  <- class column" : "");
+  }
+  std::printf(
+      "Commands: SQL text | \\explain <query> | \\cc <column> | \\cost | "
+      "\\quit\n\n");
+
+  std::string line;
+  while (true) {
+    std::printf("sql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\cost") {
+      std::printf("%s\nsimulated seconds: %.4f\n",
+                  server.cost_counters().ToString().c_str(),
+                  server.SimulatedSeconds());
+      continue;
+    }
+    if (line.rfind("\\explain ", 0) == 0) {
+      auto plan = server.Explain(line.substr(9));
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan->c_str());
+      }
+      continue;
+    }
+    if (line.rfind("\\cc ", 0) == 0) {
+      const std::string column = line.substr(4);
+      if (schema.ColumnIndex(column) < 0) {
+        std::printf("no such column: %s\n", column.c_str());
+        continue;
+      }
+      const std::string sql = BuildCcQuerySql(
+          "census", schema, {schema.ColumnIndex(column)}, nullptr);
+      std::printf("%s\n", sql.c_str());
+      continue;
+    }
+    auto result = server.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s(%zu rows)\n", result->ToString(40).c_str(),
+                result->num_rows());
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

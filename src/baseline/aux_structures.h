@@ -1,0 +1,87 @@
+#ifndef SQLCLASS_BASELINE_AUX_STRUCTURES_H_
+#define SQLCLASS_BASELINE_AUX_STRUCTURES_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "mining/cc_provider.h"
+#include "server/server.h"
+
+namespace sqlclass {
+
+/// Server-side auxiliary structures of §4.3.3 for restricting scans to the
+/// shrinking relevant subset D' of the data.
+enum class AuxMode {
+  kNone,           // plain filtered cursor scans of the base table
+  kTempTableCopy,  // (a) copy D' into a new table, scan that
+  kTidJoin,        // (b) materialize TIDs of D', join on TID per scan
+  kKeysetProc,     // (c) keyset cursor + stored-procedure filtering
+};
+
+struct AuxConfig {
+  AuxMode mode = AuxMode::kNone;
+
+  /// Build the structure once the active fraction of the base table drops
+  /// to this value or below (§4.3.3 finds ~10% is where it can apply; §5.2.5
+  /// evaluates a tree whose thin subtree drops from 30% to 1%).
+  double build_threshold = 0.3;
+
+  /// Idealized mode of §5.2.5: the cost of *creating* the structure is not
+  /// charged, giving indexing its best case.
+  bool free_construction = false;
+
+  /// Rebuild when the active set shrinks to this fraction of the structure
+  /// (0 disables rebuilds).
+  double rebuild_factor = 0.0;
+};
+
+/// CC provider that counts every pending node per round from a single
+/// filtered scan (like the middleware with staging disabled), but routes the
+/// scan through the configured auxiliary structure once the active fraction
+/// is small. Used by the §5.2.5 index-scan experiment to show these tricks
+/// don't beat plain scans-with-WHERE even under idealized assumptions.
+class AuxStructureProvider : public CcProvider {
+ public:
+  static StatusOr<std::unique_ptr<AuxStructureProvider>> Create(
+      SqlServer* server, const std::string& table, AuxConfig config);
+
+  Status QueueRequest(CcRequest request) override;
+  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  size_t PendingRequests() const override { return queue_.size(); }
+
+  int structures_built() const { return structures_built_; }
+
+ private:
+  AuxStructureProvider(SqlServer* server, std::string table, Schema schema,
+                       uint64_t table_rows, AuxConfig config);
+
+  /// OR of the batch's node predicates; null when any node needs all rows.
+  static std::unique_ptr<Expr> UnionPredicate(
+      const std::vector<CcRequest>& batch);
+
+  Status MaybeBuildStructure(uint64_t active_rows, const Expr* predicate);
+
+  SqlServer* server_;
+  std::string table_;
+  Schema schema_;
+  int num_classes_;
+  uint64_t table_rows_;
+  AuxConfig config_;
+  std::deque<CcRequest> queue_;
+
+  // Structure state (at most one live at a time).
+  bool built_ = false;
+  uint64_t structure_rows_ = 0;
+  std::string temp_table_;   // kTempTableCopy
+  std::string tid_list_;     // kTidJoin
+  uint64_t keyset_id_ = 0;   // kKeysetProc
+  int generation_ = 0;
+  int instance_ = 0;  // process-unique, for temp object names
+  int structures_built_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_BASELINE_AUX_STRUCTURES_H_

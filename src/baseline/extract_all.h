@@ -1,0 +1,69 @@
+#ifndef SQLCLASS_BASELINE_EXTRACT_ALL_H_
+#define SQLCLASS_BASELINE_EXTRACT_ALL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "mining/cc_provider.h"
+#include "server/cost_model.h"
+#include "server/server.h"
+#include "storage/heap_file.h"
+
+namespace sqlclass {
+
+/// The other straightforward strategy of §2.3 — "the entire data set is
+/// extracted from the SQL database and loaded in the client secondary
+/// storage" — which is also Fig. 8a's "File Based Data Store": the whole
+/// table is pulled through a cursor once into a client file, and counting
+/// reads that full file thereafter. No filter pushdown, no shrinking with
+/// the frontier: early reads look cheap (file rows beat cursor rows) but
+/// the full file keeps being paid for while a server cursor with a WHERE
+/// clause would transfer almost nothing.
+///
+/// By default this models the *traditional client* of §2.3, which lacks the
+/// middleware's batching insight entirely: each node's counts are gathered
+/// by its own full scan of the extracted file. Pass `batch_counting = true`
+/// to grant it per-frontier batching (one file scan services every pending
+/// node), isolating just the no-pushdown/no-shrinkage effect.
+class ExtractAllProvider : public CcProvider {
+ public:
+  /// `dir` must exist; the extracted copy lives there until destruction.
+  static StatusOr<std::unique_ptr<ExtractAllProvider>> Create(
+      SqlServer* server, const std::string& table, const std::string& dir,
+      bool batch_counting = false);
+
+  ~ExtractAllProvider() override;
+
+  Status QueueRequest(CcRequest request) override;
+  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  size_t PendingRequests() const override { return queue_.size(); }
+
+  uint64_t file_scans() const { return file_scans_; }
+  bool extracted() const { return extracted_; }
+
+ private:
+  ExtractAllProvider(SqlServer* server, std::string table, Schema schema,
+                     uint64_t table_rows, std::string path,
+                     bool batch_counting);
+
+  /// One-time full-table pull through an unfiltered cursor.
+  Status ExtractOnce();
+
+  SqlServer* server_;
+  std::string table_;
+  Schema schema_;
+  int num_classes_;
+  uint64_t table_rows_;
+  std::string path_;
+  bool batch_counting_;
+  bool extracted_ = false;
+  std::deque<CcRequest> queue_;
+  uint64_t file_scans_ = 0;
+  IoCounters io_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_BASELINE_EXTRACT_ALL_H_

@@ -1,0 +1,45 @@
+#ifndef SQLCLASS_BASELINE_SQL_COUNTING_H_
+#define SQLCLASS_BASELINE_SQL_COUNTING_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "catalog/schema.h"
+#include "mining/cc_provider.h"
+#include "server/server.h"
+
+namespace sqlclass {
+
+/// The straightforward SQL strategy of §2.3: every active node's CC table is
+/// computed by its own UNION-of-GROUP-BY query at the server. Because the
+/// (1999-era) optimizer cannot share scans across UNION branches, each node
+/// costs one full table scan *per attribute* — the behaviour Fig. 7's
+/// "SQL Based Counting" curve exhibits and the middleware exists to avoid.
+class SqlCountingProvider : public CcProvider {
+ public:
+  static StatusOr<std::unique_ptr<SqlCountingProvider>> Create(
+      SqlServer* server, const std::string& table);
+
+  Status QueueRequest(CcRequest request) override;
+  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  size_t PendingRequests() const override { return queue_.size(); }
+
+  uint64_t queries_executed() const { return queries_executed_; }
+
+ private:
+  SqlCountingProvider(SqlServer* server, std::string table, Schema schema,
+                      uint64_t table_rows);
+
+  SqlServer* server_;
+  std::string table_;
+  Schema schema_;
+  int num_classes_;
+  uint64_t table_rows_;
+  std::deque<CcRequest> queue_;
+  uint64_t queries_executed_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_BASELINE_SQL_COUNTING_H_

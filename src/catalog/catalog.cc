@@ -1,0 +1,55 @@
+#include "catalog/catalog.h"
+
+namespace sqlclass {
+
+StatusOr<TableId> Catalog::CreateTable(const std::string& name,
+                                       const Schema& schema, bool is_temp) {
+  SQLCLASS_RETURN_IF_ERROR(schema.Validate());
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = next_id_++;
+  info->name = name;
+  info->schema = schema;
+  info->is_temp = is_temp;
+  TableInfo* raw = info.get();
+  by_name_[name] = std::move(info);
+  by_id_[raw->id] = raw;
+  return raw->id;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  by_id_.erase(it->second->id);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return static_cast<const TableInfo*>(it->second.get());
+}
+
+StatusOr<const TableInfo*> Catalog::GetTable(TableId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("no such table id: " + std::to_string(id));
+  }
+  return static_cast<const TableInfo*>(it->second);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, info] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,57 @@
+#ifndef SQLCLASS_CATALOG_CATALOG_H_
+#define SQLCLASS_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+using TableId = uint32_t;
+
+/// Catalog entry for one table: its schema plus storage bookkeeping filled
+/// in by the server layer.
+struct TableInfo {
+  TableId id = 0;
+  std::string name;
+  Schema schema;
+  bool is_temp = false;
+};
+
+/// Name → table registry for the embedded server. Single-threaded by design
+/// (the middleware drives the server from one thread, as the 1999 system's
+/// consumer did).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table; fails with AlreadyExists on a duplicate name.
+  StatusOr<TableId> CreateTable(const std::string& name, const Schema& schema,
+                                bool is_temp = false);
+
+  /// Removes a table by name.
+  Status DropTable(const std::string& name);
+
+  StatusOr<const TableInfo*> GetTable(const std::string& name) const;
+  StatusOr<const TableInfo*> GetTable(TableId id) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return by_name_.size(); }
+
+ private:
+  TableId next_id_ = 1;
+  std::map<std::string, std::unique_ptr<TableInfo>> by_name_;
+  std::map<TableId, TableInfo*> by_id_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_CATALOG_CATALOG_H_

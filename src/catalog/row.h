@@ -1,0 +1,21 @@
+#ifndef SQLCLASS_CATALOG_ROW_H_
+#define SQLCLASS_CATALOG_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sqlclass {
+
+/// All mining attributes are categorical (the paper assumes numeric columns
+/// are discretized, §1); a row is one dictionary-coded value per column.
+using Value = int32_t;
+using Row = std::vector<Value>;
+
+/// Tuple identifier: position of the row within its table's heap file.
+/// Stable for the lifetime of the table (this engine is append-only), which
+/// is what the TID-join auxiliary structure of §4.3.3(b) relies on.
+using Tid = uint64_t;
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_CATALOG_ROW_H_

@@ -1,0 +1,81 @@
+#include "catalog/schema.h"
+
+#include <set>
+
+namespace sqlclass {
+
+std::string AttributeDef::LabelFor(Value value) const {
+  if (value >= 0 && static_cast<size_t>(value) < labels.size()) {
+    return labels[value];
+  }
+  return std::to_string(value);
+}
+
+Schema::Schema(std::vector<AttributeDef> attributes, int class_column)
+    : attributes_(std::move(attributes)), class_column_(class_column) {}
+
+Status Schema::Validate() const {
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  std::set<std::string> names;
+  for (const AttributeDef& attr : attributes_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("column with empty name");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + attr.name);
+    }
+    if (attr.cardinality <= 0) {
+      return Status::InvalidArgument("column " + attr.name +
+                                     " has non-positive cardinality");
+    }
+    if (!attr.labels.empty() &&
+        attr.labels.size() != static_cast<size_t>(attr.cardinality)) {
+      return Status::InvalidArgument("column " + attr.name +
+                                     " has label count != cardinality");
+    }
+  }
+  if (class_column_ < -1 || class_column_ >= num_columns()) {
+    return Status::InvalidArgument("class column index out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<int> Schema::PredictorColumns() const {
+  std::vector<int> cols;
+  cols.reserve(attributes_.size());
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i != class_column_) cols.push_back(i);
+  }
+  return cols;
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return -1;
+}
+
+bool Schema::RowInDomain(const Row& row) const {
+  if (row.size() != attributes_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i] < 0 || row[i] >= attributes_[i].cardinality) return false;
+  }
+  return true;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (class_column_ != other.class_column_) return false;
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name) return false;
+    if (attributes_[i].cardinality != other.attributes_[i].cardinality) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqlclass

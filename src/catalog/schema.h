@@ -1,0 +1,66 @@
+#ifndef SQLCLASS_CATALOG_SCHEMA_H_
+#define SQLCLASS_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// One categorical column: a name plus its domain size. Values are ids in
+/// [0, cardinality). Optional human-readable labels, one per value.
+struct AttributeDef {
+  std::string name;
+  int32_t cardinality = 0;
+  std::vector<std::string> labels;  // empty, or size == cardinality
+
+  /// Label for `value`, falling back to the numeric id as text.
+  std::string LabelFor(Value value) const;
+};
+
+/// Fixed, all-categorical table schema. One column may be designated as the
+/// class column (the field C of the classification problem); predictor
+/// columns are every other column.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<AttributeDef> attributes, int class_column);
+
+  /// Validates names are unique and non-empty, cardinalities positive, and
+  /// the class column index is in range (or -1 for "no class column").
+  Status Validate() const;
+
+  int num_columns() const { return static_cast<int>(attributes_.size()); }
+  const AttributeDef& attribute(int i) const { return attributes_[i]; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Index of the class column, or -1 if the schema has none.
+  int class_column() const { return class_column_; }
+  bool has_class_column() const { return class_column_ >= 0; }
+
+  /// Indices of all non-class columns, in schema order.
+  std::vector<int> PredictorColumns() const;
+
+  /// Column index by name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// True iff the row has one value per column and each value is within its
+  /// column's domain.
+  bool RowInDomain(const Row& row) const;
+
+  /// Serialized width of one row in bytes (fixed-width codec).
+  size_t RowBytes() const { return attributes_.size() * sizeof(Value); }
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  int class_column_ = -1;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_CATALOG_SCHEMA_H_

@@ -1,0 +1,44 @@
+#ifndef SQLCLASS_COMMON_LOGGING_H_
+#define SQLCLASS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sqlclass {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarning so library code is silent in tests and benches unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via the SQLCLASS_LOG
+/// macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sqlclass
+
+#define SQLCLASS_LOG(level)                                               \
+  if (::sqlclass::LogLevel::level >= ::sqlclass::GetLogLevel())           \
+  ::sqlclass::internal_logging::LogMessage(::sqlclass::LogLevel::level,   \
+                                           __FILE__, __LINE__)            \
+      .stream()
+
+#endif  // SQLCLASS_COMMON_LOGGING_H_

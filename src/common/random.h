@@ -1,0 +1,68 @@
+#ifndef SQLCLASS_COMMON_RANDOM_H_
+#define SQLCLASS_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sqlclass {
+
+/// Deterministic random source used by all generators and tests. Wraps a
+/// fixed-seed Mersenne Twister so every experiment is reproducible; the
+/// paper's synthetic workloads (§5.1) are regenerated bit-identically from
+/// the same seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Index drawn proportionally to non-negative `weights` (not all zero).
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    return std::discrete_distribution<size_t>(weights.begin(),
+                                              weights.end())(engine_);
+  }
+
+  /// Derives an independent child stream; children with distinct salts are
+  /// decorrelated from each other and from the parent.
+  Random Fork(uint64_t salt) {
+    uint64_t s = engine_();
+    return Random(s ^ (salt * 0x9E3779B97F4A7C15ull));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_COMMON_RANDOM_H_

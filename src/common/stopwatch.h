@@ -1,0 +1,29 @@
+#ifndef SQLCLASS_COMMON_STOPWATCH_H_
+#define SQLCLASS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sqlclass {
+
+/// Wall-clock stopwatch for benchmark reporting. Simulated time is tracked
+/// separately by server::CostModel; this measures real host time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_COMMON_STOPWATCH_H_

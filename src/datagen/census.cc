@@ -1,0 +1,85 @@
+#include "datagen/census.h"
+
+#include <iterator>
+
+namespace sqlclass {
+
+namespace {
+
+struct ColumnSpec {
+  const char* name;
+  int cardinality;
+};
+
+constexpr ColumnSpec kCensusColumns[] = {
+    {"age", 9},          {"workclass", 8}, {"education", 16},
+    {"marital", 7},      {"occupation", 14}, {"relationship", 6},
+    {"race", 5},         {"sex", 2},       {"hours", 10},
+    {"country", 10},
+};
+
+}  // namespace
+
+CensusDataset::CensusDataset(CensusParams params) : params_(params) {}
+
+StatusOr<std::unique_ptr<CensusDataset>> CensusDataset::Create(
+    const CensusParams& params) {
+  if (params.segments < 2 || params.peak <= 0.0 || params.peak > 1.0) {
+    return Status::InvalidArgument("bad census parameters");
+  }
+  auto dataset = std::unique_ptr<CensusDataset>(new CensusDataset(params));
+
+  std::vector<AttributeDef> attrs;
+  for (const ColumnSpec& spec : kCensusColumns) {
+    AttributeDef attr;
+    attr.name = spec.name;
+    attr.cardinality = spec.cardinality;
+    attrs.push_back(std::move(attr));
+  }
+  AttributeDef income;
+  income.name = "income";
+  income.cardinality = 2;
+  income.labels = {"le50k", "gt50k"};
+  attrs.push_back(std::move(income));
+  const int num_predictors =
+      static_cast<int>(std::size(kCensusColumns));
+  dataset->schema_ = Schema(std::move(attrs), num_predictors);
+  SQLCLASS_RETURN_IF_ERROR(dataset->schema_.Validate());
+
+  Random rng(params.seed);
+  dataset->preferred_.resize(params.segments);
+  dataset->segment_income_.resize(params.segments);
+  for (int s = 0; s < params.segments; ++s) {
+    dataset->preferred_[s].resize(num_predictors);
+    for (int c = 0; c < num_predictors; ++c) {
+      dataset->preferred_[s][c] = static_cast<Value>(
+          rng.Uniform(dataset->schema_.attribute(c).cardinality));
+    }
+    dataset->segment_income_[s] = static_cast<Value>(rng.Uniform(2));
+  }
+  return dataset;
+}
+
+Status CensusDataset::Generate(const RowSink& sink) const {
+  Random rng(params_.seed ^ 0xCE5505EEull);
+  const int num_predictors = schema_.num_columns() - 1;
+  Row row(schema_.num_columns());
+  for (uint64_t i = 0; i < params_.rows; ++i) {
+    const int segment = static_cast<int>(rng.Uniform(params_.segments));
+    for (int c = 0; c < num_predictors; ++c) {
+      const int card = schema_.attribute(c).cardinality;
+      if (rng.Bernoulli(params_.peak)) {
+        row[c] = preferred_[segment][c];
+      } else {
+        row[c] = static_cast<Value>(rng.Uniform(card));
+      }
+    }
+    Value income = segment_income_[segment];
+    if (rng.Bernoulli(params_.class_noise)) income = 1 - income;
+    row[schema_.class_column()] = income;
+    SQLCLASS_RETURN_IF_ERROR(sink(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlclass

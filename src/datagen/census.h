@@ -1,0 +1,58 @@
+#ifndef SQLCLASS_DATAGEN_CENSUS_H_
+#define SQLCLASS_DATAGEN_CENSUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/datagen.h"
+
+namespace sqlclass {
+
+/// Synthetic stand-in for the U.S. Census Bureau data set of §5.1 (the real
+/// extract is not redistributable here; see DESIGN.md substitutions).
+///
+/// A latent-segment model produces census-like correlation structure:
+/// each row is drawn from one of `segments` demographic profiles; every
+/// attribute concentrates probability `peak` on the profile's preferred
+/// value; the binary income class depends on the segment with `class_noise`
+/// label noise. The resulting decision tree is moderately sized and rounds
+/// out at the bottom, matching how §5.2.2 tunes Census runs (~300 nodes).
+struct CensusParams {
+  uint64_t rows = 100000;
+  int segments = 24;
+  double peak = 0.7;        // probability of the segment's preferred value
+  double class_noise = 0.1; // probability the income label flips
+  uint64_t seed = 99;
+};
+
+class CensusDataset {
+ public:
+  static StatusOr<std::unique_ptr<CensusDataset>> Create(
+      const CensusParams& params);
+
+  /// Columns: age(9), workclass(8), education(16), marital(7),
+  /// occupation(14), relationship(6), race(5), sex(2), hours(10),
+  /// country(10); class column "income" (2).
+  const Schema& schema() const { return schema_; }
+
+  uint64_t TotalRows() const { return params_.rows; }
+
+  Status Generate(const RowSink& sink) const;
+
+ private:
+  explicit CensusDataset(CensusParams params);
+
+  CensusParams params_;
+  Schema schema_;
+  // preferred_[segment][column] and the segment's income class.
+  std::vector<std::vector<Value>> preferred_;
+  std::vector<Value> segment_income_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_DATAGEN_CENSUS_H_

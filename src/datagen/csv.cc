@@ -1,0 +1,199 @@
+#include "datagen/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sqlclass {
+
+namespace {
+
+/// Splits one CSV record (no trailing newline) into fields, honouring
+/// double-quoted fields with "" escapes.
+StatusOr<std::vector<std::string>> SplitRecord(const std::string& line,
+                                               char delimiter, size_t lineno) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quote on line " +
+                              std::to_string(lineno));
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  return field.find(delimiter) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CsvDataset> ReadCsvText(const std::string& text,
+                                 const std::string& class_column,
+                                 const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> raw_rows;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    SQLCLASS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                              SplitRecord(line, options.delimiter, lineno));
+    if (names.empty()) {
+      if (options.has_header) {
+        names = std::move(fields);
+        continue;
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        names.push_back("c" + std::to_string(i + 1));
+      }
+    }
+    if (fields.size() != names.size()) {
+      return Status::ParseError(
+          "line " + std::to_string(lineno) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    raw_rows.push_back(std::move(fields));
+  }
+  if (names.empty()) return Status::InvalidArgument("empty CSV");
+  if (raw_rows.empty()) return Status::InvalidArgument("CSV has no rows");
+
+  // Build deterministic dictionaries: labels in lexicographic order.
+  const size_t num_columns = names.size();
+  std::vector<std::map<std::string, Value>> dictionaries(num_columns);
+  for (const auto& fields : raw_rows) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      dictionaries[c].emplace(fields[c], 0);
+    }
+  }
+  std::vector<AttributeDef> attrs(num_columns);
+  int class_index = -1;
+  for (size_t c = 0; c < num_columns; ++c) {
+    attrs[c].name = names[c];
+    Value next = 0;
+    for (auto& [label, id] : dictionaries[c]) {
+      id = next++;
+      attrs[c].labels.push_back(label);
+    }
+    attrs[c].cardinality = next;
+    if (names[c] == class_column) class_index = static_cast<int>(c);
+  }
+  if (!class_column.empty() && class_index < 0) {
+    return Status::NotFound("class column not in CSV: " + class_column);
+  }
+
+  CsvDataset dataset;
+  dataset.schema = Schema(std::move(attrs), class_index);
+  SQLCLASS_RETURN_IF_ERROR(dataset.schema.Validate());
+  dataset.rows.reserve(raw_rows.size());
+  for (const auto& fields : raw_rows) {
+    Row row(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      row[c] = dictionaries[c].at(fields[c]);
+    }
+    dataset.rows.push_back(std::move(row));
+  }
+  return dataset;
+}
+
+StatusOr<CsvDataset> ReadCsvFile(const std::string& path,
+                                 const std::string& class_column,
+                                 const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open CSV: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvText(buffer.str(), class_column, options);
+}
+
+StatusOr<std::string> WriteCsvText(const Schema& schema,
+                                   const std::vector<Row>& rows,
+                                   const CsvOptions& options) {
+  SQLCLASS_RETURN_IF_ERROR(schema.Validate());
+  std::string out;
+  if (options.has_header) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      const std::string& name = schema.attribute(c).name;
+      out += NeedsQuoting(name, options.delimiter) ? QuoteField(name) : name;
+    }
+    out += '\n';
+  }
+  for (const Row& row : rows) {
+    if (!schema.RowInDomain(row)) {
+      return Status::InvalidArgument("row out of schema domain");
+    }
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      const std::string label = schema.attribute(c).LabelFor(row[c]);
+      out += NeedsQuoting(label, options.delimiter) ? QuoteField(label)
+                                                    : label;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const Schema& schema,
+                    const std::vector<Row>& rows, const CsvOptions& options) {
+  SQLCLASS_ASSIGN_OR_RETURN(std::string text,
+                            WriteCsvText(schema, rows, options));
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create CSV: " + path);
+  out << text;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace sqlclass

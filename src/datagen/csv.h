@@ -1,0 +1,53 @@
+#ifndef SQLCLASS_DATAGEN_CSV_H_
+#define SQLCLASS_DATAGEN_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// CSV import/export with dictionary encoding. Every column is treated as
+/// categorical (the system's data model, §1): distinct strings per column
+/// become value ids 0..card-1 in lexicographic label order (deterministic),
+/// and the labels are preserved in the schema for round-tripping and
+/// human-readable exports.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;  // false: columns are named c1, c2, ...
+};
+
+struct CsvDataset {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// Parses CSV text. `class_column` names the class column (must exist if
+/// non-empty; "" = no class column). Quoted fields with "" escapes are
+/// supported; rows with the wrong field count are an error.
+StatusOr<CsvDataset> ReadCsvText(const std::string& text,
+                                 const std::string& class_column,
+                                 const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV file from disk.
+StatusOr<CsvDataset> ReadCsvFile(const std::string& path,
+                                 const std::string& class_column,
+                                 const CsvOptions& options = CsvOptions());
+
+/// Renders rows back to CSV using the schema's value labels (ids when a
+/// column has no labels).
+StatusOr<std::string> WriteCsvText(const Schema& schema,
+                                   const std::vector<Row>& rows,
+                                   const CsvOptions& options = CsvOptions());
+
+/// Writes a CSV file to disk.
+Status WriteCsvFile(const std::string& path, const Schema& schema,
+                    const std::vector<Row>& rows,
+                    const CsvOptions& options = CsvOptions());
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_DATAGEN_CSV_H_

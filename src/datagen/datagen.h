@@ -1,0 +1,25 @@
+#ifndef SQLCLASS_DATAGEN_DATAGEN_H_
+#define SQLCLASS_DATAGEN_DATAGEN_H_
+
+#include <functional>
+
+#include "catalog/row.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// Row consumer used by all generators so multi-million-row data sets can
+/// stream straight into the server's bulk loader without materializing.
+using RowSink = std::function<Status(const Row&)>;
+
+/// Adapts a vector for small data sets / tests.
+inline RowSink CollectInto(std::vector<Row>* rows) {
+  return [rows](const Row& row) -> Status {
+    rows->push_back(row);
+    return Status::OK();
+  };
+}
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_DATAGEN_DATAGEN_H_

@@ -1,0 +1,89 @@
+#include "datagen/gaussian.h"
+
+#include <cmath>
+
+namespace sqlclass {
+
+GaussianMixtureDataset::GaussianMixtureDataset(GaussianMixtureParams params)
+    : params_(params) {}
+
+StatusOr<std::unique_ptr<GaussianMixtureDataset>>
+GaussianMixtureDataset::Create(const GaussianMixtureParams& params) {
+  if (params.dimensions < 1 || params.num_classes < 2 || params.bins < 2) {
+    return Status::InvalidArgument("bad gaussian-mixture parameters");
+  }
+  auto dataset = std::unique_ptr<GaussianMixtureDataset>(
+      new GaussianMixtureDataset(params));
+
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(params.dimensions + 1);
+  for (int d = 0; d < params.dimensions; ++d) {
+    AttributeDef attr;
+    attr.name = "G" + std::to_string(d + 1);
+    attr.cardinality = params.bins;
+    attrs.push_back(std::move(attr));
+  }
+  AttributeDef class_attr;
+  class_attr.name = "class";
+  class_attr.cardinality = params.num_classes;
+  attrs.push_back(std::move(class_attr));
+  dataset->schema_ = Schema(std::move(attrs), params.dimensions);
+  SQLCLASS_RETURN_IF_ERROR(dataset->schema_.Validate());
+
+  Random rng(params.seed);
+  dataset->means_.resize(params.num_classes);
+  dataset->sigmas_.resize(params.num_classes);
+  for (int c = 0; c < params.num_classes; ++c) {
+    dataset->means_[c].resize(params.dimensions);
+    dataset->sigmas_[c].resize(params.dimensions);
+    for (int d = 0; d < params.dimensions; ++d) {
+      dataset->means_[c][d] = rng.UniformReal(-5.0, 5.0);
+      // The paper draws *variances* uniformly from [0.7, 1.5].
+      dataset->sigmas_[c][d] = std::sqrt(rng.UniformReal(0.7, 1.5));
+    }
+  }
+  return dataset;
+}
+
+Value GaussianMixtureDataset::Discretize(double x) const {
+  const double r = params_.bucket_range;
+  const double clamped = x < -r ? -r : (x > r ? r : x);
+  const double width = 2.0 * r / params_.bins;
+  int bucket = static_cast<int>((clamped + r) / width);
+  if (bucket >= params_.bins) bucket = params_.bins - 1;
+  if (bucket < 0) bucket = 0;
+  return static_cast<Value>(bucket);
+}
+
+Status GaussianMixtureDataset::Generate(const RowSink& sink) const {
+  Random rng(params_.seed ^ 0x6A055EEDull);
+  Row row(schema_.num_columns());
+  for (int c = 0; c < params_.num_classes; ++c) {
+    for (uint64_t i = 0; i < params_.samples_per_class; ++i) {
+      for (int d = 0; d < params_.dimensions; ++d) {
+        row[d] = Discretize(rng.Gaussian(means_[c][d], sigmas_[c][d]));
+      }
+      row[schema_.class_column()] = static_cast<Value>(c);
+      SQLCLASS_RETURN_IF_ERROR(sink(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status GaussianMixtureDataset::GenerateContinuous(
+    const std::function<Status(const std::vector<double>& values,
+                               Value label)>& sink) const {
+  Random rng(params_.seed ^ 0x6A055EEDull);  // same stream as Generate()
+  std::vector<double> values(params_.dimensions);
+  for (int c = 0; c < params_.num_classes; ++c) {
+    for (uint64_t i = 0; i < params_.samples_per_class; ++i) {
+      for (int d = 0; d < params_.dimensions; ++d) {
+        values[d] = rng.Gaussian(means_[c][d], sigmas_[c][d]);
+      }
+      SQLCLASS_RETURN_IF_ERROR(sink(values, static_cast<Value>(c)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlclass

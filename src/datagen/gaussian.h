@@ -1,0 +1,77 @@
+#ifndef SQLCLASS_DATAGEN_GAUSSIAN_H_
+#define SQLCLASS_DATAGEN_GAUSSIAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/datagen.h"
+
+namespace sqlclass {
+
+/// The mixture-of-Gaussians generator of §5.1.2: one Gaussian per class,
+/// means drawn uniformly from [-5, +5] per dimension, per-dimension
+/// variances uniform in [0.7, 1.5]. Because the classifier operates on
+/// categorical data (§1: numeric attributes are discretized), each
+/// dimension is equi-width discretized into `bins` buckets over
+/// [-range, +range].
+///
+/// Properties the paper relies on: dropping dimensions keeps the data a
+/// mixture of Gaussians (vary dimensionality with data fixed), and removing
+/// components varies the class count without changing the data's nature.
+struct GaussianMixtureParams {
+  int dimensions = 100;
+  int num_classes = 10;       // number of mixture components
+  uint64_t samples_per_class = 10000;
+  int bins = 8;               // discretization buckets per dimension
+  double bucket_range = 10.0; // buckets span [-range, +range]
+  uint64_t seed = 7;
+};
+
+class GaussianMixtureDataset {
+ public:
+  static StatusOr<std::unique_ptr<GaussianMixtureDataset>> Create(
+      const GaussianMixtureParams& params);
+
+  /// Schema: "G1".."Gd" (each `bins` values) plus class column "class".
+  const Schema& schema() const { return schema_; }
+
+  uint64_t TotalRows() const {
+    return params_.samples_per_class *
+           static_cast<uint64_t>(params_.num_classes);
+  }
+
+  /// Streams samples class-by-class; deterministic per seed.
+  Status Generate(const RowSink& sink) const;
+
+  /// Raw (undiscretized) samples, for exercising the discretizers in
+  /// mining/discretize.h on genuinely continuous data. Emits the same
+  /// underlying draws as Generate(): Generate(sink) == Discretize() mapped
+  /// over GenerateContinuous(sink).
+  Status GenerateContinuous(
+      const std::function<Status(const std::vector<double>& values,
+                                 Value label)>& sink) const;
+
+  /// Component means/sigmas (per class, per dimension), for tests.
+  const std::vector<std::vector<double>>& means() const { return means_; }
+  const std::vector<std::vector<double>>& sigmas() const { return sigmas_; }
+
+  /// Equi-width bucket of `x` (clamped to the range).
+  Value Discretize(double x) const;
+
+ private:
+  explicit GaussianMixtureDataset(GaussianMixtureParams params);
+
+  GaussianMixtureParams params_;
+  Schema schema_;
+  std::vector<std::vector<double>> means_;   // [class][dim]
+  std::vector<std::vector<double>> sigmas_;  // [class][dim]
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_DATAGEN_GAUSSIAN_H_

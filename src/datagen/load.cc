@@ -1,0 +1,16 @@
+#include "datagen/load.h"
+
+namespace sqlclass {
+
+Status LoadIntoServer(SqlServer* server, const std::string& table,
+                      const Schema& schema,
+                      const std::function<Status(const RowSink&)>& generate) {
+  SQLCLASS_RETURN_IF_ERROR(server->CreateTable(table, schema));
+  SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<SqlServer::Loader> loader,
+                            server->OpenLoader(table));
+  SQLCLASS_RETURN_IF_ERROR(generate(
+      [&](const Row& row) -> Status { return loader->Append(row); }));
+  return loader->Finish();
+}
+
+}  // namespace sqlclass

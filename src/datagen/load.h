@@ -1,0 +1,28 @@
+#ifndef SQLCLASS_DATAGEN_LOAD_H_
+#define SQLCLASS_DATAGEN_LOAD_H_
+
+#include <functional>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "datagen/datagen.h"
+#include "server/server.h"
+
+namespace sqlclass {
+
+/// Creates `table` on `server` with `schema` and streams the generator's
+/// output into it. `generate` is any of the datasets' Generate methods,
+/// e.g.:
+///
+///   LoadIntoServer(&server, "data", ds->schema(),
+///                  [&](const RowSink& sink) { return ds->Generate(sink); });
+///
+/// Loading is setup work and is not metered by the cost model.
+Status LoadIntoServer(SqlServer* server, const std::string& table,
+                      const Schema& schema,
+                      const std::function<Status(const RowSink&)>& generate);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_DATAGEN_LOAD_H_

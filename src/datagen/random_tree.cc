@@ -1,0 +1,214 @@
+#include "datagen/random_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqlclass {
+
+namespace {
+
+int ClampCard(double drawn) {
+  const int card = static_cast<int>(std::lround(drawn));
+  return std::clamp(card, 2, 32);
+}
+
+}  // namespace
+
+RandomTreeDataset::RandomTreeDataset(RandomTreeParams params, Schema schema)
+    : params_(params), schema_(std::move(schema)) {}
+
+StatusOr<std::unique_ptr<RandomTreeDataset>> RandomTreeDataset::Create(
+    const RandomTreeParams& params) {
+  if (params.num_attributes < 1 || params.num_classes < 2 ||
+      params.num_leaves < 1) {
+    return Status::InvalidArgument("bad random-tree parameters");
+  }
+  if (params.skew < 0.0 || params.skew > 1.0) {
+    return Status::InvalidArgument("skew must be in [0, 1]");
+  }
+  Random rng(params.seed);
+  std::vector<AttributeDef> attrs;
+  std::vector<int> cards;
+  attrs.reserve(params.num_attributes + 1);
+  for (int i = 0; i < params.num_attributes; ++i) {
+    AttributeDef attr;
+    attr.name = "A" + std::to_string(i + 1);
+    attr.cardinality = ClampCard(rng.Gaussian(
+        params.mean_values_per_attribute, params.values_stddev));
+    cards.push_back(attr.cardinality);
+    attrs.push_back(std::move(attr));
+  }
+  AttributeDef class_attr;
+  class_attr.name = "class";
+  class_attr.cardinality = params.num_classes;
+  attrs.push_back(std::move(class_attr));
+  Schema schema(std::move(attrs), params.num_attributes);
+  SQLCLASS_RETURN_IF_ERROR(schema.Validate());
+
+  auto dataset = std::unique_ptr<RandomTreeDataset>(
+      new RandomTreeDataset(params, std::move(schema)));
+  dataset->cards_ = std::move(cards);
+  SQLCLASS_RETURN_IF_ERROR(dataset->Build());
+  return dataset;
+}
+
+Status RandomTreeDataset::Build() {
+  Random rng(params_.seed ^ 0xB10D5EEDull);
+  std::vector<GenNode> open;
+  open.emplace_back();
+
+  auto forbidden_count = [](const GenNode& node, int attr) {
+    int count = 0;
+    for (const auto& [a, v] : node.forbidden) {
+      if (a == attr) ++count;
+    }
+    return count;
+  };
+  auto splittable_attrs = [&](const GenNode& node) {
+    std::vector<int> attrs;
+    for (int a = 0; a < params_.num_attributes; ++a) {
+      if (std::find(node.used_attrs.begin(), node.used_attrs.end(), a) !=
+          node.used_attrs.end()) {
+        continue;
+      }
+      if (!params_.complete_splits &&
+          cards_[a] - forbidden_count(node, a) < 2) {
+        continue;
+      }
+      attrs.push_back(a);
+    }
+    return attrs;
+  };
+
+  while (!open.empty() &&
+         static_cast<int>(leaves_.size() + open.size()) < params_.num_leaves) {
+    // Skewed leaf choice: probability `skew` of expanding the most recently
+    // created node (depth-first growth => long lop-sided trees).
+    size_t pick;
+    if (params_.skew > 0.0 && rng.Bernoulli(params_.skew)) {
+      pick = open.size() - 1;
+    } else {
+      pick = rng.Uniform(open.size());
+    }
+    GenNode node = std::move(open[pick]);
+    open.erase(open.begin() + static_cast<long>(pick));
+
+    std::vector<int> candidates = splittable_attrs(node);
+    if (candidates.empty()) {
+      // Cannot be split further; finalize as a leaf.
+      depth_ = std::max(depth_, node.depth);
+      leaves_.push_back(std::move(node));
+      continue;
+    }
+    const int attr = candidates[rng.Uniform(candidates.size())];
+
+    if (params_.complete_splits) {
+      for (Value v = 0; v < cards_[attr]; ++v) {
+        GenNode child = node;
+        child.depth = node.depth + 1;
+        child.required.emplace_back(attr, v);
+        child.used_attrs.push_back(attr);
+        open.push_back(std::move(child));
+      }
+    } else {
+      // Binary split A = v / A <> v on a value not already forbidden here.
+      std::vector<Value> allowed;
+      for (Value v = 0; v < cards_[attr]; ++v) {
+        bool is_forbidden = false;
+        for (const auto& [a, fv] : node.forbidden) {
+          if (a == attr && fv == v) {
+            is_forbidden = true;
+            break;
+          }
+        }
+        if (!is_forbidden) allowed.push_back(v);
+      }
+      const Value v = allowed[rng.Uniform(allowed.size())];
+      GenNode left = node;
+      left.depth = node.depth + 1;
+      left.required.emplace_back(attr, v);
+      left.used_attrs.push_back(attr);
+      GenNode right = std::move(node);
+      right.depth = left.depth;
+      right.forbidden.emplace_back(attr, v);
+      open.push_back(std::move(left));
+      open.push_back(std::move(right));
+    }
+  }
+
+  for (GenNode& node : open) {
+    depth_ = std::max(depth_, node.depth);
+    leaves_.push_back(std::move(node));
+  }
+
+  // Assign classes and case counts to the finished leaves.
+  for (GenNode& leaf : leaves_) {
+    leaf.leaf_class = static_cast<Value>(rng.Uniform(params_.num_classes));
+    double cases = params_.cases_per_leaf;
+    if (params_.cases_stddev > 0) {
+      cases = rng.Gaussian(params_.cases_per_leaf, params_.cases_stddev);
+    }
+    leaf.cases = cases <= 0 ? 0 : static_cast<uint64_t>(std::lround(cases));
+  }
+  return Status::OK();
+}
+
+uint64_t RandomTreeDataset::TotalRows() const {
+  uint64_t total = 0;
+  for (const GenNode& leaf : leaves_) total += leaf.cases;
+  return total;
+}
+
+int RandomTreeDataset::GeneratingLeaves() const {
+  return static_cast<int>(leaves_.size());
+}
+
+int RandomTreeDataset::GeneratingDepth() const { return depth_; }
+
+Status RandomTreeDataset::EmitLeaf(const GenNode& leaf, Random* rng,
+                                   const RowSink& sink) const {
+  Row row(schema_.num_columns());
+  std::vector<Value> allowed;
+  for (uint64_t i = 0; i < leaf.cases; ++i) {
+    for (int a = 0; a < params_.num_attributes; ++a) {
+      // Path-required value wins; otherwise draw uniformly from the values
+      // the path does not forbid.
+      Value required = -1;
+      for (const auto& [attr, v] : leaf.required) {
+        if (attr == a) {
+          required = v;
+          break;
+        }
+      }
+      if (required >= 0) {
+        row[a] = required;
+        continue;
+      }
+      allowed.clear();
+      for (Value v = 0; v < cards_[a]; ++v) {
+        bool is_forbidden = false;
+        for (const auto& [attr, fv] : leaf.forbidden) {
+          if (attr == a && fv == v) {
+            is_forbidden = true;
+            break;
+          }
+        }
+        if (!is_forbidden) allowed.push_back(v);
+      }
+      row[a] = allowed[rng->Uniform(allowed.size())];
+    }
+    row[schema_.class_column()] = leaf.leaf_class;
+    SQLCLASS_RETURN_IF_ERROR(sink(row));
+  }
+  return Status::OK();
+}
+
+Status RandomTreeDataset::Generate(const RowSink& sink) const {
+  Random rng(params_.seed ^ 0xDA7A5EEDull);
+  for (const GenNode& leaf : leaves_) {
+    SQLCLASS_RETURN_IF_ERROR(EmitLeaf(leaf, &rng, sink));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlclass

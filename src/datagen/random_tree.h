@@ -1,0 +1,95 @@
+#ifndef SQLCLASS_DATAGEN_RANDOM_TREE_H_
+#define SQLCLASS_DATAGEN_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/datagen.h"
+
+namespace sqlclass {
+
+/// Parameters of the random-tree data generator (§5.1.1). Data is generated
+/// so that "the effect of applying classification on the data will be the
+/// given decision tree", letting experiments control tree size, bushiness
+/// and skew. Defaults are the paper's defaults (§5.1.3).
+struct RandomTreeParams {
+  int num_attributes = 25;
+  /// Attribute cardinalities are drawn as round(N(mean, stddev)), clamped
+  /// to [2, 32]. The paper's default: 4 values with stddev 4.
+  double mean_values_per_attribute = 4.0;
+  double values_stddev = 4.0;
+  int num_classes = 10;
+
+  /// Leaves in the *generating* tree (the paper's measure of tree size).
+  int num_leaves = 500;
+
+  /// Cases generated per leaf: round(N(mean, stddev)), clamped to >= 0.
+  double cases_per_leaf = 950.0;
+  double cases_stddev = 0.0;
+
+  /// 0 = balanced growth (expand a uniformly random leaf); 1 = fully
+  /// lop-sided (always expand the most recently created leaf, yielding the
+  /// "long lop-sided tree" of §5.2.4).
+  double skew = 0.0;
+
+  /// True (default): the chosen attribute splits on *every* value
+  /// ("Complete splits = true"); false: a binary A = v / A <> v split.
+  bool complete_splits = true;
+
+  uint64_t seed = 42;
+};
+
+/// A generated tree plus its data distribution. Create once, then stream
+/// any number of rows; the same seed regenerates the same tree and data.
+class RandomTreeDataset {
+ public:
+  static StatusOr<std::unique_ptr<RandomTreeDataset>> Create(
+      const RandomTreeParams& params);
+
+  /// Schema: attributes "A1".."Am" plus class column "class" (last).
+  const Schema& schema() const { return schema_; }
+
+  /// Rows the generator will emit per full Generate() call.
+  uint64_t TotalRows() const;
+
+  /// Leaves in the generating tree.
+  int GeneratingLeaves() const;
+
+  /// Depth of the generating tree.
+  int GeneratingDepth() const;
+
+  /// Streams the whole data set (leaf by leaf) into `sink`. Deterministic
+  /// given the construction seed; successive calls emit identical rows.
+  Status Generate(const RowSink& sink) const;
+
+ private:
+  struct GenNode {
+    int depth = 0;
+    // Path constraints: attribute -> required value (complete splits) or
+    // forbidden value (binary "other" branches).
+    std::vector<std::pair<int, Value>> required;
+    std::vector<std::pair<int, Value>> forbidden;
+    std::vector<int> used_attrs;  // attributes already split on the path
+    Value leaf_class = 0;
+    uint64_t cases = 0;
+  };
+
+  RandomTreeDataset(RandomTreeParams params, Schema schema);
+
+  Status Build();
+  Status EmitLeaf(const GenNode& leaf, Random* rng, const RowSink& sink) const;
+
+  RandomTreeParams params_;
+  Schema schema_;
+  std::vector<int> cards_;       // per-attribute cardinality
+  std::vector<GenNode> leaves_;  // finished generating-tree leaves
+  int depth_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_DATAGEN_RANDOM_TREE_H_

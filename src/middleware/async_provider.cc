@@ -1,0 +1,102 @@
+#include "middleware/async_provider.h"
+
+namespace sqlclass {
+
+AsyncCcProvider::AsyncCcProvider(CcProvider* inner)
+    : inner_(inner), worker_([this] { WorkerLoop(); }) {}
+
+AsyncCcProvider::~AsyncCcProvider() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  worker_.join();
+}
+
+Status AsyncCcProvider::QueueRequest(CcRequest request) {
+  // Validation happens on the worker thread; a bad request surfaces as an
+  // error from the next FulfillSome.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_.ok()) return error_;
+    inbox_.push_back(std::move(request));
+    ++outstanding_;
+  }
+  worker_cv_.notify_all();
+  return Status::OK();
+}
+
+void AsyncCcProvider::ReleaseNode(int node_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    releases_.push_back(node_id);
+  }
+  worker_cv_.notify_all();
+}
+
+size_t AsyncCcProvider::PendingRequests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outstanding_;
+}
+
+uint64_t AsyncCcProvider::worker_rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return worker_rounds_;
+}
+
+StatusOr<std::vector<CcResult>> AsyncCcProvider::FulfillSome() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  client_cv_.wait(lock, [&] {
+    return !outbox_.empty() || !error_.ok() || outstanding_ == 0;
+  });
+  if (!error_.ok()) return error_;
+  std::vector<CcResult> results = std::move(outbox_);
+  outbox_.clear();
+  outstanding_ -= results.size();
+  return results;
+}
+
+void AsyncCcProvider::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    worker_cv_.wait(lock, [&] {
+      return stop_ || !inbox_.empty() || !releases_.empty() ||
+             (error_.ok() && inner_->PendingRequests() > 0);
+    });
+    if (stop_) return;
+
+    std::deque<CcRequest> requests;
+    requests.swap(inbox_);
+    std::deque<int> releases;
+    releases.swap(releases_);
+    lock.unlock();
+
+    // Inner provider is driven exclusively from this thread.
+    for (int node_id : releases) inner_->ReleaseNode(node_id);
+    Status status = Status::OK();
+    for (CcRequest& request : requests) {
+      status = inner_->QueueRequest(std::move(request));
+      if (!status.ok()) break;
+    }
+    std::vector<CcResult> batch;
+    if (status.ok() && inner_->PendingRequests() > 0) {
+      auto fulfilled = inner_->FulfillSome();
+      if (fulfilled.ok()) {
+        batch = std::move(fulfilled).value();
+      } else {
+        status = fulfilled.status();
+      }
+    }
+
+    lock.lock();
+    if (!status.ok() && error_.ok()) error_ = status;
+    if (!batch.empty()) {
+      for (CcResult& result : batch) outbox_.push_back(std::move(result));
+      ++worker_rounds_;
+    }
+    if (!outbox_.empty() || !error_.ok()) client_cv_.notify_all();
+  }
+}
+
+}  // namespace sqlclass

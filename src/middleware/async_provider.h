@@ -1,0 +1,81 @@
+#ifndef SQLCLASS_MIDDLEWARE_ASYNC_PROVIDER_H_
+#define SQLCLASS_MIDDLEWARE_ASYNC_PROVIDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mining/cc_provider.h"
+
+namespace sqlclass {
+
+/// The asynchronous client/middleware interaction of Fig. 3: the middleware
+/// services the request queue on its own thread while the client consumes
+/// results, scores partitions, and queues follow-ups concurrently — "wait
+/// for middleware notification that some requests have been fulfilled".
+///
+/// Wraps any CcProvider. The wrapped provider is driven exclusively by the
+/// worker thread (single-threaded inner code stays single-threaded); the
+/// client-facing methods marshal work through locked queues:
+///
+///   QueueRequest  -> inbox  -> worker -> inner.QueueRequest
+///   ReleaseNode   -> inbox  -> worker -> inner.ReleaseNode
+///   FulfillSome   <- outbox <- worker <- inner.FulfillSome
+///
+/// Correctness does not depend on timing because the release protocol pins
+/// per-node provider resources until the client has queued a node's
+/// children (see CcProvider::ReleaseNode).
+///
+/// The produced classifier is identical to the synchronous drive — only
+/// wall-clock overlap changes. One caveat: while a grow is in flight, do
+/// not read shared observer state (server cost counters, middleware stats)
+/// from the client thread; read them after Grow returns.
+class AsyncCcProvider : public CcProvider {
+ public:
+  /// `inner` must outlive this object and must not be driven by anyone
+  /// else while the async wrapper exists.
+  explicit AsyncCcProvider(CcProvider* inner);
+  ~AsyncCcProvider() override;
+
+  AsyncCcProvider(const AsyncCcProvider&) = delete;
+  AsyncCcProvider& operator=(const AsyncCcProvider&) = delete;
+
+  Status QueueRequest(CcRequest request) override;
+
+  /// Blocks until the worker has fulfilled something (or everything
+  /// outstanding has already been delivered / an error occurred).
+  StatusOr<std::vector<CcResult>> FulfillSome() override;
+
+  void ReleaseNode(int node_id) override;
+
+  /// Requests queued but not yet delivered to the client.
+  size_t PendingRequests() const override;
+
+  /// Batches the worker executed (for tests: proves overlap happened).
+  uint64_t worker_rounds() const;
+
+ private:
+  void WorkerLoop();
+
+  CcProvider* inner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable worker_cv_;   // signals work for the worker
+  std::condition_variable client_cv_;   // signals results for the client
+  std::deque<CcRequest> inbox_;
+  std::deque<int> releases_;
+  std::vector<CcResult> outbox_;
+  Status error_ = Status::OK();
+  size_t outstanding_ = 0;  // queued, not yet handed to the client
+  uint64_t worker_rounds_ = 0;
+  bool stop_ = false;
+
+  std::thread worker_;  // last member: starts after state is ready
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_ASYNC_PROVIDER_H_

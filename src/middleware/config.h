@@ -1,0 +1,66 @@
+#ifndef SQLCLASS_MIDDLEWARE_CONFIG_H_
+#define SQLCLASS_MIDDLEWARE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sqlclass {
+
+/// Ordering policy for eligible nodes within a scheduled batch. The paper's
+/// Rule 3 is smallest-estimated-CC-first; the alternatives exist for the
+/// scheduling ablation (DESIGN.md A1).
+enum class OrderPolicy {
+  kSmallestCcFirst,  // Rule 3 (default)
+  kFifo,
+  kLargestCcFirst,
+};
+
+/// Knobs of the scalable classification middleware (§4). Defaults match the
+/// paper's default experimental configuration: hybrid file staging at a 50%
+/// threshold with memory staging enabled.
+struct MiddlewareConfig {
+  /// Total middleware memory: CC tables under construction plus staged
+  /// in-memory data sets share this budget (§5.2.1's "memory (MB)" axis).
+  size_t memory_budget_bytes = 64ull << 20;
+
+  /// Middleware file-system space for staged files. 0 disables file staging
+  /// entirely ("system environments that do not support a local disk").
+  size_t file_budget_bytes = 1ull << 40;
+
+  /// Master switches for the two staging tiers (§4.1.2: staging "can be
+  /// completely disabled or restricted to only file or only memory").
+  bool enable_file_staging = true;
+  bool enable_memory_staging = true;
+
+  /// Fraction of the memory budget that staging may never consume — kept
+  /// free for CC tables so data staging cannot corner later frontiers into
+  /// the (expensive) SQL fallback. When pressure still arises, the
+  /// middleware evicts staged memory stores (largest first) and those
+  /// subtrees fall back to server scans.
+  double cc_memory_reserve = 0.15;
+
+  /// File-splitting threshold (§4.3.2): while servicing a batch from a
+  /// staged file, if the batch's rows are less than this fraction of the
+  /// file, each batch node gets its own new (smaller) file.
+  ///   1.0  => a new file per node (Fig 6 config 1)
+  ///   0.0  => never split; one singleton file per lineage (Fig 6 config 2)
+  ///   0.5  => hybrid (Fig 6 configs 3/4, the default)
+  double file_split_threshold = 0.5;
+
+  /// §4.3.1: push the disjunction of node predicates into the server-side
+  /// cursor so only relevant rows are transmitted. Off only for ablation A2.
+  bool enable_filter_pushdown = true;
+
+  OrderPolicy order_policy = OrderPolicy::kSmallestCcFirst;
+
+  /// Directory for staged middleware files. Must exist and be writable.
+  std::string staging_dir = ".";
+
+  /// Rows between CC-memory overflow checks during a counting scan.
+  uint64_t overflow_check_interval = 1024;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_CONFIG_H_

@@ -1,0 +1,79 @@
+#include "middleware/estimator.h"
+
+#include <algorithm>
+
+namespace sqlclass {
+
+int Estimator::ParentCard(int parent_id, int attr) const {
+  if (parent_id >= 0) {
+    auto it = meta_.find(parent_id);
+    if (it != meta_.end()) {
+      auto card_it = it->second.cards.find(attr);
+      if (card_it != it->second.cards.end()) return card_it->second;
+    }
+  }
+  return schema_.attribute(attr).cardinality;
+}
+
+double Estimator::EstimateEntries(
+    int parent_id, uint64_t data_size,
+    const std::vector<int>& attr_columns) const {
+  double sum_cards = 0.0;
+  for (int attr : attr_columns) {
+    sum_cards += static_cast<double>(ParentCard(parent_id, attr));
+  }
+  if (parent_id < 0) return sum_cards;  // root: cards known from metadata
+  auto it = meta_.find(parent_id);
+  if (it == meta_.end() || it->second.data_size == 0) return sum_cards;
+  const double fraction = static_cast<double>(data_size) /
+                          static_cast<double>(it->second.data_size);
+  // Est_cc(n) = (|n| / |p|) * sum_j card(p, A_j), capped by the upper bound
+  // (a value cannot occur in the child more often than the child has rows,
+  // nor more distinctly than in the parent).
+  double est = std::min(fraction, 1.0) * sum_cards;
+  // Each present attribute contributes at least one entry.
+  est = std::max(est, static_cast<double>(attr_columns.size()));
+  return est;
+}
+
+double Estimator::UpperBoundEntries(
+    int parent_id, const std::vector<int>& attr_columns) const {
+  double sum_cards = 0.0;
+  for (int attr : attr_columns) {
+    sum_cards += static_cast<double>(ParentCard(parent_id, attr));
+  }
+  return sum_cards;
+}
+
+void Estimator::RecordCounted(int node_id, const CcTable& cc,
+                              uint64_t data_size,
+                              const std::vector<int>& attr_columns) {
+  NodeMeta& meta = meta_[node_id];
+  meta.data_size = data_size;
+  meta.cc_entries = cc.NumEntries();
+  meta.cards.clear();
+  for (int attr : attr_columns) {
+    meta.cards[attr] = cc.DistinctValues(attr);
+  }
+}
+
+void Estimator::SetLocation(int node_id, DataLocation location) {
+  meta_[node_id].location = location;
+}
+
+void Estimator::RelocateStore(const DataLocation& from,
+                              const DataLocation& to) {
+  for (auto& [node_id, meta] : meta_) {
+    if (meta.location == from) meta.location = to;
+  }
+}
+
+DataLocation Estimator::InheritedLocation(int parent_id) const {
+  if (parent_id >= 0) {
+    auto it = meta_.find(parent_id);
+    if (it != meta_.end()) return it->second.location;
+  }
+  return DataLocation{LocationKind::kServer, 0};
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,92 @@
+#ifndef SQLCLASS_MIDDLEWARE_ESTIMATOR_H_
+#define SQLCLASS_MIDDLEWARE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "mining/cc_table.h"
+
+namespace sqlclass {
+
+/// Where a node's data set currently lives (§4.1.2). Prefixes in the
+/// paper's Figure 1: S = server scan, I = middleware file, L = in-memory.
+enum class LocationKind { kServer, kFile, kMemory };
+
+struct DataLocation {
+  LocationKind kind = LocationKind::kServer;
+  uint64_t store_id = 0;  // staged file / memory store id; 0 for server
+
+  bool operator==(const DataLocation& other) const {
+    return kind == other.kind && store_id == other.store_id;
+  }
+  bool operator<(const DataLocation& other) const {
+    if (kind != other.kind) return kind < other.kind;
+    return store_id < other.store_id;
+  }
+};
+
+/// Per-node bookkeeping the estimator retains after a node is counted:
+/// exact data size, per-attribute cardinalities card(n, A_j), and the
+/// current location of the node's data. Children inherit the location and
+/// are estimated from the parent's cards (§4.2.1).
+struct NodeMeta {
+  uint64_t data_size = 0;
+  std::map<int, int> cards;  // column index -> card(n, A)
+  size_t cc_entries = 0;     // actual entries once counted
+  DataLocation location;
+};
+
+/// The estimator of §4.2.1. Data sizes are exact (computed by the client
+/// from the parent's CC table and carried in the request); CC sizes are
+/// estimated as
+///
+///    Est_cc(n) = (|n| / |p|) * sum_{A_j present in n} card(p, A_j)
+///
+/// which assumes independence of the partitioning attribute from the rest.
+/// For the root (no parent) the schema cardinalities serve as the cards.
+class Estimator {
+ public:
+  explicit Estimator(const Schema& schema) : schema_(schema) {}
+
+  /// Estimated CC entry count for a node of `data_size` rows whose parent
+  /// is `parent_id` (-1 for root) counting `attr_columns`.
+  double EstimateEntries(int parent_id, uint64_t data_size,
+                         const std::vector<int>& attr_columns) const;
+
+  /// The paper's pessimistic upper bound: sum of parent cards over the
+  /// attributes present (card(n,A) <= card(p,A) summed). Tests verify
+  /// Est <= this bound.
+  double UpperBoundEntries(int parent_id,
+                           const std::vector<int>& attr_columns) const;
+
+  /// Records a counted node's actuals (cards extracted from its CC table).
+  void RecordCounted(int node_id, const CcTable& cc, uint64_t data_size,
+                     const std::vector<int>& attr_columns);
+
+  /// Registers / updates a node's data location.
+  void SetLocation(int node_id, DataLocation location);
+
+  /// Rewrites every node whose data lives in `from` to `to` (used when a
+  /// staged store is evicted and its subtrees fall back to the server).
+  void RelocateStore(const DataLocation& from, const DataLocation& to);
+
+  /// Location for a new request: the parent's recorded location (server for
+  /// the root or unknown parents).
+  DataLocation InheritedLocation(int parent_id) const;
+
+  bool HasMeta(int node_id) const { return meta_.count(node_id) > 0; }
+  const NodeMeta& meta(int node_id) const { return meta_.at(node_id); }
+
+ private:
+  /// card(p, A) for one attribute; schema cardinality when no parent meta.
+  int ParentCard(int parent_id, int attr) const;
+
+  Schema schema_;
+  std::map<int, NodeMeta> meta_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_ESTIMATOR_H_

@@ -1,0 +1,465 @@
+#include "middleware/middleware.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <set>
+
+#include "middleware/batch_matcher.h"
+#include "mining/cc_sql.h"
+
+namespace sqlclass {
+
+StatusOr<std::unique_ptr<ClassificationMiddleware>>
+ClassificationMiddleware::Create(SqlServer* server, const std::string& table,
+                                 MiddlewareConfig config) {
+  SQLCLASS_ASSIGN_OR_RETURN(const Schema* schema, server->GetSchema(table));
+  if (!schema->has_class_column()) {
+    return Status::InvalidArgument("table has no class column: " + table);
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(uint64_t rows, server->TableRowCount(table));
+  if (config.memory_budget_bytes == 0) {
+    return Status::InvalidArgument("memory budget must be positive");
+  }
+  if (config.file_split_threshold < 0 || config.file_split_threshold > 1) {
+    return Status::InvalidArgument("file split threshold must be in [0, 1]");
+  }
+  if (config.cc_memory_reserve < 0 || config.cc_memory_reserve >= 1) {
+    return Status::InvalidArgument("cc memory reserve must be in [0, 1)");
+  }
+  if (config.overflow_check_interval == 0) {
+    return Status::InvalidArgument("overflow check interval must be >= 1");
+  }
+  return std::unique_ptr<ClassificationMiddleware>(
+      new ClassificationMiddleware(server, table, *schema, rows,
+                                   std::move(config)));
+}
+
+ClassificationMiddleware::ClassificationMiddleware(SqlServer* server,
+                                                   std::string table,
+                                                   Schema schema,
+                                                   uint64_t table_rows,
+                                                   MiddlewareConfig config)
+    : server_(server),
+      table_(std::move(table)),
+      schema_(std::move(schema)),
+      num_classes_(schema_.attribute(schema_.class_column()).cardinality),
+      table_rows_(table_rows),
+      config_(std::move(config)),
+      scheduler_(config_),
+      estimator_(schema_),
+      staging_(std::make_unique<StagingManager>(config_.staging_dir,
+                                                schema_.num_columns(),
+                                                &server->cost_counters())) {}
+
+Status ClassificationMiddleware::QueueRequest(CcRequest request) {
+  if (request.predicate == nullptr) request.predicate = Expr::True();
+  SQLCLASS_RETURN_IF_ERROR(request.predicate->Bind(schema_));
+  if (request.active_attrs.empty()) {
+    return Status::InvalidArgument("request with no attributes to count");
+  }
+  for (int attr : request.active_attrs) {
+    if (attr < 0 || attr >= schema_.num_columns() ||
+        attr == schema_.class_column()) {
+      return Status::InvalidArgument("bad attribute column in request");
+    }
+  }
+  if (request.parent_id < 0) request.data_size = table_rows_;
+
+  Pending pending;
+  pending.seq = next_seq_++;
+  const double est_entries = estimator_.EstimateEntries(
+      request.parent_id, request.data_size, request.active_attrs);
+  pending.est_cc_bytes = static_cast<size_t>(
+      est_entries * static_cast<double>(CcTable::BytesPerEntry(num_classes_)));
+  pending.location = estimator_.InheritedLocation(request.parent_id);
+  pending.request = std::move(request);
+  pending_.push_back(std::move(pending));
+  return Status::OK();
+}
+
+Status ClassificationMiddleware::GarbageCollectStores() {
+  std::set<DataLocation> referenced;
+  for (const Pending& pending : pending_) {
+    if (pending.location.kind != LocationKind::kServer) {
+      referenced.insert(pending.location);
+    }
+  }
+  // Stores holding the data of delivered-but-unreleased nodes stay pinned:
+  // the client may still queue children that will inherit them.
+  for (int node_id : unreleased_) {
+    if (estimator_.HasMeta(node_id)) {
+      const DataLocation& loc = estimator_.meta(node_id).location;
+      if (loc.kind != LocationKind::kServer) referenced.insert(loc);
+    }
+  }
+  for (const DataLocation& loc : staging_->LiveStores()) {
+    if (referenced.count(loc) == 0) {
+      SQLCLASS_RETURN_IF_ERROR(staging_->Free(loc));
+      ++stats_.stores_freed;
+    }
+  }
+  return Status::OK();
+}
+
+void ClassificationMiddleware::ReleaseNode(int node_id) {
+  unreleased_.erase(node_id);
+}
+
+Status ClassificationMiddleware::EvictMemoryStoresUnderPressure() {
+  size_t smallest_est = std::numeric_limits<size_t>::max();
+  for (const Pending& pending : pending_) {
+    smallest_est = std::min(smallest_est, pending.est_cc_bytes);
+  }
+  if (smallest_est == std::numeric_limits<size_t>::max()) return Status::OK();
+
+  while (config_.memory_budget_bytes <
+         staging_->memory_bytes_used() + smallest_est) {
+    // Pick the largest live memory store.
+    DataLocation victim;
+    uint64_t victim_rows = 0;
+    for (const DataLocation& loc : staging_->LiveStores()) {
+      if (loc.kind != LocationKind::kMemory) continue;
+      SQLCLASS_ASSIGN_OR_RETURN(uint64_t rows, staging_->StoreRows(loc));
+      if (rows >= victim_rows) {
+        victim_rows = rows;
+        victim = loc;
+      }
+    }
+    if (victim.kind != LocationKind::kMemory) break;  // nothing to evict
+    SQLCLASS_RETURN_IF_ERROR(staging_->Free(victim));
+    ++stats_.stores_evicted;
+    const DataLocation server_loc{LocationKind::kServer, 0};
+    estimator_.RelocateStore(victim, server_loc);
+    for (Pending& pending : pending_) {
+      if (pending.location == victim) pending.location = server_loc;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<CcResult>> ClassificationMiddleware::FulfillSome() {
+  std::vector<CcResult> results;
+  if (pending_.empty()) return results;
+
+  // The client has queued all follow-ups for previously delivered nodes by
+  // now (CcProvider contract), so the pending set fully determines which
+  // staged stores are still reachable.
+  SQLCLASS_RETURN_IF_ERROR(GarbageCollectStores());
+  SQLCLASS_RETURN_IF_ERROR(EvictMemoryStoresUnderPressure());
+
+  std::vector<SchedItem> items;
+  items.reserve(pending_.size());
+  std::map<DataLocation, uint64_t> store_rows;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const Pending& pending = pending_[i];
+    SchedItem item;
+    item.idx = static_cast<int>(i);
+    item.seq = pending.seq;
+    item.data_size = pending.request.data_size;
+    item.est_cc_bytes = pending.est_cc_bytes;
+    item.location = pending.location;
+    items.push_back(item);
+    if (pending.location.kind != LocationKind::kServer &&
+        store_rows.count(pending.location) == 0) {
+      SQLCLASS_ASSIGN_OR_RETURN(uint64_t rows,
+                                staging_->StoreRows(pending.location));
+      store_rows[pending.location] = rows;
+    }
+  }
+
+  SchedBudgets budgets;
+  budgets.memory_budget = config_.memory_budget_bytes;
+  budgets.file_budget =
+      config_.enable_file_staging ? config_.file_budget_bytes : 0;
+  budgets.staged_memory_used = staging_->memory_bytes_used();
+  budgets.staged_file_used = staging_->file_bytes_used();
+  budgets.row_bytes = staging_->RowBytes();
+
+  BatchPlan plan = scheduler_.PlanBatch(items, store_rows, budgets);
+  if (plan.admitted.empty()) {
+    return Status::Internal("scheduler admitted no requests");
+  }
+
+  // Extract the admitted requests (in plan order) from the queue.
+  std::vector<Pending> batch;
+  batch.reserve(plan.admitted.size());
+  std::vector<bool> taken(pending_.size(), false);
+  std::map<int, int> idx_to_pos;
+  for (int idx : plan.admitted) {
+    idx_to_pos[idx] = static_cast<int>(batch.size());
+    batch.push_back(std::move(pending_[idx]));
+    taken[idx] = true;
+  }
+  std::vector<Pending> remaining;
+  remaining.reserve(pending_.size() - batch.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!taken[i]) remaining.push_back(std::move(pending_[i]));
+  }
+  pending_ = std::move(remaining);
+
+  // Rewrite staging decisions to batch positions.
+  BatchPlan local = std::move(plan);
+  for (StageDecision& decision : local.staging) {
+    decision.idx = idx_to_pos.at(decision.idx);
+  }
+
+  SQLCLASS_ASSIGN_OR_RETURN(results, ExecuteBatch(local, std::move(batch)));
+  ++stats_.batches;
+  stats_.nodes_fulfilled += results.size();
+  return results;
+}
+
+StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
+    const BatchPlan& plan, std::vector<Pending> batch) {
+  const int n = static_cast<int>(batch.size());
+  const int class_column = schema_.class_column();
+  CostCounters& cost = server_->cost_counters();
+
+  BatchTrace trace;
+  trace.batch = stats_.batches + 1;
+  trace.source = plan.source;
+  trace.nodes = n;
+  trace.file_split = plan.file_split;
+  for (const StageDecision& decision : plan.staging) {
+    if (decision.target == LocationKind::kFile) {
+      ++trace.staged_to_file;
+    } else {
+      ++trace.staged_to_memory;
+    }
+  }
+
+  std::vector<CcTable> ccs;
+  ccs.reserve(n);
+  for (int i = 0; i < n; ++i) ccs.emplace_back(num_classes_);
+  std::vector<bool> fallback(n, false);
+  std::vector<bool> requeue(n, false);
+  std::vector<size_t> observed_bytes(n, 0);
+  int live_ccs = n;
+
+  // Open staging stores for the planned nodes (Rule 4: batch nodes only).
+  std::vector<std::optional<DataLocation>> stage_into(n);
+  size_t planned_memory_bytes = 0;
+  for (const StageDecision& decision : plan.staging) {
+    const int pos = decision.idx;
+    DataLocation loc;
+    loc.kind = decision.target;
+    if (decision.target == LocationKind::kFile) {
+      SQLCLASS_ASSIGN_OR_RETURN(loc.store_id, staging_->BeginFileStore());
+    } else {
+      loc.store_id = staging_->BeginMemoryStore();
+      planned_memory_bytes +=
+          batch[pos].request.data_size * staging_->RowBytes();
+    }
+    stage_into[pos] = loc;
+  }
+
+  // Memory left for CC tables during this scan: total budget minus staged
+  // data already resident minus the reservations for this batch's memory
+  // staging (which fills up as the scan proceeds).
+  const size_t memory_baseline =
+      staging_->memory_bytes_used() + planned_memory_bytes;
+  const size_t cc_available =
+      config_.memory_budget_bytes > memory_baseline
+          ? config_.memory_budget_bytes - memory_baseline
+          : 0;
+
+  std::vector<const Expr*> predicates;
+  predicates.reserve(n);
+  for (const Pending& pending : batch) {
+    predicates.push_back(pending.request.predicate.get());
+  }
+  BatchMatcher matcher(predicates);
+
+  // Runtime handling of estimation error (§4.1.1): when the batch's actual
+  // CC bytes exceed the available memory, evict the largest CC table. An
+  // evicted node is normally *requeued* with a corrected (at least doubled)
+  // estimate and counted in a later, smaller scan; only when it is the last
+  // node standing — its CC alone does not fit in middleware memory — does
+  // it switch to the SQL-based server-side implementation.
+  auto check_overflow = [&]() {
+    while (live_ccs > 0) {
+      size_t used = 0;
+      int biggest = -1;
+      size_t biggest_bytes = 0;
+      for (int i = 0; i < n; ++i) {
+        if (fallback[i] || requeue[i]) continue;
+        const size_t bytes = ccs[i].ApproxBytes();
+        used += bytes;
+        if (bytes >= biggest_bytes) {
+          biggest_bytes = bytes;
+          biggest = i;
+        }
+      }
+      if (used <= cc_available || biggest < 0) break;
+      observed_bytes[biggest] = biggest_bytes;
+      if (live_ccs == 1) {
+        fallback[biggest] = true;
+      } else {
+        requeue[biggest] = true;
+      }
+      CcTable empty(num_classes_);
+      ccs[biggest] = std::move(empty);
+      --live_ccs;
+    }
+  };
+
+  uint64_t rows_since_check = 0;
+  std::vector<int> matches;
+  auto process_row = [&](const Row& row) -> Status {
+    ++trace.rows_scanned;
+    matcher.Match(row, &matches);
+    for (int pos : matches) {
+      if (!fallback[pos] && !requeue[pos]) {
+        ccs[pos].AddRow(row, batch[pos].request.active_attrs, class_column);
+        cost.mw_cc_updates += batch[pos].request.active_attrs.size();
+      }
+      if (stage_into[pos].has_value()) {
+        const DataLocation& loc = *stage_into[pos];
+        if (loc.kind == LocationKind::kFile) {
+          SQLCLASS_RETURN_IF_ERROR(
+              staging_->AppendToFileStore(loc.store_id, row));
+        } else {
+          staging_->AppendToMemoryStore(loc.store_id, row);
+        }
+      }
+    }
+    if (++rows_since_check >= config_.overflow_check_interval) {
+      rows_since_check = 0;
+      check_overflow();
+    }
+    return Status::OK();
+  };
+
+  // ---- Single pass over the chosen source (§4.1.1).
+  switch (plan.source.kind) {
+    case LocationKind::kServer: {
+      std::string sql = "SELECT * FROM " + table_;
+      if (config_.enable_filter_pushdown) {
+        // §4.3.1: ship (S_1 OR ... OR S_k) so only relevant rows transfer.
+        bool any_true = false;
+        std::vector<std::unique_ptr<Expr>> clauses;
+        for (const Pending& pending : batch) {
+          if (pending.request.predicate->kind() == ExprKind::kTrue) {
+            any_true = true;
+            break;
+          }
+          clauses.push_back(pending.request.predicate->Clone());
+        }
+        if (!any_true && !clauses.empty()) {
+          sql += " WHERE " + Expr::Or(std::move(clauses))->ToSql();
+        }
+      }
+      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<ServerCursor> cursor,
+                                server_->OpenCursorSql(sql));
+      Row row;
+      while (true) {
+        SQLCLASS_ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+        if (!more) break;
+        SQLCLASS_RETURN_IF_ERROR(process_row(row));
+      }
+      ++stats_.server_scans;
+      break;
+    }
+    case LocationKind::kFile: {
+      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<RowSource> source,
+                                staging_->OpenFileStore(plan.source.store_id));
+      Row row;
+      while (true) {
+        SQLCLASS_ASSIGN_OR_RETURN(bool more, source->Next(&row));
+        if (!more) break;
+        SQLCLASS_RETURN_IF_ERROR(process_row(row));
+      }
+      ++stats_.file_scans;
+      if (plan.file_split) ++stats_.file_splits;
+      break;
+    }
+    case LocationKind::kMemory: {
+      SQLCLASS_ASSIGN_OR_RETURN(const InMemoryRowStore* store,
+                                staging_->GetMemoryStore(plan.source.store_id));
+      const size_t rows = store->num_rows();
+      const int width = store->num_columns();
+      Row row(width);
+      for (size_t r = 0; r < rows; ++r) {
+        const Value* values = store->RowAt(r);
+        row.assign(values, values + width);
+        ++cost.mw_memory_rows_read;
+        SQLCLASS_RETURN_IF_ERROR(process_row(row));
+      }
+      ++stats_.memory_scans;
+      break;
+    }
+  }
+  check_overflow();
+
+  // Seal staged files; record locations so descendants inherit them.
+  for (int pos = 0; pos < n; ++pos) {
+    if (stage_into[pos].has_value() &&
+        stage_into[pos]->kind == LocationKind::kFile) {
+      SQLCLASS_RETURN_IF_ERROR(
+          staging_->FinishFileStore(stage_into[pos]->store_id));
+    }
+  }
+
+  // Fallback nodes: count at the server via the UNION GROUP BY query.
+  std::vector<CcResult> results;
+  results.reserve(n);
+  for (int pos = 0; pos < n; ++pos) {
+    if (requeue[pos]) {
+      // Evicted under memory pressure: return to the queue with a corrected
+      // estimate (monotone growth guarantees termination — once alone in a
+      // batch it either fits or takes the SQL path). If its data was staged
+      // during this scan, the retry reads the (smaller) staged store.
+      Pending retry = std::move(batch[pos]);
+      retry.est_cc_bytes =
+          std::max(retry.est_cc_bytes * 2, observed_bytes[pos] * 2);
+      if (stage_into[pos].has_value()) {
+        retry.location = *stage_into[pos];
+      }
+      estimator_.SetLocation(retry.request.node_id, retry.location);
+      pending_.push_back(std::move(retry));
+      ++trace.requeued;
+      continue;
+    }
+    if (fallback[pos]) {
+      SQLCLASS_ASSIGN_OR_RETURN(ccs[pos], SqlFallback(batch[pos]));
+      ++stats_.sql_fallbacks;
+      ++trace.sql_fallbacks;
+    }
+    const Pending& pending = batch[pos];
+    if (static_cast<uint64_t>(ccs[pos].TotalRows()) !=
+        pending.request.data_size) {
+      return Status::Internal(
+          "counted " + std::to_string(ccs[pos].TotalRows()) +
+          " rows for node " + std::to_string(pending.request.node_id) +
+          ", expected " + std::to_string(pending.request.data_size));
+    }
+    estimator_.RecordCounted(pending.request.node_id, ccs[pos],
+                             pending.request.data_size,
+                             pending.request.active_attrs);
+    estimator_.SetLocation(pending.request.node_id,
+                           stage_into[pos].has_value() ? *stage_into[pos]
+                                                       : plan.source);
+    unreleased_.insert(pending.request.node_id);
+    results.emplace_back(pending.request.node_id, std::move(ccs[pos]));
+  }
+  trace_.push_back(trace);
+  return results;
+}
+
+StatusOr<CcTable> ClassificationMiddleware::SqlFallback(
+    const Pending& pending) {
+  const Expr* predicate =
+      pending.request.predicate->kind() == ExprKind::kTrue
+          ? nullptr
+          : pending.request.predicate.get();
+  const std::string sql = BuildCcQuerySql(
+      table_, schema_, pending.request.active_attrs, predicate);
+  SQLCLASS_ASSIGN_OR_RETURN(ResultSet result, server_->Execute(sql));
+  const std::string& totals_attr =
+      schema_.attribute(pending.request.active_attrs[0]).name;
+  return CcFromResultSet(result, schema_, num_classes_, totals_attr);
+}
+
+}  // namespace sqlclass

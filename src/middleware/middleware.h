@@ -1,0 +1,140 @@
+#ifndef SQLCLASS_MIDDLEWARE_MIDDLEWARE_H_
+#define SQLCLASS_MIDDLEWARE_MIDDLEWARE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "middleware/config.h"
+#include "middleware/estimator.h"
+#include "middleware/scheduler.h"
+#include "middleware/staging.h"
+#include "mining/cc_provider.h"
+#include "server/server.h"
+
+namespace sqlclass {
+
+/// The scalable classification middleware (§4) — the paper's primary
+/// contribution. Sits between a sufficient-statistics-driven client
+/// (decision tree, Naive Bayes, ...) and the SQL backend and fulfills CC
+/// requests by:
+///
+///  * batching many nodes' counting into a single scan of the data
+///    (execution module, §4.1.1), pushing the disjunction of their
+///    predicates into the server cursor (§4.3.1);
+///  * staging shrinking data sets from the server into middleware files
+///    and middleware memory, splitting files as relevance drops
+///    (§4.1.2, §4.3.2);
+///  * choosing what to service from where with the priority scheduler
+///    (Rules 1-6, §4.2);
+///  * falling back to server-side SQL counting when a CC table outgrows
+///    its memory estimate at runtime (§4.1.1).
+///
+/// Single-threaded; drive it from one thread like the client loop of §3.
+class ClassificationMiddleware : public CcProvider {
+ public:
+  /// Observable behaviour of a run, for tests and benches.
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t nodes_fulfilled = 0;
+    uint64_t server_scans = 0;
+    uint64_t file_scans = 0;
+    uint64_t memory_scans = 0;
+    uint64_t sql_fallbacks = 0;
+    uint64_t stores_freed = 0;
+    uint64_t stores_evicted = 0;  // memory stores evicted under CC pressure
+    uint64_t file_splits = 0;     // batches that triggered file splitting
+  };
+
+  /// One entry per executed batch: what was scanned, from where, and what
+  /// staging / fallback activity it triggered. Cheap to record; drives the
+  /// scheduling-invariant tests and post-mortem analysis of runs.
+  struct BatchTrace {
+    uint64_t batch = 0;           // 1-based batch ordinal
+    DataLocation source;
+    int nodes = 0;                // admitted requests
+    int staged_to_file = 0;
+    int staged_to_memory = 0;
+    int requeued = 0;
+    int sql_fallbacks = 0;
+    bool file_split = false;
+    uint64_t rows_scanned = 0;    // rows delivered by the source
+  };
+
+  /// `server` and the named table must outlive the middleware. The table's
+  /// schema must have a class column. `config.staging_dir` must exist.
+  static StatusOr<std::unique_ptr<ClassificationMiddleware>> Create(
+      SqlServer* server, const std::string& table, MiddlewareConfig config);
+
+  // CcProvider:
+  Status QueueRequest(CcRequest request) override;
+  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  /// Marks a delivered node as fully consumed; until then the staged store
+  /// holding its data is pinned (its future children may still need it).
+  /// This makes store reclamation independent of when, relative to the
+  /// next batch, the client queues follow-ups — which is what allows the
+  /// asynchronous driver of Fig. 3 (middleware/async_provider.h).
+  void ReleaseNode(int node_id) override;
+  size_t PendingRequests() const override { return pending_.size(); }
+
+  const Stats& stats() const { return stats_; }
+  const std::vector<BatchTrace>& trace() const { return trace_; }
+  const StagingManager& staging() const { return *staging_; }
+  const Estimator& estimator() const { return estimator_; }
+  const MiddlewareConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    CcRequest request;  // predicate bound against the table schema
+    uint64_t seq = 0;
+    size_t est_cc_bytes = 0;
+    DataLocation location;
+  };
+
+  ClassificationMiddleware(SqlServer* server, std::string table,
+                           Schema schema, uint64_t table_rows,
+                           MiddlewareConfig config);
+
+  /// Frees staged stores no pending request can reach (§4.2.2's "flushing
+  /// D out of memory"). Runs at the start of each batch, after the client
+  /// has queued all follow-up requests.
+  Status GarbageCollectStores();
+
+  /// When staged memory leaves too little room for even the smallest
+  /// pending CC estimate, evicts memory stores (largest first) and points
+  /// the affected subtrees back at the server. Keeps estimation errors
+  /// from cascading into SQL fallbacks.
+  Status EvictMemoryStoresUnderPressure();
+
+  /// Runs one planned batch: opens the source, counts all batch nodes in a
+  /// single pass, stages planned nodes, handles CC-memory overflow via the
+  /// SQL fallback, and updates the estimator.
+  StatusOr<std::vector<CcResult>> ExecuteBatch(const BatchPlan& plan,
+                                               std::vector<Pending> batch);
+
+  /// Builds the node's CC table entirely at the server (§4.1.1 fallback).
+  StatusOr<CcTable> SqlFallback(const Pending& pending);
+
+  SqlServer* server_;
+  std::string table_;
+  Schema schema_;
+  int num_classes_;
+  uint64_t table_rows_;
+  MiddlewareConfig config_;
+  Scheduler scheduler_;
+  Estimator estimator_;
+  std::unique_ptr<StagingManager> staging_;
+  std::vector<Pending> pending_;
+  std::set<int> unreleased_;  // delivered nodes the client still holds
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+  std::vector<BatchTrace> trace_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_MIDDLEWARE_H_

@@ -1,0 +1,169 @@
+#include "middleware/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqlclass {
+
+namespace {
+
+int KindRank(LocationKind kind) {
+  switch (kind) {
+    case LocationKind::kMemory:
+      return 0;  // Rule 1: best
+    case LocationKind::kFile:
+      return 1;
+    case LocationKind::kServer:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+BatchPlan Scheduler::PlanBatch(
+    const std::vector<SchedItem>& items,
+    const std::map<DataLocation, uint64_t>& store_rows,
+    const SchedBudgets& budgets) const {
+  assert(!items.empty());
+  BatchPlan plan;
+
+  // ---- Rules 1 + 2: choose the scan source. Group the queue by data
+  // location; prefer memory groups, then file groups, then the server.
+  // Among same-kind groups pick the smallest aggregate data size so staged
+  // resources drain (and free) fastest; tie-break on store id for
+  // determinism.
+  std::map<DataLocation, uint64_t> group_size;
+  for (const SchedItem& item : items) {
+    group_size[item.location] += item.data_size;
+  }
+  const DataLocation* chosen = nullptr;
+  for (const auto& [loc, size] : group_size) {
+    if (chosen == nullptr) {
+      chosen = &loc;
+      continue;
+    }
+    const int rank = KindRank(loc.kind);
+    const int best_rank = KindRank(chosen->kind);
+    if (rank < best_rank) {
+      chosen = &loc;
+    } else if (rank == best_rank) {
+      const uint64_t best_size = group_size.at(*chosen);
+      if (size < best_size ||
+          (size == best_size && loc.store_id < chosen->store_id)) {
+        chosen = &loc;
+      }
+    }
+  }
+  plan.source = *chosen;
+
+  // ---- Rule 3: order the group's nodes and admit while CC estimates fit
+  // in the memory not already pinned by staged data.
+  std::vector<const SchedItem*> group;
+  for (const SchedItem& item : items) {
+    if (item.location == plan.source) group.push_back(&item);
+  }
+  std::sort(group.begin(), group.end(),
+            [&](const SchedItem* a, const SchedItem* b) {
+              switch (config_.order_policy) {
+                case OrderPolicy::kSmallestCcFirst:
+                  if (a->est_cc_bytes != b->est_cc_bytes) {
+                    return a->est_cc_bytes < b->est_cc_bytes;
+                  }
+                  break;
+                case OrderPolicy::kLargestCcFirst:
+                  if (a->est_cc_bytes != b->est_cc_bytes) {
+                    return a->est_cc_bytes > b->est_cc_bytes;
+                  }
+                  break;
+                case OrderPolicy::kFifo:
+                  break;
+              }
+              return a->seq < b->seq;
+            });
+
+  const size_t cc_available =
+      budgets.memory_budget > budgets.staged_memory_used
+          ? budgets.memory_budget - budgets.staged_memory_used
+          : 0;
+  size_t cc_planned = 0;
+  std::vector<const SchedItem*> admitted;
+  for (const SchedItem* item : group) {
+    if (!admitted.empty() && cc_planned + item->est_cc_bytes > cc_available) {
+      continue;  // leave for a later scan
+    }
+    cc_planned += item->est_cc_bytes;
+    admitted.push_back(item);
+    plan.admitted.push_back(item->idx);
+  }
+
+  // ---- Rules 4-6 + file splitting: staging decisions for admitted nodes.
+  std::vector<const SchedItem*> by_size = admitted;
+  std::sort(by_size.begin(), by_size.end(),
+            [](const SchedItem* a, const SchedItem* b) {
+              if (a->data_size != b->data_size) {
+                return a->data_size > b->data_size;  // Rule 5: largest first
+              }
+              return a->seq < b->seq;
+            });
+
+  size_t memory_available = 0;
+  {
+    // Staging may not eat into the CC reserve (see MiddlewareConfig).
+    const size_t reserve = static_cast<size_t>(
+        config_.cc_memory_reserve *
+        static_cast<double>(budgets.memory_budget));
+    const size_t used = budgets.staged_memory_used + cc_planned + reserve;
+    if (budgets.memory_budget > used) {
+      memory_available = budgets.memory_budget - used;
+    }
+  }
+  size_t file_available =
+      budgets.file_budget > budgets.staged_file_used
+          ? budgets.file_budget - budgets.staged_file_used
+          : 0;
+
+  // File-split trigger (§4.3.2): servicing from a file that is mostly
+  // irrelevant to the batch => give each batch node its own smaller file.
+  bool split_files = false;
+  if (plan.source.kind == LocationKind::kFile &&
+      config_.enable_file_staging && config_.file_split_threshold > 0) {
+    auto rows_it = store_rows.find(plan.source);
+    const uint64_t source_rows =
+        rows_it != store_rows.end() ? rows_it->second : 0;
+    uint64_t batch_rows = 0;
+    for (const SchedItem* item : admitted) batch_rows += item->data_size;
+    if (source_rows > 0) {
+      const double fraction = static_cast<double>(batch_rows) /
+                              static_cast<double>(source_rows);
+      split_files = fraction <= config_.file_split_threshold;
+    }
+  }
+
+  for (const SchedItem* item : by_size) {
+    const size_t bytes = item->data_size * budgets.row_bytes;
+    // Prefer the fastest tier the node fits in. Memory staging may draw
+    // directly from the server ("or, directly from server to memory, if
+    // appropriate") or from a file scan.
+    if (config_.enable_memory_staging &&
+        plan.source.kind != LocationKind::kMemory &&
+        bytes <= memory_available) {
+      plan.staging.push_back({item->idx, LocationKind::kMemory});
+      memory_available -= bytes;
+      continue;
+    }
+    if (!config_.enable_file_staging) continue;
+    const bool from_server_to_file =
+        plan.source.kind == LocationKind::kServer;
+    const bool split_to_file =
+        plan.source.kind == LocationKind::kFile && split_files;
+    if ((from_server_to_file || split_to_file) && bytes <= file_available) {
+      plan.staging.push_back({item->idx, LocationKind::kFile});
+      file_available -= bytes;
+      if (split_to_file) plan.file_split = true;
+    }
+  }
+  return plan;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,78 @@
+#ifndef SQLCLASS_MIDDLEWARE_SCHEDULER_H_
+#define SQLCLASS_MIDDLEWARE_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "middleware/config.h"
+#include "middleware/estimator.h"
+
+namespace sqlclass {
+
+/// One pending request as the scheduler sees it.
+struct SchedItem {
+  int idx = -1;            // caller's index for this request
+  uint64_t seq = 0;        // arrival order (FIFO tie-break / policy)
+  uint64_t data_size = 0;  // exact |n|
+  size_t est_cc_bytes = 0;
+  DataLocation location;
+};
+
+/// Memory / file space state the scheduler plans against.
+struct SchedBudgets {
+  size_t memory_budget = 0;       // total middleware memory
+  size_t file_budget = 0;         // middleware file-system space
+  size_t staged_memory_used = 0;  // bytes held by in-memory stores
+  size_t staged_file_used = 0;    // bytes held by staged files
+  size_t row_bytes = 0;           // width of one data row
+};
+
+/// Where a batch node's data should additionally be staged during the scan.
+struct StageDecision {
+  int idx = -1;
+  LocationKind target = LocationKind::kFile;
+};
+
+/// The scheduler's output: one scan's worth of work.
+struct BatchPlan {
+  DataLocation source;          // all admitted nodes share this source (Rule 2)
+  std::vector<int> admitted;    // item idx, in servicing order (Rule 3)
+  std::vector<StageDecision> staging;  // Rules 4-6 + file splitting
+  bool file_split = false;      // staging caused by the split rule (§4.3.2)
+};
+
+/// The priority scheduler of §4.2. Stateless: each call plans one batch
+/// from the current queue snapshot.
+///
+///  Rule 1: in-memory scan > middleware file scan > server scan.
+///  Rule 2: a batch serviced from a staged store must share that store
+///          (i.e., share the ancestor the store was created for).
+///  Rule 3: order eligible nodes by increasing estimated CC size; admit
+///          while the estimates fit in memory not already holding staged
+///          data. The first node is always admitted (estimation errors are
+///          handled at runtime by the SQL fallback).
+///  Rule 4: only batch nodes qualify for staging.
+///  Rule 5: stage largest-data-size-first while space remains.
+///  Rule 6: file space is allocated before the remaining memory is
+///          offered for direct staging.
+/// File splitting (§4.3.2): when the batch covers at most
+/// `file_split_threshold` of its source file, each batch node gets its own
+/// smaller file.
+class Scheduler {
+ public:
+  explicit Scheduler(const MiddlewareConfig& config) : config_(config) {}
+
+  /// Plans the next batch. `store_rows` maps every staged store referenced
+  /// by an item to its row count. `items` must be non-empty.
+  BatchPlan PlanBatch(const std::vector<SchedItem>& items,
+                      const std::map<DataLocation, uint64_t>& store_rows,
+                      const SchedBudgets& budgets) const;
+
+ private:
+  MiddlewareConfig config_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_SCHEDULER_H_

@@ -1,0 +1,187 @@
+#include "middleware/staging.h"
+
+#include <cstdio>
+
+namespace sqlclass {
+
+namespace {
+
+/// RowSource over a staged middleware file; charges one middleware file
+/// read per row delivered.
+class StagedFileRowSource : public RowSource {
+ public:
+  StagedFileRowSource(std::unique_ptr<HeapFileReader> reader,
+                      CostCounters* cost)
+      : reader_(std::move(reader)), cost_(cost) {}
+
+  StatusOr<bool> Next(Row* row) override {
+    SQLCLASS_ASSIGN_OR_RETURN(bool more, reader_->Next(row));
+    if (more) ++cost_->mw_file_rows_read;
+    return more;
+  }
+  Status Reset() override { return reader_->Reset(); }
+  uint64_t num_rows() const override { return reader_->num_rows(); }
+
+ private:
+  std::unique_ptr<HeapFileReader> reader_;
+  CostCounters* cost_;
+};
+
+}  // namespace
+
+StagingManager::StagingManager(std::string dir, int num_columns,
+                               CostCounters* cost)
+    : dir_(std::move(dir)), num_columns_(num_columns), cost_(cost) {}
+
+StagingManager::~StagingManager() {
+  for (auto& [id, file] : files_) {
+    if (file.writer != nullptr) file.writer->Finish().ok();
+    std::remove(file.path.c_str());
+  }
+}
+
+StatusOr<uint64_t> StagingManager::BeginFileStore() {
+  const uint64_t id = next_id_++;
+  FileStore file;
+  file.path = dir_ + "/mwstage_" + std::to_string(id) + ".dat";
+  SQLCLASS_ASSIGN_OR_RETURN(
+      file.writer, HeapFileWriter::Create(file.path, num_columns_, &io_));
+  files_[id] = std::move(file);
+  ++files_created_;
+  return id;
+}
+
+Status StagingManager::AppendToFileStore(uint64_t id, const Row& row) {
+  auto it = files_.find(id);
+  if (it == files_.end() || it->second.writer == nullptr) {
+    return Status::Internal("staged file not open for writing: " +
+                            std::to_string(id));
+  }
+  SQLCLASS_RETURN_IF_ERROR(it->second.writer->Append(row));
+  ++it->second.rows;
+  ++cost_->mw_file_rows_written;
+  file_bytes_used_ += RowBytes();
+  return Status::OK();
+}
+
+Status StagingManager::FinishFileStore(uint64_t id) {
+  auto it = files_.find(id);
+  if (it == files_.end() || it->second.writer == nullptr) {
+    return Status::Internal("staged file not open for writing: " +
+                            std::to_string(id));
+  }
+  SQLCLASS_RETURN_IF_ERROR(it->second.writer->Finish());
+  it->second.writer.reset();
+  return Status::OK();
+}
+
+uint64_t StagingManager::BeginMemoryStore() {
+  const uint64_t id = next_id_++;
+  memory_.emplace(id, MemoryStore(num_columns_));
+  ++memory_stores_created_;
+  return id;
+}
+
+void StagingManager::AppendToMemoryStore(uint64_t id, const Row& row) {
+  auto it = memory_.find(id);
+  if (it == memory_.end()) return;
+  it->second.store.Append(row);
+  memory_bytes_used_ += RowBytes();
+}
+
+StatusOr<std::unique_ptr<RowSource>> StagingManager::OpenFileStore(
+    uint64_t id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no staged file: " + std::to_string(id));
+  }
+  if (it->second.writer != nullptr) {
+    return Status::Internal("staged file still being written: " +
+                            std::to_string(id));
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(it->second.path, num_columns_, &io_));
+  return std::unique_ptr<RowSource>(
+      new StagedFileRowSource(std::move(reader), cost_));
+}
+
+StatusOr<const InMemoryRowStore*> StagingManager::GetMemoryStore(
+    uint64_t id) const {
+  auto it = memory_.find(id);
+  if (it == memory_.end()) {
+    return Status::NotFound("no memory store: " + std::to_string(id));
+  }
+  return &it->second.store;
+}
+
+StatusOr<uint64_t> StagingManager::StoreRows(const DataLocation& loc) const {
+  switch (loc.kind) {
+    case LocationKind::kServer:
+      return Status::InvalidArgument("server is not a staged store");
+    case LocationKind::kFile: {
+      auto it = files_.find(loc.store_id);
+      if (it == files_.end()) {
+        return Status::NotFound("no staged file: " +
+                                std::to_string(loc.store_id));
+      }
+      return it->second.rows;
+    }
+    case LocationKind::kMemory: {
+      auto it = memory_.find(loc.store_id);
+      if (it == memory_.end()) {
+        return Status::NotFound("no memory store: " +
+                                std::to_string(loc.store_id));
+      }
+      return static_cast<uint64_t>(it->second.store.num_rows());
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<DataLocation> StagingManager::LiveStores() const {
+  std::vector<DataLocation> stores;
+  stores.reserve(files_.size() + memory_.size());
+  for (const auto& [id, file] : files_) {
+    stores.push_back(DataLocation{LocationKind::kFile, id});
+  }
+  for (const auto& [id, store] : memory_) {
+    stores.push_back(DataLocation{LocationKind::kMemory, id});
+  }
+  return stores;
+}
+
+Status StagingManager::Free(const DataLocation& loc) {
+  switch (loc.kind) {
+    case LocationKind::kServer:
+      return Status::InvalidArgument("cannot free the server");
+    case LocationKind::kFile: {
+      auto it = files_.find(loc.store_id);
+      if (it == files_.end()) {
+        return Status::NotFound("no staged file: " +
+                                std::to_string(loc.store_id));
+      }
+      if (it->second.writer != nullptr) {
+        SQLCLASS_RETURN_IF_ERROR(it->second.writer->Finish());
+        it->second.writer.reset();
+      }
+      file_bytes_used_ -= it->second.rows * RowBytes();
+      std::remove(it->second.path.c_str());
+      files_.erase(it);
+      return Status::OK();
+    }
+    case LocationKind::kMemory: {
+      auto it = memory_.find(loc.store_id);
+      if (it == memory_.end()) {
+        return Status::NotFound("no memory store: " +
+                                std::to_string(loc.store_id));
+      }
+      memory_bytes_used_ -= it->second.store.MemoryBytes();
+      memory_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,104 @@
+#ifndef SQLCLASS_MIDDLEWARE_STAGING_H_
+#define SQLCLASS_MIDDLEWARE_STAGING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+#include "middleware/estimator.h"
+#include "server/cost_model.h"
+#include "sql/row_source.h"
+#include "storage/heap_file.h"
+#include "storage/io_counters.h"
+#include "storage/row_store.h"
+
+namespace sqlclass {
+
+/// Owns the middleware's two staging tiers (§4.1.2): heap files in the
+/// middleware file system and in-memory row stores. Rows are appended
+/// during counting scans (staging shares the scan with CC construction);
+/// stores are freed when the scheduler determines no pending or future
+/// request can use them.
+///
+/// Byte accounting is logical (rows x row width) so budgets behave
+/// identically across platforms.
+class StagingManager {
+ public:
+  /// `dir` must exist; staged files are created inside it and removed when
+  /// freed (or on destruction). Logical work is charged to `cost`.
+  StagingManager(std::string dir, int num_columns, CostCounters* cost);
+  ~StagingManager();
+
+  StagingManager(const StagingManager&) = delete;
+  StagingManager& operator=(const StagingManager&) = delete;
+
+  // ------------------------------------------------------------- writing
+
+  /// Starts a new staged file; rows are appended during the current scan.
+  StatusOr<uint64_t> BeginFileStore();
+  Status AppendToFileStore(uint64_t id, const Row& row);
+  /// Seals a staged file so it can be scanned.
+  Status FinishFileStore(uint64_t id);
+
+  /// Starts a new in-memory store.
+  uint64_t BeginMemoryStore();
+  void AppendToMemoryStore(uint64_t id, const Row& row);
+
+  // ------------------------------------------------------------- reading
+
+  /// Sequential scan over a finished staged file; each row read is charged
+  /// as a middleware file read.
+  StatusOr<std::unique_ptr<RowSource>> OpenFileStore(uint64_t id);
+
+  /// Direct access to an in-memory store (iteration is charged by the
+  /// caller as memory reads).
+  StatusOr<const InMemoryRowStore*> GetMemoryStore(uint64_t id) const;
+
+  // ---------------------------------------------------------- accounting
+
+  StatusOr<uint64_t> StoreRows(const DataLocation& loc) const;
+  size_t file_bytes_used() const { return file_bytes_used_; }
+  size_t memory_bytes_used() const { return memory_bytes_used_; }
+  size_t RowBytes() const { return num_columns_ * sizeof(Value); }
+
+  int files_created() const { return files_created_; }
+  int memory_stores_created() const { return memory_stores_created_; }
+
+  /// Releases a staged store (deletes the file / frees the memory).
+  Status Free(const DataLocation& loc);
+
+  /// Locations of all live staged stores (both tiers), for garbage
+  /// collection sweeps.
+  std::vector<DataLocation> LiveStores() const;
+
+ private:
+  struct FileStore {
+    std::string path;
+    std::unique_ptr<HeapFileWriter> writer;  // non-null while writing
+    uint64_t rows = 0;
+  };
+  struct MemoryStore {
+    explicit MemoryStore(int num_columns) : store(num_columns) {}
+    InMemoryRowStore store;
+  };
+
+  std::string dir_;
+  int num_columns_;
+  CostCounters* cost_;
+  IoCounters io_;  // physical I/O of staged files (not in simulated cost)
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, FileStore> files_;
+  std::map<uint64_t, MemoryStore> memory_;
+  size_t file_bytes_used_ = 0;
+  size_t memory_bytes_used_ = 0;
+  int files_created_ = 0;
+  int memory_stores_created_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_STAGING_H_

@@ -1,0 +1,37 @@
+#ifndef SQLCLASS_MINING_CC_SQL_H_
+#define SQLCLASS_MINING_CC_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "mining/cc_table.h"
+#include "sql/expr.h"
+#include "sql/result_set.h"
+
+namespace sqlclass {
+
+/// Builds the UNION query of §2.3 that computes one node's CC table at the
+/// server:
+///
+///   SELECT 'A1' AS attr_name, A1 AS value, class, COUNT(*)
+///   FROM <table> WHERE <node predicate> GROUP BY class, A1
+///   UNION ALL ... (one branch per active attribute)
+///
+/// `predicate` may be null (root node / no WHERE clause).
+std::string BuildCcQuerySql(const std::string& table, const Schema& schema,
+                            const std::vector<int>& attr_columns,
+                            const Expr* predicate);
+
+/// Folds a result set produced by the query above into a CC table.
+/// `class_totals_attr` names the attribute whose rows are used to derive the
+/// per-class node totals (any attribute works; each branch partitions the
+/// node's rows). Expects columns (attr_name, value, class, count).
+StatusOr<CcTable> CcFromResultSet(const ResultSet& result,
+                                  const Schema& schema, int num_classes,
+                                  const std::string& class_totals_attr);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_CC_SQL_H_

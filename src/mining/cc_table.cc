@@ -1,0 +1,93 @@
+#include "mining/cc_table.h"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace sqlclass {
+
+CcTable::CcTable(int num_classes)
+    : num_classes_(num_classes),
+      class_totals_(num_classes, 0),
+      zeros_(num_classes, 0) {
+  assert(num_classes > 0);
+}
+
+void CcTable::Add(int attr, Value value, Value class_value, int64_t count) {
+  assert(class_value >= 0 && class_value < num_classes_);
+  auto [it, inserted] = cells_.try_emplace(Key(attr, value));
+  if (inserted) it->second.assign(num_classes_, 0);
+  it->second[class_value] += count;
+}
+
+void CcTable::AddRow(const Row& row, const std::vector<int>& attr_columns,
+                     int class_column) {
+  const Value class_value = row[class_column];
+  for (int attr : attr_columns) {
+    Add(attr, row[attr], class_value);
+  }
+  AddClassTotal(class_value, 1);
+}
+
+void CcTable::AddClassTotal(Value class_value, int64_t count) {
+  assert(class_value >= 0 && class_value < num_classes_);
+  class_totals_[class_value] += count;
+  total_rows_ += count;
+}
+
+const std::vector<int64_t>& CcTable::GetCounts(int attr, Value value) const {
+  auto it = cells_.find(Key(attr, value));
+  if (it == cells_.end()) return zeros_;
+  return it->second;
+}
+
+int CcTable::DistinctValues(int attr) const {
+  int n = 0;
+  for (auto it = cells_.lower_bound(Key(attr, std::numeric_limits<Value>::min()));
+       it != cells_.end() && it->first.first == attr; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<Value, const std::vector<int64_t>*>>
+CcTable::AttributeStates(int attr) const {
+  std::vector<std::pair<Value, const std::vector<int64_t>*>> states;
+  for (auto it = cells_.lower_bound(Key(attr, std::numeric_limits<Value>::min()));
+       it != cells_.end() && it->first.first == attr; ++it) {
+    states.emplace_back(it->first.second, &it->second);
+  }
+  return states;
+}
+
+size_t CcTable::BytesPerEntry(int num_classes) {
+  // Key + count vector payload + std::map node overhead (3 pointers + color
+  // + allocator slack, ~48 bytes on 64-bit).
+  return sizeof(Key) + sizeof(std::vector<int64_t>) +
+         static_cast<size_t>(num_classes) * sizeof(int64_t) + 48;
+}
+
+size_t CcTable::ApproxBytes() const {
+  return cells_.size() * BytesPerEntry(num_classes_) +
+         class_totals_.size() * sizeof(int64_t);
+}
+
+bool CcTable::operator==(const CcTable& other) const {
+  return num_classes_ == other.num_classes_ &&
+         total_rows_ == other.total_rows_ &&
+         class_totals_ == other.class_totals_ && cells_ == other.cells_;
+}
+
+std::string CcTable::ToString() const {
+  std::ostringstream out;
+  out << "CcTable{rows=" << total_rows_ << ", entries=" << cells_.size()
+      << ", class_totals=[";
+  for (size_t i = 0; i < class_totals_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << class_totals_[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,91 @@
+#ifndef SQLCLASS_MINING_CC_TABLE_H_
+#define SQLCLASS_MINING_CC_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// The counts (CC) table of §2.2: for one tree node, the co-occurrence
+/// count of every (attribute, value, class) triple in the node's data set,
+/// plus the per-class row totals. This is the *sufficient statistic* — once
+/// a node's CC table exists, the data is never consulted again
+/// (Observation 1).
+///
+/// As in the paper's implementation (§5), entries are kept in a binary
+/// (red-black) tree keyed by (attribute, value), each holding the vector of
+/// per-class counts, so fetching the class-count vector for one attribute
+/// state is a single ordered lookup and iterating one attribute's states is
+/// a contiguous range walk.
+class CcTable {
+ public:
+  /// `num_classes` is the domain size of the class column.
+  explicit CcTable(int num_classes);
+
+  int num_classes() const { return num_classes_; }
+
+  /// Adds `count` co-occurrences of attribute `attr` (a column index)
+  /// having `value` with class `class_value`.
+  void Add(int attr, Value value, Value class_value, int64_t count = 1);
+
+  /// Folds one data row in: bumps the (attr, value, class) cell for every
+  /// listed attribute column and the per-class node total.
+  void AddRow(const Row& row, const std::vector<int>& attr_columns,
+              int class_column);
+
+  /// Adds `count` to the per-class node totals only (used when building
+  /// from pre-aggregated SQL results, where totals come from one attribute).
+  void AddClassTotal(Value class_value, int64_t count);
+
+  /// Per-class counts for attribute state (attr, value); zeros if unseen.
+  const std::vector<int64_t>& GetCounts(int attr, Value value) const;
+
+  /// Row count of the node's data set (sum of class totals).
+  int64_t TotalRows() const { return total_rows_; }
+
+  /// Per-class row counts at this node.
+  const std::vector<int64_t>& ClassTotals() const { return class_totals_; }
+
+  /// card(n, A): number of distinct values attribute `attr` takes in the
+  /// node's data (§4.2.1's estimator input).
+  int DistinctValues(int attr) const;
+
+  /// Distinct values and their per-class counts for one attribute, in value
+  /// order.
+  std::vector<std::pair<Value, const std::vector<int64_t>*>> AttributeStates(
+      int attr) const;
+
+  /// Number of (attr, value) entries across all attributes.
+  size_t NumEntries() const { return cells_.size(); }
+
+  /// Approximate heap bytes held — the unit of the middleware's CC-memory
+  /// accounting (Rule 3 admission).
+  size_t ApproxBytes() const;
+
+  /// Bytes one entry costs, for converting entry estimates to byte budgets.
+  static size_t BytesPerEntry(int num_classes);
+
+  /// Structural equality (same cells, same counts, same totals).
+  bool operator==(const CcTable& other) const;
+
+  std::string ToString() const;
+
+ private:
+  using Key = std::pair<int, Value>;  // (attribute column, value)
+
+  int num_classes_;
+  int64_t total_rows_ = 0;
+  std::vector<int64_t> class_totals_;
+  std::map<Key, std::vector<int64_t>> cells_;
+  std::vector<int64_t> zeros_;  // returned for unseen states
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_CC_TABLE_H_

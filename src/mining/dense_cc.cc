@@ -1,0 +1,71 @@
+#include "mining/dense_cc.h"
+
+#include <cassert>
+
+namespace sqlclass {
+
+DenseCcTable::DenseCcTable(const Schema& schema,
+                           std::vector<int> attr_columns)
+    : num_classes_(schema.attribute(schema.class_column()).cardinality),
+      class_column_(schema.class_column()),
+      attr_columns_(std::move(attr_columns)),
+      class_totals_(num_classes_, 0) {
+  attr_offsets_.reserve(attr_columns_.size());
+  size_t offset = 0;
+  for (int attr : attr_columns_) {
+    attr_offsets_.push_back(offset);
+    offset += static_cast<size_t>(schema.attribute(attr).cardinality);
+  }
+  counts_.assign(offset * static_cast<size_t>(num_classes_), 0);
+}
+
+void DenseCcTable::AddRow(const Row& row) {
+  const Value class_value = row[class_column_];
+  assert(class_value >= 0 && class_value < num_classes_);
+  for (size_t slot = 0; slot < attr_columns_.size(); ++slot) {
+    ++counts_[CellOffset(slot, row[attr_columns_[slot]]) + class_value];
+  }
+  ++class_totals_[class_value];
+  ++total_rows_;
+}
+
+int64_t DenseCcTable::Count(int attr, Value value, Value class_value) const {
+  for (size_t slot = 0; slot < attr_columns_.size(); ++slot) {
+    if (attr_columns_[slot] == attr) {
+      return counts_[CellOffset(slot, value) + class_value];
+    }
+  }
+  return 0;
+}
+
+size_t DenseCcTable::MemoryBytes() const {
+  return counts_.size() * sizeof(int64_t);
+}
+
+CcTable DenseCcTable::ToSparse() const {
+  CcTable cc(num_classes_);
+  for (size_t slot = 0; slot < attr_columns_.size(); ++slot) {
+    const size_t card = (slot + 1 < attr_offsets_.size()
+                             ? attr_offsets_[slot + 1]
+                             : counts_.size() / num_classes_) -
+                        attr_offsets_[slot];
+    for (size_t v = 0; v < card; ++v) {
+      for (int c = 0; c < num_classes_; ++c) {
+        const int64_t count =
+            counts_[CellOffset(slot, static_cast<Value>(v)) + c];
+        if (count > 0) {
+          cc.Add(attr_columns_[slot], static_cast<Value>(v),
+                 static_cast<Value>(c), count);
+        }
+      }
+    }
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    if (class_totals_[c] > 0) {
+      cc.AddClassTotal(static_cast<Value>(c), class_totals_[c]);
+    }
+  }
+  return cc;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,55 @@
+#ifndef SQLCLASS_MINING_DENSE_CC_H_
+#define SQLCLASS_MINING_DENSE_CC_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "mining/cc_table.h"
+
+namespace sqlclass {
+
+/// AVC-group-style dense counts, the layout RainForest [GRG98] uses for the
+/// same sufficient statistics: one contiguous cardinality x classes array
+/// per attribute. Updates are O(1) array bumps (no tree search), but memory
+/// is proportional to the *full domain* whether or not a value occurs at
+/// the node — exactly the trade-off against the paper's binary-tree CC
+/// layout (§5), which sizes with the values actually present. The
+/// repository's data-structure ablation (bench_micro) measures both; the
+/// middleware keeps the sparse layout because deep nodes touch few values.
+class DenseCcTable {
+ public:
+  /// Counts the listed attribute columns of `schema`.
+  DenseCcTable(const Schema& schema, std::vector<int> attr_columns);
+
+  void AddRow(const Row& row);
+
+  int64_t Count(int attr, Value value, Value class_value) const;
+  int64_t TotalRows() const { return total_rows_; }
+  const std::vector<int64_t>& ClassTotals() const { return class_totals_; }
+
+  /// Bytes of count storage (the domain-proportional footprint).
+  size_t MemoryBytes() const;
+
+  /// Converts to the sparse CC table (zero cells dropped) for interop with
+  /// the split-scoring and estimator code paths.
+  CcTable ToSparse() const;
+
+ private:
+  /// Offset of (attr slot, value) in counts_.
+  size_t CellOffset(size_t slot, Value value) const {
+    return (attr_offsets_[slot] + static_cast<size_t>(value)) *
+           static_cast<size_t>(num_classes_);
+  }
+
+  int num_classes_;
+  int class_column_;
+  std::vector<int> attr_columns_;
+  std::vector<size_t> attr_offsets_;  // cumulative cardinalities per slot
+  std::vector<int64_t> counts_;       // [offset(value)][class]
+  std::vector<int64_t> class_totals_;
+  int64_t total_rows_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_DENSE_CC_H_

@@ -1,0 +1,167 @@
+#include "mining/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sqlclass {
+
+namespace {
+
+double EntropyOf(const std::vector<int64_t>& hist, int64_t total) {
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (int64_t c : hist) {
+    if (c <= 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+int DistinctClasses(const std::vector<int64_t>& hist) {
+  int k = 0;
+  for (int64_t c : hist) {
+    if (c > 0) ++k;
+  }
+  return k;
+}
+
+/// Recursive Fayyad-Irani partitioning of the sorted range [begin, end).
+void EntropyMdlRec(const std::vector<std::pair<double, Value>>& data,
+                   size_t begin, size_t end, int num_classes,
+                   std::vector<double>* cuts) {
+  const int64_t n = static_cast<int64_t>(end - begin);
+  if (n < 2) return;
+
+  std::vector<int64_t> total_hist(num_classes, 0);
+  for (size_t i = begin; i < end; ++i) ++total_hist[data[i].second];
+  const double total_entropy = EntropyOf(total_hist, n);
+  if (total_entropy == 0.0) return;  // pure: nothing to gain
+
+  // Scan every boundary between adjacent distinct values, tracking the
+  // left-side histogram incrementally.
+  std::vector<int64_t> left_hist(num_classes, 0);
+  std::vector<int64_t> best_left;
+  double best_entropy = total_entropy;
+  size_t best_split = 0;  // index of the first element of the right side
+  for (size_t i = begin; i + 1 < end; ++i) {
+    ++left_hist[data[i].second];
+    if (data[i].first == data[i + 1].first) continue;  // not a boundary
+    const int64_t left_n = static_cast<int64_t>(i - begin + 1);
+    const int64_t right_n = n - left_n;
+    std::vector<int64_t> right_hist(num_classes);
+    for (int c = 0; c < num_classes; ++c) {
+      right_hist[c] = total_hist[c] - left_hist[c];
+    }
+    const double split_entropy =
+        (static_cast<double>(left_n) / n) * EntropyOf(left_hist, left_n) +
+        (static_cast<double>(right_n) / n) * EntropyOf(right_hist, right_n);
+    if (split_entropy < best_entropy - 1e-12) {
+      best_entropy = split_entropy;
+      best_split = i + 1;
+      best_left = left_hist;
+    }
+  }
+  if (best_split == 0) return;  // no boundary improved entropy
+
+  // MDL acceptance criterion [FI93]: accept the cut iff
+  //   Gain > log2(n-1)/n + Delta/n,
+  //   Delta = log2(3^k - 2) - (k*Ent(S) - k1*Ent(S1) - k2*Ent(S2)).
+  const int64_t left_n = static_cast<int64_t>(best_split - begin);
+  const int64_t right_n = n - left_n;
+  std::vector<int64_t> right_hist(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    right_hist[c] = total_hist[c] - best_left[c];
+  }
+  const double gain = total_entropy - best_entropy;
+  const int k = DistinctClasses(total_hist);
+  const int k1 = DistinctClasses(best_left);
+  const int k2 = DistinctClasses(right_hist);
+  const double delta =
+      std::log2(std::pow(3.0, k) - 2.0) -
+      (k * total_entropy - k1 * EntropyOf(best_left, left_n) -
+       k2 * EntropyOf(right_hist, right_n));
+  const double threshold =
+      (std::log2(static_cast<double>(n) - 1.0) + delta) / n;
+  if (gain <= threshold) return;
+
+  cuts->push_back(
+      (data[best_split - 1].first + data[best_split].first) / 2.0);
+  EntropyMdlRec(data, begin, best_split, num_classes, cuts);
+  EntropyMdlRec(data, best_split, end, num_classes, cuts);
+}
+
+}  // namespace
+
+StatusOr<Discretizer> Discretizer::EquiWidth(double lo, double hi,
+                                             int buckets) {
+  if (!(lo < hi) || buckets < 1) {
+    return Status::InvalidArgument("equi-width needs lo < hi, buckets >= 1");
+  }
+  std::vector<double> cuts;
+  cuts.reserve(buckets - 1);
+  const double width = (hi - lo) / buckets;
+  for (int b = 1; b < buckets; ++b) cuts.push_back(lo + b * width);
+  return Discretizer(std::move(cuts));
+}
+
+StatusOr<Discretizer> Discretizer::EquiDepth(std::vector<double> sample,
+                                             int buckets) {
+  if (sample.empty() || buckets < 1) {
+    return Status::InvalidArgument(
+        "equi-depth needs a sample and buckets >= 1");
+  }
+  std::sort(sample.begin(), sample.end());
+  std::vector<double> cuts;
+  for (int b = 1; b < buckets; ++b) {
+    const size_t idx = b * sample.size() / buckets;
+    const double cut = sample[idx];
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  return Discretizer(std::move(cuts));
+}
+
+StatusOr<Discretizer> Discretizer::EntropyMdl(std::vector<double> values,
+                                              std::vector<Value> labels,
+                                              int num_classes) {
+  if (values.size() != labels.size() || values.empty()) {
+    return Status::InvalidArgument(
+        "entropy-MDL needs parallel non-empty values/labels");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("entropy-MDL needs >= 2 classes");
+  }
+  std::vector<std::pair<double, Value>> data;
+  data.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+    data.emplace_back(values[i], labels[i]);
+  }
+  std::sort(data.begin(), data.end());
+  std::vector<double> cuts;
+  EntropyMdlRec(data, 0, data.size(), num_classes, &cuts);
+  std::sort(cuts.begin(), cuts.end());
+  return Discretizer(std::move(cuts));
+}
+
+Value Discretizer::Bucket(double v) const {
+  // #{cuts <= v} via binary search.
+  return static_cast<Value>(
+      std::upper_bound(cuts_.begin(), cuts_.end(), v) - cuts_.begin());
+}
+
+std::string Discretizer::ToString() const {
+  std::ostringstream out;
+  out << "Discretizer{buckets=" << num_buckets() << ", cuts=[";
+  for (size_t i = 0; i < cuts_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << cuts_[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,58 @@
+#ifndef SQLCLASS_MINING_DISCRETIZE_H_
+#define SQLCLASS_MINING_DISCRETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// Numeric-attribute handling (§1 assumes "all attributes are categorical
+/// or have been discretized"; [CFB97] defers to discretization). Three
+/// standard schemes:
+///
+///  * equi-width:   fixed-width buckets over [min, max];
+///  * equi-depth:   quantile buckets with (approximately) equal population;
+///  * entropy-MDL:  the recursive class-entropy partitioning of Fayyad &
+///                  Irani [FI93] with the MDL stopping criterion — the
+///                  supervised method from the same authors the paper cites.
+///
+/// A Discretizer maps double -> bucket id in [0, num_buckets). Buckets are
+/// defined by ascending cut points: value v lands in bucket
+/// #{cuts <= v}.
+class Discretizer {
+ public:
+  /// Buckets of equal width spanning [lo, hi]; values outside clamp.
+  static StatusOr<Discretizer> EquiWidth(double lo, double hi, int buckets);
+
+  /// Buckets holding (approximately) equal numbers of the sample values.
+  /// Duplicate cut points are merged, so the result may have fewer buckets.
+  static StatusOr<Discretizer> EquiDepth(std::vector<double> sample,
+                                         int buckets);
+
+  /// Fayyad-Irani recursive minimum-entropy partitioning with the MDL
+  /// acceptance test. `values` and `labels` are parallel; `num_classes`
+  /// bounds the labels. May return a single bucket (no informative cut).
+  static StatusOr<Discretizer> EntropyMdl(std::vector<double> values,
+                                          std::vector<Value> labels,
+                                          int num_classes);
+
+  /// Bucket of `v` in [0, num_buckets()).
+  Value Bucket(double v) const;
+
+  int num_buckets() const { return static_cast<int>(cuts_.size()) + 1; }
+  const std::vector<double>& cut_points() const { return cuts_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Discretizer(std::vector<double> cuts) : cuts_(std::move(cuts)) {}
+
+  std::vector<double> cuts_;  // ascending
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_DISCRETIZE_H_

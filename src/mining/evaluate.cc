@@ -1,0 +1,131 @@
+#include "mining/evaluate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace sqlclass {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  assert(num_classes > 0);
+}
+
+void ConfusionMatrix::Add(Value actual, Value predicted) {
+  assert(actual >= 0 && actual < num_classes_);
+  assert(predicted >= 0 && predicted < num_classes_);
+  ++cells_[static_cast<size_t>(actual) * num_classes_ + predicted];
+  ++total_;
+}
+
+int64_t ConfusionMatrix::count(Value actual, Value predicted) const {
+  return cells_[static_cast<size_t>(actual) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(Value c) const {
+  int64_t predicted = 0;
+  for (int a = 0; a < num_classes_; ++a) predicted += count(a, c);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(Value c) const {
+  int64_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += count(c, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double p = Precision(c);
+    const double r = Recall(c);
+    sum += (p + r) > 0 ? 2 * p * r / (p + r) : 0.0;
+  }
+  return sum / num_classes_;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "actual\\pred";
+  for (int p = 0; p < num_classes_; ++p) out << "\t" << p;
+  out << "\n";
+  for (int a = 0; a < num_classes_; ++a) {
+    out << a;
+    for (int p = 0; p < num_classes_; ++p) out << "\t" << count(a, p);
+    out << "\n";
+  }
+  return out.str();
+}
+
+ConfusionMatrix EvaluateClassifier(const ClassifierFn& classifier,
+                                   const std::vector<Row>& rows,
+                                   int class_column) {
+  Value max_class = 0;
+  for (const Row& row : rows) max_class = std::max(max_class, row[class_column]);
+  ConfusionMatrix matrix(max_class + 1);
+  for (const Row& row : rows) {
+    Value predicted = classifier(row);
+    if (predicted < 0) predicted = 0;
+    if (predicted > max_class) predicted = max_class;
+    matrix.Add(row[class_column], predicted);
+  }
+  return matrix;
+}
+
+StatusOr<CrossValidationResult> CrossValidate(const std::vector<Row>& rows,
+                                              int class_column, int folds,
+                                              uint64_t seed,
+                                              const TrainerFn& trainer) {
+  if (folds < 2) return Status::InvalidArgument("need >= 2 folds");
+  if (rows.size() < static_cast<size_t>(folds)) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Random rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  CrossValidationResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<Row> train;
+    std::vector<Row> test;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (static_cast<int>(i % folds) == fold) {
+        test.push_back(rows[order[i]]);
+      } else {
+        train.push_back(rows[order[i]]);
+      }
+    }
+    SQLCLASS_ASSIGN_OR_RETURN(ClassifierFn classifier, trainer(train));
+    int64_t correct = 0;
+    for (const Row& row : test) {
+      if (classifier(row) == row[class_column]) ++correct;
+    }
+    result.fold_accuracies.push_back(static_cast<double>(correct) /
+                                     static_cast<double>(test.size()));
+  }
+  double sum = 0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / folds;
+  double var = 0;
+  for (double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev = std::sqrt(var / folds);
+  return result;
+}
+
+}  // namespace sqlclass

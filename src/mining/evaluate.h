@@ -1,0 +1,68 @@
+#ifndef SQLCLASS_MINING_EVALUATE_H_
+#define SQLCLASS_MINING_EVALUATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// Any classifier, as a scoring function (DecisionTree::Classify and
+/// NaiveBayesModel::Classify both adapt trivially).
+using ClassifierFn = std::function<Value(const Row&)>;
+
+/// Trains a classifier on the given rows. Used by cross-validation.
+using TrainerFn =
+    std::function<StatusOr<ClassifierFn>(const std::vector<Row>&)>;
+
+/// Square confusion matrix: cell (actual, predicted) counts.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(Value actual, Value predicted);
+
+  int num_classes() const { return num_classes_; }
+  int64_t count(Value actual, Value predicted) const;
+  int64_t total() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision / recall of one class (0 when undefined).
+  double Precision(Value c) const;
+  double Recall(Value c) const;
+  /// Unweighted mean of per-class F1 scores.
+  double MacroF1() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_classes_;
+  int64_t total_ = 0;
+  std::vector<int64_t> cells_;  // actual * num_classes + predicted
+};
+
+/// Scores `classifier` on labelled rows (class at `class_column`).
+ConfusionMatrix EvaluateClassifier(const ClassifierFn& classifier,
+                                   const std::vector<Row>& rows,
+                                   int class_column);
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0;
+  double stddev = 0;
+};
+
+/// k-fold cross-validation: shuffles rows (seeded), trains on k-1 folds,
+/// scores the held-out fold.
+StatusOr<CrossValidationResult> CrossValidate(const std::vector<Row>& rows,
+                                              int class_column, int folds,
+                                              uint64_t seed,
+                                              const TrainerFn& trainer);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_EVALUATE_H_

@@ -1,0 +1,39 @@
+#ifndef SQLCLASS_MINING_FEATURE_SELECTION_H_
+#define SQLCLASS_MINING_FEATURE_SELECTION_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "mining/cc_table.h"
+#include "mining/split.h"
+
+namespace sqlclass {
+
+/// Attribute relevance from sufficient statistics alone. §2 frames
+/// classification as finding the key attributes for Pr(C | A_1..A_m); a
+/// single root CC table — one scan through the middleware — already yields
+/// each attribute's mutual information with the class, so feature selection
+/// costs no more data access than Naive Bayes training.
+struct AttributeScore {
+  int attr = -1;        // column index
+  double mutual_information = 0.0;   // I(A; C) in bits
+  double gain_ratio = 0.0;           // I(A; C) / H(A)
+  int distinct_values = 0;
+};
+
+/// Scores every listed attribute from the CC table, sorted by decreasing
+/// mutual information (ties: lower column index first).
+std::vector<AttributeScore> RankAttributes(
+    const CcTable& cc, const std::vector<int>& attr_columns);
+
+/// The `k` highest-mutual-information columns (all if k >= #attrs), in rank
+/// order — feed to TreeClientConfig-independent clients or to a narrowed
+/// CcRequest::active_attrs.
+std::vector<int> SelectTopAttributes(const CcTable& cc,
+                                     const std::vector<int>& attr_columns,
+                                     int k);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_FEATURE_SELECTION_H_

@@ -1,0 +1,46 @@
+#include "mining/inmemory_provider.h"
+
+namespace sqlclass {
+
+InMemoryCcProvider::InMemoryCcProvider(const Schema& schema,
+                                       const std::vector<Row>* rows)
+    : schema_(schema), rows_(rows) {}
+
+Status InMemoryCcProvider::QueueRequest(CcRequest request) {
+  if (request.predicate == nullptr) {
+    return Status::InvalidArgument("request without predicate");
+  }
+  SQLCLASS_RETURN_IF_ERROR(request.predicate->Bind(schema_));
+  queue_.push_back(std::move(request));
+  return Status::OK();
+}
+
+StatusOr<std::vector<CcResult>> InMemoryCcProvider::FulfillSome() {
+  std::vector<CcResult> results;
+  if (queue_.empty()) return results;
+
+  const int num_classes =
+      schema_.attribute(schema_.class_column()).cardinality;
+  std::vector<CcRequest> batch;
+  while (!queue_.empty()) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  results.reserve(batch.size());
+  for (const CcRequest& request : batch) {
+    results.emplace_back(request.node_id, CcTable(num_classes));
+  }
+
+  ++scans_;
+  const int class_column = schema_.class_column();
+  for (const Row& row : *rows_) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].predicate->Eval(row)) {
+        results[i].cc.AddRow(row, batch[i].active_attrs, class_column);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,39 @@
+#ifndef SQLCLASS_MINING_INMEMORY_PROVIDER_H_
+#define SQLCLASS_MINING_INMEMORY_PROVIDER_H_
+
+#include <deque>
+#include <vector>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "mining/cc_provider.h"
+
+namespace sqlclass {
+
+/// The "traditional in-memory classification client" data path (§1, §5):
+/// all rows live in client memory, and every pending request is fulfilled
+/// in a single in-memory pass per round. Serves two roles in this repo:
+/// the ground-truth oracle for the model-equivalence tests, and the
+/// reference point the paper scales beyond.
+class InMemoryCcProvider : public CcProvider {
+ public:
+  /// `rows` must outlive the provider; `schema` is copied.
+  InMemoryCcProvider(const Schema& schema, const std::vector<Row>* rows);
+
+  Status QueueRequest(CcRequest request) override;
+  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  size_t PendingRequests() const override { return queue_.size(); }
+
+  /// Full passes over the row set made so far.
+  uint64_t scans() const { return scans_; }
+
+ private:
+  Schema schema_;
+  const std::vector<Row>* rows_;
+  std::deque<CcRequest> queue_;
+  uint64_t scans_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_INMEMORY_PROVIDER_H_

@@ -1,0 +1,56 @@
+#ifndef SQLCLASS_MINING_NAIVE_BAYES_H_
+#define SQLCLASS_MINING_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "mining/cc_provider.h"
+
+namespace sqlclass {
+
+/// Naive Bayes classifier trained entirely from one CC table — the second
+/// classification method the architecture plugs in (§1: "other
+/// classification algorithms such as Naïve Bayes can also plug-in"). Its
+/// sufficient statistics are exactly the root node's CC table, so training
+/// costs a single middleware request / one data scan.
+class NaiveBayesModel {
+ public:
+  /// Trains from the root CC table over `schema`'s predictor columns with
+  /// Laplace (add-one) smoothing.
+  static StatusOr<NaiveBayesModel> Train(const Schema& schema,
+                                         const CcTable& root_cc);
+
+  /// Convenience: queues the single root request on `provider` and trains
+  /// from the result.
+  static StatusOr<NaiveBayesModel> TrainWith(const Schema& schema,
+                                             CcProvider* provider,
+                                             uint64_t table_rows);
+
+  /// argmax_c P(c) * prod_j P(A_j = row[j] | c), in log space.
+  Value Classify(const Row& row) const;
+
+  /// Log posterior (unnormalized) for each class.
+  std::vector<double> LogScores(const Row& row) const;
+
+  /// Fraction of rows whose prediction matches the class column.
+  double Accuracy(const std::vector<Row>& rows) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  NaiveBayesModel() = default;
+
+  Schema schema_;
+  int num_classes_ = 0;
+  std::vector<double> log_priors_;
+  // log_cond_[attr_slot][value * num_classes + c]; attr_slot indexes
+  // predictor_columns_.
+  std::vector<int> predictor_columns_;
+  std::vector<std::vector<double>> log_cond_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_NAIVE_BAYES_H_

@@ -1,0 +1,131 @@
+#include "mining/prune.h"
+
+#include <cmath>
+#include <map>
+
+namespace sqlclass {
+
+namespace {
+
+/// Collapses `id` into a leaf predicted as its majority class.
+void Collapse(DecisionTree* tree, int id) {
+  TreeNode& node = tree->node(id);
+  node.state = NodeState::kLeaf;
+  node.leaf_reason = LeafReason::kPruned;
+}
+
+/// Post-order pruning driver: `subtree_cost(id)` is computed for children
+/// first; `should_prune(id, children_cost)` decides; returns the node's
+/// final cost. Costs are "errors" in whatever unit the pass uses.
+template <typename LeafCost, typename ShouldPrune>
+double PruneRec(DecisionTree* tree, int id, const LeafCost& leaf_cost,
+                const ShouldPrune& should_prune, int* pruned) {
+  TreeNode& node = tree->node(id);
+  if (node.state == NodeState::kLeaf) return leaf_cost(id);
+  double children_cost = 0.0;
+  for (int child : node.children) {
+    children_cost += PruneRec(tree, child, leaf_cost, should_prune, pruned);
+  }
+  const double as_leaf = leaf_cost(id);
+  if (should_prune(as_leaf, children_cost)) {
+    Collapse(tree, id);
+    ++*pruned;
+    return as_leaf;
+  }
+  return children_cost;
+}
+
+}  // namespace
+
+StatusOr<PruneStats> ReducedErrorPrune(DecisionTree* tree,
+                                       const std::vector<Row>& holdout) {
+  if (tree->num_nodes() == 0) return Status::InvalidArgument("empty tree");
+  PruneStats stats;
+  stats.nodes_before = tree->CountReachableNodes();
+
+  // Route every holdout row from the root, counting the errors each node
+  // would make as a majority-class leaf.
+  std::map<int, int64_t> errors_if_leaf;
+  const int class_column = tree->class_column();
+  for (const Row& row : holdout) {
+    int cur = 0;
+    while (true) {
+      const TreeNode& node = tree->node(cur);
+      if (row[class_column] != node.majority_class) ++errors_if_leaf[cur];
+      if (node.state != NodeState::kPartitioned) break;
+      // Unseen multiway value: the row predicts this node's majority class
+      // whether or not the subtree is kept. Its error lands only on the
+      // as-leaf side of the comparison, so the bias (if any) is toward
+      // keeping subtrees — conservative.
+      const int next = tree->NextChild(cur, row);
+      if (next < 0) break;
+      cur = next;
+    }
+  }
+
+  int pruned = 0;
+  PruneRec(
+      tree, 0,
+      [&](int id) {
+        auto it = errors_if_leaf.find(id);
+        return it == errors_if_leaf.end() ? 0.0
+                                          : static_cast<double>(it->second);
+      },
+      // Prune when the leaf is at least as good on the holdout (ties favor
+      // the smaller tree).
+      [](double as_leaf, double children) { return as_leaf <= children; },
+      &pruned);
+
+  stats.subtrees_pruned = pruned;
+  stats.nodes_after = tree->CountReachableNodes();
+  return stats;
+}
+
+namespace {
+
+/// Wilson upper confidence bound on the error *count* of a node that saw
+/// `n` training rows of which `e` are off-majority.
+double PessimisticErrors(int64_t n, int64_t e, double z) {
+  if (n <= 0) return 0.0;
+  const double f = static_cast<double>(e) / static_cast<double>(n);
+  const double z2 = z * z;
+  const double nd = static_cast<double>(n);
+  const double ucb =
+      (f + z2 / (2 * nd) +
+       z * std::sqrt(f / nd - f * f / nd + z2 / (4 * nd * nd))) /
+      (1 + z2 / nd);
+  return ucb * nd;
+}
+
+}  // namespace
+
+StatusOr<PruneStats> PessimisticPrune(DecisionTree* tree, double z) {
+  if (tree->num_nodes() == 0) return Status::InvalidArgument("empty tree");
+  if (z < 0) return Status::InvalidArgument("z must be non-negative");
+  PruneStats stats;
+  stats.nodes_before = tree->CountReachableNodes();
+
+  int pruned = 0;
+  PruneRec(
+      tree, 0,
+      [&](int id) {
+        const TreeNode& node = tree->node(id);
+        int64_t n = 0;
+        int64_t correct = 0;
+        for (size_t c = 0; c < node.class_counts.size(); ++c) {
+          n += node.class_counts[c];
+          if (static_cast<Value>(c) == node.majority_class) {
+            correct = node.class_counts[c];
+          }
+        }
+        return PessimisticErrors(n, n - correct, z);
+      },
+      [](double as_leaf, double children) { return as_leaf <= children; },
+      &pruned);
+
+  stats.subtrees_pruned = pruned;
+  stats.nodes_after = tree->CountReachableNodes();
+  return stats;
+}
+
+}  // namespace sqlclass

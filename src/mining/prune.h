@@ -1,0 +1,39 @@
+#ifndef SQLCLASS_MINING_PRUNE_H_
+#define SQLCLASS_MINING_PRUNE_H_
+
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+#include "mining/tree.h"
+
+namespace sqlclass {
+
+/// Post-pruning passes. The paper's experiments grow the full tree ("we did
+/// not implement any tree pruning criteria ... This can be easily
+/// implemented in our scheme", §3.1); these are that easy implementation.
+/// Both operate purely on the grown tree — no further data access — so they
+/// compose with any provider.
+
+struct PruneStats {
+  int nodes_before = 0;      // reachable nodes before pruning
+  int nodes_after = 0;
+  int subtrees_pruned = 0;   // internal nodes collapsed to leaves
+};
+
+/// Reduced-error pruning (Quinlan): routes a *holdout* set through the tree
+/// and collapses, bottom-up, every subtree whose majority-class leaf makes
+/// no more holdout errors than the subtree does.
+StatusOr<PruneStats> ReducedErrorPrune(DecisionTree* tree,
+                                       const std::vector<Row>& holdout);
+
+/// Pessimistic (C4.5-style) error-based pruning: estimates each node's true
+/// error with the Wilson upper confidence bound on its *training* class
+/// counts and collapses subtrees whose leaf estimate is no worse than the
+/// sum of their leaves' estimates. `z` is the normal deviate of the
+/// confidence level (C4.5's default CF = 25% corresponds to z ~ 0.674).
+StatusOr<PruneStats> PessimisticPrune(DecisionTree* tree, double z = 0.674);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_PRUNE_H_

@@ -1,0 +1,131 @@
+#include "mining/split.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqlclass {
+
+double Impurity(const std::vector<int64_t>& counts, int64_t total,
+                SplitCriterion criterion) {
+  if (total <= 0) return 0.0;
+  const double n = static_cast<double>(total);
+  switch (criterion) {
+    case SplitCriterion::kEntropy:
+    case SplitCriterion::kGainRatio: {
+      double h = 0.0;
+      for (int64_t c : counts) {
+        if (c <= 0) continue;
+        const double p = static_cast<double>(c) / n;
+        h -= p * std::log2(p);
+      }
+      return h;
+    }
+    case SplitCriterion::kGini: {
+      double sum_sq = 0.0;
+      for (int64_t c : counts) {
+        const double p = static_cast<double>(c) / n;
+        sum_sq += p * p;
+      }
+      return 1.0 - sum_sq;
+    }
+  }
+  return 0.0;
+}
+
+bool IsPure(const CcTable& cc) {
+  int nonzero = 0;
+  for (int64_t c : cc.ClassTotals()) {
+    if (c > 0) ++nonzero;
+  }
+  return nonzero <= 1;
+}
+
+std::optional<MultiwaySplit> ChooseBestMultiwaySplit(
+    const CcTable& cc, const std::vector<int>& attr_columns,
+    SplitCriterion criterion) {
+  const int64_t total = cc.TotalRows();
+  if (total <= 1) return std::nullopt;
+  const double parent_impurity =
+      Impurity(cc.ClassTotals(), total, criterion);
+
+  std::optional<MultiwaySplit> best;
+  for (int attr : attr_columns) {
+    auto states = cc.AttributeStates(attr);
+    if (states.size() < 2) continue;
+    double children_impurity = 0.0;
+    double split_info = 0.0;
+    std::vector<std::pair<Value, int64_t>> branches;
+    branches.reserve(states.size());
+    for (const auto& [value, counts] : states) {
+      int64_t branch_total = 0;
+      for (int64_t c : *counts) branch_total += c;
+      const double w = static_cast<double>(branch_total) / total;
+      children_impurity += w * Impurity(*counts, branch_total, criterion);
+      if (w > 0) split_info -= w * std::log2(w);
+      branches.emplace_back(value, branch_total);
+    }
+    double gain = parent_impurity - children_impurity;
+    if (criterion == SplitCriterion::kGainRatio && split_info > 0) {
+      gain /= split_info;
+    }
+    if (!best.has_value() || gain > best->gain + 1e-12) {
+      MultiwaySplit split;
+      split.attr = attr;
+      split.gain = gain;
+      split.branches = std::move(branches);
+      best = std::move(split);
+    }
+  }
+  return best;
+}
+
+std::optional<BinarySplit> ChooseBestBinarySplit(
+    const CcTable& cc, const std::vector<int>& attr_columns,
+    SplitCriterion criterion) {
+  const int64_t total = cc.TotalRows();
+  if (total <= 1) return std::nullopt;
+  const std::vector<int64_t>& totals = cc.ClassTotals();
+  const double parent_impurity = Impurity(totals, total, criterion);
+
+  std::optional<BinarySplit> best;
+  std::vector<int64_t> right(cc.num_classes());
+  for (int attr : attr_columns) {
+    auto states = cc.AttributeStates(attr);
+    if (states.size() < 2) continue;  // attribute constant at this node
+    for (const auto& [value, left_counts] : states) {
+      int64_t left_total = 0;
+      for (int64_t c : *left_counts) left_total += c;
+      const int64_t right_total = total - left_total;
+      if (left_total == 0 || right_total == 0) continue;
+      for (int k = 0; k < cc.num_classes(); ++k) {
+        right[k] = totals[k] - (*left_counts)[k];
+      }
+      const double wl = static_cast<double>(left_total) / total;
+      const double wr = static_cast<double>(right_total) / total;
+      double gain = parent_impurity -
+                    wl * Impurity(*left_counts, left_total, criterion) -
+                    wr * Impurity(right, right_total, criterion);
+      if (criterion == SplitCriterion::kGainRatio) {
+        // Split info of the binary partition.
+        const double split_info = -(wl * std::log2(wl) + wr * std::log2(wr));
+        if (split_info > 0) gain /= split_info;
+      }
+      const bool better =
+          !best.has_value() || gain > best->gain + 1e-12 ||
+          (std::abs(gain - best->gain) <= 1e-12 &&
+           (attr < best->attr || (attr == best->attr && value < best->value)));
+      if (better) {
+        BinarySplit split;
+        split.attr = attr;
+        split.value = value;
+        split.gain = gain;
+        split.left_rows = left_total;
+        split.right_rows = right_total;
+        best = split;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,70 @@
+#ifndef SQLCLASS_MINING_SPLIT_H_
+#define SQLCLASS_MINING_SPLIT_H_
+
+#include <optional>
+#include <vector>
+
+#include "catalog/row.h"
+#include "mining/cc_table.h"
+
+namespace sqlclass {
+
+/// Impurity measures for partition scoring. The paper's experiments use the
+/// standard entropy measure of ID3 / C4.5 / CART (§3.1); Gini and gain
+/// ratio are supported because the scheme accommodates "several measures
+/// proposed in the literature" (§2.1).
+enum class SplitCriterion {
+  kEntropy,
+  kGini,
+  kGainRatio,
+};
+
+/// A chosen binary partition: left branch `attr = value`, right branch
+/// `attr <> value` (the A = v / A = other form of §4.2.1).
+struct BinarySplit {
+  int attr = -1;
+  Value value = 0;
+  double gain = 0.0;
+  int64_t left_rows = 0;
+  int64_t right_rows = 0;
+};
+
+/// Impurity of a class histogram under `criterion` (entropy in bits; Gini
+/// in [0, 1)). `total` must equal the sum of `counts`.
+double Impurity(const std::vector<int64_t>& counts, int64_t total,
+                SplitCriterion criterion);
+
+/// True iff every row at the node belongs to one class.
+bool IsPure(const CcTable& cc);
+
+/// A complete (multiway) partition on one attribute: one branch per value
+/// present at the node (branching on attribute values, [F94]).
+struct MultiwaySplit {
+  int attr = -1;
+  double gain = 0.0;
+  /// Values present and their row counts, in ascending value order.
+  std::vector<std::pair<Value, int64_t>> branches;
+};
+
+/// Scores complete splits on every attribute with >= 2 present values and
+/// returns the best by `criterion` (gain ratio is advisable here: plain
+/// information gain favours high-cardinality attributes). Deterministic
+/// tie-break on the lower attribute index.
+std::optional<MultiwaySplit> ChooseBestMultiwaySplit(
+    const CcTable& cc, const std::vector<int>& attr_columns,
+    SplitCriterion criterion);
+
+/// Scores every candidate binary split (one per (attribute, value) state
+/// with non-empty both sides) from the CC table alone and returns the best,
+/// or nullopt when no attribute can split the node (all attributes constant
+/// in the node's data — the paper's second termination criterion).
+///
+/// Ties are broken deterministically by (lower attr, lower value) so the
+/// produced tree is independent of the order in which CC tables arrive.
+std::optional<BinarySplit> ChooseBestBinarySplit(
+    const CcTable& cc, const std::vector<int>& attr_columns,
+    SplitCriterion criterion);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_SPLIT_H_

@@ -1,0 +1,274 @@
+#include "mining/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqlclass {
+
+DecisionTree::DecisionTree(const Schema& schema) : schema_(schema) {
+  assert(schema_.has_class_column());
+}
+
+int DecisionTree::CreateRoot(uint64_t table_rows) {
+  assert(nodes_.empty());
+  TreeNode root;
+  root.id = 0;
+  root.parent = -1;
+  root.depth = 0;
+  root.active_attrs = schema_.PredictorColumns();
+  root.data_size = table_rows;
+  nodes_.push_back(std::move(root));
+  return 0;
+}
+
+int DecisionTree::CreateChild(int parent, std::unique_ptr<Expr> edge_predicate,
+                              std::vector<int> active_attrs,
+                              uint64_t data_size) {
+  assert(parent >= 0 && parent < num_nodes());
+  TreeNode child;
+  child.id = num_nodes();
+  child.parent = parent;
+  child.depth = nodes_[parent].depth + 1;
+  child.edge_predicate = std::move(edge_predicate);
+  child.active_attrs = std::move(active_attrs);
+  child.data_size = data_size;
+  nodes_[parent].children.push_back(child.id);
+  int id = child.id;
+  nodes_.push_back(std::move(child));
+  return id;
+}
+
+StatusOr<DecisionTree> DecisionTree::FromNodes(const Schema& schema,
+                                               std::deque<TreeNode> nodes) {
+  SQLCLASS_RETURN_IF_ERROR(schema.Validate());
+  if (!schema.has_class_column()) {
+    return Status::InvalidArgument("schema has no class column");
+  }
+  if (nodes.empty()) return Status::InvalidArgument("no nodes");
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    TreeNode& node = nodes[i];
+    if (node.id != static_cast<int>(i)) {
+      return Status::InvalidArgument("node ids must be dense indexes");
+    }
+    if (i == 0 ? node.parent != -1
+               : (node.parent < 0 || node.parent >= static_cast<int>(i))) {
+      return Status::InvalidArgument("bad parent link at node " +
+                                     std::to_string(i));
+    }
+    for (int child : node.children) {
+      if (child <= static_cast<int>(i) ||
+          child >= static_cast<int>(nodes.size()) ||
+          nodes[child].parent != static_cast<int>(i)) {
+        return Status::InvalidArgument("bad child link at node " +
+                                       std::to_string(i));
+      }
+    }
+    if (node.state == NodeState::kPartitioned) {
+      if (node.split_attr < 0 || node.split_attr >= schema.num_columns()) {
+        return Status::InvalidArgument("bad split attribute at node " +
+                                       std::to_string(i));
+      }
+      if (node.children.size() < 2) {
+        return Status::InvalidArgument("partitioned node without children");
+      }
+    }
+    if (node.edge_predicate != nullptr) {
+      SQLCLASS_RETURN_IF_ERROR(node.edge_predicate->Bind(schema));
+    }
+  }
+  DecisionTree tree(schema);
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+std::unique_ptr<Expr> DecisionTree::NodePredicate(int id) const {
+  std::vector<std::unique_ptr<Expr>> conjuncts;
+  for (int cur = id; cur >= 0; cur = nodes_[cur].parent) {
+    if (nodes_[cur].edge_predicate != nullptr) {
+      conjuncts.push_back(nodes_[cur].edge_predicate->Clone());
+    }
+  }
+  if (conjuncts.empty()) return Expr::True();
+  std::reverse(conjuncts.begin(), conjuncts.end());  // root-to-leaf order
+  return Expr::And(std::move(conjuncts));
+}
+
+std::vector<int> DecisionTree::ActiveNodes() const {
+  std::vector<int> active;
+  for (const TreeNode& node : nodes_) {
+    if (node.state == NodeState::kActive) active.push_back(node.id);
+  }
+  return active;
+}
+
+int DecisionTree::NextChild(int id, const Row& row) const {
+  const TreeNode& node = nodes_[id];
+  if (node.state != NodeState::kPartitioned) return -1;
+  if (!node.multiway) {
+    // Binary split: children[0] is the equals branch.
+    return row[node.split_attr] == node.split_value ? node.children[0]
+                                                    : node.children[1];
+  }
+  for (int child : node.children) {
+    const Expr* edge = nodes_[child].edge_predicate.get();
+    if (edge != nullptr && edge->kind() == ExprKind::kColumnEq &&
+        edge->literal() == row[node.split_attr]) {
+      return child;
+    }
+  }
+  return -1;
+}
+
+StatusOr<Value> DecisionTree::Classify(const Row& row) const {
+  if (nodes_.empty()) return Status::Internal("empty tree");
+  int cur = 0;
+  while (true) {
+    const TreeNode& node = nodes_[cur];
+    if (node.state == NodeState::kLeaf) return node.majority_class;
+    if (node.state == NodeState::kActive) {
+      return Status::Internal("tree incomplete: active node " +
+                              std::to_string(cur));
+    }
+    // A value unseen during training has no multiway branch and takes the
+    // node's majority class.
+    const int next = NextChild(cur, row);
+    if (next < 0) return node.majority_class;
+    cur = next;
+  }
+}
+
+StatusOr<double> DecisionTree::Accuracy(const std::vector<Row>& rows) const {
+  if (rows.empty()) return Status::InvalidArgument("no rows");
+  uint64_t correct = 0;
+  for (const Row& row : rows) {
+    SQLCLASS_ASSIGN_OR_RETURN(Value predicted, Classify(row));
+    if (predicted == row[schema_.class_column()]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+namespace {
+
+/// Applies `fn` to every node reachable from the root. Nodes detached by
+/// pruning (parents turned into leaves) are skipped.
+template <typename Fn>
+void VisitReachable(const DecisionTree& tree, int id, Fn&& fn) {
+  const TreeNode& node = tree.node(id);
+  fn(node);
+  if (node.state == NodeState::kPartitioned) {
+    for (int child : node.children) {
+      VisitReachable(tree, child, fn);
+    }
+  }
+}
+
+}  // namespace
+
+int DecisionTree::CountLeaves() const {
+  if (nodes_.empty()) return 0;
+  int leaves = 0;
+  VisitReachable(*this, 0, [&](const TreeNode& node) {
+    if (node.state == NodeState::kLeaf) ++leaves;
+  });
+  return leaves;
+}
+
+int DecisionTree::MaxDepth() const {
+  if (nodes_.empty()) return 0;
+  int depth = 0;
+  VisitReachable(*this, 0, [&](const TreeNode& node) {
+    depth = std::max(depth, node.depth);
+  });
+  return depth;
+}
+
+int DecisionTree::CountReachableNodes() const {
+  if (nodes_.empty()) return 0;
+  int count = 0;
+  VisitReachable(*this, 0, [&](const TreeNode&) { ++count; });
+  return count;
+}
+
+std::string DecisionTree::SignatureRec(int id) const {
+  const TreeNode& node = nodes_[id];
+  switch (node.state) {
+    case NodeState::kLeaf:
+      return "L" + std::to_string(node.majority_class);
+    case NodeState::kActive:
+      return "A";
+    case NodeState::kPartitioned: {
+      if (node.multiway) {
+        std::string out = "(" + schema_.attribute(node.split_attr).name + "*";
+        for (int child : node.children) {
+          out += " " + nodes_[child].edge_predicate->ToSql() + ":" +
+                 SignatureRec(child);
+        }
+        out += ")";
+        return out;
+      }
+      std::string out = "(" + schema_.attribute(node.split_attr).name + "=" +
+                        std::to_string(node.split_value) + " ";
+      out += SignatureRec(node.children[0]);
+      out += " ";
+      out += SignatureRec(node.children[1]);
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string DecisionTree::Signature() const {
+  if (nodes_.empty()) return "";
+  return SignatureRec(0);
+}
+
+void DecisionTree::ToStringRec(int id, int indent, int* budget,
+                               std::string* out) const {
+  if (*budget <= 0) return;
+  --*budget;
+  const TreeNode& node = nodes_[id];
+  out->append(indent * 2, ' ');
+  if (node.edge_predicate != nullptr) {
+    out->append(node.edge_predicate->ToSql());
+    out->append(" -> ");
+  }
+  switch (node.state) {
+    case NodeState::kLeaf:
+      out->append("leaf class=" +
+                  schema_.attribute(schema_.class_column())
+                      .LabelFor(node.majority_class) +
+                  " rows=" + std::to_string(node.data_size) + "\n");
+      break;
+    case NodeState::kActive:
+      out->append("active rows=" + std::to_string(node.data_size) + "\n");
+      break;
+    case NodeState::kPartitioned:
+      if (node.multiway) {
+        out->append("split " + schema_.attribute(node.split_attr).name +
+                    " (complete, " + std::to_string(node.children.size()) +
+                    " branches) rows=" + std::to_string(node.data_size) +
+                    "\n");
+      } else {
+        out->append("split " + schema_.attribute(node.split_attr).name +
+                    " = " + std::to_string(node.split_value) +
+                    " rows=" + std::to_string(node.data_size) + "\n");
+      }
+      for (int child : node.children) {
+        ToStringRec(child, indent + 1, budget, out);
+      }
+      break;
+  }
+}
+
+std::string DecisionTree::ToString(int max_nodes) const {
+  std::string out;
+  if (!nodes_.empty()) {
+    int budget = max_nodes;
+    ToStringRec(0, 0, &budget, &out);
+    if (budget <= 0) out += "... (truncated)\n";
+  }
+  return out;
+}
+
+}  // namespace sqlclass

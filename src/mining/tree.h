@@ -1,0 +1,139 @@
+#ifndef SQLCLASS_MINING_TREE_H_
+#define SQLCLASS_MINING_TREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "sql/expr.h"
+
+namespace sqlclass {
+
+/// Node states of §2.1: *active* nodes await their CC table; *partitioned*
+/// nodes have children; *leaves* carry a class assignment. The frontier is
+/// the set of active nodes.
+enum class NodeState { kActive, kPartitioned, kLeaf };
+
+/// Why a node became a leaf (reported by examples / tests).
+enum class LeafReason {
+  kNotLeaf,
+  kPure,          // all rows one class
+  kNoSplit,       // all attributes constant in the node's data
+  kDepthLimit,
+  kMinRows,
+  kPruned,        // collapsed by a post-pruning pass (mining/prune.h)
+};
+
+struct TreeNode {
+  int id = -1;
+  int parent = -1;
+  int depth = 0;
+  NodeState state = NodeState::kActive;
+  LeafReason leaf_reason = LeafReason::kNotLeaf;
+
+  /// Predicate on the edge from the parent (null for the root).
+  std::unique_ptr<Expr> edge_predicate;
+
+  /// Attribute columns still varying at this node (candidates to split on).
+  std::vector<int> active_attrs;
+
+  /// Exact row count of the node's data set (|n|, §4.2.1 — computed from
+  /// the parent's CC table, so it is known before the node is counted).
+  uint64_t data_size = 0;
+
+  /// Filled when the node's CC table has been consumed:
+  std::vector<int64_t> class_counts;
+  Value majority_class = 0;
+
+  /// Filled when partitioned. Binary split (the default): A = v goes to
+  /// children[0], everything else to children[1]. Multiway (complete)
+  /// split: one child per value present at the node, in ascending value
+  /// order, each reached via an A = v edge.
+  int split_attr = -1;
+  Value split_value = 0;      // binary splits only
+  bool multiway = false;
+  std::vector<int> children;
+};
+
+/// A binary decision tree grown top-down (Algorithm Grow, §2.1). Owns its
+/// nodes; ids are dense indexes. The class column and schema are fixed at
+/// construction.
+class DecisionTree {
+ public:
+  /// `schema` must have a class column; it is captured by value.
+  explicit DecisionTree(const Schema& schema);
+
+  const Schema& schema() const { return schema_; }
+  int class_column() const { return schema_.class_column(); }
+  int num_classes() const {
+    return schema_.attribute(schema_.class_column()).cardinality;
+  }
+
+  /// Creates the root node (all predictor columns active). Must be called
+  /// exactly once, first.
+  int CreateRoot(uint64_t table_rows);
+
+  /// Reconstructs a tree from deserialized parts (mining/tree_io.h): nodes
+  /// must be dense with id == index, and parent/child links consistent.
+  static StatusOr<DecisionTree> FromNodes(const Schema& schema,
+                                          std::deque<TreeNode> nodes);
+
+  /// Creates a child of `parent` reached via `edge_predicate`; the child
+  /// starts active with the given active attributes and exact data size.
+  int CreateChild(int parent, std::unique_ptr<Expr> edge_predicate,
+                  std::vector<int> active_attrs, uint64_t data_size);
+
+  TreeNode& node(int id) { return nodes_[id]; }
+  const TreeNode& node(int id) const { return nodes_[id]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Conjunction of edge predicates from the root to `id` (§4.3.1's S_i);
+  /// Expr::True() for the root. Unbound.
+  std::unique_ptr<Expr> NodePredicate(int id) const;
+
+  /// All node ids currently in the kActive state.
+  std::vector<int> ActiveNodes() const;
+
+  /// Child of partitioned node `id` the row routes to, or -1 when no branch
+  /// matches (multiway split, value unseen during training).
+  int NextChild(int id, const Row& row) const;
+
+  /// Routes a row to a leaf and returns its class. Fails if any node on the
+  /// path is still active (tree incomplete).
+  StatusOr<Value> Classify(const Row& row) const;
+
+  /// Fraction of rows whose predicted class matches the class column.
+  StatusOr<double> Accuracy(const std::vector<Row>& rows) const;
+
+  int CountLeaves() const;
+  int MaxDepth() const;
+
+  /// Nodes reachable from the root. Equals num_nodes() until a pruning pass
+  /// detaches subtrees (their storage remains, unreachable).
+  int CountReachableNodes() const;
+
+  /// Canonical structural signature, independent of node creation order —
+  /// two trees over the same schema are the same classifier iff their
+  /// signatures match. Used by the model-equivalence tests (invariant 1 of
+  /// DESIGN.md).
+  std::string Signature() const;
+
+  /// Indented human-readable rendering (capped at `max_nodes` lines).
+  std::string ToString(int max_nodes = 200) const;
+
+ private:
+  std::string SignatureRec(int id) const;
+  void ToStringRec(int id, int indent, int* budget, std::string* out) const;
+
+  Schema schema_;
+  std::deque<TreeNode> nodes_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_TREE_H_

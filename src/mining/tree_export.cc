@@ -1,0 +1,92 @@
+#include "mining/tree_export.h"
+
+#include <vector>
+
+namespace sqlclass {
+
+namespace {
+
+void RulesRec(const DecisionTree& tree, int id,
+              std::vector<std::string>* path, std::string* out) {
+  const TreeNode& node = tree.node(id);
+  if (node.state == NodeState::kLeaf) {
+    out->append("IF ");
+    if (path->empty()) {
+      out->append("TRUE");
+    } else {
+      for (size_t i = 0; i < path->size(); ++i) {
+        if (i > 0) out->append(" AND ");
+        out->append((*path)[i]);
+      }
+    }
+    const AttributeDef& class_attr =
+        tree.schema().attribute(tree.class_column());
+    out->append(" THEN " + class_attr.name + " = " +
+                class_attr.LabelFor(node.majority_class));
+    out->append("   [rows=" + std::to_string(node.data_size) + "]\n");
+    return;
+  }
+  for (int child : node.children) {
+    path->push_back(tree.node(child).edge_predicate->ToSql());
+    RulesRec(tree, child, path, out);
+    path->pop_back();
+  }
+}
+
+void CaseRec(const DecisionTree& tree, int id, std::string* out) {
+  const TreeNode& node = tree.node(id);
+  if (node.state == NodeState::kLeaf) {
+    out->append(std::to_string(node.majority_class));
+    return;
+  }
+  if (node.multiway) {
+    // One WHEN per branch; values unseen in training fall to the node's
+    // majority class in the ELSE arm.
+    out->append("CASE");
+    for (int child : node.children) {
+      out->append(" WHEN ");
+      out->append(tree.node(child).edge_predicate->ToSql());
+      out->append(" THEN ");
+      CaseRec(tree, child, out);
+    }
+    out->append(" ELSE ");
+    out->append(std::to_string(node.majority_class));
+    out->append(" END");
+    return;
+  }
+  // Binary split: children[0] is the equals branch.
+  out->append("CASE WHEN ");
+  out->append(tree.node(node.children[0]).edge_predicate->ToSql());
+  out->append(" THEN ");
+  CaseRec(tree, node.children[0], out);
+  out->append(" ELSE ");
+  CaseRec(tree, node.children[1], out);
+  out->append(" END");
+}
+
+Status CheckComplete(const DecisionTree& tree) {
+  if (tree.num_nodes() == 0) return Status::InvalidArgument("empty tree");
+  if (!tree.ActiveNodes().empty()) {
+    return Status::InvalidArgument("tree still has active nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> TreeToRules(const DecisionTree& tree) {
+  SQLCLASS_RETURN_IF_ERROR(CheckComplete(tree));
+  std::string out;
+  std::vector<std::string> path;
+  RulesRec(tree, 0, &path, &out);
+  return out;
+}
+
+StatusOr<std::string> TreeToSqlCase(const DecisionTree& tree) {
+  SQLCLASS_RETURN_IF_ERROR(CheckComplete(tree));
+  std::string out;
+  CaseRec(tree, 0, &out);
+  return out;
+}
+
+}  // namespace sqlclass

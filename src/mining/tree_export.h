@@ -1,0 +1,28 @@
+#ifndef SQLCLASS_MINING_TREE_EXPORT_H_
+#define SQLCLASS_MINING_TREE_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mining/tree.h"
+
+namespace sqlclass {
+
+/// Exports of the grown classifier. §2.1 motivates decision trees partly by
+/// interpretability — "the leaves, represented as decision rules, are more
+/// easily understood by domain experts" — and a SQL deployment closes the
+/// loop with the backend: the model scores new rows where they live.
+
+/// One IF <conjunction> THEN class = <label> line per reachable leaf, in
+/// left-to-right tree order. Pure leaves include their row counts.
+StatusOr<std::string> TreeToRules(const DecisionTree& tree);
+
+/// A single SQL expression of nested CASE WHEN <edge> THEN ... ELSE ... END
+/// evaluating to the predicted class id; apply as
+/// `SELECT <expr> FROM t`. Works on any engine with CASE (ours does not
+/// execute CASE — the export targets real backends).
+StatusOr<std::string> TreeToSqlCase(const DecisionTree& tree);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_TREE_EXPORT_H_

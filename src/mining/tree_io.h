@@ -1,0 +1,37 @@
+#ifndef SQLCLASS_MINING_TREE_IO_H_
+#define SQLCLASS_MINING_TREE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mining/tree.h"
+
+namespace sqlclass {
+
+/// Versioned, line-oriented model persistence: ship a grown (optionally
+/// pruned) tree between processes, or check it into artifact storage. The
+/// format carries the schema (names, cardinalities, labels) so a loaded
+/// model is immediately usable for classification and export.
+///
+///   sqlclass-tree 1
+///   schema <columns> <class_column>
+///   column <name> <cardinality> <labels...>     (values %-escaped)
+///   nodes <count>
+///   node <id> <parent> <state> <reason> <depth> <rows> <majority>
+///        <split_attr> <split_value> <multiway> <edge> <children...>
+///        <class_counts...>
+///   end
+
+/// Serializes a complete tree (no active nodes).
+StatusOr<std::string> SerializeTree(const DecisionTree& tree);
+
+/// Parses a serialized tree; validates structure and schema.
+StatusOr<DecisionTree> DeserializeTree(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveTree(const DecisionTree& tree, const std::string& path);
+StatusOr<DecisionTree> LoadTree(const std::string& path);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MINING_TREE_IO_H_

@@ -1,0 +1,62 @@
+#include "server/cost_model.h"
+
+#include <sstream>
+
+namespace sqlclass {
+
+void CostCounters::Add(const CostCounters& other) {
+  server_scans += other.server_scans;
+  server_rows_evaluated += other.server_rows_evaluated;
+  cursor_rows_transferred += other.cursor_rows_transferred;
+  cursor_values_transferred += other.cursor_values_transferred;
+  server_groupby_rows += other.server_groupby_rows;
+  temp_table_rows_written += other.temp_table_rows_written;
+  index_probes += other.index_probes;
+  index_rows_inserted += other.index_rows_inserted;
+  result_rows_returned += other.result_rows_returned;
+  mw_file_rows_written += other.mw_file_rows_written;
+  mw_file_rows_read += other.mw_file_rows_read;
+  mw_memory_rows_read += other.mw_memory_rows_read;
+  mw_cc_updates += other.mw_cc_updates;
+}
+
+std::string CostCounters::ToString() const {
+  std::ostringstream out;
+  out << "server_scans=" << server_scans
+      << " server_rows_evaluated=" << server_rows_evaluated
+      << " cursor_rows_transferred=" << cursor_rows_transferred
+      << " cursor_values_transferred=" << cursor_values_transferred
+      << " server_groupby_rows=" << server_groupby_rows
+      << " temp_table_rows_written=" << temp_table_rows_written
+      << " index_probes=" << index_probes
+      << " index_rows_inserted=" << index_rows_inserted
+      << " result_rows_returned=" << result_rows_returned
+      << " mw_file_rows_written=" << mw_file_rows_written
+      << " mw_file_rows_read=" << mw_file_rows_read
+      << " mw_memory_rows_read=" << mw_memory_rows_read
+      << " mw_cc_updates=" << mw_cc_updates;
+  return out.str();
+}
+
+double CostModel::SimulatedSeconds(const CostCounters& c) const {
+  double us = 0.0;
+  us += server_scan_startup_us * static_cast<double>(c.server_scans);
+  us += server_row_evaluate_us * static_cast<double>(c.server_rows_evaluated);
+  us += cursor_row_transfer_us *
+        static_cast<double>(c.cursor_rows_transferred);
+  us += cursor_value_transfer_us *
+        static_cast<double>(c.cursor_values_transferred);
+  us += server_groupby_row_us * static_cast<double>(c.server_groupby_rows);
+  us += temp_table_row_write_us *
+        static_cast<double>(c.temp_table_rows_written);
+  us += index_probe_us * static_cast<double>(c.index_probes);
+  us += index_row_insert_us * static_cast<double>(c.index_rows_inserted);
+  us += result_row_us * static_cast<double>(c.result_rows_returned);
+  us += mw_file_row_write_us * static_cast<double>(c.mw_file_rows_written);
+  us += mw_file_row_read_us * static_cast<double>(c.mw_file_rows_read);
+  us += mw_memory_row_us * static_cast<double>(c.mw_memory_rows_read);
+  us += mw_cc_update_us * static_cast<double>(c.mw_cc_updates);
+  return us / 1e6;
+}
+
+}  // namespace sqlclass

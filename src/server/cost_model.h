@@ -1,0 +1,64 @@
+#ifndef SQLCLASS_SERVER_COST_MODEL_H_
+#define SQLCLASS_SERVER_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlclass {
+
+/// Logical work counters for one experiment run. The server and middleware
+/// increment these; CostModel turns them into simulated seconds.
+///
+/// The split mirrors the paper's system boundary: "server" events happen in
+/// the RDBMS process; "mw" (middleware) events happen in the middleware's
+/// file system or memory.
+struct CostCounters {
+  // --- server side ---
+  uint64_t server_scans = 0;             // cursor scans / query branches started
+  uint64_t server_rows_evaluated = 0;    // rows touched by a server scan
+  uint64_t cursor_rows_transferred = 0;  // rows shipped server -> middleware
+  uint64_t cursor_values_transferred = 0;  // values inside those rows
+  uint64_t server_groupby_rows = 0;      // rows aggregated by SQL GROUP BY
+  uint64_t temp_table_rows_written = 0;  // rows/TIDs copied into temp tables
+  uint64_t index_probes = 0;             // positioned (TID / keyset) fetches
+  uint64_t index_rows_inserted = 0;      // secondary-index build entries
+  uint64_t result_rows_returned = 0;     // result-set rows shipped to client
+
+  // --- middleware side ---
+  uint64_t mw_file_rows_written = 0;     // rows staged into middleware files
+  uint64_t mw_file_rows_read = 0;        // rows read back from staged files
+  uint64_t mw_memory_rows_read = 0;      // rows iterated from in-memory stores
+  uint64_t mw_cc_updates = 0;            // CC cell updates (row x attr)
+
+  void Add(const CostCounters& other);
+  void Reset() { *this = CostCounters(); }
+  std::string ToString() const;
+};
+
+/// Converts counters to simulated seconds. Unit costs are per row in
+/// microseconds (scan startup is per scan). Defaults are calibrated so the
+/// *relative* magnitudes match a 1999 client-server deployment: a row pulled
+/// through an OLE-DB-style cursor costs an order of magnitude more than a
+/// row read from a local middleware file, which in turn costs an order of
+/// magnitude more than a row already in middleware memory. See DESIGN.md.
+struct CostModel {
+  double server_scan_startup_us = 2000.0;
+  double server_row_evaluate_us = 1.0;
+  double cursor_row_transfer_us = 14.0;
+  double cursor_value_transfer_us = 0.15;
+  double server_groupby_row_us = 1.6;
+  double temp_table_row_write_us = 20.0;
+  double index_probe_us = 6.0;
+  double index_row_insert_us = 2.0;
+  double result_row_us = 20.0;
+  double mw_file_row_write_us = 3.0;
+  double mw_file_row_read_us = 2.5;
+  double mw_memory_row_us = 0.1;
+  double mw_cc_update_us = 0.05;
+
+  double SimulatedSeconds(const CostCounters& counters) const;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SERVER_COST_MODEL_H_

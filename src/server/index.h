@@ -1,0 +1,45 @@
+#ifndef SQLCLASS_SERVER_INDEX_H_
+#define SQLCLASS_SERVER_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "catalog/row.h"
+
+namespace sqlclass {
+
+/// Posting-list secondary index over one categorical column: value id ->
+/// ascending TIDs. The real counterpart of the "auxiliary structures"
+/// discussion (§4.3.3): the server can restrict a scan to the postings of
+/// one value instead of reading the whole heap.
+class SecondaryIndex {
+ public:
+  explicit SecondaryIndex(int column) : column_(column) {}
+
+  int column() const { return column_; }
+
+  /// Build-time insertion; call with ascending tids to keep postings sorted.
+  void Insert(Value value, Tid tid) {
+    postings_[value].push_back(tid);
+    ++entries_;
+  }
+
+  /// Postings of `value`; nullptr when the value never occurs.
+  const std::vector<Tid>* Postings(Value value) const {
+    auto it = postings_.find(value);
+    return it == postings_.end() ? nullptr : &it->second;
+  }
+
+  uint64_t num_entries() const { return entries_; }
+  size_t num_values() const { return postings_.size(); }
+
+ private:
+  int column_;
+  std::map<Value, std::vector<Tid>> postings_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SERVER_INDEX_H_

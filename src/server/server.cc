@@ -1,0 +1,684 @@
+#include "server/server.h"
+
+#include <cctype>
+#include <cstdio>
+#include <functional>
+
+#include "sql/parser.h"
+
+namespace sqlclass {
+
+namespace {
+
+/// RowSource over a heap file (physical reads metered via IoCounters only).
+class HeapFileRowSource : public RowSource {
+ public:
+  explicit HeapFileRowSource(std::unique_ptr<HeapFileReader> reader)
+      : reader_(std::move(reader)) {}
+
+  StatusOr<bool> Next(Row* row) override { return reader_->Next(row); }
+  Status Reset() override { return reader_->Reset(); }
+  uint64_t num_rows() const override { return reader_->num_rows(); }
+
+ private:
+  std::unique_ptr<HeapFileReader> reader_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ ServerCursor
+
+ServerCursor::ServerCursor(Mode mode, std::unique_ptr<HeapFileReader> reader,
+                           std::unique_ptr<Expr> filter, std::vector<Tid> tids,
+                           CostCounters* counters)
+    : mode_(mode),
+      reader_(std::move(reader)),
+      filter_(std::move(filter)),
+      tids_(std::move(tids)),
+      counters_(counters) {}
+
+StatusOr<bool> ServerCursor::Next(Row* row) {
+  if (mode_ == Mode::kScan) {
+    while (true) {
+      SQLCLASS_ASSIGN_OR_RETURN(bool more, reader_->Next(row));
+      if (!more) return false;
+      ++counters_->server_rows_evaluated;
+      if (filter_ != nullptr && !filter_->Eval(*row)) continue;
+      ++counters_->cursor_rows_transferred;
+      counters_->cursor_values_transferred += row->size();
+      ++transferred_;
+      return true;
+    }
+  }
+  // kTidProbe: positioned fetches; the filter (stored procedure / join
+  // residual) is applied server-side after each probe.
+  while (tid_pos_ < tids_.size()) {
+    Tid tid = tids_[tid_pos_++];
+    SQLCLASS_RETURN_IF_ERROR(reader_->ReadAt(tid, row));
+    ++counters_->index_probes;
+    if (filter_ != nullptr && !filter_->Eval(*row)) continue;
+    ++counters_->cursor_rows_transferred;
+    counters_->cursor_values_transferred += row->size();
+    ++transferred_;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- Loader
+
+SqlServer::Loader::Loader(SqlServer* server, std::string table,
+                          std::unique_ptr<HeapFileWriter> writer,
+                          const Schema* schema)
+    : server_(server),
+      table_(std::move(table)),
+      writer_(std::move(writer)),
+      schema_(schema) {}
+
+Status SqlServer::Loader::Append(const Row& row) {
+  if (!schema_->RowInDomain(row)) {
+    return Status::InvalidArgument("row out of domain for table " + table_);
+  }
+  return writer_->Append(row);
+}
+
+Status SqlServer::Loader::Finish() {
+  SQLCLASS_RETURN_IF_ERROR(writer_->Finish());
+  SQLCLASS_ASSIGN_OR_RETURN(TableState * state, server_->GetState(table_));
+  state->row_count = writer_->rows_written();
+  state->loading = false;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- SqlServer
+
+SqlServer::SqlServer(std::string base_dir, CostModel model,
+                     size_t buffer_pool_pages)
+    : base_dir_(std::move(base_dir)),
+      cost_model_(model),
+      buffer_pool_(buffer_pool_pages, kPageSize) {}
+
+SqlServer::~SqlServer() {
+  // Table files are left on disk; callers own the base directory.
+}
+
+std::string SqlServer::TablePath(const std::string& name) const {
+  return base_dir_ + "/" + name + ".tbl";
+}
+
+Status SqlServer::CreateTable(const std::string& name, const Schema& schema) {
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return Status::InvalidArgument("invalid table name: " + name);
+    }
+  }
+  SQLCLASS_RETURN_IF_ERROR(catalog_.CreateTable(name, schema).status());
+  TableState state;
+  state.path = TablePath(name);
+  tables_[name] = state;
+  return Status::OK();
+}
+
+Status SqlServer::DropTable(const std::string& name) {
+  {
+    auto info = catalog_.GetTable(name);
+    if (info.ok()) buffer_pool_.InvalidateFile((*info)->id);
+  }
+  SQLCLASS_RETURN_IF_ERROR(catalog_.DropTable(name));
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    std::remove(it->second.path.c_str());
+    tables_.erase(it);
+  }
+  stats_.erase(name);
+  for (auto index_it = indexes_.begin(); index_it != indexes_.end();) {
+    if (index_it->first.first == name) {
+      index_it = indexes_.erase(index_it);
+    } else {
+      ++index_it;
+    }
+  }
+  return Status::OK();
+}
+
+bool SqlServer::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+StatusOr<SqlServer::TableState*> SqlServer::GetState(
+    const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  return &it->second;
+}
+
+StatusOr<const SqlServer::TableState*> SqlServer::GetState(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  return static_cast<const TableState*>(&it->second);
+}
+
+StatusOr<std::unique_ptr<SqlServer::Loader>> SqlServer::OpenLoader(
+    const std::string& name) {
+  SQLCLASS_ASSIGN_OR_RETURN(TableState * state, GetState(name));
+  if (state->loading) return Status::Internal("loader already open: " + name);
+  if (state->row_count > 0) {
+    return Status::InvalidArgument("table already loaded: " + name);
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(name));
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileWriter> writer,
+      HeapFileWriter::Create(state->path, info->schema.num_columns(),
+                             &io_counters_));
+  state->loading = true;
+  return std::unique_ptr<Loader>(
+      new Loader(this, name, std::move(writer), &info->schema));
+}
+
+Status SqlServer::LoadRows(const std::string& name,
+                           const std::vector<Row>& rows) {
+  SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Loader> loader, OpenLoader(name));
+  for (const Row& row : rows) {
+    SQLCLASS_RETURN_IF_ERROR(loader->Append(row));
+  }
+  return loader->Finish();
+}
+
+StatusOr<const Schema*> SqlServer::GetSchema(const std::string& table) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  return &info->schema;
+}
+
+StatusOr<uint64_t> SqlServer::TableRowCount(const std::string& table) const {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  return state->row_count;
+}
+
+StatusOr<std::unique_ptr<RowSource>> SqlServer::Scan(
+    const std::string& table) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(state->path, info->schema.num_columns(),
+                           &io_counters_, &buffer_pool_, info->id));
+  return std::unique_ptr<RowSource>(
+      new HeapFileRowSource(std::move(reader)));
+}
+
+Status SqlServer::AppendRows(const std::string& name,
+                             const std::vector<Row>& rows) {
+  SQLCLASS_ASSIGN_OR_RETURN(TableState * state, GetState(name));
+  if (state->loading) return Status::Internal("loader open: " + name);
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(name));
+  for (const Row& row : rows) {
+    if (!info->schema.RowInDomain(row)) {
+      return Status::InvalidArgument("row out of domain for table " + name);
+    }
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileWriter> writer,
+      state->row_count == 0
+          ? HeapFileWriter::Create(state->path, info->schema.num_columns(),
+                                   &io_counters_)
+          : HeapFileWriter::OpenForAppend(
+                state->path, info->schema.num_columns(), &io_counters_));
+  Tid tid = state->row_count;
+  for (const Row& row : rows) {
+    SQLCLASS_RETURN_IF_ERROR(writer->Append(row));
+    // Maintain secondary indexes incrementally.
+    for (auto& [key, index] : indexes_) {
+      if (key.first == name) {
+        index.Insert(row[index.column()], tid);
+        ++cost_counters_.index_rows_inserted;
+      }
+    }
+    ++tid;
+  }
+  SQLCLASS_RETURN_IF_ERROR(writer->Finish());
+  state->row_count += rows.size();
+  stats_.erase(name);  // histogram is stale; require a fresh ANALYZE
+  buffer_pool_.InvalidateFile(info->id);  // cached pages changed on disk
+  return Status::OK();
+}
+
+StatusOr<ResultSet> SqlServer::Execute(const std::string& sql) {
+  SQLCLASS_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
+  switch (statement.kind) {
+    case Statement::Kind::kQuery: {
+      ExecStats stats;
+      SQLCLASS_ASSIGN_OR_RETURN(
+          ResultSet result, ExecuteQuery(statement.query, this, &stats));
+      cost_counters_.server_scans += stats.branches;
+      cost_counters_.server_rows_evaluated += stats.rows_scanned;
+      cost_counters_.server_groupby_rows += stats.rows_grouped;
+      cost_counters_.result_rows_returned += stats.result_rows;
+      return result;
+    }
+    case Statement::Kind::kCreateTable: {
+      const CreateTableStmt& stmt = statement.create_table;
+      std::vector<AttributeDef> attrs;
+      int class_column = -1;
+      for (size_t i = 0; i < stmt.columns.size(); ++i) {
+        AttributeDef attr;
+        attr.name = stmt.columns[i].name;
+        attr.cardinality = stmt.columns[i].cardinality;
+        attrs.push_back(std::move(attr));
+        if (stmt.columns[i].is_class) {
+          if (class_column >= 0) {
+            return Status::InvalidArgument("multiple CLASS columns");
+          }
+          class_column = static_cast<int>(i);
+        }
+      }
+      SQLCLASS_RETURN_IF_ERROR(
+          CreateTable(stmt.table, Schema(std::move(attrs), class_column)));
+      ResultSet result;
+      result.column_names = {"status"};
+      result.rows.push_back({Cell(std::string("OK"))});
+      return result;
+    }
+    case Statement::Kind::kDropTable: {
+      SQLCLASS_RETURN_IF_ERROR(DropTable(statement.drop_table.table));
+      ResultSet result;
+      result.column_names = {"status"};
+      result.rows.push_back({Cell(std::string("OK"))});
+      return result;
+    }
+    case Statement::Kind::kInsert: {
+      const InsertStmt& stmt = statement.insert;
+      std::vector<Row> rows;
+      rows.reserve(stmt.rows.size());
+      for (const auto& values : stmt.rows) {
+        Row row;
+        row.reserve(values.size());
+        for (int64_t v : values) row.push_back(static_cast<Value>(v));
+        rows.push_back(std::move(row));
+      }
+      SQLCLASS_RETURN_IF_ERROR(AppendRows(stmt.table, rows));
+      ResultSet result;
+      result.column_names = {"rows_inserted"};
+      result.rows.push_back({Cell(static_cast<int64_t>(rows.size()))});
+      return result;
+    }
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+StatusOr<std::string> SqlServer::Explain(const std::string& sql) {
+  SQLCLASS_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
+  if (statement.kind != Statement::Kind::kQuery) {
+    return Status::InvalidArgument("EXPLAIN supports queries only");
+  }
+  const Query& query = statement.query;
+  std::string out;
+  for (size_t b = 0; b < query.selects.size(); ++b) {
+    const SelectStmt& stmt = query.selects[b];
+    SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info,
+                              catalog_.GetTable(stmt.table));
+    SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(stmt.table));
+    out += "branch " + std::to_string(b + 1) + ": ";
+
+    // Access path: mirror OpenCursorAuto's decision.
+    const Expr* eq = nullptr;
+    if (stmt.where != nullptr) {
+      if (stmt.where->kind() == ExprKind::kColumnEq) {
+        eq = stmt.where.get();
+      } else if (stmt.where->kind() == ExprKind::kAnd) {
+        for (const auto& child : stmt.where->children()) {
+          if (child->kind() == ExprKind::kColumnEq) {
+            eq = child.get();
+            break;
+          }
+        }
+      }
+    }
+    bool index_path = false;
+    double selectivity = -1;
+    auto stats_it = stats_.find(stmt.table);
+    if (stmt.where != nullptr && stats_it != stats_.end()) {
+      auto bound = stmt.where->Clone();
+      SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+      selectivity = stats_it->second.EstimateSelectivity(*bound);
+    }
+    if (eq != nullptr && HasIndex(stmt.table, eq->column())) {
+      double eq_selectivity = -1;
+      if (stats_it != stats_.end()) {
+        auto bound = eq->Clone();
+        SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+        eq_selectivity = stats_it->second.EstimateSelectivity(*bound);
+      } else {
+        const int column = info->schema.ColumnIndex(eq->column());
+        if (column >= 0) {
+          eq_selectivity = 1.0 / info->schema.attribute(column).cardinality;
+        }
+      }
+      index_path =
+          eq_selectivity >= 0 && eq_selectivity < kIndexSelectivityThreshold;
+    }
+    if (index_path) {
+      out += "index scan on " + stmt.table + "." + eq->column() + " (= " +
+             std::to_string(eq->literal()) + ")";
+    } else {
+      out += "seq scan on " + stmt.table + " (" +
+             std::to_string(state->row_count) + " rows)";
+    }
+    if (stmt.where != nullptr) {
+      out += ", filter " + stmt.where->ToSql();
+      if (selectivity >= 0) {
+        char buffer[48];
+        std::snprintf(buffer, sizeof(buffer), ", est. selectivity %.4f",
+                      selectivity);
+        out += buffer;
+      }
+    }
+    if (!stmt.group_by.empty()) {
+      out += ", group by";
+      for (const std::string& column : stmt.group_by) out += " " + column;
+    }
+    out += "\n";
+  }
+  if (!query.order_by.empty()) {
+    out += "sort:";
+    for (const OrderKey& key : query.order_by) {
+      out += " " + key.column + (key.descending ? " desc" : "");
+    }
+    out += "\n";
+  }
+  if (query.limit >= 0) {
+    out += "limit: " + std::to_string(query.limit) + "\n";
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<ServerCursor>> SqlServer::OpenCursor(
+    const std::string& table, const Expr* filter) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  std::unique_ptr<Expr> bound;
+  if (filter != nullptr) {
+    bound = filter->Clone();
+    SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(state->path, info->schema.num_columns(),
+                           &io_counters_, &buffer_pool_, info->id));
+  ++cost_counters_.server_scans;
+  return std::unique_ptr<ServerCursor>(
+      new ServerCursor(ServerCursor::Mode::kScan, std::move(reader),
+                       std::move(bound), {}, &cost_counters_));
+}
+
+StatusOr<std::unique_ptr<ServerCursor>> SqlServer::OpenCursorSql(
+    const std::string& select_sql) {
+  SQLCLASS_ASSIGN_OR_RETURN(Query query, ParseQuery(select_sql));
+  if (query.selects.size() != 1) {
+    return Status::InvalidArgument("cursor query must be a single SELECT");
+  }
+  const SelectStmt& stmt = query.selects[0];
+  if (stmt.items.size() != 1 ||
+      stmt.items[0].kind != SelectItemKind::kStar || !stmt.group_by.empty()) {
+    return Status::InvalidArgument(
+        "cursor query must be SELECT * FROM t [WHERE pred]");
+  }
+  return OpenCursor(stmt.table, stmt.where.get());
+}
+
+Status SqlServer::CreateIndex(const std::string& table,
+                              const std::string& column) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  const int column_index = info->schema.ColumnIndex(column);
+  if (column_index < 0) {
+    return Status::NotFound("no such column: " + column);
+  }
+  const auto key = std::make_pair(table, column);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index exists on " + table + "." + column);
+  }
+  SecondaryIndex index(column_index);
+  SQLCLASS_RETURN_IF_ERROR(
+      ServerSideScan(table, nullptr, [&](Tid tid, const Row& row) -> Status {
+        index.Insert(row[column_index], tid);
+        ++cost_counters_.index_rows_inserted;
+        return Status::OK();
+      }));
+  indexes_.emplace(key, std::move(index));
+  return Status::OK();
+}
+
+bool SqlServer::HasIndex(const std::string& table,
+                         const std::string& column) const {
+  return indexes_.count(std::make_pair(table, column)) > 0;
+}
+
+Status SqlServer::DropIndex(const std::string& table,
+                            const std::string& column) {
+  if (indexes_.erase(std::make_pair(table, column)) == 0) {
+    return Status::NotFound("no index on " + table + "." + column);
+  }
+  return Status::OK();
+}
+
+Status SqlServer::AnalyzeTable(const std::string& table) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<RowSource> source, Scan(table));
+  SQLCLASS_ASSIGN_OR_RETURN(TableStats stats,
+                            TableStats::Build(info->schema, source.get()));
+  ++cost_counters_.server_scans;
+  cost_counters_.server_rows_evaluated += stats.num_rows();
+  stats_.erase(table);
+  stats_.emplace(table, std::move(stats));
+  return Status::OK();
+}
+
+StatusOr<const TableStats*> SqlServer::GetStats(
+    const std::string& table) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for " + table + " (run ANALYZE)");
+  }
+  return &it->second;
+}
+
+StatusOr<std::unique_ptr<ServerCursor>> SqlServer::ScanViaIndex(
+    const std::string& table, const std::string& column, Value value,
+    const Expr* residual) {
+  auto it = indexes_.find(std::make_pair(table, column));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on " + table + "." + column);
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  std::unique_ptr<Expr> bound;
+  if (residual != nullptr) {
+    bound = residual->Clone();
+    SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(state->path, info->schema.num_columns(),
+                           &io_counters_, &buffer_pool_, info->id));
+  const std::vector<Tid>* postings = it->second.Postings(value);
+  std::vector<Tid> tids = postings != nullptr ? *postings : std::vector<Tid>();
+  ++cost_counters_.server_scans;  // index lookup starts one access path
+  return std::unique_ptr<ServerCursor>(
+      new ServerCursor(ServerCursor::Mode::kTidProbe, std::move(reader),
+                       std::move(bound), std::move(tids), &cost_counters_));
+}
+
+namespace {
+
+/// Finds an equality literal usable as an index probe: the filter itself,
+/// or a direct conjunct of a top-level AND.
+const Expr* FindEqConjunct(const Expr& filter) {
+  if (filter.kind() == ExprKind::kColumnEq) return &filter;
+  if (filter.kind() == ExprKind::kAnd) {
+    for (const auto& child : filter.children()) {
+      if (child->kind() == ExprKind::kColumnEq) return child.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ServerCursor>> SqlServer::OpenCursorAuto(
+    const std::string& table, const Expr* filter) {
+  if (filter != nullptr) {
+    const Expr* eq = FindEqConjunct(*filter);
+    if (eq != nullptr && HasIndex(table, eq->column())) {
+      double selectivity = -1;
+      auto stats = GetStats(table);
+      if (stats.ok()) {
+        selectivity = (*stats)->EstimateSelectivity(*eq);
+      } else {
+        SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info,
+                                  catalog_.GetTable(table));
+        const int column = info->schema.ColumnIndex(eq->column());
+        if (column >= 0) {
+          selectivity = 1.0 / info->schema.attribute(column).cardinality;
+        }
+      }
+      if (selectivity >= 0 && selectivity < kIndexSelectivityThreshold) {
+        return ScanViaIndex(table, eq->column(), eq->literal(), filter);
+      }
+    }
+  }
+  return OpenCursor(table, filter);
+}
+
+Status SqlServer::ServerSideScan(
+    const std::string& src, const Expr* filter,
+    const std::function<Status(Tid, const Row&)>& fn) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(src));
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(src));
+  std::unique_ptr<Expr> bound;
+  if (filter != nullptr) {
+    bound = filter->Clone();
+    SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(state->path, info->schema.num_columns(),
+                           &io_counters_, &buffer_pool_, info->id));
+  ++cost_counters_.server_scans;
+  Row row;
+  Tid tid = 0;
+  while (true) {
+    SQLCLASS_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+    if (!more) break;
+    ++cost_counters_.server_rows_evaluated;
+    if (bound == nullptr || bound->Eval(row)) {
+      SQLCLASS_RETURN_IF_ERROR(fn(tid, row));
+    }
+    ++tid;
+  }
+  return Status::OK();
+}
+
+Status SqlServer::CopyToTempTable(const std::string& src, const Expr* filter,
+                                  const std::string& temp_name) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(src));
+  SQLCLASS_RETURN_IF_ERROR(CreateTable(temp_name, info->schema));
+  SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Loader> loader,
+                            OpenLoader(temp_name));
+  Status scan_status =
+      ServerSideScan(src, filter, [&](Tid, const Row& row) -> Status {
+        ++cost_counters_.temp_table_rows_written;
+        return loader->Append(row);
+      });
+  SQLCLASS_RETURN_IF_ERROR(scan_status);
+  return loader->Finish();
+}
+
+StatusOr<uint64_t> SqlServer::CreateTidList(const std::string& src,
+                                            const Expr* filter,
+                                            const std::string& list_name) {
+  if (tid_lists_.count(list_name) > 0) {
+    return Status::AlreadyExists("tid list exists: " + list_name);
+  }
+  std::vector<Tid> tids;
+  SQLCLASS_RETURN_IF_ERROR(
+      ServerSideScan(src, filter, [&](Tid tid, const Row&) -> Status {
+        ++cost_counters_.temp_table_rows_written;
+        tids.push_back(tid);
+        return Status::OK();
+      }));
+  uint64_t count = tids.size();
+  tid_lists_[list_name] = std::move(tids);
+  return count;
+}
+
+StatusOr<std::unique_ptr<ServerCursor>> SqlServer::ScanByTidJoin(
+    const std::string& src, const std::string& list_name,
+    const Expr* extra_filter) {
+  auto it = tid_lists_.find(list_name);
+  if (it == tid_lists_.end()) {
+    return Status::NotFound("no such tid list: " + list_name);
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(src));
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(src));
+  std::unique_ptr<Expr> bound;
+  if (extra_filter != nullptr) {
+    bound = extra_filter->Clone();
+    SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(state->path, info->schema.num_columns(),
+                           &io_counters_, &buffer_pool_, info->id));
+  ++cost_counters_.server_scans;
+  return std::unique_ptr<ServerCursor>(
+      new ServerCursor(ServerCursor::Mode::kTidProbe, std::move(reader),
+                       std::move(bound), it->second, &cost_counters_));
+}
+
+StatusOr<uint64_t> SqlServer::CreateKeyset(const std::string& table,
+                                           const Expr* filter) {
+  Keyset keyset;
+  keyset.table = table;
+  SQLCLASS_RETURN_IF_ERROR(
+      ServerSideScan(table, filter, [&](Tid tid, const Row&) -> Status {
+        keyset.tids.push_back(tid);
+        return Status::OK();
+      }));
+  uint64_t id = next_keyset_id_++;
+  keysets_[id] = std::move(keyset);
+  return id;
+}
+
+StatusOr<std::unique_ptr<ServerCursor>> SqlServer::ScanKeyset(
+    uint64_t keyset_id, const Expr* proc_filter) {
+  auto it = keysets_.find(keyset_id);
+  if (it == keysets_.end()) {
+    return Status::NotFound("no such keyset: " + std::to_string(keyset_id));
+  }
+  const Keyset& keyset = it->second;
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(keyset.table));
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info,
+                            catalog_.GetTable(keyset.table));
+  std::unique_ptr<Expr> bound;
+  if (proc_filter != nullptr) {
+    bound = proc_filter->Clone();
+    SQLCLASS_RETURN_IF_ERROR(bound->Bind(info->schema));
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(state->path, info->schema.num_columns(),
+                           &io_counters_, &buffer_pool_, info->id));
+  ++cost_counters_.server_scans;
+  return std::unique_ptr<ServerCursor>(
+      new ServerCursor(ServerCursor::Mode::kTidProbe, std::move(reader),
+                       std::move(bound), keyset.tids, &cost_counters_));
+}
+
+Status SqlServer::ReleaseKeyset(uint64_t keyset_id) {
+  if (keysets_.erase(keyset_id) == 0) {
+    return Status::NotFound("no such keyset: " + std::to_string(keyset_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,261 @@
+#ifndef SQLCLASS_SERVER_SERVER_H_
+#define SQLCLASS_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "server/cost_model.h"
+#include "server/index.h"
+#include "server/table_stats.h"
+#include "sql/executor.h"
+#include "sql/expr.h"
+#include "sql/result_set.h"
+#include "sql/row_source.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/io_counters.h"
+
+namespace sqlclass {
+
+class SqlServer;
+
+/// A forward-only cursor streaming rows from the server to the middleware.
+/// Filters are evaluated *at the server*: non-matching rows cost a cheap
+/// server-side evaluation, matching rows additionally pay the (expensive)
+/// cursor transfer. This is the data path the middleware's execution module
+/// drives (§4.1.1) and the reason the filter-expression pushdown of §4.3.1
+/// saves time.
+class ServerCursor {
+ public:
+  ServerCursor(const ServerCursor&) = delete;
+  ServerCursor& operator=(const ServerCursor&) = delete;
+  ~ServerCursor() = default;
+
+  /// Next row that passed the server-side filter; false at end.
+  StatusOr<bool> Next(Row* row);
+
+  uint64_t rows_transferred() const { return transferred_; }
+
+ private:
+  friend class SqlServer;
+  enum class Mode {
+    kScan,      // sequential heap scan with filter
+    kTidProbe,  // positioned fetches from a TID list / keyset
+  };
+
+  ServerCursor(Mode mode, std::unique_ptr<HeapFileReader> reader,
+               std::unique_ptr<Expr> filter, std::vector<Tid> tids,
+               CostCounters* counters);
+
+  Mode mode_;
+  std::unique_ptr<HeapFileReader> reader_;
+  std::unique_ptr<Expr> filter_;  // bound; may be null (no filter)
+  std::vector<Tid> tids_;         // for kTidProbe
+  size_t tid_pos_ = 0;
+  CostCounters* counters_;
+  uint64_t transferred_ = 0;
+  bool scan_charged_ = false;
+};
+
+/// Embedded single-threaded relational engine standing in for the paper's
+/// Microsoft SQL Server 7.0 backend. Tables are paged heap files under a
+/// base directory; queries go through the SQL parser + executor; bulk data
+/// flows through cursors. All externally visible work is metered into
+/// CostCounters so experiments report deterministic simulated seconds.
+///
+/// Loading data (CreateTable / Loader) is deliberately *not* metered: the
+/// paper measures tree-growing time against a pre-existing database.
+class SqlServer : public TableProvider {
+ public:
+  /// `base_dir` must exist and be writable; table files live inside it.
+  /// `buffer_pool_pages` sizes the shared page cache (default 8 MB).
+  explicit SqlServer(std::string base_dir, CostModel model = CostModel(),
+                     size_t buffer_pool_pages = 1024);
+  ~SqlServer() override;
+
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+
+  // ------------------------------------------------------------- DDL/DML
+
+  Status CreateTable(const std::string& name, const Schema& schema);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+
+  /// Streaming bulk loader; call Finish() exactly once.
+  class Loader {
+   public:
+    Status Append(const Row& row);
+    Status Finish();
+    uint64_t rows() const { return writer_->rows_written(); }
+
+   private:
+    friend class SqlServer;
+    Loader(SqlServer* server, std::string table,
+           std::unique_ptr<HeapFileWriter> writer, const Schema* schema);
+    SqlServer* server_;
+    std::string table_;
+    std::unique_ptr<HeapFileWriter> writer_;
+    const Schema* schema_;
+  };
+  StatusOr<std::unique_ptr<Loader>> OpenLoader(const std::string& name);
+
+  /// Convenience wrapper for small tables.
+  Status LoadRows(const std::string& name, const std::vector<Row>& rows);
+
+  /// Appends rows to an already-loaded table (the INSERT path). Secondary
+  /// indexes are maintained incrementally; ANALYZE statistics go stale and
+  /// are dropped.
+  Status AppendRows(const std::string& name, const std::vector<Row>& rows);
+
+  // ----------------------------------------------------------- metadata
+
+  StatusOr<const Schema*> GetSchema(const std::string& table) override;
+  StatusOr<uint64_t> TableRowCount(const std::string& table) const;
+
+  /// Physical scan used by the SQL executor; meters physical I/O only (the
+  /// executor's ExecStats carry the logical charges).
+  StatusOr<std::unique_ptr<RowSource>> Scan(const std::string& table) override;
+
+  // ----------------------------------------------------------- SQL path
+
+  /// Parses and executes any statement (query / CREATE TABLE / DROP TABLE
+  /// / INSERT); logical query work is charged to the cost counters. This is
+  /// the path the SQL-counting baseline (§2.3) uses.
+  StatusOr<ResultSet> Execute(const std::string& sql);
+
+  /// EXPLAIN: a human-readable plan for a query without executing it — one
+  /// line per UNION ALL branch showing the access path the engine/cursor
+  /// layer would take (seq scan vs index scan), the estimated selectivity
+  /// (when ANALYZE stats exist), grouping, ordering and limit. Charges
+  /// nothing.
+  StatusOr<std::string> Explain(const std::string& sql);
+
+  // -------------------------------------------------------- cursor path
+
+  /// Opens a filtered forward-only cursor. `filter` may be null (full
+  /// table); it is cloned and bound internally.
+  StatusOr<std::unique_ptr<ServerCursor>> OpenCursor(const std::string& table,
+                                                     const Expr* filter);
+
+  /// Cursor from SQL text of the form `SELECT * FROM t [WHERE pred]` — the
+  /// form the middleware's filter generator emits (§4.3.1).
+  StatusOr<std::unique_ptr<ServerCursor>> OpenCursorSql(
+      const std::string& select_sql);
+
+  // ------------------------------------------- indexes and statistics
+
+  /// Builds a posting-list secondary index on one column (one metered scan
+  /// plus per-entry insertion cost).
+  Status CreateIndex(const std::string& table, const std::string& column);
+  bool HasIndex(const std::string& table, const std::string& column) const;
+  Status DropIndex(const std::string& table, const std::string& column);
+
+  /// ANALYZE: builds optimizer statistics with one metered scan.
+  Status AnalyzeTable(const std::string& table);
+  StatusOr<const TableStats*> GetStats(const std::string& table) const;
+
+  /// Cursor via the index on (table, column = value): probes the postings
+  /// and applies `residual` (may be null) server-side before transfer.
+  StatusOr<std::unique_ptr<ServerCursor>> ScanViaIndex(
+      const std::string& table, const std::string& column, Value value,
+      const Expr* residual);
+
+  /// Access-path-choosing cursor: uses an index when the filter contains a
+  /// usable equality conjunct on an indexed column whose estimated
+  /// selectivity (from ANALYZE stats, default 1/distinct) is below
+  /// `kIndexSelectivityThreshold`; otherwise a sequential scan.
+  StatusOr<std::unique_ptr<ServerCursor>> OpenCursorAuto(
+      const std::string& table, const Expr* filter);
+
+  static constexpr double kIndexSelectivityThreshold = 0.2;
+
+  // --------------------------------- auxiliary structures (§4.3.3)
+
+  /// (a) Copies the filtered subset of `src` into a new table `temp_name`
+  /// (created; fails if it exists). Charges expensive server-side writes.
+  Status CopyToTempTable(const std::string& src, const Expr* filter,
+                         const std::string& temp_name);
+
+  /// (b) Materializes the TIDs of rows matching `filter` into a named TID
+  /// list; returns the number of TIDs captured.
+  StatusOr<uint64_t> CreateTidList(const std::string& src, const Expr* filter,
+                                   const std::string& list_name);
+
+  /// (b) Scans `src` through the TID list (simulated join on TID), applying
+  /// `extra_filter` (may be null) server-side before transfer.
+  StatusOr<std::unique_ptr<ServerCursor>> ScanByTidJoin(
+      const std::string& src, const std::string& list_name,
+      const Expr* extra_filter);
+
+  /// (c) Defines a keyset cursor over the rows of `table` matching
+  /// `filter`; returns a keyset id. Cheaper to create than a temp table
+  /// (keys stay in server memory).
+  StatusOr<uint64_t> CreateKeyset(const std::string& table,
+                                  const Expr* filter);
+
+  /// (c) Re-scans the keyset; `proc_filter` models the stored procedure
+  /// that filters fetched rows before returning them to the middleware.
+  StatusOr<std::unique_ptr<ServerCursor>> ScanKeyset(uint64_t keyset_id,
+                                                     const Expr* proc_filter);
+
+  Status ReleaseKeyset(uint64_t keyset_id);
+
+  // ------------------------------------------------------------ metering
+
+  CostCounters& cost_counters() { return cost_counters_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  void set_cost_model(const CostModel& model) { cost_model_ = model; }
+  double SimulatedSeconds() const {
+    return cost_model_.SimulatedSeconds(cost_counters_);
+  }
+  void ResetCostCounters() { cost_counters_.Reset(); }
+  IoCounters& io_counters() { return io_counters_; }
+  const BufferPool& buffer_pool() const { return buffer_pool_; }
+
+ private:
+  struct TableState {
+    std::string path;
+    uint64_t row_count = 0;
+    bool loading = false;
+  };
+
+  struct Keyset {
+    std::string table;
+    std::vector<Tid> tids;
+  };
+
+  StatusOr<TableState*> GetState(const std::string& table);
+  StatusOr<const TableState*> GetState(const std::string& table) const;
+  std::string TablePath(const std::string& name) const;
+
+  /// Scans `src` at the server, charging one scan + per-row evaluation, and
+  /// invokes `fn(tid, row)` for rows matching `filter` (null = all rows).
+  Status ServerSideScan(const std::string& src, const Expr* filter,
+                        const std::function<Status(Tid, const Row&)>& fn);
+
+  std::string base_dir_;
+  CostModel cost_model_;
+  BufferPool buffer_pool_;
+  CostCounters cost_counters_;
+  IoCounters io_counters_;
+  Catalog catalog_;
+  std::map<std::string, TableState> tables_;
+  std::map<std::pair<std::string, std::string>, SecondaryIndex> indexes_;
+  std::map<std::string, TableStats> stats_;
+  std::map<std::string, std::vector<Tid>> tid_lists_;
+  std::map<uint64_t, Keyset> keysets_;
+  uint64_t next_keyset_id_ = 1;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SERVER_SERVER_H_

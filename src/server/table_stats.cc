@@ -1,0 +1,73 @@
+#include "server/table_stats.h"
+
+#include <algorithm>
+
+namespace sqlclass {
+
+StatusOr<TableStats> TableStats::Build(const Schema& schema,
+                                       RowSource* source) {
+  TableStats stats(schema);
+  stats.columns_.resize(schema.num_columns());
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    stats.columns_[c].value_counts.assign(schema.attribute(c).cardinality,
+                                          0);
+  }
+  Row row;
+  while (true) {
+    SQLCLASS_ASSIGN_OR_RETURN(bool more, source->Next(&row));
+    if (!more) break;
+    ++stats.num_rows_;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      ++stats.columns_[c].value_counts[row[c]];
+    }
+  }
+  for (ColumnStats& column : stats.columns_) {
+    column.distinct_values = static_cast<int>(
+        std::count_if(column.value_counts.begin(), column.value_counts.end(),
+                      [](int64_t n) { return n > 0; }));
+  }
+  return stats;
+}
+
+double TableStats::SelectivityRec(const Expr& predicate) const {
+  switch (predicate.kind()) {
+    case ExprKind::kTrue:
+      return 1.0;
+    case ExprKind::kColumnEq:
+    case ExprKind::kColumnNe: {
+      int column = predicate.BoundColumnIndex();
+      if (column < 0) column = schema_.ColumnIndex(predicate.column());
+      if (column < 0 || num_rows_ == 0) return 0.5;  // unknown
+      const auto& counts = columns_[column].value_counts;
+      const Value v = predicate.literal();
+      const int64_t hits =
+          (v >= 0 && static_cast<size_t>(v) < counts.size()) ? counts[v] : 0;
+      const double eq =
+          static_cast<double>(hits) / static_cast<double>(num_rows_);
+      return predicate.kind() == ExprKind::kColumnEq ? eq : 1.0 - eq;
+    }
+    case ExprKind::kAnd: {
+      double s = 1.0;
+      for (const auto& child : predicate.children()) {
+        s *= SelectivityRec(*child);
+      }
+      return s;
+    }
+    case ExprKind::kOr: {
+      double miss = 1.0;
+      for (const auto& child : predicate.children()) {
+        miss *= 1.0 - SelectivityRec(*child);
+      }
+      return 1.0 - miss;
+    }
+    case ExprKind::kNot:
+      return 1.0 - SelectivityRec(*predicate.children()[0]);
+  }
+  return 0.5;
+}
+
+double TableStats::EstimateSelectivity(const Expr& predicate) const {
+  return std::clamp(SelectivityRec(predicate), 0.0, 1.0);
+}
+
+}  // namespace sqlclass

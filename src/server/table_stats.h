@@ -1,0 +1,50 @@
+#ifndef SQLCLASS_SERVER_TABLE_STATS_H_
+#define SQLCLASS_SERVER_TABLE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "sql/expr.h"
+#include "sql/row_source.h"
+
+namespace sqlclass {
+
+/// Per-column value histogram (categorical domains are small, so the
+/// histogram is exact).
+struct ColumnStats {
+  int distinct_values = 0;
+  std::vector<int64_t> value_counts;  // indexed by value id
+};
+
+/// Optimizer statistics for one table, built by ANALYZE-style full scan.
+/// Used by the server's access-path choice (index scan vs sequential scan)
+/// and available to clients for their own estimates.
+class TableStats {
+ public:
+  /// Consumes `source` entirely.
+  static StatusOr<TableStats> Build(const Schema& schema, RowSource* source);
+
+  uint64_t num_rows() const { return num_rows_; }
+  const ColumnStats& column(int i) const { return columns_[i]; }
+
+  /// Estimated fraction of rows satisfying `predicate` (bound or unbound —
+  /// names are resolved against the stats' schema). Standard independence
+  /// assumptions: AND multiplies, OR applies inclusion-exclusion under
+  /// independence, NOT complements. Clamped to [0, 1].
+  double EstimateSelectivity(const Expr& predicate) const;
+
+ private:
+  explicit TableStats(const Schema& schema) : schema_(schema) {}
+
+  double SelectivityRec(const Expr& predicate) const;
+
+  Schema schema_;
+  uint64_t num_rows_ = 0;
+  std::vector<ColumnStats> columns_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SERVER_TABLE_STATS_H_

@@ -1,0 +1,100 @@
+#include "sql/ast.h"
+
+namespace sqlclass {
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  switch (kind) {
+    case SelectItemKind::kStar:
+      return "*";
+    case SelectItemKind::kColumn:
+      return column;
+    case SelectItemKind::kIntLiteral:
+      return std::to_string(int_value);
+    case SelectItemKind::kStringLiteral:
+      return text;
+    case SelectItemKind::kCountStar:
+      return "count";
+    case SelectItemKind::kMin:
+      return "min_" + column;
+    case SelectItemKind::kMax:
+      return "max_" + column;
+    case SelectItemKind::kSum:
+      return "sum_" + column;
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ItemToSql(const SelectItem& item) {
+  std::string out;
+  switch (item.kind) {
+    case SelectItemKind::kStar:
+      out = "*";
+      break;
+    case SelectItemKind::kColumn:
+      out = item.column;
+      break;
+    case SelectItemKind::kIntLiteral:
+      out = std::to_string(item.int_value);
+      break;
+    case SelectItemKind::kStringLiteral:
+      out = "'" + item.text + "'";
+      break;
+    case SelectItemKind::kCountStar:
+      out = "COUNT(*)";
+      break;
+    case SelectItemKind::kMin:
+      out = "MIN(" + item.column + ")";
+      break;
+    case SelectItemKind::kMax:
+      out = "MAX(" + item.column + ")";
+      break;
+    case SelectItemKind::kSum:
+      out = "SUM(" + item.column + ")";
+      break;
+  }
+  if (!item.alias.empty()) out += " AS " + item.alias;
+  return out;
+}
+
+}  // namespace
+
+std::string SelectStmt::ToSql() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ItemToSql(items[i]);
+  }
+  out += " FROM " + table;
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i];
+    }
+  }
+  return out;
+}
+
+std::string Query::ToSql() const {
+  std::string out;
+  for (size_t i = 0; i < selects.size(); ++i) {
+    if (i > 0) out += " UNION ALL ";
+    out += selects[i].ToSql();
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column;
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,106 @@
+#ifndef SQLCLASS_SQL_AST_H_
+#define SQLCLASS_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/expr.h"
+
+namespace sqlclass {
+
+/// One entry of a SELECT list. The CC-table query shape (§2.3) needs exactly
+/// these: a string constant naming the attribute, a column, the class
+/// column, and COUNT(*).
+enum class SelectItemKind {
+  kStar,           // SELECT *
+  kColumn,         // column reference
+  kIntLiteral,     // constant integer
+  kStringLiteral,  // constant text, e.g. 'A1' AS attr_name
+  kCountStar,      // COUNT(*)
+  kMin,            // MIN(column)
+  kMax,            // MAX(column)
+  kSum,            // SUM(column)
+};
+
+/// True for the aggregate select-item kinds that take a column argument.
+inline bool IsColumnAggregate(SelectItemKind kind) {
+  return kind == SelectItemKind::kMin || kind == SelectItemKind::kMax ||
+         kind == SelectItemKind::kSum;
+}
+
+struct SelectItem {
+  SelectItemKind kind = SelectItemKind::kStar;
+  std::string column;      // for kColumn
+  std::string text;        // for kStringLiteral
+  int64_t int_value = 0;   // for kIntLiteral
+  std::string alias;       // optional AS alias
+
+  /// Output column name: the alias if given, else a derived name.
+  std::string OutputName() const;
+};
+
+/// One ORDER BY key: an output-column name (alias or derived name).
+struct OrderKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// A single SELECT ... FROM ... [WHERE ...] [GROUP BY ...] block.
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::unique_ptr<Expr> where;          // null means no WHERE clause
+  std::vector<std::string> group_by;    // empty means no grouping
+
+  std::string ToSql() const;
+};
+
+/// A UNION ALL chain of SELECT blocks (one block for the common case),
+/// optionally ordered and limited as a whole (applied to the union result,
+/// which is what the single-SELECT case degenerates to).
+struct Query {
+  std::vector<SelectStmt> selects;
+  std::vector<OrderKey> order_by;  // keys name output columns
+  int64_t limit = -1;              // -1 = no LIMIT
+
+  std::string ToSql() const;
+};
+
+/// DDL / DML statements understood by the server's Execute():
+///   CREATE TABLE t (col CAT(n) [CLASS], ...)
+///   DROP TABLE t
+///   INSERT INTO t VALUES (v, ...) [, (v, ...)]*
+struct CreateTableStmt {
+  std::string table;
+  struct ColumnDef {
+    std::string name;
+    int cardinality = 0;
+    bool is_class = false;
+  };
+  std::vector<ColumnDef> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<int64_t>> rows;
+};
+
+/// Any parsed statement (exactly one member is engaged).
+struct Statement {
+  enum class Kind { kQuery, kCreateTable, kDropTable, kInsert };
+  Kind kind = Kind::kQuery;
+  Query query;
+  CreateTableStmt create_table;
+  DropTableStmt drop_table;
+  InsertStmt insert;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_AST_H_

@@ -1,0 +1,49 @@
+#ifndef SQLCLASS_SQL_EXECUTOR_H_
+#define SQLCLASS_SQL_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+#include "sql/row_source.h"
+
+namespace sqlclass {
+
+/// Logical work done by one query execution; the server translates these
+/// into cost-model charges.
+struct ExecStats {
+  uint64_t branches = 0;       // UNION ALL branches executed
+  uint64_t rows_scanned = 0;   // rows read from base tables (sum per branch)
+  uint64_t rows_matched = 0;   // rows surviving the WHERE clause
+  uint64_t rows_grouped = 0;   // rows fed into GROUP BY aggregation
+  uint64_t result_rows = 0;    // rows in the final result set
+
+  void Add(const ExecStats& other) {
+    branches += other.branches;
+    rows_scanned += other.rows_scanned;
+    rows_matched += other.rows_matched;
+    rows_grouped += other.rows_grouped;
+    result_rows += other.result_rows;
+  }
+};
+
+/// Executes a parsed query against `provider` tables.
+///
+/// Deliberate fidelity point (§2.3): each UNION ALL branch performs its own
+/// full scan of its base table. The 1999-era optimizers the paper measured
+/// could not share scans across the branches of the CC-table UNION query;
+/// that inefficiency is exactly what makes the middleware's batched
+/// single-scan counting pay off, so this executor reproduces it.
+///
+/// Supported shapes:
+///  * projection (columns / literals / `*`), optional WHERE
+///  * GROUP BY with any mix of grouped columns, literals, COUNT(*)
+///  * scalar COUNT(*) without GROUP BY
+/// Group output ordering is deterministic (lexicographic by key).
+StatusOr<ResultSet> ExecuteQuery(const Query& query, TableProvider* provider,
+                                 ExecStats* stats);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_EXECUTOR_H_

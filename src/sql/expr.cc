@@ -1,0 +1,167 @@
+#include "sql/expr.h"
+
+#include <cassert>
+
+namespace sqlclass {
+
+std::unique_ptr<Expr> Expr::True() {
+  return std::unique_ptr<Expr>(new Expr(ExprKind::kTrue));
+}
+
+std::unique_ptr<Expr> Expr::ColEq(std::string column, Value literal) {
+  auto e = std::unique_ptr<Expr>(new Expr(ExprKind::kColumnEq));
+  e->column_ = std::move(column);
+  e->literal_ = literal;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::ColNe(std::string column, Value literal) {
+  auto e = std::unique_ptr<Expr>(new Expr(ExprKind::kColumnNe));
+  e->column_ = std::move(column);
+  e->literal_ = literal;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::And(
+    std::vector<std::unique_ptr<Expr>> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  auto e = std::unique_ptr<Expr>(new Expr(ExprKind::kAnd));
+  e->children_ = std::move(children);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Or(std::vector<std::unique_ptr<Expr>> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  auto e = std::unique_ptr<Expr>(new Expr(ExprKind::kOr));
+  e->children_ = std::move(children);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Not(std::unique_ptr<Expr> child) {
+  assert(child != nullptr);
+  auto e = std::unique_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->children_.push_back(std::move(child));
+  return e;
+}
+
+std::unique_ptr<Expr> AndOf(std::unique_ptr<Expr> a, std::unique_ptr<Expr> b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  std::vector<std::unique_ptr<Expr>> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return Expr::And(std::move(children));
+}
+
+Status Expr::Bind(const Schema& schema) {
+  switch (kind_) {
+    case ExprKind::kTrue:
+      return Status::OK();
+    case ExprKind::kColumnEq:
+    case ExprKind::kColumnNe: {
+      int idx = schema.ColumnIndex(column_);
+      if (idx < 0) return Status::NotFound("unknown column: " + column_);
+      column_index_ = idx;
+      return Status::OK();
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      for (auto& child : children_) {
+        SQLCLASS_RETURN_IF_ERROR(child->Bind(schema));
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+bool Expr::bound() const {
+  switch (kind_) {
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kColumnEq:
+    case ExprKind::kColumnNe:
+      return column_index_ >= 0;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      for (const auto& child : children_) {
+        if (!child->bound()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Expr::Eval(const Row& row) const {
+  switch (kind_) {
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kColumnEq:
+      assert(column_index_ >= 0);
+      return row[column_index_] == literal_;
+    case ExprKind::kColumnNe:
+      assert(column_index_ >= 0);
+      return row[column_index_] != literal_;
+    case ExprKind::kAnd:
+      for (const auto& child : children_) {
+        if (!child->Eval(row)) return false;
+      }
+      return true;
+    case ExprKind::kOr:
+      for (const auto& child : children_) {
+        if (child->Eval(row)) return true;
+      }
+      return false;
+    case ExprKind::kNot:
+      return !children_[0]->Eval(row);
+  }
+  return false;
+}
+
+std::string Expr::ToSql() const {
+  switch (kind_) {
+    case ExprKind::kTrue:
+      return "TRUE";
+    case ExprKind::kColumnEq:
+      return column_ + " = " + std::to_string(literal_);
+    case ExprKind::kColumnNe:
+      return column_ + " <> " + std::to_string(literal_);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const char* op = kind_ == ExprKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += op;
+        out += children_[i]->ToSql();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kNot:
+      return "NOT " + children_[0]->ToSql();
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::unique_ptr<Expr>(new Expr(kind_));
+  e->column_ = column_;
+  e->literal_ = literal_;
+  e->column_index_ = column_index_;
+  e->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    e->children_.push_back(child->Clone());
+  }
+  return e;
+}
+
+size_t Expr::TreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->TreeSize();
+  return n;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,88 @@
+#ifndef SQLCLASS_SQL_EXPR_H_
+#define SQLCLASS_SQL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// Predicate expression kinds. The classification workload only ever needs
+/// equality tests on categorical columns combined with AND/OR/NOT — node
+/// predicates are conjunctions of (A = v) / (A <> v) edges, and the
+/// middleware's filter expression is a disjunction of node predicates
+/// (§4.3.1) — so the AST is deliberately small.
+enum class ExprKind {
+  kTrue,      // constant TRUE (matches every row)
+  kColumnEq,  // column = literal
+  kColumnNe,  // column <> literal
+  kAnd,       // n-ary conjunction
+  kOr,        // n-ary disjunction
+  kNot,       // negation
+};
+
+/// Immutable-after-Bind predicate tree. Construct via the factory functions,
+/// Bind() against a schema to resolve column names to indexes, then Eval()
+/// per row. Unbound expressions can be printed to SQL and cloned.
+class Expr {
+ public:
+  static std::unique_ptr<Expr> True();
+  static std::unique_ptr<Expr> ColEq(std::string column, Value literal);
+  static std::unique_ptr<Expr> ColNe(std::string column, Value literal);
+  static std::unique_ptr<Expr> And(std::vector<std::unique_ptr<Expr>> children);
+  static std::unique_ptr<Expr> Or(std::vector<std::unique_ptr<Expr>> children);
+  static std::unique_ptr<Expr> Not(std::unique_ptr<Expr> child);
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind() const { return kind_; }
+  const std::string& column() const { return column_; }
+  Value literal() const { return literal_; }
+  const std::vector<std::unique_ptr<Expr>>& children() const {
+    return children_;
+  }
+
+  /// Resolves column names against `schema`. Fails on unknown columns.
+  /// Binding is idempotent.
+  Status Bind(const Schema& schema);
+  bool bound() const;
+
+  /// Resolved column index of a comparison node (-1 before Bind; meaningless
+  /// for non-comparison kinds).
+  int BoundColumnIndex() const { return column_index_; }
+
+  /// Evaluates against a row of the bound schema. Must be bound first for
+  /// column comparisons.
+  bool Eval(const Row& row) const;
+
+  /// Renders standard SQL text, e.g. `(A1 = 2 AND A2 <> 0)`.
+  std::string ToSql() const;
+
+  /// Deep copy (binding state is preserved).
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Count of nodes in the tree (used by tests and cost accounting).
+  size_t TreeSize() const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  std::string column_;
+  Value literal_ = 0;
+  int column_index_ = -1;  // resolved by Bind
+  std::vector<std::unique_ptr<Expr>> children_;
+};
+
+/// Convenience: conjunction of exactly two (nullptr-tolerant: a null side is
+/// treated as TRUE and the other side returned).
+std::unique_ptr<Expr> AndOf(std::unique_ptr<Expr> a, std::unique_ptr<Expr> b);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_EXPR_H_

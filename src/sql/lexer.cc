@@ -1,0 +1,116 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace sqlclass {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      // "CAT" and "CLASS" (CREATE TABLE column syntax) are deliberately
+      // *contextual* — "class" is the conventional class-column name and
+      // must stay usable as an identifier everywhere else.
+      "SELECT", "FROM",  "WHERE",  "GROUP", "BY",    "UNION", "ALL",
+      "AND",    "OR",    "NOT",    "AS",    "COUNT", "TRUE",  "ORDER",
+      "DESC",   "ASC",   "LIMIT",  "MIN",   "MAX",   "SUM",   "CREATE",
+      "TABLE",  "DROP",  "INSERT", "INTO",  "VALUES",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      tok.kind = TokenKind::kInteger;
+      tok.text = sql.substr(start, i - start);
+      tok.int_value = std::stoll(tok.text);
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = text;
+    } else if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = "<>";
+      i += 2;
+    } else if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = "<>";  // normalize != to <>
+      i += 2;
+    } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,42 @@
+#ifndef SQLCLASS_SQL_LEXER_H_
+#define SQLCLASS_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlclass {
+
+enum class TokenKind {
+  kIdentifier,   // column / table names (case preserved)
+  kKeyword,      // upper-cased SQL keyword
+  kInteger,      // decimal integer literal
+  kString,       // single-quoted string literal (text, unquoted)
+  kSymbol,       // one of ( ) , * = and the two-char <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     // keyword upper-cased; symbol text as written
+  int64_t int_value = 0;
+  size_t offset = 0;    // byte offset into the source, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes the SQL subset used by the system. Keywords are recognized
+/// case-insensitively and normalized to upper case; anything word-shaped
+/// that is not a keyword is an identifier.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_LEXER_H_

@@ -1,0 +1,408 @@
+#include "sql/parser.h"
+
+#include <cctype>
+
+#include "sql/lexer.h"
+
+namespace sqlclass {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> ParseQuery() {
+    Query query;
+    while (true) {
+      SelectStmt select;
+      SQLCLASS_RETURN_IF_ERROR(ParseSelect(&select));
+      query.selects.push_back(std::move(select));
+      if (Peek().IsKeyword("UNION")) {
+        Advance();
+        if (!Peek().IsKeyword("ALL")) {
+          return ErrorHere("expected ALL after UNION");
+        }
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      if (!Peek().IsKeyword("BY")) return ErrorHere("expected BY after ORDER");
+      Advance();
+      while (true) {
+        OrderKey key;
+        if (Peek().kind == TokenKind::kIdentifier) {
+          key.column = Advance().text;
+        } else if (Peek().IsKeyword("COUNT") || Peek().IsKeyword("MIN") ||
+                   Peek().IsKeyword("MAX") || Peek().IsKeyword("SUM")) {
+          // Aggregate derived names ("count", ...) are lexed as keywords;
+          // accept them here, lowercased to match the output column.
+          key.column = Advance().text;
+          for (char& c : key.column) {
+            c = static_cast<char>(std::tolower(c));
+          }
+        } else {
+          return ErrorHere("expected output column in ORDER BY");
+        }
+        if (Peek().IsKeyword("DESC")) {
+          key.descending = true;
+          Advance();
+        } else if (Peek().IsKeyword("ASC")) {
+          Advance();
+        }
+        query.order_by.push_back(std::move(key));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInteger || Peek().int_value < 0) {
+        return ErrorHere("expected non-negative integer after LIMIT");
+      }
+      query.limit = Advance().int_value;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return ErrorHere("trailing tokens after query");
+    }
+    return query;
+  }
+
+  StatusOr<Statement> ParseAnyStatement() {
+    Statement statement;
+    if (Peek().IsKeyword("CREATE")) {
+      statement.kind = Statement::Kind::kCreateTable;
+      SQLCLASS_RETURN_IF_ERROR(ParseCreate(&statement.create_table));
+    } else if (Peek().IsKeyword("DROP")) {
+      statement.kind = Statement::Kind::kDropTable;
+      SQLCLASS_RETURN_IF_ERROR(ParseDrop(&statement.drop_table));
+    } else if (Peek().IsKeyword("INSERT")) {
+      statement.kind = Statement::Kind::kInsert;
+      SQLCLASS_RETURN_IF_ERROR(ParseInsert(&statement.insert));
+    } else {
+      statement.kind = Statement::Kind::kQuery;
+      SQLCLASS_ASSIGN_OR_RETURN(statement.query, ParseQuery());
+      return statement;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return StatusOr<Statement>(ErrorHere("trailing tokens after statement"));
+    }
+    return statement;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseStandalonePredicate() {
+    SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> pred, ParsePred());
+    if (Peek().kind != TokenKind::kEnd) {
+      return StatusOr<std::unique_ptr<Expr>>(
+          Status::ParseError("trailing tokens after predicate"));
+    }
+    return pred;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status ErrorHere(const std::string& what) {
+    return Status::ParseError(what + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Status Expect(const char* symbol) {
+    if (!Peek().IsSymbol(symbol)) {
+      return ErrorHere(std::string("expected '") + symbol + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelect(SelectStmt* out) {
+    if (!Peek().IsKeyword("SELECT")) return ErrorHere("expected SELECT");
+    Advance();
+    SQLCLASS_RETURN_IF_ERROR(ParseSelectList(&out->items));
+    if (!Peek().IsKeyword("FROM")) return ErrorHere("expected FROM");
+    Advance();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    out->table = Advance().text;
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      SQLCLASS_ASSIGN_OR_RETURN(out->where, ParsePred());
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      if (!Peek().IsKeyword("BY")) return ErrorHere("expected BY after GROUP");
+      Advance();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected column in GROUP BY");
+        }
+        out->group_by.push_back(Advance().text);
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Case-insensitive match of a *contextual* keyword (lexed as an
+  /// identifier so the word stays usable as a column name elsewhere).
+  bool PeekIsContextual(const char* word) const {
+    if (Peek().kind != TokenKind::kIdentifier) return false;
+    const std::string& text = Peek().text;
+    for (size_t i = 0; word[i] != '\0' || i < text.size(); ++i) {
+      if (word[i] == '\0' || i >= text.size()) return false;
+      if (std::toupper(static_cast<unsigned char>(text[i])) != word[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Status ParseCreate(CreateTableStmt* out) {
+    Advance();  // CREATE
+    if (!Peek().IsKeyword("TABLE")) return ErrorHere("expected TABLE");
+    Advance();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    out->table = Advance().text;
+    SQLCLASS_RETURN_IF_ERROR(Expect("("));
+    while (true) {
+      CreateTableStmt::ColumnDef column;
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected column name");
+      }
+      column.name = Advance().text;
+      if (!PeekIsContextual("CAT")) {
+        return ErrorHere("expected CAT(n) column type");
+      }
+      Advance();
+      SQLCLASS_RETURN_IF_ERROR(Expect("("));
+      if (Peek().kind != TokenKind::kInteger || Peek().int_value < 1) {
+        return ErrorHere("expected positive cardinality");
+      }
+      column.cardinality = static_cast<int>(Advance().int_value);
+      SQLCLASS_RETURN_IF_ERROR(Expect(")"));
+      if (PeekIsContextual("CLASS")) {
+        column.is_class = true;
+        Advance();
+      }
+      out->columns.push_back(std::move(column));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(")");
+  }
+
+  Status ParseDrop(DropTableStmt* out) {
+    Advance();  // DROP
+    if (!Peek().IsKeyword("TABLE")) return ErrorHere("expected TABLE");
+    Advance();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    out->table = Advance().text;
+    return Status::OK();
+  }
+
+  Status ParseInsert(InsertStmt* out) {
+    Advance();  // INSERT
+    if (!Peek().IsKeyword("INTO")) return ErrorHere("expected INTO");
+    Advance();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    out->table = Advance().text;
+    if (!Peek().IsKeyword("VALUES")) return ErrorHere("expected VALUES");
+    Advance();
+    while (true) {
+      SQLCLASS_RETURN_IF_ERROR(Expect("("));
+      std::vector<int64_t> row;
+      while (true) {
+        if (Peek().kind != TokenKind::kInteger) {
+          return ErrorHere("expected integer value");
+        }
+        row.push_back(Advance().int_value);
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      SQLCLASS_RETURN_IF_ERROR(Expect(")"));
+      out->rows.push_back(std::move(row));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(std::vector<SelectItem>* items) {
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      SelectItem item;
+      item.kind = SelectItemKind::kStar;
+      items->push_back(std::move(item));
+      return Status::OK();
+    }
+    while (true) {
+      SelectItem item;
+      const Token& tok = Peek();
+      if (tok.IsKeyword("COUNT")) {
+        Advance();
+        SQLCLASS_RETURN_IF_ERROR(Expect("("));
+        SQLCLASS_RETURN_IF_ERROR(Expect("*"));
+        SQLCLASS_RETURN_IF_ERROR(Expect(")"));
+        item.kind = SelectItemKind::kCountStar;
+      } else if (tok.IsKeyword("MIN") || tok.IsKeyword("MAX") ||
+                 tok.IsKeyword("SUM")) {
+        item.kind = tok.IsKeyword("MIN")   ? SelectItemKind::kMin
+                    : tok.IsKeyword("MAX") ? SelectItemKind::kMax
+                                           : SelectItemKind::kSum;
+        Advance();
+        SQLCLASS_RETURN_IF_ERROR(Expect("("));
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected column inside aggregate");
+        }
+        item.column = Advance().text;
+        SQLCLASS_RETURN_IF_ERROR(Expect(")"));
+      } else if (tok.kind == TokenKind::kIdentifier) {
+        item.kind = SelectItemKind::kColumn;
+        item.column = Advance().text;
+      } else if (tok.kind == TokenKind::kInteger) {
+        item.kind = SelectItemKind::kIntLiteral;
+        item.int_value = Advance().int_value;
+      } else if (tok.kind == TokenKind::kString) {
+        item.kind = SelectItemKind::kStringLiteral;
+        item.text = Advance().text;
+      } else {
+        return ErrorHere("expected select item");
+      }
+      if (Peek().IsKeyword("AS")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      }
+      items->push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParsePred() {
+    SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseConj());
+    std::vector<std::unique_ptr<Expr>> terms;
+    terms.push_back(std::move(first));
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseConj());
+      terms.push_back(std::move(next));
+    }
+    return Expr::Or(std::move(terms));
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseConj() {
+    SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseUnary());
+    std::vector<std::unique_ptr<Expr>> terms;
+    terms.push_back(std::move(first));
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseUnary());
+      terms.push_back(std::move(next));
+    }
+    return Expr::And(std::move(terms));
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseUnary() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseUnary());
+      return Expr::Not(std::move(child));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary() {
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParsePred());
+      SQLCLASS_RETURN_IF_ERROR(Expect(")"));
+      return inner;
+    }
+    if (Peek().IsKeyword("TRUE")) {
+      Advance();
+      return Expr::True();
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return StatusOr<std::unique_ptr<Expr>>(
+          ErrorHere("expected column comparison"));
+    }
+    std::string column = Advance().text;
+    bool is_eq;
+    if (Peek().IsSymbol("=")) {
+      is_eq = true;
+    } else if (Peek().IsSymbol("<>")) {
+      is_eq = false;
+    } else {
+      return StatusOr<std::unique_ptr<Expr>>(
+          ErrorHere("expected = or <> after column"));
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kInteger) {
+      return StatusOr<std::unique_ptr<Expr>>(
+          ErrorHere("expected integer literal in comparison"));
+    }
+    Value literal = static_cast<Value>(Advance().int_value);
+    return is_eq ? Expr::ColEq(std::move(column), literal)
+                 : Expr::ColNe(std::move(column), literal);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(const std::string& sql) {
+  SQLCLASS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+StatusOr<Statement> ParseStatement(const std::string& sql) {
+  SQLCLASS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAnyStatement();
+}
+
+StatusOr<std::unique_ptr<Expr>> ParsePredicate(const std::string& sql) {
+  SQLCLASS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandalonePredicate();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,43 @@
+#ifndef SQLCLASS_SQL_PARSER_H_
+#define SQLCLASS_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace sqlclass {
+
+/// Parses the SQL subset used by the classification system:
+///
+///   statement := query | create | drop | insert
+///   query     := select (UNION ALL select)*
+///                [ORDER BY okey (',' okey)*] [LIMIT int]
+///   select    := SELECT items FROM ident [WHERE pred] [GROUP BY cols]
+///   items     := '*' | item (',' item)*
+///   item      := (ident | int | string | COUNT '(' '*' ')'
+///                 | (MIN|MAX|SUM) '(' ident ')') [AS ident]
+///   okey      := ident [ASC | DESC]          (names an output column)
+///   pred      := conj (OR conj)*
+///   conj      := unary (AND unary)*
+///   unary     := NOT unary | primary
+///   primary   := '(' pred ')' | TRUE | ident ('=' | '<>') int
+///   create    := CREATE TABLE ident '(' coldef (',' coldef)* ')'
+///   coldef    := ident CAT '(' int ')' [CLASS]
+///   drop      := DROP TABLE ident
+///   insert    := INSERT INTO ident VALUES tuple (',' tuple)*
+///   tuple     := '(' int (',' int)* ')'
+///
+/// `!=` is accepted as a synonym for `<>`. Keywords are case-insensitive.
+StatusOr<Query> ParseQuery(const std::string& sql);
+
+/// Parses any statement (query / CREATE TABLE / DROP TABLE / INSERT).
+StatusOr<Statement> ParseStatement(const std::string& sql);
+
+/// Parses just a predicate expression (the grammar's `pred`), used when the
+/// middleware ships a filter expression on its own.
+StatusOr<std::unique_ptr<Expr>> ParsePredicate(const std::string& sql);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_PARSER_H_

@@ -1,0 +1,55 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sqlclass {
+
+namespace {
+std::string CellToString(const Cell& cell) {
+  if (std::holds_alternative<int64_t>(cell)) {
+    return std::to_string(std::get<int64_t>(cell));
+  }
+  return std::get<std::string>(cell);
+}
+}  // namespace
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(column_names.size());
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    widths[c] = column_names[c].size();
+  }
+  const size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], CellToString(rows[r][c]).size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string text = c < cells.size() ? cells[c] : "";
+      out << " " << text << std::string(widths[c] - text.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(column_names);
+  out << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[r].size());
+    for (const Cell& cell : rows[r]) cells.push_back(CellToString(cell));
+    emit_row(cells);
+  }
+  if (shown < rows.size()) {
+    out << "... (" << rows.size() - shown << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace sqlclass

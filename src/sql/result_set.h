@@ -1,0 +1,36 @@
+#ifndef SQLCLASS_SQL_RESULT_SET_H_
+#define SQLCLASS_SQL_RESULT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sqlclass {
+
+/// One output cell: integer or text (text appears only for string-literal
+/// select items such as `'A1' AS attr_name`).
+using Cell = std::variant<int64_t, std::string>;
+
+inline int64_t CellInt(const Cell& cell) { return std::get<int64_t>(cell); }
+inline const std::string& CellText(const Cell& cell) {
+  return std::get<std::string>(cell);
+}
+
+/// Materialized query result. Small by construction: the middleware only
+/// routes aggregate (CC-table-shaped) queries through SQL, never bulk data —
+/// bulk data flows through cursors.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Cell>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return column_names.size(); }
+
+  /// Renders an aligned ASCII table (examples / debugging).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_RESULT_SET_H_

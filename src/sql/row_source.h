@@ -1,0 +1,43 @@
+#ifndef SQLCLASS_SQL_ROW_SOURCE_H_
+#define SQLCLASS_SQL_ROW_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// Pull-based row iterator. Implementations: heap-file scans on the server,
+/// staged middleware files, and in-memory stores.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// Fetches the next row; false at end of stream.
+  virtual StatusOr<bool> Next(Row* row) = 0;
+
+  /// Rewinds to the first row.
+  virtual Status Reset() = 0;
+
+  /// Total rows this source will yield per full pass (known up front for
+  /// all our sources).
+  virtual uint64_t num_rows() const = 0;
+};
+
+/// Resolves table names to schemas and scans. Implemented by the server
+/// (heap-file backed); the executor stays storage-agnostic.
+class TableProvider {
+ public:
+  virtual ~TableProvider() = default;
+
+  virtual StatusOr<const Schema*> GetSchema(const std::string& table) = 0;
+  virtual StatusOr<std::unique_ptr<RowSource>> Scan(
+      const std::string& table) = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SQL_ROW_SOURCE_H_

@@ -1,0 +1,56 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace sqlclass {
+
+BufferPool::BufferPool(size_t capacity_pages, size_t page_bytes)
+    : capacity_(capacity_pages), page_bytes_(page_bytes) {
+  assert(capacity_pages >= 1);
+}
+
+StatusOr<const char*> BufferPool::Fetch(uint64_t file_id, uint64_t page_index,
+                                        const PageLoader& loader) {
+  const Key key(file_id, page_index);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    frames_.splice(frames_.begin(), frames_, it->second);  // move to front
+    return static_cast<const char*>(it->second->data.data());
+  }
+  ++stats_.misses;
+  if (frames_.size() >= capacity_) {
+    index_.erase(frames_.back().key);
+    frames_.pop_back();
+    ++stats_.evictions;
+  }
+  frames_.emplace_front();
+  Frame& frame = frames_.front();
+  frame.key = key;
+  frame.data.resize(page_bytes_);
+  Status status = loader(frame.data.data());
+  if (!status.ok()) {
+    frames_.pop_front();
+    return status;
+  }
+  index_[key] = frames_.begin();
+  return static_cast<const char*>(frame.data.data());
+}
+
+void BufferPool::InvalidateFile(uint64_t file_id) {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->key.first == file_id) {
+      index_.erase(it->key);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  index_.clear();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,78 @@
+#ifndef SQLCLASS_STORAGE_BUFFER_POOL_H_
+#define SQLCLASS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlclass {
+
+/// Fixed-capacity LRU page cache shared by a server's heap-file readers.
+/// Purely physical: cache hits avoid re-reading pages from the OS but do
+/// not change the *logical* cost accounting (the 1999 cost model charges
+/// for rows evaluated/transferred, not for page faults — the pool exists
+/// for realism of the substrate and for hit-rate observability).
+///
+/// Pages are keyed by (file id, page index); files are responsible for
+/// invalidating their pages when their contents change (append, drop).
+/// Single-threaded, like the rest of the engine.
+class BufferPool {
+ public:
+  /// Loads one page's bytes into `dst` (page-size buffer).
+  using PageLoader = std::function<Status(char* dst)>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// `capacity_pages` >= 1; `page_bytes` is the fixed page size.
+  BufferPool(size_t capacity_pages, size_t page_bytes);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the cached page, calling `loader` on a miss. The pointer is
+  /// valid until the next Fetch / invalidation (callers copy out).
+  StatusOr<const char*> Fetch(uint64_t file_id, uint64_t page_index,
+                              const PageLoader& loader);
+
+  /// Drops every cached page of `file_id`.
+  void InvalidateFile(uint64_t file_id);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;  // (file id, page index)
+  struct Frame {
+    Key key;
+    std::vector<char> data;
+  };
+
+  size_t capacity_;
+  size_t page_bytes_;
+  std::list<Frame> frames_;  // front = most recently used
+  std::map<Key, std::list<Frame>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_BUFFER_POOL_H_

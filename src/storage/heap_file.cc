@@ -1,0 +1,271 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sqlclass {
+
+size_t SlotsPerPage(size_t row_bytes) {
+  assert(row_bytes > 0 && row_bytes <= kPageSize - kPageHeaderBytes);
+  return (kPageSize - kPageHeaderBytes) / row_bytes;
+}
+
+// ---------------------------------------------------------------- writer
+
+HeapFileWriter::HeapFileWriter(std::string path, std::FILE* file,
+                               int num_columns, IoCounters* counters)
+    : path_(std::move(path)),
+      file_(file),
+      codec_(num_columns),
+      counters_(counters),
+      page_(kPageSize, 0) {}
+
+HeapFileWriter::~HeapFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::Create(
+    const std::string& path, int num_columns, IoCounters* counters) {
+  if (num_columns <= 0) {
+    return Status::InvalidArgument("heap file needs >= 1 column");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create heap file: " + path);
+  }
+  return std::unique_ptr<HeapFileWriter>(
+      new HeapFileWriter(path, file, num_columns, counters));
+}
+
+StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
+    const std::string& path, int num_columns, IoCounters* counters) {
+  if (num_columns <= 0) {
+    return Status::InvalidArgument("heap file needs >= 1 column");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::IoError("cannot open heap file for append: " + path);
+  }
+  auto writer = std::unique_ptr<HeapFileWriter>(
+      new HeapFileWriter(path, file, num_columns, counters));
+
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed for " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0) return Status::IoError("ftell failed for " + path);
+  if (size % static_cast<long>(kPageSize) != 0) {
+    return Status::IoError("heap file size not page-aligned: " + path);
+  }
+  const uint64_t num_pages = static_cast<uint64_t>(size) / kPageSize;
+  const size_t slots = SlotsPerPage(writer->codec_.row_bytes());
+  if (num_pages > 0) {
+    // Reload the last page; if it is partially filled, continue it in
+    // place (the next flush rewrites it at the same offset).
+    const long last_offset = static_cast<long>((num_pages - 1) * kPageSize);
+    if (std::fseek(file, last_offset, SEEK_SET) != 0) {
+      return Status::IoError("seek failed for " + path);
+    }
+    if (std::fread(writer->page_.data(), 1, kPageSize, file) != kPageSize) {
+      return Status::IoError("short page read for " + path);
+    }
+    const uint32_t last_rows = DecodeFixed32(writer->page_.data());
+    writer->existing_rows_ = (num_pages - 1) * slots + last_rows;
+    if (last_rows < slots) {
+      writer->rows_in_page_ = last_rows;
+      if (std::fseek(file, last_offset, SEEK_SET) != 0) {
+        return Status::IoError("seek failed for " + path);
+      }
+    } else {
+      // Last page full: clear the buffer and keep writing at EOF.
+      std::memset(writer->page_.data(), 0, writer->page_.size());
+      if (std::fseek(file, 0, SEEK_END) != 0) {
+        return Status::IoError("seek failed for " + path);
+      }
+    }
+  }
+  return writer;
+}
+
+Status HeapFileWriter::Append(const Row& row) {
+  if (finished_) return Status::Internal("Append after Finish");
+  const size_t slots = SlotsPerPage(codec_.row_bytes());
+  codec_.Encode(row, page_.data() + kPageHeaderBytes +
+                         rows_in_page_ * codec_.row_bytes());
+  ++rows_in_page_;
+  ++rows_written_;
+  if (counters_ != nullptr) ++counters_->rows_written;
+  if (rows_in_page_ == slots) return FlushPage();
+  return Status::OK();
+}
+
+Status HeapFileWriter::FlushPage() {
+  if (rows_in_page_ == 0) return Status::OK();
+  EncodeFixed32(page_.data(), rows_in_page_);
+  if (std::fwrite(page_.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("short write to " + path_);
+  }
+  if (counters_ != nullptr) ++counters_->pages_written;
+  rows_in_page_ = 0;
+  std::memset(page_.data(), 0, page_.size());
+  return Status::OK();
+}
+
+Status HeapFileWriter::Finish() {
+  if (finished_) return Status::OK();
+  SQLCLASS_RETURN_IF_ERROR(FlushPage());
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IoError("close failed for " + path_);
+  }
+  file_ = nullptr;
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- reader
+
+HeapFileReader::HeapFileReader(std::string path, std::FILE* file,
+                               int num_columns, IoCounters* counters)
+    : path_(std::move(path)),
+      file_(file),
+      codec_(num_columns),
+      counters_(counters),
+      page_(kPageSize, 0) {}
+
+HeapFileReader::~HeapFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<HeapFileReader>> HeapFileReader::Open(
+    const std::string& path, int num_columns, IoCounters* counters,
+    BufferPool* pool, uint64_t file_id) {
+  if (num_columns <= 0) {
+    return Status::InvalidArgument("heap file needs >= 1 column");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open heap file: " + path);
+  }
+  auto reader = std::unique_ptr<HeapFileReader>(
+      new HeapFileReader(path, file, num_columns, counters));
+  reader->pool_ = pool;
+  reader->file_id_ = file_id;
+
+  // Determine page count from file size, then row count by summing the last
+  // page header (all pages but the last are full).
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed for " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0) return Status::IoError("ftell failed for " + path);
+  if (size % static_cast<long>(kPageSize) != 0) {
+    return Status::IoError("heap file size not page-aligned: " + path);
+  }
+  reader->num_pages_ = static_cast<uint64_t>(size) / kPageSize;
+  if (reader->num_pages_ == 0) {
+    reader->num_rows_ = 0;
+  } else {
+    const size_t slots = SlotsPerPage(reader->codec_.row_bytes());
+    // Peek the last page header without charging counters (metadata read).
+    if (std::fseek(file,
+                   static_cast<long>((reader->num_pages_ - 1) * kPageSize),
+                   SEEK_SET) != 0) {
+      return Status::IoError("seek failed for " + path);
+    }
+    char hdr[kPageHeaderBytes];
+    if (std::fread(hdr, 1, kPageHeaderBytes, file) != kPageHeaderBytes) {
+      return Status::IoError("short header read for " + path);
+    }
+    uint32_t last_rows = DecodeFixed32(hdr);
+    if (last_rows > slots) {
+      return Status::IoError("corrupt page header in " + path);
+    }
+    reader->num_rows_ = (reader->num_pages_ - 1) * slots + last_rows;
+  }
+  SQLCLASS_RETURN_IF_ERROR(reader->Reset());
+  return reader;
+}
+
+Status HeapFileReader::Reset() {
+  current_page_ = 0;
+  page_loaded_ = false;
+  rows_in_current_page_ = 0;
+  next_slot_ = 0;
+  rows_returned_ = 0;
+  return Status::OK();
+}
+
+Status HeapFileReader::LoadPage(uint64_t page_index) {
+  if (page_index >= num_pages_) {
+    return Status::Internal("page index out of range in " + path_);
+  }
+  auto physical_read = [&](char* dst) -> Status {
+    if (std::fseek(file_, static_cast<long>(page_index * kPageSize),
+                   SEEK_SET) != 0) {
+      return Status::IoError("seek failed for " + path_);
+    }
+    if (std::fread(dst, 1, kPageSize, file_) != kPageSize) {
+      return Status::IoError("short page read for " + path_);
+    }
+    if (counters_ != nullptr) ++counters_->pages_read;
+    return Status::OK();
+  };
+  if (pool_ != nullptr) {
+    SQLCLASS_ASSIGN_OR_RETURN(const char* cached,
+                              pool_->Fetch(file_id_, page_index,
+                                           physical_read));
+    std::memcpy(page_.data(), cached, kPageSize);
+  } else {
+    SQLCLASS_RETURN_IF_ERROR(physical_read(page_.data()));
+  }
+  current_page_ = page_index;
+  page_loaded_ = true;
+  rows_in_current_page_ = DecodeFixed32(page_.data());
+  if (rows_in_current_page_ > SlotsPerPage(codec_.row_bytes())) {
+    page_loaded_ = false;
+    return Status::IoError("corrupt page header in " + path_);
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> HeapFileReader::Next(Row* row) {
+  if (rows_returned_ >= num_rows_) return false;
+  if (!page_loaded_ || next_slot_ >= rows_in_current_page_) {
+    uint64_t next_page = page_loaded_ ? current_page_ + 1 : 0;
+    SQLCLASS_RETURN_IF_ERROR(LoadPage(next_page));
+    next_slot_ = 0;
+  }
+  codec_.Decode(
+      page_.data() + kPageHeaderBytes + next_slot_ * codec_.row_bytes(), row);
+  ++next_slot_;
+  ++rows_returned_;
+  if (counters_ != nullptr) ++counters_->rows_read;
+  return true;
+}
+
+Status HeapFileReader::ReadAt(Tid tid, Row* row) {
+  if (tid >= num_rows_) {
+    return Status::InvalidArgument("tid out of range: " + std::to_string(tid));
+  }
+  const size_t slots = SlotsPerPage(codec_.row_bytes());
+  const uint64_t page_index = tid / slots;
+  const uint32_t slot = static_cast<uint32_t>(tid % slots);
+  if (!page_loaded_ || page_index != current_page_) {
+    SQLCLASS_RETURN_IF_ERROR(LoadPage(page_index));
+    // A positioned read invalidates the sequential scan position; callers
+    // interleaving Next() and ReadAt() must Reset() in between.
+    next_slot_ = rows_in_current_page_;
+  }
+  if (slot >= rows_in_current_page_) {
+    return Status::Internal("slot out of range for tid " + std::to_string(tid));
+  }
+  codec_.Decode(page_.data() + kPageHeaderBytes + slot * codec_.row_bytes(),
+                row);
+  if (counters_ != nullptr) ++counters_->rows_read;
+  return Status::OK();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,125 @@
+#ifndef SQLCLASS_STORAGE_HEAP_FILE_H_
+#define SQLCLASS_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_counters.h"
+#include "storage/row_codec.h"
+
+namespace sqlclass {
+
+/// Page layout: [row_count: u32][rows...]; rows are fixed-width slots so a
+/// Tid is simply (page_index * slots_per_page + slot).
+inline constexpr size_t kPageSize = 8192;
+inline constexpr size_t kPageHeaderBytes = sizeof(uint32_t);
+
+/// Rows a page can hold for a given row width.
+size_t SlotsPerPage(size_t row_bytes);
+
+/// Append-only writer for a paged heap file on disk. Not thread-safe.
+class HeapFileWriter {
+ public:
+  HeapFileWriter(const HeapFileWriter&) = delete;
+  HeapFileWriter& operator=(const HeapFileWriter&) = delete;
+  ~HeapFileWriter();
+
+  /// Creates (truncating) `path` for rows of `num_columns` values.
+  /// `counters` (optional) accumulates physical writes.
+  static StatusOr<std::unique_ptr<HeapFileWriter>> Create(
+      const std::string& path, int num_columns, IoCounters* counters);
+
+  /// Opens an existing heap file for appending: the final partial page is
+  /// reloaded and continued. `rows_written()` reports only rows appended by
+  /// this writer; `existing_rows()` reports what the file already held.
+  static StatusOr<std::unique_ptr<HeapFileWriter>> OpenForAppend(
+      const std::string& path, int num_columns, IoCounters* counters);
+
+  uint64_t existing_rows() const { return existing_rows_; }
+
+  Status Append(const Row& row);
+
+  /// Flushes the final partial page and closes the file. Must be called;
+  /// the destructor only releases resources for an abandoned writer.
+  Status Finish();
+
+  uint64_t rows_written() const { return rows_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  HeapFileWriter(std::string path, std::FILE* file, int num_columns,
+                 IoCounters* counters);
+
+  Status FlushPage();
+
+  std::string path_;
+  std::FILE* file_;
+  RowCodec codec_;
+  IoCounters* counters_;  // may be null
+  std::vector<char> page_;
+  uint32_t rows_in_page_ = 0;
+  uint64_t rows_written_ = 0;
+  uint64_t existing_rows_ = 0;
+  bool finished_ = false;
+};
+
+/// Sequential reader over a heap file. Supports rewinding (Reset) and
+/// positioned reads by Tid (used by the TID-join auxiliary structure).
+class HeapFileReader {
+ public:
+  HeapFileReader(const HeapFileReader&) = delete;
+  HeapFileReader& operator=(const HeapFileReader&) = delete;
+  ~HeapFileReader();
+
+  /// `pool` (optional) caches pages across readers; `file_id` must then be
+  /// a process-unique id for this file's current contents (invalidate on
+  /// change).
+  static StatusOr<std::unique_ptr<HeapFileReader>> Open(
+      const std::string& path, int num_columns, IoCounters* counters,
+      BufferPool* pool = nullptr, uint64_t file_id = 0);
+
+  /// Reads the next row into `*row`; returns false at end of file.
+  /// On I/O error returns an error status.
+  StatusOr<bool> Next(Row* row);
+
+  /// Rewinds to the first row.
+  Status Reset();
+
+  /// Random read of the row with the given Tid. Counts one page read per
+  /// call unless the Tid falls on the currently buffered page.
+  Status ReadAt(Tid tid, Row* row);
+
+  /// Total rows in the file (from the file size and trailer page count).
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  HeapFileReader(std::string path, std::FILE* file, int num_columns,
+                 IoCounters* counters);
+
+  Status LoadPage(uint64_t page_index);
+
+  std::string path_;
+  std::FILE* file_;
+  RowCodec codec_;
+  IoCounters* counters_;  // may be null
+  BufferPool* pool_ = nullptr;  // may be null
+  uint64_t file_id_ = 0;
+  std::vector<char> page_;
+  uint64_t num_pages_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t current_page_ = 0;     // page index loaded in page_
+  bool page_loaded_ = false;
+  uint32_t rows_in_current_page_ = 0;
+  uint32_t next_slot_ = 0;        // next slot to return from current page
+  uint64_t rows_returned_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_HEAP_FILE_H_

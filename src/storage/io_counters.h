@@ -1,0 +1,29 @@
+#ifndef SQLCLASS_STORAGE_IO_COUNTERS_H_
+#define SQLCLASS_STORAGE_IO_COUNTERS_H_
+
+#include <cstdint>
+
+namespace sqlclass {
+
+/// Raw physical I/O activity of one storage actor (the server's heap files,
+/// or the middleware's staging files). The cost model converts these plus
+/// the logical counters in server::CostCounters into simulated seconds.
+struct IoCounters {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t rows_read = 0;
+  uint64_t rows_written = 0;
+
+  void Add(const IoCounters& other) {
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    rows_read += other.rows_read;
+    rows_written += other.rows_written;
+  }
+
+  void Reset() { *this = IoCounters(); }
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_IO_COUNTERS_H_

@@ -1,0 +1,23 @@
+#include "storage/row_codec.h"
+
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace sqlclass {
+
+void RowCodec::Encode(const Row& row, char* dst) const {
+  assert(static_cast<int>(row.size()) == num_columns_);
+  for (int i = 0; i < num_columns_; ++i) {
+    EncodeFixed32(dst + i * sizeof(Value), static_cast<uint32_t>(row[i]));
+  }
+}
+
+void RowCodec::Decode(const char* src, Row* row) const {
+  row->resize(num_columns_);
+  for (int i = 0; i < num_columns_; ++i) {
+    (*row)[i] = static_cast<Value>(DecodeFixed32(src + i * sizeof(Value)));
+  }
+}
+
+}  // namespace sqlclass

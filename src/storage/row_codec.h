@@ -1,0 +1,35 @@
+#ifndef SQLCLASS_STORAGE_ROW_CODEC_H_
+#define SQLCLASS_STORAGE_ROW_CODEC_H_
+
+#include <cstddef>
+
+#include "catalog/row.h"
+#include "catalog/schema.h"
+
+namespace sqlclass {
+
+/// Fixed-width little-endian row codec: 4 bytes per column, schema order.
+/// Fixed width keeps pages slot-addressable so a TID maps to a (page, slot)
+/// pair with no directory.
+class RowCodec {
+ public:
+  explicit RowCodec(const Schema* schema)
+      : num_columns_(schema->num_columns()) {}
+  explicit RowCodec(int num_columns) : num_columns_(num_columns) {}
+
+  size_t row_bytes() const { return num_columns_ * sizeof(Value); }
+  int num_columns() const { return num_columns_; }
+
+  /// Writes `row` (must have num_columns values) into `dst[0, row_bytes)`.
+  void Encode(const Row& row, char* dst) const;
+
+  /// Reads one row from `src[0, row_bytes)` into `*row` (resized).
+  void Decode(const char* src, Row* row) const;
+
+ private:
+  int num_columns_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_ROW_CODEC_H_

@@ -1,0 +1,173 @@
+#include "middleware/async_provider.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "mining/inmemory_provider.h"
+#include "mining/naive_bayes.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+class AsyncProviderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 8;
+    params.num_leaves = 30;
+    params.cases_per_leaf = 40;
+    params.num_classes = 4;
+    params.seed = 777;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    schema_ = (*dataset)->schema();
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(LoadIntoServer(server_.get(), "data", schema_,
+                               [&](const RowSink& sink) {
+                                 return (*dataset)->Generate(sink);
+                               })
+                    .ok());
+    ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+  }
+
+  std::unique_ptr<ClassificationMiddleware> MakeMiddleware(
+      MiddlewareConfig config = MiddlewareConfig()) {
+    config.staging_dir = dir_.path();
+    auto mw = ClassificationMiddleware::Create(server_.get(), "data",
+                                               std::move(config));
+    EXPECT_TRUE(mw.ok());
+    return std::move(mw).value();
+  }
+
+  std::string ReferenceSignature() {
+    InMemoryCcProvider provider(schema_, &rows_);
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(&provider, rows_.size());
+    EXPECT_TRUE(tree.ok());
+    return tree->Signature();
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::unique_ptr<SqlServer> server_;
+  std::vector<Row> rows_;
+};
+
+TEST_F(AsyncProviderTest, GrowsTheReferenceTree) {
+  const std::string reference = ReferenceSignature();
+  auto middleware = MakeMiddleware();
+  AsyncCcProvider async(middleware.get());
+  DecisionTreeClient client(schema_, TreeClientConfig());
+  auto tree = client.Grow(&async, rows_.size());
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->Signature(), reference);
+  EXPECT_GT(async.worker_rounds(), 0u);
+}
+
+TEST_F(AsyncProviderTest, EquivalentUnderEveryStagingConfig) {
+  const std::string reference = ReferenceSignature();
+  struct Config {
+    size_t memory_kb;
+    bool file_staging;
+    bool memory_staging;
+  };
+  for (const Config& c : {Config{8, false, false}, Config{8, true, false},
+                          Config{64, true, true}, Config{100000, true, true}}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes = c.memory_kb << 10;
+    config.enable_file_staging = c.file_staging;
+    config.enable_memory_staging = c.memory_staging;
+    auto middleware = MakeMiddleware(config);
+    AsyncCcProvider async(middleware.get());
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(&async, rows_.size());
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(tree->Signature(), reference)
+        << c.memory_kb << "KB f=" << c.file_staging
+        << " m=" << c.memory_staging;
+  }
+}
+
+TEST_F(AsyncProviderTest, RepeatedRunsAreDeterministic) {
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    auto middleware = MakeMiddleware();
+    AsyncCcProvider async(middleware.get());
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(&async, rows_.size());
+    ASSERT_TRUE(tree.ok());
+    if (run == 0) {
+      first = tree->Signature();
+    } else {
+      EXPECT_EQ(tree->Signature(), first);
+    }
+  }
+}
+
+TEST_F(AsyncProviderTest, WrapsInMemoryProviderToo) {
+  InMemoryCcProvider inner(schema_, &rows_);
+  AsyncCcProvider async(&inner);
+  DecisionTreeClient client(schema_, TreeClientConfig());
+  auto tree = client.Grow(&async, rows_.size());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Signature(), ReferenceSignature());
+}
+
+TEST_F(AsyncProviderTest, NaiveBayesTrainsThroughAsync) {
+  auto middleware = MakeMiddleware();
+  AsyncCcProvider async(middleware.get());
+  auto model = NaiveBayesModel::TrainWith(schema_, &async, rows_.size());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(model->Accuracy(rows_), 0.5);
+}
+
+TEST_F(AsyncProviderTest, ErrorsSurfaceAtFulfillSome) {
+  auto middleware = MakeMiddleware();
+  AsyncCcProvider async(middleware.get());
+  CcRequest bad;
+  bad.node_id = 0;
+  bad.predicate = Expr::ColEq("no_such_column", 1);
+  bad.active_attrs = schema_.PredictorColumns();
+  ASSERT_TRUE(async.QueueRequest(std::move(bad)).ok());  // deferred check
+  auto results = async.FulfillSome();
+  EXPECT_FALSE(results.ok());
+  // After an error the provider stays failed.
+  CcRequest good;
+  good.node_id = 1;
+  good.predicate = Expr::True();
+  good.active_attrs = schema_.PredictorColumns();
+  EXPECT_FALSE(async.QueueRequest(std::move(good)).ok());
+}
+
+TEST_F(AsyncProviderTest, EmptyFulfillWhenNothingQueued) {
+  auto middleware = MakeMiddleware();
+  AsyncCcProvider async(middleware.get());
+  EXPECT_EQ(async.PendingRequests(), 0u);
+  auto results = async.FulfillSome();
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST_F(AsyncProviderTest, CleanShutdownWithWorkInFlight) {
+  // Destroy the wrapper right after queueing: the worker must exit without
+  // deadlock or crash whether or not it got to the request.
+  for (int i = 0; i < 10; ++i) {
+    auto middleware = MakeMiddleware();
+    AsyncCcProvider async(middleware.get());
+    CcRequest request;
+    request.node_id = 0;
+    request.predicate = Expr::True();
+    request.active_attrs = schema_.PredictorColumns();
+    ASSERT_TRUE(async.QueueRequest(std::move(request)).ok());
+    // no FulfillSome: destructor races the worker intentionally
+  }
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,190 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "server/server.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+using testing_util::TempDir;
+
+/// Loader that stamps the page with a (file, page) signature and counts
+/// physical loads.
+class FakeSource {
+ public:
+  BufferPool::PageLoader LoaderFor(uint64_t file, uint64_t page) {
+    return [this, file, page](char* dst) -> Status {
+      ++loads_;
+      std::memset(dst, 0, 16);
+      std::memcpy(dst, &file, sizeof(file));
+      std::memcpy(dst + 8, &page, sizeof(page));
+      return Status::OK();
+    };
+  }
+  int loads() const { return loads_; }
+
+ private:
+  int loads_ = 0;
+};
+
+bool PageIs(const char* data, uint64_t file, uint64_t page) {
+  uint64_t f, p;
+  std::memcpy(&f, data, sizeof(f));
+  std::memcpy(&p, data + 8, sizeof(p));
+  return f == file && p == page;
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(4, 64);
+  FakeSource source;
+  auto first = pool.Fetch(1, 0, source.LoaderFor(1, 0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(PageIs(*first, 1, 0));
+  EXPECT_EQ(source.loads(), 1);
+  auto second = pool.Fetch(1, 0, source.LoaderFor(1, 0));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(source.loads(), 1);  // served from cache
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, LruEvictsColdestPage) {
+  BufferPool pool(2, 64);
+  FakeSource source;
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1)).ok());
+  // Touch page 0 so page 1 becomes coldest; then insert page 2.
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 2, source.LoaderFor(1, 2)).ok());
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.cached_pages(), 2u);
+  // Page 0 survived (hit), page 1 was evicted (miss).
+  const int loads_before = source.loads();
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  EXPECT_EQ(source.loads(), loads_before);
+  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1)).ok());
+  EXPECT_EQ(source.loads(), loads_before + 1);
+}
+
+TEST(BufferPoolTest, FilesDoNotCollide) {
+  BufferPool pool(4, 64);
+  FakeSource source;
+  auto a = pool.Fetch(1, 0, source.LoaderFor(1, 0));
+  auto b = pool.Fetch(2, 0, source.LoaderFor(2, 0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(PageIs(*b, 2, 0));
+  EXPECT_EQ(source.loads(), 2);
+}
+
+TEST(BufferPoolTest, InvalidateFileDropsOnlyThatFile) {
+  BufferPool pool(8, 64);
+  FakeSource source;
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1)).ok());
+  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0)).ok());
+  pool.InvalidateFile(1);
+  EXPECT_EQ(pool.cached_pages(), 1u);
+  const int loads_before = source.loads();
+  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0)).ok());
+  EXPECT_EQ(source.loads(), loads_before);  // file 2 still cached
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  EXPECT_EQ(source.loads(), loads_before + 1);  // file 1 reloaded
+}
+
+TEST(BufferPoolTest, LoaderFailureIsNotCached) {
+  BufferPool pool(4, 64);
+  int attempts = 0;
+  auto failing = [&](char*) -> Status {
+    ++attempts;
+    return Status::IoError("disk on fire");
+  };
+  EXPECT_FALSE(pool.Fetch(1, 0, failing).ok());
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  EXPECT_FALSE(pool.Fetch(1, 0, failing).ok());
+  EXPECT_EQ(attempts, 2);  // retried, not served from cache
+}
+
+TEST(BufferPoolTest, ClearEmptiesEverything) {
+  BufferPool pool(4, 64);
+  FakeSource source;
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+// ------------------------------------------------- server integration
+
+TEST(ServerBufferPoolTest, RepeatScansHitTheCache) {
+  TempDir dir;
+  SqlServer server(dir.path());
+  Schema schema = MakeSchema({4, 4}, 2);
+  std::vector<Row> rows = RandomRows(schema, 5000, 3);
+  ASSERT_TRUE(server.CreateTable("t", schema).ok());
+  ASSERT_TRUE(server.LoadRows("t", rows).ok());
+
+  auto drain = [&]() {
+    auto cursor = server.OpenCursor("t", nullptr);
+    ASSERT_TRUE(cursor.ok());
+    Row row;
+    while (*(*cursor)->Next(&row)) {
+    }
+  };
+  drain();
+  const uint64_t misses_after_first = server.buffer_pool().stats().misses;
+  EXPECT_GT(misses_after_first, 0u);
+  drain();
+  // Second scan is fully cached: no new misses, plenty of hits.
+  EXPECT_EQ(server.buffer_pool().stats().misses, misses_after_first);
+  EXPECT_GE(server.buffer_pool().stats().hits, misses_after_first);
+}
+
+TEST(ServerBufferPoolTest, AppendInvalidatesCachedPages) {
+  TempDir dir;
+  SqlServer server(dir.path());
+  Schema schema = MakeSchema({4}, 2);
+  ASSERT_TRUE(server.CreateTable("t", schema).ok());
+  ASSERT_TRUE(server.LoadRows("t", {{0, 0}, {1, 1}}).ok());
+
+  auto count_rows = [&]() {
+    auto cursor = server.OpenCursor("t", nullptr);
+    EXPECT_TRUE(cursor.ok());
+    Row row;
+    uint64_t n = 0;
+    while (*(*cursor)->Next(&row)) ++n;
+    return n;
+  };
+  EXPECT_EQ(count_rows(), 2u);
+  ASSERT_TRUE(server.AppendRows("t", {{2, 0}, {3, 1}}).ok());
+  // Stale cached page must not shadow the appended rows.
+  EXPECT_EQ(count_rows(), 4u);
+}
+
+TEST(ServerBufferPoolTest, TinyPoolStillCorrect) {
+  TempDir dir;
+  SqlServer server(dir.path(), CostModel(), /*buffer_pool_pages=*/1);
+  Schema schema = MakeSchema({4, 4, 4, 4, 4, 4, 4, 4}, 2);
+  std::vector<Row> rows = RandomRows(schema, 8000, 9);  // several pages
+  ASSERT_TRUE(server.CreateTable("t", schema).ok());
+  ASSERT_TRUE(server.LoadRows("t", rows).ok());
+  auto cursor = server.OpenCursor("t", nullptr);
+  ASSERT_TRUE(cursor.ok());
+  Row row;
+  size_t i = 0;
+  while (*(*cursor)->Next(&row)) {
+    ASSERT_EQ(row, rows[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, rows.size());
+  EXPECT_GT(server.buffer_pool().stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace sqlclass

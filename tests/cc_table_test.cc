@@ -1,0 +1,181 @@
+#include "mining/cc_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mining/cc_sql.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::BruteForceCc;
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+
+TEST(CcTableTest, EmptyTable) {
+  CcTable cc(3);
+  EXPECT_EQ(cc.TotalRows(), 0);
+  EXPECT_EQ(cc.NumEntries(), 0u);
+  EXPECT_EQ(cc.ClassTotals(), (std::vector<int64_t>{0, 0, 0}));
+  EXPECT_EQ(cc.GetCounts(0, 0), (std::vector<int64_t>{0, 0, 0}));
+  EXPECT_EQ(cc.DistinctValues(0), 0);
+}
+
+TEST(CcTableTest, AddRowUpdatesAllAttributes) {
+  CcTable cc(2);
+  // Row (A1=1, A2=0, class=1), counting columns 0 and 1, class col 2.
+  cc.AddRow({1, 0, 1}, {0, 1}, 2);
+  EXPECT_EQ(cc.TotalRows(), 1);
+  EXPECT_EQ(cc.GetCounts(0, 1), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(cc.GetCounts(1, 0), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(cc.GetCounts(0, 0), (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(cc.NumEntries(), 2u);
+}
+
+TEST(CcTableTest, AddAccumulates) {
+  CcTable cc(2);
+  cc.Add(0, 3, 1, 5);
+  cc.Add(0, 3, 1, 2);
+  cc.Add(0, 3, 0, 1);
+  EXPECT_EQ(cc.GetCounts(0, 3), (std::vector<int64_t>{1, 7}));
+}
+
+TEST(CcTableTest, DistinctValuesPerAttribute) {
+  CcTable cc(2);
+  cc.Add(0, 1, 0);
+  cc.Add(0, 2, 0);
+  cc.Add(0, 2, 1);
+  cc.Add(5, 0, 0);
+  EXPECT_EQ(cc.DistinctValues(0), 2);
+  EXPECT_EQ(cc.DistinctValues(5), 1);
+  EXPECT_EQ(cc.DistinctValues(3), 0);
+}
+
+TEST(CcTableTest, AttributeStatesInValueOrder) {
+  CcTable cc(2);
+  cc.Add(1, 5, 0);
+  cc.Add(1, 2, 1);
+  cc.Add(1, 9, 0);
+  cc.Add(2, 0, 0);  // different attribute, must not leak in
+  auto states = cc.AttributeStates(1);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0].first, 2);
+  EXPECT_EQ(states[1].first, 5);
+  EXPECT_EQ(states[2].first, 9);
+  EXPECT_EQ((*states[1].second)[0], 1);
+}
+
+TEST(CcTableTest, ClassTotalsSeparateFromCells) {
+  CcTable cc(3);
+  cc.AddClassTotal(2, 10);
+  cc.AddClassTotal(0, 4);
+  EXPECT_EQ(cc.TotalRows(), 14);
+  EXPECT_EQ(cc.ClassTotals(), (std::vector<int64_t>{4, 0, 10}));
+  EXPECT_EQ(cc.NumEntries(), 0u);
+}
+
+TEST(CcTableTest, ApproxBytesGrowsWithEntries) {
+  CcTable cc(4);
+  const size_t before = cc.ApproxBytes();
+  for (int v = 0; v < 100; ++v) cc.Add(0, v, 0);
+  EXPECT_GE(cc.ApproxBytes(), before + 100 * CcTable::BytesPerEntry(4) -
+                                  CcTable::BytesPerEntry(4));
+  EXPECT_EQ(cc.ApproxBytes() - before,
+            100 * CcTable::BytesPerEntry(4));
+}
+
+TEST(CcTableTest, EqualityIsStructural) {
+  CcTable a(2), b(2);
+  a.AddRow({1, 0}, {0}, 1);
+  b.AddRow({1, 0}, {0}, 1);
+  EXPECT_TRUE(a == b);
+  b.AddRow({1, 1}, {0}, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CcTableTest, MatchesBruteForceOnRandomData) {
+  Schema schema = MakeSchema({4, 6, 3}, 5);
+  std::vector<Row> rows = RandomRows(schema, 3000, 11);
+  CcTable cc(5);
+  const std::vector<int> attrs = {0, 1, 2};
+  for (const Row& row : rows) cc.AddRow(row, attrs, 3);
+  CcTable expected = BruteForceCc(rows, nullptr, attrs, 3, 5);
+  EXPECT_TRUE(cc == expected);
+  // Sum over any one attribute's states equals total rows.
+  int64_t sum = 0;
+  for (const auto& [value, counts] : cc.AttributeStates(1)) {
+    for (int64_t c : *counts) sum += c;
+  }
+  EXPECT_EQ(sum, cc.TotalRows());
+}
+
+TEST(CcTableTest, ToStringMentionsTotals) {
+  CcTable cc(2);
+  cc.AddRow({0, 1}, {0}, 1);
+  EXPECT_NE(cc.ToString().find("rows=1"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ cc_sql
+
+TEST(CcSqlTest, BuildCcQueryShape) {
+  Schema schema = MakeSchema({2, 3}, 4);
+  auto pred = Expr::ColEq("A1", 1);
+  std::string sql = BuildCcQuerySql("data", schema, {0, 1}, pred.get());
+  EXPECT_EQ(sql,
+            "SELECT 'A1' AS attr_name, A1 AS value, class, COUNT(*) "
+            "FROM data WHERE A1 = 1 GROUP BY class, A1 UNION ALL "
+            "SELECT 'A2' AS attr_name, A2 AS value, class, COUNT(*) "
+            "FROM data WHERE A1 = 1 GROUP BY class, A2");
+}
+
+TEST(CcSqlTest, BuildCcQueryWithoutPredicateOmitsWhere) {
+  Schema schema = MakeSchema({2}, 2);
+  std::string sql = BuildCcQuerySql("data", schema, {0}, nullptr);
+  EXPECT_EQ(sql.find("WHERE"), std::string::npos);
+}
+
+TEST(CcSqlTest, CcFromResultSetReconstructsCounts) {
+  Schema schema = MakeSchema({2, 3}, 2);
+  ResultSet result;
+  result.column_names = {"attr_name", "value", "class", "count"};
+  result.rows = {
+      {Cell(std::string("A1")), Cell(int64_t{0}), Cell(int64_t{0}),
+       Cell(int64_t{3})},
+      {Cell(std::string("A1")), Cell(int64_t{1}), Cell(int64_t{1}),
+       Cell(int64_t{2})},
+      {Cell(std::string("A2")), Cell(int64_t{2}), Cell(int64_t{0}),
+       Cell(int64_t{3})},
+      {Cell(std::string("A2")), Cell(int64_t{0}), Cell(int64_t{1}),
+       Cell(int64_t{2})},
+  };
+  auto cc = CcFromResultSet(result, schema, 2, "A1");
+  ASSERT_TRUE(cc.ok()) << cc.status().ToString();
+  EXPECT_EQ(cc->TotalRows(), 5);
+  EXPECT_EQ(cc->ClassTotals(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(cc->GetCounts(0, 0), (std::vector<int64_t>{3, 0}));
+  EXPECT_EQ(cc->GetCounts(1, 2), (std::vector<int64_t>{3, 0}));
+}
+
+TEST(CcSqlTest, CcFromResultSetRejectsBadShape) {
+  Schema schema = MakeSchema({2}, 2);
+  ResultSet narrow;
+  narrow.column_names = {"a", "b"};
+  EXPECT_FALSE(CcFromResultSet(narrow, schema, 2, "A1").ok());
+
+  ResultSet bad_attr;
+  bad_attr.column_names = {"attr_name", "value", "class", "count"};
+  bad_attr.rows = {{Cell(std::string("nope")), Cell(int64_t{0}),
+                    Cell(int64_t{0}), Cell(int64_t{1})}};
+  EXPECT_FALSE(CcFromResultSet(bad_attr, schema, 2, "A1").ok());
+
+  ResultSet bad_class;
+  bad_class.column_names = {"attr_name", "value", "class", "count"};
+  bad_class.rows = {{Cell(std::string("A1")), Cell(int64_t{0}),
+                     Cell(int64_t{7}), Cell(int64_t{1})}};
+  EXPECT_FALSE(CcFromResultSet(bad_class, schema, 2, "A1").ok());
+}
+
+}  // namespace
+}  // namespace sqlclass

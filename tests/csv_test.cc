@@ -1,0 +1,176 @@
+#include "datagen/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/census.h"
+#include "mining/inmemory_provider.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+constexpr const char* kSimpleCsv =
+    "color,size,label\n"
+    "red,small,yes\n"
+    "blue,large,no\n"
+    "red,large,yes\n"
+    "green,small,no\n";
+
+TEST(CsvReadTest, ParsesHeaderAndDictionaries) {
+  auto dataset = ReadCsvText(kSimpleCsv, "label");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const Schema& schema = dataset->schema;
+  EXPECT_EQ(schema.num_columns(), 3);
+  EXPECT_EQ(schema.ColumnIndex("color"), 0);
+  EXPECT_EQ(schema.class_column(), 2);
+  // Labels are lexicographic: blue=0, green=1, red=2.
+  EXPECT_EQ(schema.attribute(0).cardinality, 3);
+  EXPECT_EQ(schema.attribute(0).labels,
+            (std::vector<std::string>{"blue", "green", "red"}));
+  ASSERT_EQ(dataset->rows.size(), 4u);
+  EXPECT_EQ(dataset->rows[0][0], 2);  // red
+  EXPECT_EQ(dataset->rows[1][0], 0);  // blue
+  EXPECT_EQ(dataset->rows[0][2], 1);  // yes (no=0, yes=1)
+}
+
+TEST(CsvReadTest, NoClassColumnAllowed) {
+  auto dataset = ReadCsvText(kSimpleCsv, "");
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_FALSE(dataset->schema.has_class_column());
+}
+
+TEST(CsvReadTest, MissingClassColumnFails) {
+  auto dataset = ReadCsvText(kSimpleCsv, "nope");
+  EXPECT_EQ(dataset.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvReadTest, HeaderlessGetsGeneratedNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto dataset = ReadCsvText("a,b\nc,d\n", "", options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->schema.attribute(0).name, "c1");
+  EXPECT_EQ(dataset->schema.attribute(1).name, "c2");
+  EXPECT_EQ(dataset->rows.size(), 2u);
+}
+
+TEST(CsvReadTest, QuotedFieldsAndEscapes) {
+  auto dataset = ReadCsvText(
+      "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,x\n", "");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const auto& labels_a = dataset->schema.attribute(0).labels;
+  EXPECT_NE(std::find(labels_a.begin(), labels_a.end(), "hello, world"),
+            labels_a.end());
+  const auto& labels_b = dataset->schema.attribute(1).labels;
+  EXPECT_NE(std::find(labels_b.begin(), labels_b.end(), "say \"hi\""),
+            labels_b.end());
+}
+
+TEST(CsvReadTest, RaggedRowFails) {
+  EXPECT_FALSE(ReadCsvText("a,b\n1,2,3\n", "").ok());
+  EXPECT_FALSE(ReadCsvText("a,b\n1\n", "").ok());
+}
+
+TEST(CsvReadTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ReadCsvText("a\n\"oops\n", "").ok());
+}
+
+TEST(CsvReadTest, EmptyInputsFail) {
+  EXPECT_FALSE(ReadCsvText("", "").ok());
+  EXPECT_FALSE(ReadCsvText("a,b\n", "").ok());  // header only
+}
+
+TEST(CsvReadTest, CrlfAndBlankLinesTolerated) {
+  auto dataset = ReadCsvText("a,b\r\n1,2\r\n\r\n3,4\r\n", "");
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->rows.size(), 2u);
+}
+
+TEST(CsvReadTest, AlternateDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto dataset = ReadCsvText("a;b\nx;y\n", "", options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->schema.num_columns(), 2);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadIsIdentity) {
+  auto original = ReadCsvText(kSimpleCsv, "label");
+  ASSERT_TRUE(original.ok());
+  auto text = WriteCsvText(original->schema, original->rows);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ReadCsvText(*text, "label");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(original->schema == reparsed->schema);
+  EXPECT_EQ(original->rows, reparsed->rows);
+}
+
+TEST(CsvRoundTripTest, QuotingSurvivesRoundTrip) {
+  const std::string tricky =
+      "a,b\n\"x,y\",plain\n\"q\"\"q\",other\n";
+  auto original = ReadCsvText(tricky, "");
+  ASSERT_TRUE(original.ok());
+  auto text = WriteCsvText(original->schema, original->rows);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ReadCsvText(*text, "");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(original->rows, reparsed->rows);
+  EXPECT_EQ(original->schema.attribute(0).labels,
+            reparsed->schema.attribute(0).labels);
+}
+
+TEST(CsvRoundTripTest, GeneratedDatasetSurvives) {
+  CensusParams params;
+  params.rows = 300;
+  auto census = CensusDataset::Create(params);
+  ASSERT_TRUE(census.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*census)->Generate(CollectInto(&rows)).ok());
+  auto text = WriteCsvText((*census)->schema(), rows);
+  ASSERT_TRUE(text.ok());
+  auto reparsed = ReadCsvText(*text, "income");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->rows.size(), rows.size());
+  EXPECT_EQ(reparsed->schema.class_column(),
+            (*census)->schema().class_column());
+}
+
+TEST(CsvFileTest, DiskRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path() + "/data.csv";
+  auto original = ReadCsvText(kSimpleCsv, "label");
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(WriteCsvFile(path, original->schema, original->rows).ok());
+  auto loaded = ReadCsvFile(path, "label");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, original->rows);
+  EXPECT_FALSE(ReadCsvFile(dir.path() + "/nope.csv", "").ok());
+}
+
+TEST(CsvFileTest, WriteRejectsOutOfDomainRows) {
+  auto original = ReadCsvText(kSimpleCsv, "label");
+  ASSERT_TRUE(original.ok());
+  std::vector<Row> bad = {{99, 0, 0}};
+  EXPECT_FALSE(WriteCsvText(original->schema, bad).ok());
+}
+
+TEST(CsvEndToEndTest, TreeGrowsOnImportedCsv) {
+  // class = color for a deterministic relationship.
+  std::string text = "color,cls\n";
+  for (int i = 0; i < 60; ++i) {
+    text += (i % 3 == 0 ? "red,a\n" : i % 3 == 1 ? "blue,b\n" : "green,c\n");
+  }
+  auto dataset = ReadCsvText(text, "cls");
+  ASSERT_TRUE(dataset.ok());
+  InMemoryCcProvider provider(dataset->schema, &dataset->rows);
+  DecisionTreeClient client(dataset->schema, TreeClientConfig());
+  auto tree = client.Grow(&provider, dataset->rows.size());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(*tree->Accuracy(dataset->rows), 1.0);
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/census.h"
+#include "datagen/gaussian.h"
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "mining/inmemory_provider.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+// ------------------------------------------------------------ random tree
+
+RandomTreeParams SmallTreeParams() {
+  RandomTreeParams params;
+  params.num_attributes = 6;
+  params.num_leaves = 12;
+  params.cases_per_leaf = 20;
+  params.num_classes = 3;
+  params.seed = 7;
+  return params;
+}
+
+TEST(RandomTreeDatasetTest, SchemaMatchesParams) {
+  auto ds = RandomTreeDataset::Create(SmallTreeParams());
+  ASSERT_TRUE(ds.ok());
+  const Schema& schema = (*ds)->schema();
+  EXPECT_EQ(schema.num_columns(), 7);
+  EXPECT_EQ(schema.class_column(), 6);
+  EXPECT_EQ(schema.attribute(6).cardinality, 3);
+  EXPECT_EQ(schema.attribute(0).name, "A1");
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GE(schema.attribute(i).cardinality, 2);
+    EXPECT_LE(schema.attribute(i).cardinality, 32);
+  }
+}
+
+TEST(RandomTreeDatasetTest, RowsInDomainAndCountMatches) {
+  auto ds = RandomTreeDataset::Create(SmallTreeParams());
+  ASSERT_TRUE(ds.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  EXPECT_EQ(rows.size(), (*ds)->TotalRows());
+  EXPECT_GT(rows.size(), 0u);
+  for (const Row& row : rows) {
+    EXPECT_TRUE((*ds)->schema().RowInDomain(row));
+  }
+}
+
+TEST(RandomTreeDatasetTest, LeafCountRespectsTarget) {
+  auto ds = RandomTreeDataset::Create(SmallTreeParams());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GE((*ds)->GeneratingLeaves(), 12);
+  EXPECT_GT((*ds)->GeneratingDepth(), 0);
+}
+
+TEST(RandomTreeDatasetTest, GenerationIsDeterministic) {
+  auto a = RandomTreeDataset::Create(SmallTreeParams());
+  auto b = RandomTreeDataset::Create(SmallTreeParams());
+  std::vector<Row> rows_a, rows_b;
+  ASSERT_TRUE((*a)->Generate(CollectInto(&rows_a)).ok());
+  ASSERT_TRUE((*b)->Generate(CollectInto(&rows_b)).ok());
+  EXPECT_EQ(rows_a, rows_b);
+  // And repeated generation from the same object is also identical.
+  std::vector<Row> rows_a2;
+  ASSERT_TRUE((*a)->Generate(CollectInto(&rows_a2)).ok());
+  EXPECT_EQ(rows_a, rows_a2);
+}
+
+TEST(RandomTreeDatasetTest, DifferentSeedsDiffer) {
+  RandomTreeParams p1 = SmallTreeParams();
+  RandomTreeParams p2 = SmallTreeParams();
+  p2.seed = 8;
+  std::vector<Row> rows1, rows2;
+  ASSERT_TRUE((*RandomTreeDataset::Create(p1))->Generate(CollectInto(&rows1)).ok());
+  ASSERT_TRUE((*RandomTreeDataset::Create(p2))->Generate(CollectInto(&rows2)).ok());
+  EXPECT_NE(rows1, rows2);
+}
+
+TEST(RandomTreeDatasetTest, DataIsLearnableToHighAccuracy) {
+  // "Data was generated such that the effect of applying classification on
+  // the data will be the given decision tree" — a grown tree must classify
+  // the generated data (nearly) perfectly since leaves are pure.
+  auto ds = RandomTreeDataset::Create(SmallTreeParams());
+  ASSERT_TRUE(ds.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  InMemoryCcProvider provider((*ds)->schema(), &rows);
+  DecisionTreeClient client((*ds)->schema(), TreeClientConfig());
+  auto tree = client.Grow(&provider, rows.size());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(*tree->Accuracy(rows), 1.0);
+}
+
+TEST(RandomTreeDatasetTest, SkewProducesDeeperTrees) {
+  RandomTreeParams balanced = SmallTreeParams();
+  balanced.num_leaves = 60;
+  RandomTreeParams skewed = balanced;
+  skewed.skew = 1.0;
+  skewed.num_attributes = 30;  // room to go deep
+  balanced.num_attributes = 30;
+  auto flat = RandomTreeDataset::Create(balanced);
+  auto deep = RandomTreeDataset::Create(skewed);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(deep.ok());
+  EXPECT_GT((*deep)->GeneratingDepth(), (*flat)->GeneratingDepth());
+}
+
+TEST(RandomTreeDatasetTest, BinarySplitModeWorks) {
+  RandomTreeParams params = SmallTreeParams();
+  params.complete_splits = false;
+  auto ds = RandomTreeDataset::Create(params);
+  ASSERT_TRUE(ds.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  EXPECT_GT(rows.size(), 0u);
+  for (const Row& row : rows) {
+    EXPECT_TRUE((*ds)->schema().RowInDomain(row));
+  }
+}
+
+TEST(RandomTreeDatasetTest, BadParamsRejected) {
+  RandomTreeParams params = SmallTreeParams();
+  params.num_classes = 1;
+  EXPECT_FALSE(RandomTreeDataset::Create(params).ok());
+  params = SmallTreeParams();
+  params.skew = 2.0;
+  EXPECT_FALSE(RandomTreeDataset::Create(params).ok());
+  params = SmallTreeParams();
+  params.num_leaves = 0;
+  EXPECT_FALSE(RandomTreeDataset::Create(params).ok());
+}
+
+// --------------------------------------------------------------- gaussian
+
+GaussianMixtureParams SmallGaussianParams() {
+  GaussianMixtureParams params;
+  params.dimensions = 10;
+  params.num_classes = 3;
+  params.samples_per_class = 100;
+  params.seed = 3;
+  return params;
+}
+
+TEST(GaussianMixtureTest, SchemaAndCounts) {
+  auto ds = GaussianMixtureDataset::Create(SmallGaussianParams());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->schema().num_columns(), 11);
+  EXPECT_EQ((*ds)->TotalRows(), 300u);
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  EXPECT_EQ(rows.size(), 300u);
+  for (const Row& row : rows) {
+    EXPECT_TRUE((*ds)->schema().RowInDomain(row));
+  }
+}
+
+TEST(GaussianMixtureTest, MeansAndSigmasInPaperRanges) {
+  auto ds = GaussianMixtureDataset::Create(SmallGaussianParams());
+  ASSERT_TRUE(ds.ok());
+  for (const auto& dims : (*ds)->means()) {
+    for (double m : dims) {
+      EXPECT_GE(m, -5.0);
+      EXPECT_LE(m, 5.0);
+    }
+  }
+  for (const auto& dims : (*ds)->sigmas()) {
+    for (double s : dims) {
+      EXPECT_GE(s * s, 0.7 - 1e-9);
+      EXPECT_LE(s * s, 1.5 + 1e-9);
+    }
+  }
+}
+
+TEST(GaussianMixtureTest, DiscretizeBucketsAreMonotone) {
+  auto ds = GaussianMixtureDataset::Create(SmallGaussianParams());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->Discretize(-100.0), 0);
+  EXPECT_EQ((*ds)->Discretize(100.0), 7);
+  Value prev = 0;
+  for (double x = -10.0; x <= 10.0; x += 0.25) {
+    Value bucket = (*ds)->Discretize(x);
+    EXPECT_GE(bucket, prev);
+    prev = bucket;
+  }
+}
+
+TEST(GaussianMixtureTest, ClassesAreRoughlySeparable) {
+  // Distinct means in 10 dimensions: a grown tree should beat chance easily.
+  auto ds = GaussianMixtureDataset::Create(SmallGaussianParams());
+  ASSERT_TRUE(ds.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  InMemoryCcProvider provider((*ds)->schema(), &rows);
+  DecisionTreeClient client((*ds)->schema(), TreeClientConfig());
+  auto tree = client.Grow(&provider, rows.size());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(*tree->Accuracy(rows), 0.8);
+}
+
+TEST(GaussianMixtureTest, Deterministic) {
+  auto a = GaussianMixtureDataset::Create(SmallGaussianParams());
+  auto b = GaussianMixtureDataset::Create(SmallGaussianParams());
+  std::vector<Row> rows_a, rows_b;
+  ASSERT_TRUE((*a)->Generate(CollectInto(&rows_a)).ok());
+  ASSERT_TRUE((*b)->Generate(CollectInto(&rows_b)).ok());
+  EXPECT_EQ(rows_a, rows_b);
+}
+
+TEST(GaussianMixtureTest, BadParamsRejected) {
+  GaussianMixtureParams params = SmallGaussianParams();
+  params.bins = 1;
+  EXPECT_FALSE(GaussianMixtureDataset::Create(params).ok());
+  params = SmallGaussianParams();
+  params.dimensions = 0;
+  EXPECT_FALSE(GaussianMixtureDataset::Create(params).ok());
+}
+
+// ----------------------------------------------------------------- census
+
+TEST(CensusDatasetTest, SchemaShape) {
+  CensusParams params;
+  params.rows = 500;
+  auto ds = CensusDataset::Create(params);
+  ASSERT_TRUE(ds.ok());
+  const Schema& schema = (*ds)->schema();
+  EXPECT_EQ(schema.num_columns(), 11);
+  EXPECT_EQ(schema.attribute(schema.class_column()).name, "income");
+  EXPECT_EQ(schema.attribute(schema.class_column()).cardinality, 2);
+  EXPECT_EQ(schema.ColumnIndex("education"), 2);
+  EXPECT_EQ(schema.attribute(2).cardinality, 16);
+}
+
+TEST(CensusDatasetTest, RowsInDomain) {
+  CensusParams params;
+  params.rows = 1000;
+  auto ds = CensusDataset::Create(params);
+  ASSERT_TRUE(ds.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  ASSERT_EQ(rows.size(), 1000u);
+  for (const Row& row : rows) {
+    EXPECT_TRUE((*ds)->schema().RowInDomain(row));
+  }
+}
+
+TEST(CensusDatasetTest, CorrelationMakesClassLearnable) {
+  CensusParams params;
+  params.rows = 3000;
+  params.class_noise = 0.05;
+  auto ds = CensusDataset::Create(params);
+  ASSERT_TRUE(ds.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*ds)->Generate(CollectInto(&rows)).ok());
+  InMemoryCcProvider provider((*ds)->schema(), &rows);
+  TreeClientConfig config;
+  config.max_depth = 8;  // moderate tree, like the tuned Census runs
+  DecisionTreeClient client((*ds)->schema(), config);
+  auto tree = client.Grow(&provider, rows.size());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(*tree->Accuracy(rows), 0.7);  // ~0.5 would be chance
+}
+
+TEST(CensusDatasetTest, BadParamsRejected) {
+  CensusParams params;
+  params.segments = 1;
+  EXPECT_FALSE(CensusDataset::Create(params).ok());
+  params = CensusParams();
+  params.peak = 0.0;
+  EXPECT_FALSE(CensusDataset::Create(params).ok());
+}
+
+// ------------------------------------------------------------------- load
+
+TEST(LoadIntoServerTest, CreatesAndFillsTable) {
+  TempDir dir;
+  SqlServer server(dir.path());
+  CensusParams params;
+  params.rows = 200;
+  auto ds = CensusDataset::Create(params);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(LoadIntoServer(&server, "census", (*ds)->schema(),
+                             [&](const RowSink& sink) {
+                               return (*ds)->Generate(sink);
+                             })
+                  .ok());
+  EXPECT_EQ(*server.TableRowCount("census"), 200u);
+  auto result = server.Execute("SELECT COUNT(*) FROM census");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(CellInt(result->rows[0][0]), 200);
+}
+
+TEST(LoadIntoServerTest, PropagatesGeneratorFailure) {
+  TempDir dir;
+  SqlServer server(dir.path());
+  Schema schema = testing_util::MakeSchema({2}, 2);
+  Status status = LoadIntoServer(&server, "t", schema,
+                                 [](const RowSink&) -> Status {
+                                   return Status::Internal("boom");
+                                 });
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,85 @@
+#include "mining/dense_cc.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/split.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::BruteForceCc;
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+
+TEST(DenseCcTest, MatchesSparseOnRandomData) {
+  Schema schema = MakeSchema({4, 6, 3}, 5);
+  std::vector<Row> rows = RandomRows(schema, 2000, 17);
+  const std::vector<int> attrs = {0, 1, 2};
+  DenseCcTable dense(schema, attrs);
+  for (const Row& row : rows) dense.AddRow(row);
+  CcTable sparse = BruteForceCc(rows, nullptr, attrs, 3, 5);
+  EXPECT_TRUE(dense.ToSparse() == sparse);
+  EXPECT_EQ(dense.TotalRows(), sparse.TotalRows());
+  EXPECT_EQ(dense.ClassTotals(), sparse.ClassTotals());
+}
+
+TEST(DenseCcTest, CountLookup) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  DenseCcTable dense(schema, {0, 1});
+  dense.AddRow({1, 2, 0});
+  dense.AddRow({1, 0, 1});
+  EXPECT_EQ(dense.Count(0, 1, 0), 1);
+  EXPECT_EQ(dense.Count(0, 1, 1), 1);
+  EXPECT_EQ(dense.Count(1, 2, 0), 1);
+  EXPECT_EQ(dense.Count(1, 2, 1), 0);
+  EXPECT_EQ(dense.Count(0, 0, 0), 0);
+  EXPECT_EQ(dense.Count(99, 0, 0), 0);  // unknown attribute
+}
+
+TEST(DenseCcTest, MemoryIsDomainProportional) {
+  Schema schema = MakeSchema({10, 20}, 4);
+  DenseCcTable dense(schema, {0, 1});
+  // (10 + 20) values x 4 classes x 8 bytes, regardless of data.
+  EXPECT_EQ(dense.MemoryBytes(), 30u * 4 * 8);
+  // The sparse table of an empty node costs nothing — the trade-off the
+  // paper's layout exploits at deep nodes.
+  EXPECT_EQ(dense.ToSparse().ApproxBytes(),
+            CcTable(4).ApproxBytes());
+}
+
+TEST(DenseCcTest, AttributeSubset) {
+  Schema schema = MakeSchema({3, 3, 3}, 2);
+  DenseCcTable dense(schema, {2});  // only the last predictor
+  dense.AddRow({0, 1, 2, 1});
+  EXPECT_EQ(dense.Count(2, 2, 1), 1);
+  EXPECT_EQ(dense.Count(0, 0, 1), 0);
+  CcTable sparse = dense.ToSparse();
+  EXPECT_EQ(sparse.NumEntries(), 1u);
+  EXPECT_EQ(sparse.TotalRows(), 1);
+}
+
+TEST(DenseCcTest, SplitScoringAgreesThroughConversion) {
+  Schema schema = MakeSchema({4, 4}, 3);
+  std::vector<Row> rows = RandomRows(schema, 800, 23);
+  const std::vector<int> attrs = {0, 1};
+  DenseCcTable dense(schema, attrs);
+  CcTable sparse(3);
+  for (const Row& row : rows) {
+    dense.AddRow(row);
+    sparse.AddRow(row, attrs, 2);
+  }
+  auto from_dense =
+      ChooseBestBinarySplit(dense.ToSparse(), attrs, SplitCriterion::kEntropy);
+  auto from_sparse =
+      ChooseBestBinarySplit(sparse, attrs, SplitCriterion::kEntropy);
+  ASSERT_EQ(from_dense.has_value(), from_sparse.has_value());
+  if (from_dense.has_value()) {
+    EXPECT_EQ(from_dense->attr, from_sparse->attr);
+    EXPECT_EQ(from_dense->value, from_sparse->value);
+    EXPECT_DOUBLE_EQ(from_dense->gain, from_sparse->gain);
+  }
+}
+
+}  // namespace
+}  // namespace sqlclass

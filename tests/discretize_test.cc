@@ -1,0 +1,144 @@
+#include "mining/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sqlclass {
+namespace {
+
+TEST(EquiWidthTest, BucketsSpanRange) {
+  auto d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 5);
+  EXPECT_EQ(d->Bucket(-1.0), 0);
+  EXPECT_EQ(d->Bucket(0.5), 0);
+  EXPECT_EQ(d->Bucket(2.5), 1);
+  EXPECT_EQ(d->Bucket(9.9), 4);
+  EXPECT_EQ(d->Bucket(100.0), 4);
+}
+
+TEST(EquiWidthTest, SingleBucket) {
+  auto d = Discretizer::EquiWidth(0.0, 1.0, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 1);
+  EXPECT_EQ(d->Bucket(0.5), 0);
+}
+
+TEST(EquiWidthTest, BadParamsRejected) {
+  EXPECT_FALSE(Discretizer::EquiWidth(1.0, 1.0, 4).ok());
+  EXPECT_FALSE(Discretizer::EquiWidth(2.0, 1.0, 4).ok());
+  EXPECT_FALSE(Discretizer::EquiWidth(0.0, 1.0, 0).ok());
+}
+
+TEST(EquiWidthTest, BucketsAreMonotone) {
+  auto d = Discretizer::EquiWidth(-5.0, 5.0, 7);
+  ASSERT_TRUE(d.ok());
+  Value prev = 0;
+  for (double x = -6.0; x <= 6.0; x += 0.01) {
+    Value b = d->Bucket(x);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, 7);
+    prev = b;
+  }
+}
+
+TEST(EquiDepthTest, BalancedPopulation) {
+  std::vector<double> sample;
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) sample.push_back(rng.UniformReal(0, 1));
+  auto d = Discretizer::EquiDepth(sample, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 4);
+  std::vector<int> counts(4, 0);
+  for (double v : sample) ++counts[d->Bucket(v)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2500, 200);
+  }
+}
+
+TEST(EquiDepthTest, DuplicateHeavySampleMergesCuts) {
+  // 90% of the sample is the same value: fewer than the requested buckets.
+  std::vector<double> sample(900, 5.0);
+  for (int i = 0; i < 100; ++i) sample.push_back(6.0 + i);
+  auto d = Discretizer::EquiDepth(sample, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(d->num_buckets(), 10);
+  EXPECT_GE(d->num_buckets(), 2);
+}
+
+TEST(EquiDepthTest, EmptySampleRejected) {
+  EXPECT_FALSE(Discretizer::EquiDepth({}, 4).ok());
+}
+
+TEST(EntropyMdlTest, FindsTheObviousCut) {
+  // Values < 0 are class 0, values > 0 class 1, perfectly separated.
+  std::vector<double> values;
+  std::vector<Value> labels;
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.UniformReal(0.1, 1.0);
+    values.push_back(-v);
+    labels.push_back(0);
+    values.push_back(v);
+    labels.push_back(1);
+  }
+  auto d = Discretizer::EntropyMdl(values, labels, 2);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->num_buckets(), 2);
+  EXPECT_NEAR(d->cut_points()[0], 0.0, 0.15);
+  EXPECT_EQ(d->Bucket(-0.5), 0);
+  EXPECT_EQ(d->Bucket(0.5), 1);
+}
+
+TEST(EntropyMdlTest, ThreeBandsGetTwoCuts) {
+  std::vector<double> values;
+  std::vector<Value> labels;
+  Random rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const int band = i % 3;
+    values.push_back(band * 10.0 + rng.UniformReal(0, 5.0));
+    labels.push_back(static_cast<Value>(band));
+  }
+  auto d = Discretizer::EntropyMdl(values, labels, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 3);
+}
+
+TEST(EntropyMdlTest, NoiseGetsNoCut) {
+  // Labels independent of values: MDL must reject every cut.
+  std::vector<double> values;
+  std::vector<Value> labels;
+  Random rng(13);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.UniformReal(0, 1));
+    labels.push_back(static_cast<Value>(rng.Uniform(2)));
+  }
+  auto d = Discretizer::EntropyMdl(values, labels, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 1);
+}
+
+TEST(EntropyMdlTest, PureLabelsGetNoCut) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  std::vector<Value> labels = {1, 1, 1, 1, 1};
+  auto d = Discretizer::EntropyMdl(values, labels, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 1);
+}
+
+TEST(EntropyMdlTest, BadInputsRejected) {
+  EXPECT_FALSE(Discretizer::EntropyMdl({1.0}, {0, 1}, 2).ok());  // mismatch
+  EXPECT_FALSE(Discretizer::EntropyMdl({}, {}, 2).ok());
+  EXPECT_FALSE(Discretizer::EntropyMdl({1.0}, {0}, 1).ok());
+  EXPECT_FALSE(Discretizer::EntropyMdl({1.0}, {5}, 2).ok());  // bad label
+}
+
+TEST(DiscretizerTest, ToStringListsCuts) {
+  auto d = Discretizer::EquiWidth(0.0, 4.0, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(d->ToString().find("buckets=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlclass

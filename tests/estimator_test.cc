@@ -1,0 +1,143 @@
+#include "middleware/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest()
+      : schema_(MakeSchema({4, 6, 2}, 3)), estimator_(schema_) {}
+
+  /// Records a parent node (id 1) with 100 rows whose observed cards are
+  /// smaller than the schema's.
+  void RecordParent() {
+    CcTable cc(3);
+    // A1 takes 2 distinct values, A2 takes 3, A3 takes 1.
+    for (int i = 0; i < 100; ++i) {
+      Row row = {i % 2, i % 3, 0, i % 3};
+      cc.AddRow(row, {0, 1, 2}, 3);
+    }
+    estimator_.RecordCounted(1, cc, 100, {0, 1, 2});
+  }
+
+  Schema schema_;
+  Estimator estimator_;
+};
+
+TEST_F(EstimatorTest, RootUsesSchemaCardinalities) {
+  // No parent: estimate is the sum of schema cards = 4 + 6 + 2.
+  EXPECT_DOUBLE_EQ(estimator_.EstimateEntries(-1, 1000, {0, 1, 2}), 12.0);
+  EXPECT_DOUBLE_EQ(estimator_.EstimateEntries(-1, 1000, {1}), 6.0);
+}
+
+TEST_F(EstimatorTest, ChildScalesByDataFraction) {
+  RecordParent();
+  // Parent cards: card(A1)=2, card(A2)=3, card(A3)=1 -> sum 6.
+  // Child with half the parent's rows: Est = 0.5 * 6 = 3.
+  EXPECT_DOUBLE_EQ(estimator_.EstimateEntries(1, 50, {0, 1, 2}), 3.0);
+}
+
+TEST_F(EstimatorTest, ChildWithAllRowsEqualsParentCardSum) {
+  RecordParent();
+  EXPECT_DOUBLE_EQ(estimator_.EstimateEntries(1, 100, {0, 1, 2}), 6.0);
+}
+
+TEST_F(EstimatorTest, EstimateRespectsAttributeSubset) {
+  RecordParent();
+  // Only A2 present: Est = (50/100) * 3 = 1.5, floored to 1 per attribute.
+  EXPECT_DOUBLE_EQ(estimator_.EstimateEntries(1, 50, {1}), 1.5);
+}
+
+TEST_F(EstimatorTest, EstimateNeverExceedsUpperBound) {
+  RecordParent();
+  for (uint64_t size : {1u, 10u, 50u, 100u}) {
+    const double est = estimator_.EstimateEntries(1, size, {0, 1, 2});
+    const double bound = estimator_.UpperBoundEntries(1, {0, 1, 2});
+    EXPECT_LE(est, bound + 1e-9) << "size " << size;
+  }
+}
+
+TEST_F(EstimatorTest, EstimateAtLeastOneEntryPerAttribute) {
+  RecordParent();
+  // A tiny child still needs >= 1 entry per present attribute.
+  EXPECT_GE(estimator_.EstimateEntries(1, 1, {0, 1, 2}), 3.0);
+}
+
+TEST_F(EstimatorTest, UnknownParentFallsBackToSchema) {
+  EXPECT_DOUBLE_EQ(estimator_.EstimateEntries(42, 10, {0, 1}), 10.0);
+}
+
+TEST_F(EstimatorTest, RecordCountedStoresCards) {
+  RecordParent();
+  ASSERT_TRUE(estimator_.HasMeta(1));
+  const NodeMeta& meta = estimator_.meta(1);
+  EXPECT_EQ(meta.data_size, 100u);
+  EXPECT_EQ(meta.cards.at(0), 2);
+  EXPECT_EQ(meta.cards.at(1), 3);
+  EXPECT_EQ(meta.cards.at(2), 1);
+}
+
+TEST_F(EstimatorTest, CardsNeverExceedSchemaCardinality) {
+  RecordParent();
+  const NodeMeta& meta = estimator_.meta(1);
+  for (const auto& [attr, card] : meta.cards) {
+    EXPECT_LE(card, schema_.attribute(attr).cardinality);
+  }
+}
+
+TEST_F(EstimatorTest, LocationInheritance) {
+  EXPECT_EQ(estimator_.InheritedLocation(-1).kind, LocationKind::kServer);
+  EXPECT_EQ(estimator_.InheritedLocation(77).kind, LocationKind::kServer);
+  estimator_.SetLocation(1, DataLocation{LocationKind::kFile, 42});
+  DataLocation loc = estimator_.InheritedLocation(1);
+  EXPECT_EQ(loc.kind, LocationKind::kFile);
+  EXPECT_EQ(loc.store_id, 42u);
+}
+
+TEST_F(EstimatorTest, DataLocationOrderingAndEquality) {
+  DataLocation server{LocationKind::kServer, 0};
+  DataLocation file{LocationKind::kFile, 1};
+  DataLocation mem{LocationKind::kMemory, 1};
+  EXPECT_TRUE(server == server);
+  EXPECT_FALSE(server == file);
+  EXPECT_TRUE(server < file);
+  EXPECT_TRUE(file < mem);
+  EXPECT_TRUE(DataLocation({LocationKind::kFile, 1}) <
+              DataLocation({LocationKind::kFile, 2}));
+}
+
+TEST_F(EstimatorTest, EstimatorIsConservativeOnRealSplits) {
+  // Property: for a real parent CC and a child defined by A1 = v, the
+  // actual child CC entries never exceed the pessimistic upper bound, and
+  // Est_cc stays below the bound too.
+  Schema schema = MakeSchema({4, 4, 4}, 3);
+  std::vector<Row> rows = testing_util::RandomRows(schema, 2000, 9);
+  CcTable parent_cc(3);
+  for (const Row& row : rows) parent_cc.AddRow(row, {0, 1, 2}, 3);
+  Estimator estimator(schema);
+  estimator.RecordCounted(0, parent_cc, rows.size(), {0, 1, 2});
+
+  for (Value v = 0; v < 4; ++v) {
+    CcTable child_cc(3);
+    uint64_t child_rows = 0;
+    for (const Row& row : rows) {
+      if (row[0] == v) {
+        child_cc.AddRow(row, {1, 2}, 3);
+        ++child_rows;
+      }
+    }
+    if (child_rows == 0) continue;
+    const double bound = estimator.UpperBoundEntries(0, {1, 2});
+    EXPECT_LE(static_cast<double>(child_cc.NumEntries()), bound);
+    EXPECT_LE(estimator.EstimateEntries(0, child_rows, {1, 2}), bound);
+  }
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,148 @@
+#include "mining/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/inmemory_provider.h"
+#include "mining/naive_bayes.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix m(2);
+  m.Add(0, 0);
+  m.Add(0, 0);
+  m.Add(0, 1);
+  m.Add(1, 1);
+  EXPECT_EQ(m.total(), 4);
+  EXPECT_EQ(m.count(0, 0), 2);
+  EXPECT_EQ(m.count(0, 1), 1);
+  EXPECT_EQ(m.count(1, 0), 0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecall) {
+  ConfusionMatrix m(2);
+  // predicted 1: 3 times, of which 2 correct; actual 1: 4 times.
+  m.Add(1, 1);
+  m.Add(1, 1);
+  m.Add(0, 1);
+  m.Add(1, 0);
+  m.Add(1, 0);
+  m.Add(0, 0);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 0.5);
+}
+
+TEST(ConfusionMatrixTest, UndefinedPrecisionIsZero) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifierMacroF1IsOne) {
+  ConfusionMatrix m(3);
+  for (int c = 0; c < 3; ++c) {
+    m.Add(c, c);
+    m.Add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixAccuracyZero) {
+  ConfusionMatrix m(2);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringRendersGrid) {
+  ConfusionMatrix m(2);
+  m.Add(0, 1);
+  std::string text = m.ToString();
+  EXPECT_NE(text.find("actual"), std::string::npos);
+}
+
+TEST(EvaluateClassifierTest, WrapsAnyCallable) {
+  Schema schema = MakeSchema({2}, 2);
+  std::vector<Row> rows = {{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  // Classifier: predict the attribute value itself.
+  ConfusionMatrix m = EvaluateClassifier(
+      [](const Row& row) { return row[0]; }, rows, 1);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.5);
+}
+
+TEST(CrossValidateTest, SeparableDataScoresHigh) {
+  Schema schema = MakeSchema({2, 3}, 2);
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) rows.push_back({i % 2, i % 3, i % 2});
+  TrainerFn trainer = [&](const std::vector<Row>& train)
+      -> StatusOr<ClassifierFn> {
+    auto rows_copy = std::make_shared<std::vector<Row>>(train);
+    InMemoryCcProvider provider(schema, rows_copy.get());
+    DecisionTreeClient client(schema, TreeClientConfig());
+    SQLCLASS_ASSIGN_OR_RETURN(DecisionTree tree,
+                              client.Grow(&provider, rows_copy->size()));
+    auto tree_ptr = std::make_shared<DecisionTree>(std::move(tree));
+    return ClassifierFn([tree_ptr](const Row& row) {
+      auto result = tree_ptr->Classify(row);
+      return result.ok() ? *result : 0;
+    });
+  };
+  auto result = CrossValidate(rows, schema.class_column(), 5, 42, trainer);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fold_accuracies.size(), 5u);
+  EXPECT_GT(result->mean_accuracy, 0.95);
+  EXPECT_LT(result->stddev, 0.1);
+}
+
+TEST(CrossValidateTest, NaiveBayesTrainerWorksToo) {
+  Schema schema = MakeSchema({2, 2}, 2);
+  std::vector<Row> rows;
+  Random rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Value a = static_cast<Value>(rng.Uniform(2));
+    rows.push_back({a, static_cast<Value>(rng.Uniform(2)),
+                    rng.Bernoulli(0.9) ? a : 1 - a});
+  }
+  TrainerFn trainer = [&](const std::vector<Row>& train)
+      -> StatusOr<ClassifierFn> {
+    CcTable cc(2);
+    for (const Row& row : train) cc.AddRow(row, {0, 1}, 2);
+    SQLCLASS_ASSIGN_OR_RETURN(NaiveBayesModel model,
+                              NaiveBayesModel::Train(schema, cc));
+    auto model_ptr = std::make_shared<NaiveBayesModel>(std::move(model));
+    return ClassifierFn(
+        [model_ptr](const Row& row) { return model_ptr->Classify(row); });
+  };
+  auto result = CrossValidate(rows, 2, 4, 7, trainer);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_accuracy, 0.75);
+}
+
+TEST(CrossValidateTest, BadParamsRejected) {
+  std::vector<Row> rows = {{0, 0}, {1, 1}, {0, 1}};
+  TrainerFn trainer = [](const std::vector<Row>&) -> StatusOr<ClassifierFn> {
+    return ClassifierFn([](const Row&) { return Value{0}; });
+  };
+  EXPECT_FALSE(CrossValidate(rows, 1, 1, 0, trainer).ok());   // 1 fold
+  EXPECT_FALSE(CrossValidate(rows, 1, 10, 0, trainer).ok());  // folds > rows
+}
+
+TEST(CrossValidateTest, TrainerErrorPropagates) {
+  std::vector<Row> rows = {{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  TrainerFn trainer = [](const std::vector<Row>&) -> StatusOr<ClassifierFn> {
+    return Status::Internal("training exploded");
+  };
+  auto result = CrossValidate(rows, 1, 2, 0, trainer);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace sqlclass

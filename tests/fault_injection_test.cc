@@ -1,0 +1,193 @@
+// Failure-path coverage: corrupt or truncated storage, vanished staging
+// directories, and mid-stream errors must surface as Status errors, never
+// as crashes or silently wrong answers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "mining/tree_client.h"
+#include "server/server.h"
+#include "storage/heap_file.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+using testing_util::TempDir;
+
+void WriteHeap(const std::string& path, const std::vector<Row>& rows,
+               int columns) {
+  auto writer = HeapFileWriter::Create(path, columns, nullptr);
+  ASSERT_TRUE(writer.ok());
+  for (const Row& row : rows) ASSERT_TRUE((*writer)->Append(row).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+TEST(FaultInjectionTest, TruncatedHeapFileFailsToOpen) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.tbl";
+  WriteHeap(path, {{1, 2}, {3, 4}}, 2);
+  // Chop the file mid-page.
+  std::filesystem::resize_file(path, kPageSize / 2);
+  auto reader = HeapFileReader::Open(path, 2, nullptr);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, HeapFileDeletedBetweenOpenAndScanIsSurvivable) {
+  TempDir dir;
+  const std::string path = dir.path() + "/gone.tbl";
+  Schema schema = MakeSchema({4, 4}, 2);
+  WriteHeap(path, RandomRows(schema, 3000, 1), 3);
+  auto reader = HeapFileReader::Open(path, 3, nullptr);
+  ASSERT_TRUE(reader.ok());
+  // POSIX keeps the open fd valid after unlink; the scan must still
+  // complete (or fail cleanly) — never crash.
+  std::remove(path.c_str());
+  Row row;
+  uint64_t n = 0;
+  while (true) {
+    auto more = (*reader)->Next(&row);
+    if (!more.ok()) break;
+    if (!*more) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 3000u);
+}
+
+TEST(FaultInjectionTest, GarbagePageHeaderFailsCleanly) {
+  TempDir dir;
+  const std::string path = dir.path() + "/bad.tbl";
+  WriteHeap(path, {{1, 2}}, 2);
+  {
+    // Corrupt the page header to claim an absurd row count.
+    std::fstream file(path, std::ios::in | std::ios::out |
+                                std::ios::binary);
+    const uint32_t absurd = 0xFFFFFFFF;
+    file.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  auto reader = HeapFileReader::Open(path, 2, nullptr);
+  // Either opening fails or the scan terminates; no crash / no infinite
+  // loop. (The row count derived from the header will be inconsistent but
+  // bounded by the page payload.)
+  if (reader.ok()) {
+    Row row;
+    int guard = 0;
+    while (guard < 100000) {
+      auto more = (*reader)->Next(&row);
+      if (!more.ok() || !*more) break;
+      ++guard;
+    }
+    EXPECT_LT(guard, 100000);
+  }
+}
+
+TEST(FaultInjectionTest, ServerTableFileVanishes) {
+  TempDir dir;
+  SqlServer server(dir.path());
+  Schema schema = MakeSchema({3}, 2);
+  ASSERT_TRUE(server.CreateTable("t", schema).ok());
+  ASSERT_TRUE(server.LoadRows("t", {{0, 0}, {1, 1}}).ok());
+  std::remove((dir.path() + "/t.tbl").c_str());
+  auto cursor = server.OpenCursor("t", nullptr);
+  EXPECT_FALSE(cursor.ok());
+  auto result = server.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FaultInjectionTest, MiddlewareSurvivesStagingDirRemovalGracefully) {
+  TempDir dir;
+  const std::string staging = dir.path() + "/staging";
+  std::filesystem::create_directories(staging);
+
+  RandomTreeParams params;
+  params.num_attributes = 6;
+  params.num_leaves = 12;
+  params.cases_per_leaf = 30;
+  params.num_classes = 3;
+  params.seed = 9;
+  auto dataset = RandomTreeDataset::Create(params);
+  ASSERT_TRUE(dataset.ok());
+  SqlServer server(dir.path());
+  ASSERT_TRUE(LoadIntoServer(&server, "data", (*dataset)->schema(),
+                             [&](const RowSink& sink) {
+                               return (*dataset)->Generate(sink);
+                             })
+                  .ok());
+
+  MiddlewareConfig config;
+  config.enable_memory_staging = false;  // force file staging
+  config.staging_dir = staging;
+  auto mw = ClassificationMiddleware::Create(&server, "data", config);
+  ASSERT_TRUE(mw.ok());
+  std::filesystem::remove_all(staging);  // yank the disk out
+
+  DecisionTreeClient client((*dataset)->schema(), TreeClientConfig());
+  auto tree = client.Grow(mw->get(), (*dataset)->TotalRows());
+  // Staged file creation fails => Grow must surface an error (never crash,
+  // never return a wrong tree silently).
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, MiddlewareWithMemoryOnlyStagingSurvivesNoDisk) {
+  TempDir dir;
+  const std::string staging = dir.path() + "/staging2";
+  std::filesystem::create_directories(staging);
+
+  RandomTreeParams params;
+  params.num_attributes = 6;
+  params.num_leaves = 12;
+  params.cases_per_leaf = 30;
+  params.num_classes = 3;
+  params.seed = 9;
+  auto dataset = RandomTreeDataset::Create(params);
+  ASSERT_TRUE(dataset.ok());
+  SqlServer server(dir.path());
+  ASSERT_TRUE(LoadIntoServer(&server, "data", (*dataset)->schema(),
+                             [&](const RowSink& sink) {
+                               return (*dataset)->Generate(sink);
+                             })
+                  .ok());
+
+  // §4.1.2: "operate effectively in system environments that do not
+  // support a local disk": file staging disabled, directory gone.
+  MiddlewareConfig config;
+  config.enable_file_staging = false;
+  config.staging_dir = staging;
+  auto mw = ClassificationMiddleware::Create(&server, "data", config);
+  ASSERT_TRUE(mw.ok());
+  std::filesystem::remove_all(staging);
+
+  DecisionTreeClient client((*dataset)->schema(), TreeClientConfig());
+  auto tree = client.Grow(mw->get(), (*dataset)->TotalRows());
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_GT(tree->CountLeaves(), 0);
+}
+
+TEST(FaultInjectionTest, CorruptStagedFileSurfacesDuringScan) {
+  TempDir dir;
+  CostCounters cost;
+  StagingManager staging(dir.path(), 3, &cost);
+  auto id = staging.BeginFileStore();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(staging.AppendToFileStore(*id, {1, 2, 3}).ok());
+  ASSERT_TRUE(staging.FinishFileStore(*id).ok());
+  // Truncate the staged file behind the manager's back.
+  const std::string path =
+      dir.path() + "/mwstage_" + std::to_string(*id) + ".dat";
+  std::filesystem::resize_file(path, 10);
+  auto source = staging.OpenFileStore(*id);
+  EXPECT_FALSE(source.ok());
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,87 @@
+#include "mining/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+
+/// CC table where column 0 fully determines the class, column 1 is
+/// partially informative, column 2 is pure noise.
+CcTable GradedTable() {
+  Random rng(5);
+  CcTable cc(2);
+  for (int i = 0; i < 1000; ++i) {
+    const Value cls = static_cast<Value>(i % 2);
+    const Value strong = cls;
+    const Value weak = rng.Bernoulli(0.75) ? cls : 1 - cls;
+    const Value noise = static_cast<Value>(rng.Uniform(4));
+    cc.AddRow({strong, weak, noise, cls}, {0, 1, 2}, 3);
+  }
+  return cc;
+}
+
+TEST(RankAttributesTest, OrdersByInformativeness) {
+  CcTable cc = GradedTable();
+  auto scores = RankAttributes(cc, {0, 1, 2});
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0].attr, 0);
+  EXPECT_EQ(scores[1].attr, 1);
+  EXPECT_EQ(scores[2].attr, 2);
+  EXPECT_NEAR(scores[0].mutual_information, 1.0, 1e-6);  // fully determined
+  EXPECT_GT(scores[1].mutual_information, 0.1);
+  EXPECT_LT(scores[2].mutual_information, 0.05);
+}
+
+TEST(RankAttributesTest, MutualInformationNonNegativeAndBounded) {
+  CcTable cc = GradedTable();
+  const double class_entropy =
+      Impurity(cc.ClassTotals(), cc.TotalRows(), SplitCriterion::kEntropy);
+  for (const AttributeScore& score : RankAttributes(cc, {0, 1, 2})) {
+    EXPECT_GE(score.mutual_information, 0.0);
+    EXPECT_LE(score.mutual_information, class_entropy + 1e-9);
+    EXPECT_GE(score.gain_ratio, 0.0);
+  }
+}
+
+TEST(RankAttributesTest, DistinctValueCounts) {
+  CcTable cc = GradedTable();
+  auto scores = RankAttributes(cc, {0, 1, 2});
+  EXPECT_EQ(scores[0].distinct_values, 2);
+  EXPECT_EQ(scores[2].distinct_values, 4);
+}
+
+TEST(RankAttributesTest, EmptyTableScoresZero) {
+  CcTable cc(2);
+  auto scores = RankAttributes(cc, {0, 1});
+  ASSERT_EQ(scores.size(), 2u);
+  for (const auto& score : scores) {
+    EXPECT_DOUBLE_EQ(score.mutual_information, 0.0);
+    EXPECT_EQ(score.distinct_values, 0);
+  }
+}
+
+TEST(RankAttributesTest, DeterministicTieBreakOnAttrIndex) {
+  CcTable cc(2);
+  // Two identical constant attributes: both MI 0; lower index first.
+  for (int i = 0; i < 10; ++i) cc.AddRow({1, 1, i % 2}, {0, 1}, 2);
+  auto scores = RankAttributes(cc, {1, 0});
+  EXPECT_EQ(scores[0].attr, 0);
+  EXPECT_EQ(scores[1].attr, 1);
+}
+
+TEST(SelectTopAttributesTest, ReturnsKBestInRankOrder) {
+  CcTable cc = GradedTable();
+  EXPECT_EQ(SelectTopAttributes(cc, {0, 1, 2}, 2),
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ(SelectTopAttributes(cc, {0, 1, 2}, 99),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(SelectTopAttributes(cc, {0, 1, 2}, 0).empty());
+}
+
+}  // namespace
+}  // namespace sqlclass

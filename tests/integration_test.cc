@@ -1,0 +1,288 @@
+// End-to-end sweeps across data sets, providers, and client configurations:
+// the repository-level invariants (DESIGN.md) checked on realistic
+// pipelines rather than isolated modules.
+
+#include <gtest/gtest.h>
+
+#include "baseline/aux_structures.h"
+#include "baseline/extract_all.h"
+#include "baseline/sql_counting.h"
+#include "datagen/census.h"
+#include "datagen/gaussian.h"
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "mining/evaluate.h"
+#include "mining/inmemory_provider.h"
+#include "mining/naive_bayes.h"
+#include "mining/prune.h"
+#include "mining/tree_client.h"
+#include "mining/tree_export.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+enum class DataKind { kRandomTree, kGaussian, kCensus };
+enum class ProviderKind {
+  kMiddlewareDefault,
+  kMiddlewareTiny,
+  kMiddlewareNoStaging,
+  kSqlCounting,
+  kExtractAll,
+  kAuxTidJoin,
+};
+
+struct E2EParam {
+  DataKind data;
+  ProviderKind provider;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<E2EParam>& info) {
+  std::string name;
+  switch (info.param.data) {
+    case DataKind::kRandomTree:
+      name = "RandomTree";
+      break;
+    case DataKind::kGaussian:
+      name = "Gaussian";
+      break;
+    case DataKind::kCensus:
+      name = "Census";
+      break;
+  }
+  switch (info.param.provider) {
+    case ProviderKind::kMiddlewareDefault:
+      name += "_MwDefault";
+      break;
+    case ProviderKind::kMiddlewareTiny:
+      name += "_MwTinyMemory";
+      break;
+    case ProviderKind::kMiddlewareNoStaging:
+      name += "_MwNoStaging";
+      break;
+    case ProviderKind::kSqlCounting:
+      name += "_SqlCounting";
+      break;
+    case ProviderKind::kExtractAll:
+      name += "_ExtractAll";
+      break;
+    case ProviderKind::kAuxTidJoin:
+      name += "_AuxTidJoin";
+      break;
+  }
+  return name;
+}
+
+class EndToEndTest : public ::testing::TestWithParam<E2EParam> {
+ protected:
+  void SetUp() override {
+    switch (GetParam().data) {
+      case DataKind::kRandomTree: {
+        RandomTreeParams params;
+        params.num_attributes = 7;
+        params.num_leaves = 18;
+        params.cases_per_leaf = 40;
+        params.num_classes = 3;
+        params.seed = 42;
+        auto dataset = RandomTreeDataset::Create(params);
+        ASSERT_TRUE(dataset.ok());
+        schema_ = (*dataset)->schema();
+        ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+        break;
+      }
+      case DataKind::kGaussian: {
+        GaussianMixtureParams params;
+        params.dimensions = 8;
+        params.num_classes = 3;
+        params.samples_per_class = 250;
+        params.seed = 42;
+        auto dataset = GaussianMixtureDataset::Create(params);
+        ASSERT_TRUE(dataset.ok());
+        schema_ = (*dataset)->schema();
+        ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+        break;
+      }
+      case DataKind::kCensus: {
+        CensusParams params;
+        params.rows = 800;
+        params.seed = 42;
+        auto dataset = CensusDataset::Create(params);
+        ASSERT_TRUE(dataset.ok());
+        schema_ = (*dataset)->schema();
+        ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+        break;
+      }
+    }
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(server_->CreateTable("data", schema_).ok());
+    ASSERT_TRUE(server_->LoadRows("data", rows_).ok());
+  }
+
+  std::unique_ptr<CcProvider> MakeProvider() {
+    switch (GetParam().provider) {
+      case ProviderKind::kMiddlewareDefault:
+      case ProviderKind::kMiddlewareTiny:
+      case ProviderKind::kMiddlewareNoStaging: {
+        MiddlewareConfig config;
+        config.staging_dir = dir_.path();
+        if (GetParam().provider == ProviderKind::kMiddlewareTiny) {
+          config.memory_budget_bytes = 12 << 10;
+        }
+        if (GetParam().provider == ProviderKind::kMiddlewareNoStaging) {
+          config.enable_file_staging = false;
+          config.enable_memory_staging = false;
+        }
+        auto mw =
+            ClassificationMiddleware::Create(server_.get(), "data", config);
+        EXPECT_TRUE(mw.ok());
+        return std::move(mw).value();
+      }
+      case ProviderKind::kSqlCounting: {
+        auto provider = SqlCountingProvider::Create(server_.get(), "data");
+        EXPECT_TRUE(provider.ok());
+        return std::move(provider).value();
+      }
+      case ProviderKind::kExtractAll: {
+        auto provider =
+            ExtractAllProvider::Create(server_.get(), "data", dir_.path());
+        EXPECT_TRUE(provider.ok());
+        return std::move(provider).value();
+      }
+      case ProviderKind::kAuxTidJoin: {
+        AuxConfig config;
+        config.mode = AuxMode::kTidJoin;
+        config.build_threshold = 0.5;
+        auto provider =
+            AuxStructureProvider::Create(server_.get(), "data", config);
+        EXPECT_TRUE(provider.ok());
+        return std::move(provider).value();
+      }
+    }
+    return nullptr;
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::unique_ptr<SqlServer> server_;
+};
+
+TEST_P(EndToEndTest, TreeMatchesInMemoryReferenceAndExportsAgree) {
+  TreeClientConfig client_config;
+  client_config.max_depth = 6;  // bounded so SQL-counting params stay fast
+
+  InMemoryCcProvider reference_provider(schema_, &rows_);
+  DecisionTreeClient reference_client(schema_, client_config);
+  auto reference = reference_client.Grow(&reference_provider, rows_.size());
+  ASSERT_TRUE(reference.ok());
+
+  std::unique_ptr<CcProvider> provider = MakeProvider();
+  ASSERT_NE(provider, nullptr);
+  DecisionTreeClient client(schema_, client_config);
+  auto tree = client.Grow(provider.get(), rows_.size());
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  // Invariant 1: identical classifier regardless of the data path.
+  EXPECT_EQ(tree->Signature(), reference->Signature());
+
+  // The exported rule set routes every row to the same class.
+  auto rules = TreeToRules(*tree);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_FALSE(rules->empty());
+  for (size_t i = 0; i < rows_.size(); i += 37) {
+    EXPECT_EQ(*tree->Classify(rows_[i]), *reference->Classify(rows_[i]));
+  }
+}
+
+TEST_P(EndToEndTest, NaiveBayesTrainsThroughEveryProvider) {
+  std::unique_ptr<CcProvider> provider = MakeProvider();
+  ASSERT_NE(provider, nullptr);
+  auto model =
+      NaiveBayesModel::TrainWith(schema_, provider.get(), rows_.size());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  // Must agree with the in-memory-trained model on every row.
+  InMemoryCcProvider reference_provider(schema_, &rows_);
+  auto reference =
+      NaiveBayesModel::TrainWith(schema_, &reference_provider, rows_.size());
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < rows_.size(); i += 23) {
+    EXPECT_EQ(model->Classify(rows_[i]), reference->Classify(rows_[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EndToEndTest,
+    ::testing::Values(
+        E2EParam{DataKind::kRandomTree, ProviderKind::kMiddlewareDefault},
+        E2EParam{DataKind::kRandomTree, ProviderKind::kMiddlewareTiny},
+        E2EParam{DataKind::kRandomTree, ProviderKind::kMiddlewareNoStaging},
+        E2EParam{DataKind::kRandomTree, ProviderKind::kSqlCounting},
+        E2EParam{DataKind::kRandomTree, ProviderKind::kExtractAll},
+        E2EParam{DataKind::kRandomTree, ProviderKind::kAuxTidJoin},
+        E2EParam{DataKind::kGaussian, ProviderKind::kMiddlewareDefault},
+        E2EParam{DataKind::kGaussian, ProviderKind::kMiddlewareTiny},
+        E2EParam{DataKind::kGaussian, ProviderKind::kSqlCounting},
+        E2EParam{DataKind::kGaussian, ProviderKind::kExtractAll},
+        E2EParam{DataKind::kCensus, ProviderKind::kMiddlewareDefault},
+        E2EParam{DataKind::kCensus, ProviderKind::kMiddlewareTiny},
+        E2EParam{DataKind::kCensus, ProviderKind::kMiddlewareNoStaging},
+        E2EParam{DataKind::kCensus, ProviderKind::kAuxTidJoin}),
+    ParamName);
+
+/// Full-pipeline workflow: grow through the middleware, prune with a
+/// holdout, export, and cross-validate — the downstream-user path.
+TEST(WorkflowTest, GrowPruneExportEvaluate) {
+  TempDir dir;
+  CensusParams params;
+  params.rows = 2000;
+  params.class_noise = 0.15;
+  auto dataset = CensusDataset::Create(params);
+  ASSERT_TRUE(dataset.ok());
+  const Schema& schema = (*dataset)->schema();
+  std::vector<Row> rows;
+  ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows)).ok());
+
+  // 70/30 train/holdout split.
+  std::vector<Row> train(rows.begin(), rows.begin() + 1400);
+  std::vector<Row> holdout(rows.begin() + 1400, rows.end());
+
+  SqlServer server(dir.path());
+  ASSERT_TRUE(server.CreateTable("census", schema).ok());
+  ASSERT_TRUE(server.LoadRows("census", train).ok());
+
+  MiddlewareConfig config;
+  config.staging_dir = dir.path();
+  auto mw = ClassificationMiddleware::Create(&server, "census", config);
+  ASSERT_TRUE(mw.ok());
+  DecisionTreeClient client(schema, TreeClientConfig());
+  auto tree = client.Grow(mw->get(), train.size());
+  ASSERT_TRUE(tree.ok());
+
+  const double full_holdout_acc = *tree->Accuracy(holdout);
+  auto prune_stats = ReducedErrorPrune(&*tree, holdout);
+  ASSERT_TRUE(prune_stats.ok());
+  EXPECT_LT(prune_stats->nodes_after, prune_stats->nodes_before);
+  EXPECT_GE(*tree->Accuracy(holdout), full_holdout_acc);
+
+  ConfusionMatrix matrix = EvaluateClassifier(
+      [&](const Row& row) {
+        auto result = tree->Classify(row);
+        return result.ok() ? *result : 0;
+      },
+      holdout, schema.class_column());
+  EXPECT_GT(matrix.Accuracy(), 0.6);
+  EXPECT_GT(matrix.MacroF1(), 0.5);
+
+  auto rules = TreeToRules(*tree);
+  ASSERT_TRUE(rules.ok());
+  auto sql = TreeToSqlCase(*tree);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_FALSE(sql->empty());
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,119 @@
+// System-level cost properties of the middleware, checked on real runs:
+// more memory never hurts, pushdown never hurts, staging never hurts — the
+// monotonicities behind every curve in §5.
+
+#include <gtest/gtest.h>
+
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+class MiddlewarePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 10;
+    params.num_leaves = 40;
+    params.cases_per_leaf = 60;
+    params.num_classes = 5;
+    params.seed = 31415;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    schema_ = (*dataset)->schema();
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(LoadIntoServer(server_.get(), "data", schema_,
+                               [&](const RowSink& sink) {
+                                 return (*dataset)->Generate(sink);
+                               })
+                    .ok());
+    rows_ = *server_->TableRowCount("data");
+    data_bytes_ = rows_ * schema_.RowBytes();
+  }
+
+  /// Simulated seconds of one full grow under `config`.
+  double Run(MiddlewareConfig config) {
+    config.staging_dir = dir_.path();
+    auto mw = ClassificationMiddleware::Create(server_.get(), "data",
+                                               std::move(config));
+    EXPECT_TRUE(mw.ok());
+    server_->ResetCostCounters();
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(mw->get(), rows_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    last_scans_ = (*mw)->stats().server_scans;
+    return server_->SimulatedSeconds();
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::unique_ptr<SqlServer> server_;
+  uint64_t rows_ = 0;
+  uint64_t data_bytes_ = 0;
+  uint64_t last_scans_ = 0;
+};
+
+TEST_F(MiddlewarePropertyTest, MoreMemoryNeverHurtsWithCaching) {
+  double previous = 1e100;
+  for (double fraction : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes =
+        static_cast<size_t>(fraction * data_bytes_);
+    double seconds = Run(config);
+    // Allow 5% slack for scheduling boundary effects.
+    EXPECT_LE(seconds, previous * 1.05) << "at fraction " << fraction;
+    previous = seconds;
+  }
+}
+
+TEST_F(MiddlewarePropertyTest, MoreMemoryNeverIncreasesScansWithoutCaching) {
+  uint64_t previous = ~0ull;
+  for (double fraction : {0.02, 0.05, 0.1, 0.3}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes =
+        static_cast<size_t>(fraction * data_bytes_);
+    config.enable_file_staging = false;
+    config.enable_memory_staging = false;
+    Run(config);
+    EXPECT_LE(last_scans_, previous) << "at fraction " << fraction;
+    previous = last_scans_;
+  }
+}
+
+TEST_F(MiddlewarePropertyTest, PushdownNeverHurts) {
+  MiddlewareConfig with;
+  with.enable_file_staging = false;
+  with.enable_memory_staging = false;
+  MiddlewareConfig without = with;
+  without.enable_filter_pushdown = false;
+  EXPECT_LE(Run(with), Run(without) * 1.01);
+}
+
+TEST_F(MiddlewarePropertyTest, StagingNeverHurts) {
+  MiddlewareConfig staged;
+  staged.memory_budget_bytes = static_cast<size_t>(0.5 * data_bytes_);
+  MiddlewareConfig unstaged = staged;
+  unstaged.enable_file_staging = false;
+  unstaged.enable_memory_staging = false;
+  EXPECT_LE(Run(staged), Run(unstaged) * 1.01);
+}
+
+TEST_F(MiddlewarePropertyTest, SmallestCcFirstAtLeastAsGoodAsLargest) {
+  MiddlewareConfig smallest;
+  smallest.memory_budget_bytes = 64 << 10;
+  smallest.enable_file_staging = false;
+  smallest.enable_memory_staging = false;
+  MiddlewareConfig largest = smallest;
+  largest.order_policy = OrderPolicy::kLargestCcFirst;
+  // Rule 3's ordering packs more nodes per scan; allow a little slack.
+  EXPECT_LE(Run(smallest), Run(largest) * 1.10);
+}
+
+}  // namespace
+}  // namespace sqlclass

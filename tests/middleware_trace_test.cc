@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+/// Grows a tree and returns the middleware's per-batch trace for
+/// invariant checks.
+class MiddlewareTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 8;
+    params.num_leaves = 25;
+    params.cases_per_leaf = 50;
+    params.num_classes = 4;
+    params.seed = 555;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    schema_ = (*dataset)->schema();
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(LoadIntoServer(server_.get(), "data", schema_,
+                               [&](const RowSink& sink) {
+                                 return (*dataset)->Generate(sink);
+                               })
+                    .ok());
+    rows_ = *server_->TableRowCount("data");
+  }
+
+  std::vector<ClassificationMiddleware::BatchTrace> Run(
+      MiddlewareConfig config) {
+    config.staging_dir = dir_.path();
+    auto mw = ClassificationMiddleware::Create(server_.get(), "data",
+                                               std::move(config));
+    EXPECT_TRUE(mw.ok());
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(mw->get(), rows_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    requests_ = client.requests_issued();
+    return (*mw)->trace();
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::unique_ptr<SqlServer> server_;
+  uint64_t rows_ = 0;
+  uint64_t requests_ = 0;
+};
+
+TEST_F(MiddlewareTraceTest, EveryBatchServicesAtLeastOneNode) {
+  for (const auto& batch : Run(MiddlewareConfig())) {
+    EXPECT_GE(batch.nodes, 1);
+  }
+}
+
+TEST_F(MiddlewareTraceTest, BatchOrdinalsAreSequential) {
+  auto trace = Run(MiddlewareConfig());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].batch, i + 1);
+  }
+}
+
+TEST_F(MiddlewareTraceTest, FulfillmentsPlusRequeuesEqualAdmissions) {
+  auto trace = Run(MiddlewareConfig());
+  uint64_t admitted = 0;
+  uint64_t requeued = 0;
+  for (const auto& batch : trace) {
+    admitted += batch.nodes;
+    requeued += batch.requeued;
+  }
+  // Every request is admitted once per attempt; requeues re-admit later.
+  EXPECT_EQ(admitted - requeued, requests_);
+}
+
+TEST_F(MiddlewareTraceTest, NoStagingMeansServerOnlyBatches) {
+  MiddlewareConfig config;
+  config.enable_file_staging = false;
+  config.enable_memory_staging = false;
+  for (const auto& batch : Run(config)) {
+    EXPECT_EQ(batch.source.kind, LocationKind::kServer);
+    EXPECT_EQ(batch.staged_to_file, 0);
+    EXPECT_EQ(batch.staged_to_memory, 0);
+  }
+}
+
+TEST_F(MiddlewareTraceTest, GenerousMemoryStagesOnFirstBatchThenStaysLocal) {
+  MiddlewareConfig config;  // default 64 MB >> data
+  auto trace = Run(config);
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(trace[0].source.kind, LocationKind::kServer);
+  EXPECT_GT(trace[0].staged_to_memory, 0);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].source.kind, LocationKind::kMemory) << "batch " << i;
+  }
+}
+
+TEST_F(MiddlewareTraceTest, MemoryScanRowsBoundedByStagedAncestor) {
+  MiddlewareConfig config;
+  auto trace = Run(config);
+  // The root store holds all rows; descendants scan at most that.
+  for (const auto& batch : trace) {
+    EXPECT_LE(batch.rows_scanned, rows_);
+  }
+}
+
+TEST_F(MiddlewareTraceTest, ServerScansWithPushdownShrinkOverTime) {
+  MiddlewareConfig config;
+  config.enable_file_staging = false;
+  config.enable_memory_staging = false;
+  auto trace = Run(config);
+  ASSERT_GE(trace.size(), 3u);
+  // With pushdown, the first batch (root) transfers everything; deep
+  // batches transfer strictly less.
+  EXPECT_EQ(trace[0].rows_scanned, rows_);
+  EXPECT_LT(trace.back().rows_scanned, rows_);
+}
+
+TEST_F(MiddlewareTraceTest, FilePerNodeThresholdMarksSplitBatches) {
+  MiddlewareConfig config;
+  config.enable_memory_staging = false;
+  config.file_split_threshold = 1.0;
+  auto trace = Run(config);
+  bool saw_split = false;
+  for (const auto& batch : trace) {
+    if (batch.file_split) {
+      saw_split = true;
+      EXPECT_GT(batch.staged_to_file, 0);
+      EXPECT_EQ(batch.source.kind, LocationKind::kFile);
+    }
+  }
+  EXPECT_TRUE(saw_split);
+}
+
+TEST_F(MiddlewareTraceTest, TinyMemoryCausesRequeuesNotFallbacks) {
+  MiddlewareConfig config;
+  config.memory_budget_bytes = 20 << 10;
+  config.enable_file_staging = false;
+  config.enable_memory_staging = false;
+  config.overflow_check_interval = 64;
+  auto trace = Run(config);
+  uint64_t requeues = 0;
+  uint64_t fallbacks = 0;
+  for (const auto& batch : trace) {
+    requeues += batch.requeued;
+    fallbacks += batch.sql_fallbacks;
+  }
+  // Estimation slack at 20 KB forces evictions; the requeue path must
+  // absorb them without resorting to server-side SQL counting.
+  EXPECT_EQ(fallbacks, 0u);
+  (void)requeues;
+}
+
+}  // namespace
+}  // namespace sqlclass

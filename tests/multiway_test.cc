@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "mining/inmemory_provider.h"
+#include "mining/tree_client.h"
+#include "mining/tree_export.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+using testing_util::TempDir;
+
+TreeClientConfig MultiwayConfig() {
+  TreeClientConfig config;
+  config.multiway_splits = true;
+  // Gain ratio counteracts the high-cardinality bias of complete splits.
+  config.criterion = SplitCriterion::kGainRatio;
+  return config;
+}
+
+DecisionTree GrowInMemory(const Schema& schema, const std::vector<Row>& rows,
+                          TreeClientConfig config) {
+  InMemoryCcProvider provider(schema, &rows);
+  DecisionTreeClient client(schema, config);
+  auto tree = client.Grow(&provider, rows.size());
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// ---------------------------------------------------- split selection
+
+TEST(MultiwaySplitTest, ChoosesSeparatingAttribute) {
+  CcTable cc(3);
+  // A1 (col 0) has one value per class; A2 (col 1) is constant.
+  for (int i = 0; i < 30; ++i) {
+    cc.AddRow({i % 3, 0, i % 3}, {0, 1}, 2);
+  }
+  auto split = ChooseBestMultiwaySplit(cc, {0, 1}, SplitCriterion::kEntropy);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->attr, 0);
+  ASSERT_EQ(split->branches.size(), 3u);
+  for (const auto& [value, rows] : split->branches) {
+    EXPECT_EQ(rows, 10);
+  }
+  EXPECT_NEAR(split->gain, std::log2(3.0), 1e-9);
+}
+
+TEST(MultiwaySplitTest, NoSplitWhenAllConstant) {
+  CcTable cc(2);
+  for (int i = 0; i < 10; ++i) cc.AddRow({1, 2, i % 2}, {0, 1}, 2);
+  EXPECT_FALSE(
+      ChooseBestMultiwaySplit(cc, {0, 1}, SplitCriterion::kEntropy)
+          .has_value());
+}
+
+TEST(MultiwaySplitTest, GainRatioPenalizesHighCardinality) {
+  // A1: 8 random values (high split info, no signal); A2: 2 values fully
+  // aligned with the class. Gain ratio must pick A2.
+  CcTable cc(2);
+  Random rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const Value cls = static_cast<Value>(i % 2);
+    cc.AddRow({static_cast<Value>(rng.Uniform(8)), cls, cls}, {0, 1}, 2);
+  }
+  auto split =
+      ChooseBestMultiwaySplit(cc, {0, 1}, SplitCriterion::kGainRatio);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->attr, 1);
+}
+
+// ------------------------------------------------------- grown trees
+
+TEST(MultiwayTreeTest, BranchesPartitionTheNode) {
+  Schema schema = MakeSchema({4, 4, 4}, 3);
+  std::vector<Row> rows = RandomRows(schema, 800, 5);
+  DecisionTree tree = GrowInMemory(schema, rows, MultiwayConfig());
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& node = tree.node(i);
+    if (node.state != NodeState::kPartitioned) continue;
+    EXPECT_TRUE(node.multiway);
+    EXPECT_GE(node.children.size(), 2u);
+    uint64_t child_rows = 0;
+    for (int child : node.children) child_rows += tree.node(child).data_size;
+    EXPECT_EQ(child_rows, node.data_size);
+    // Each branch drops the split attribute from its active set.
+    for (int child : node.children) {
+      for (int attr : tree.node(child).active_attrs) {
+        EXPECT_NE(attr, node.split_attr);
+      }
+    }
+  }
+}
+
+TEST(MultiwayTreeTest, ClassifiesTrainingDataWellAboveChance) {
+  // Complete splits exhaust the 4 attributes after depth 4, so random-label
+  // collisions cap training accuracy below a binary tree's — but it must
+  // stay far above the ~1/3 chance level.
+  Schema schema = MakeSchema({4, 4, 4, 4}, 3);
+  std::vector<Row> rows = RandomRows(schema, 500, 6);
+  DecisionTree tree = GrowInMemory(schema, rows, MultiwayConfig());
+  EXPECT_GT(*tree.Accuracy(rows), 0.55);
+}
+
+TEST(MultiwayTreeTest, PerfectOnSeparableData) {
+  Schema schema = MakeSchema({3, 4}, 3);
+  std::vector<Row> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({i % 3, static_cast<Value>((i / 3) % 4), i % 3});
+  }
+  DecisionTree tree = GrowInMemory(schema, rows, MultiwayConfig());
+  EXPECT_DOUBLE_EQ(*tree.Accuracy(rows), 1.0);
+  EXPECT_EQ(tree.MaxDepth(), 1);  // one complete split on A1 finishes it
+}
+
+TEST(MultiwayTreeTest, UnseenValueFallsToMajority) {
+  Schema schema = MakeSchema({4, 2}, 2);
+  // Training data only uses values 0..2 of A1.
+  std::vector<Row> rows;
+  for (int i = 0; i < 90; ++i) {
+    rows.push_back({i % 3, static_cast<Value>(i % 2), i % 3 == 0 ? 0 : 1});
+  }
+  DecisionTree tree = GrowInMemory(schema, rows, MultiwayConfig());
+  ASSERT_EQ(tree.node(0).split_attr, 0);
+  auto result = tree.Classify({3, 0, 0});  // A1 = 3 never seen
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, tree.node(0).majority_class);
+}
+
+TEST(MultiwayTreeTest, MaxDepthShallowerThanBinary) {
+  Schema schema = MakeSchema({6, 6, 6}, 4);
+  std::vector<Row> rows = RandomRows(schema, 600, 7);
+  TreeClientConfig binary;
+  DecisionTree binary_tree = GrowInMemory(schema, rows, binary);
+  DecisionTree multi_tree = GrowInMemory(schema, rows, MultiwayConfig());
+  EXPECT_LT(multi_tree.MaxDepth(), binary_tree.MaxDepth());
+  // Complete splits consume one attribute per level: depth <= #attributes.
+  EXPECT_LE(multi_tree.MaxDepth(), 3);
+}
+
+TEST(MultiwayTreeTest, ExportsRulesAndSqlCase) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  std::vector<Row> rows;
+  for (int i = 0; i < 120; ++i) rows.push_back({i % 3, (i / 3) % 3, i % 2});
+  DecisionTree tree = GrowInMemory(schema, rows, MultiwayConfig());
+  auto rules = TreeToRules(tree);
+  ASSERT_TRUE(rules.ok());
+  int lines = 0;
+  for (char c : *rules) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, tree.CountLeaves());
+  auto sql = TreeToSqlCase(tree);
+  ASSERT_TRUE(sql.ok());
+  if (tree.node(0).state == NodeState::kPartitioned) {
+    EXPECT_NE(sql->find("ELSE"), std::string::npos);
+  }
+}
+
+// --------------------------------------- equivalence across providers
+
+TEST(MultiwayTreeTest, MiddlewareMatchesInMemoryReference) {
+  RandomTreeParams params;
+  params.num_attributes = 6;
+  params.num_leaves = 20;
+  params.cases_per_leaf = 30;
+  params.num_classes = 3;
+  params.seed = 321;
+  auto dataset = RandomTreeDataset::Create(params);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows)).ok());
+
+  InMemoryCcProvider reference_provider((*dataset)->schema(), &rows);
+  DecisionTreeClient reference_client((*dataset)->schema(), MultiwayConfig());
+  auto reference = reference_client.Grow(&reference_provider, rows.size());
+  ASSERT_TRUE(reference.ok());
+
+  TempDir dir;
+  SqlServer server(dir.path());
+  ASSERT_TRUE(LoadIntoServer(&server, "data", (*dataset)->schema(),
+                             [&](const RowSink& sink) {
+                               return (*dataset)->Generate(sink);
+                             })
+                  .ok());
+  for (size_t memory_kb : {16, 64, 100000}) {
+    MiddlewareConfig config;
+    config.memory_budget_bytes = memory_kb << 10;
+    config.staging_dir = dir.path();
+    auto mw = ClassificationMiddleware::Create(&server, "data", config);
+    ASSERT_TRUE(mw.ok());
+    DecisionTreeClient client((*dataset)->schema(), MultiwayConfig());
+    auto tree = client.Grow(mw->get(), rows.size());
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(tree->Signature(), reference->Signature())
+        << "memory " << memory_kb << "KB";
+  }
+}
+
+}  // namespace
+}  // namespace sqlclass

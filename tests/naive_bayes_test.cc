@@ -1,0 +1,109 @@
+#include "mining/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "mining/inmemory_provider.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::BruteForceCc;
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+
+CcTable RootCc(const Schema& schema, const std::vector<Row>& rows) {
+  return BruteForceCc(rows, nullptr, schema.PredictorColumns(),
+                      schema.class_column(),
+                      schema.attribute(schema.class_column()).cardinality);
+}
+
+TEST(NaiveBayesTest, LearnsSeparableData) {
+  Schema schema = MakeSchema({2, 3}, 2);
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({i % 2, i % 3, i % 2});
+  auto model = NaiveBayesModel::Train(schema, RootCc(schema, rows));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->Classify({0, 1, 0}), 0);
+  EXPECT_EQ(model->Classify({1, 1, 0}), 1);
+  EXPECT_DOUBLE_EQ(model->Accuracy(rows), 1.0);
+}
+
+TEST(NaiveBayesTest, PriorsDominateWithoutEvidence) {
+  Schema schema = MakeSchema({2}, 2);
+  // Attribute carries no signal; class 1 is 9x more common.
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({i % 2, i < 10 ? 0 : 1});
+  auto model = NaiveBayesModel::Train(schema, RootCc(schema, rows));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Classify({0, 0}), 1);
+  EXPECT_EQ(model->Classify({1, 0}), 1);
+}
+
+TEST(NaiveBayesTest, SmoothingHandlesUnseenValues) {
+  Schema schema = MakeSchema({4}, 2);
+  // Value 3 never appears in training.
+  std::vector<Row> rows = {{0, 0}, {1, 1}, {0, 0}, {1, 1}};
+  auto model = NaiveBayesModel::Train(schema, RootCc(schema, rows));
+  ASSERT_TRUE(model.ok());
+  // Must not crash or produce NaN; priors are equal so scores are finite.
+  std::vector<double> scores = model->LogScores({3, 0});
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(NaiveBayesTest, EmptyTrainingDataFails) {
+  Schema schema = MakeSchema({2}, 2);
+  CcTable empty(2);
+  EXPECT_FALSE(NaiveBayesModel::Train(schema, empty).ok());
+}
+
+TEST(NaiveBayesTest, LogScoresOrderMatchesClassify) {
+  Schema schema = MakeSchema({3, 3}, 3);
+  std::vector<Row> rows = RandomRows(schema, 300, 5);
+  auto model = NaiveBayesModel::Train(schema, RootCc(schema, rows));
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < 20; ++i) {
+    const Row& row = rows[i];
+    std::vector<double> scores = model->LogScores(row);
+    Value best = 0;
+    for (int c = 1; c < model->num_classes(); ++c) {
+      if (scores[c] > scores[best]) best = static_cast<Value>(c);
+    }
+    EXPECT_EQ(model->Classify(row), best);
+  }
+}
+
+TEST(NaiveBayesTest, TrainWithUsesExactlyOneProviderRound) {
+  Schema schema = MakeSchema({2, 2}, 2);
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back({i % 2, (i / 2) % 2, i % 2});
+  InMemoryCcProvider provider(schema, &rows);
+  auto model = NaiveBayesModel::TrainWith(schema, &provider, rows.size());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(provider.scans(), 1u);
+  EXPECT_GT(model->Accuracy(rows), 0.9);
+}
+
+TEST(NaiveBayesTest, BetterThanChanceOnNoisyData) {
+  Schema schema = MakeSchema({3, 3, 3}, 3);
+  // Class mostly equals A1 % 3 with noise in other attributes.
+  std::vector<Row> rows;
+  Random rng(17);
+  for (int i = 0; i < 600; ++i) {
+    Value a1 = static_cast<Value>(rng.Uniform(3));
+    Value cls = rng.Bernoulli(0.8) ? a1 : static_cast<Value>(rng.Uniform(3));
+    rows.push_back({a1, static_cast<Value>(rng.Uniform(3)),
+                    static_cast<Value>(rng.Uniform(3)), cls});
+  }
+  auto model = NaiveBayesModel::Train(schema, RootCc(schema, rows));
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->Accuracy(rows), 0.5);  // chance would be ~0.33
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,139 @@
+#include "mining/prune.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/inmemory_provider.h"
+#include "mining/tree_client.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+
+DecisionTree Grow(const Schema& schema, const std::vector<Row>& rows) {
+  InMemoryCcProvider provider(schema, &rows);
+  DecisionTreeClient client(schema, TreeClientConfig());
+  auto tree = client.Grow(&provider, rows.size());
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+/// Rows whose class depends on A1 only; A2/A3 are noise the full tree
+/// overfits to.
+std::vector<Row> NoisyRows(int n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    const Value a1 = static_cast<Value>(rng.Uniform(2));
+    const Value cls =
+        rng.Bernoulli(0.85) ? a1 : static_cast<Value>(rng.Uniform(2));
+    rows.push_back({a1, static_cast<Value>(rng.Uniform(4)),
+                    static_cast<Value>(rng.Uniform(4)), cls});
+  }
+  return rows;
+}
+
+class PruneTest : public ::testing::Test {
+ protected:
+  PruneTest() : schema_(MakeSchema({2, 4, 4}, 2)) {}
+  Schema schema_;
+};
+
+TEST_F(PruneTest, ReducedErrorShrinksOverfittedTree) {
+  std::vector<Row> train = NoisyRows(600, 1);
+  std::vector<Row> holdout = NoisyRows(300, 2);
+  DecisionTree tree = Grow(schema_, train);
+  const int before = tree.CountReachableNodes();
+  ASSERT_GT(before, 3);
+
+  auto stats = ReducedErrorPrune(&tree, holdout);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->nodes_before, before);
+  EXPECT_LT(stats->nodes_after, before);
+  EXPECT_GT(stats->subtrees_pruned, 0);
+  EXPECT_EQ(stats->nodes_after, tree.CountReachableNodes());
+}
+
+TEST_F(PruneTest, ReducedErrorNeverHurtsHoldoutAccuracy) {
+  std::vector<Row> train = NoisyRows(600, 3);
+  std::vector<Row> holdout = NoisyRows(300, 4);
+  DecisionTree tree = Grow(schema_, train);
+  const double before = *tree.Accuracy(holdout);
+  ASSERT_TRUE(ReducedErrorPrune(&tree, holdout).ok());
+  EXPECT_GE(*tree.Accuracy(holdout), before - 1e-12);
+}
+
+TEST_F(PruneTest, PrunedTreeStillClassifiesEveryRow) {
+  std::vector<Row> train = NoisyRows(400, 5);
+  DecisionTree tree = Grow(schema_, train);
+  ASSERT_TRUE(ReducedErrorPrune(&tree, NoisyRows(200, 6)).ok());
+  for (const Row& row : train) {
+    EXPECT_TRUE(tree.Classify(row).ok());
+  }
+}
+
+TEST_F(PruneTest, PrunedNodesMarked) {
+  std::vector<Row> train = NoisyRows(600, 7);
+  DecisionTree tree = Grow(schema_, train);
+  ASSERT_TRUE(ReducedErrorPrune(&tree, NoisyRows(300, 8)).ok());
+  bool saw_pruned = false;
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    if (tree.node(i).leaf_reason == LeafReason::kPruned) saw_pruned = true;
+  }
+  EXPECT_TRUE(saw_pruned);
+}
+
+TEST_F(PruneTest, PessimisticShrinksOverfittedTree) {
+  std::vector<Row> train = NoisyRows(600, 9);
+  DecisionTree tree = Grow(schema_, train);
+  const int before = tree.CountReachableNodes();
+  auto stats = PessimisticPrune(&tree);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->nodes_after, before);
+}
+
+TEST_F(PruneTest, HigherConfidencePrunesMore) {
+  std::vector<Row> train = NoisyRows(600, 10);
+  DecisionTree aggressive = Grow(schema_, train);
+  DecisionTree mild = Grow(schema_, train);
+  auto mild_stats = PessimisticPrune(&mild, 0.1);
+  auto aggressive_stats = PessimisticPrune(&aggressive, 2.0);
+  ASSERT_TRUE(mild_stats.ok());
+  ASSERT_TRUE(aggressive_stats.ok());
+  EXPECT_LE(aggressive_stats->nodes_after, mild_stats->nodes_after);
+}
+
+TEST_F(PruneTest, PerfectTreeSurvivesReducedError) {
+  // Perfectly separable data: the holdout agrees with every split, so
+  // pruning must keep the (already minimal) structure's accuracy at 1.
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({i % 2, 0, 0, i % 2});
+  DecisionTree tree = Grow(schema_, rows);
+  ASSERT_TRUE(ReducedErrorPrune(&tree, rows).ok());
+  EXPECT_DOUBLE_EQ(*tree.Accuracy(rows), 1.0);
+}
+
+TEST_F(PruneTest, EmptyTreeRejected) {
+  DecisionTree tree(schema_);
+  EXPECT_FALSE(ReducedErrorPrune(&tree, {}).ok());
+  EXPECT_FALSE(PessimisticPrune(&tree).ok());
+  DecisionTree grown = Grow(schema_, NoisyRows(100, 11));
+  EXPECT_FALSE(PessimisticPrune(&grown, -1.0).ok());
+}
+
+TEST_F(PruneTest, CountsAfterPruneReflectReachabilityOnly) {
+  std::vector<Row> train = NoisyRows(600, 12);
+  DecisionTree tree = Grow(schema_, train);
+  const int raw_nodes = tree.num_nodes();
+  ASSERT_TRUE(PessimisticPrune(&tree, 2.0).ok());
+  EXPECT_EQ(tree.num_nodes(), raw_nodes);  // storage unchanged
+  EXPECT_LE(tree.CountReachableNodes(), raw_nodes);
+  EXPECT_LE(tree.MaxDepth(), 10);
+  EXPECT_EQ(tree.CountReachableNodes(), tree.CountLeaves() * 2 - 1);
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,128 @@
+// Contract coverage for CcProvider::ReleaseNode: releasing promptly lets
+// the middleware reclaim staged stores; never releasing is *safe* (the
+// classifier is unchanged) but pins stores for the whole run. Includes the
+// umbrella-header compile check.
+
+#include "sqlclass.h"  // umbrella: everything below comes through it
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+/// Forwards to an inner provider but swallows ReleaseNode — a client that
+/// never sends Fig. 3's "processed nodes" notification.
+class NeverReleasingProvider : public CcProvider {
+ public:
+  explicit NeverReleasingProvider(CcProvider* inner) : inner_(inner) {}
+
+  Status QueueRequest(CcRequest request) override {
+    return inner_->QueueRequest(std::move(request));
+  }
+  StatusOr<std::vector<CcResult>> FulfillSome() override {
+    return inner_->FulfillSome();
+  }
+  void ReleaseNode(int) override {}  // dropped on purpose
+  size_t PendingRequests() const override {
+    return inner_->PendingRequests();
+  }
+
+ private:
+  CcProvider* inner_;
+};
+
+class ReleaseContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 7;
+    params.num_leaves = 20;
+    params.cases_per_leaf = 40;
+    params.num_classes = 3;
+    params.seed = 2024;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    schema_ = (*dataset)->schema();
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(LoadIntoServer(server_.get(), "data", schema_,
+                               [&](const RowSink& sink) {
+                                 return (*dataset)->Generate(sink);
+                               })
+                    .ok());
+    ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+  }
+
+  std::unique_ptr<ClassificationMiddleware> MakeMiddleware() {
+    MiddlewareConfig config;
+    config.staging_dir = dir_.path();
+    auto mw = ClassificationMiddleware::Create(server_.get(), "data", config);
+    EXPECT_TRUE(mw.ok());
+    return std::move(mw).value();
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::unique_ptr<SqlServer> server_;
+  std::vector<Row> rows_;
+};
+
+TEST_F(ReleaseContractTest, NeverReleasingIsSafeButPinsStores) {
+  InMemoryCcProvider reference_provider(schema_, &rows_);
+  DecisionTreeClient reference_client(schema_, TreeClientConfig());
+  auto reference = reference_client.Grow(&reference_provider, rows_.size());
+  ASSERT_TRUE(reference.ok());
+
+  uint64_t freed_with_release = 0;
+  {
+    auto middleware = MakeMiddleware();
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(middleware.get(), rows_.size());
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree->Signature(), reference->Signature());
+    freed_with_release = middleware->stats().stores_freed;
+  }
+  uint64_t freed_without_release = 0;
+  {
+    auto middleware = MakeMiddleware();
+    NeverReleasingProvider hoarder(middleware.get());
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(&hoarder, rows_.size());
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(tree->Signature(), reference->Signature());
+    freed_without_release = middleware->stats().stores_freed;
+  }
+  // Withholding releases can only reduce reclamation.
+  EXPECT_LE(freed_without_release, freed_with_release);
+}
+
+TEST_F(ReleaseContractTest, ReleaseOfUnknownNodeIsHarmless) {
+  auto middleware = MakeMiddleware();
+  middleware->ReleaseNode(424242);  // never delivered
+  DecisionTreeClient client(schema_, TreeClientConfig());
+  auto tree = client.Grow(middleware.get(), rows_.size());
+  EXPECT_TRUE(tree.ok());
+}
+
+TEST_F(ReleaseContractTest, StoresDrainAfterFullRelease) {
+  auto middleware = MakeMiddleware();
+  DecisionTreeClient client(schema_, TreeClientConfig());
+  ASSERT_TRUE(client.Grow(middleware.get(), rows_.size()).ok());
+  // All nodes were released during Grow; one more queue+fulfill cycle runs
+  // the GC sweep with nothing pinned.
+  CcRequest request;
+  request.node_id = 999;
+  request.predicate = Expr::True();
+  request.active_attrs = schema_.PredictorColumns();
+  ASSERT_TRUE(middleware->QueueRequest(std::move(request)).ok());
+  ASSERT_TRUE(middleware->FulfillSome().ok());
+  middleware->ReleaseNode(999);
+  EXPECT_LE(middleware->staging().memory_bytes_used(),
+            rows_.size() * schema_.RowBytes());
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,261 @@
+#include "middleware/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlclass {
+namespace {
+
+SchedItem Item(int idx, uint64_t seq, uint64_t data_size, size_t est_bytes,
+               DataLocation loc) {
+  SchedItem item;
+  item.idx = idx;
+  item.seq = seq;
+  item.data_size = data_size;
+  item.est_cc_bytes = est_bytes;
+  item.location = loc;
+  return item;
+}
+
+constexpr DataLocation kServer{LocationKind::kServer, 0};
+
+SchedBudgets DefaultBudgets() {
+  SchedBudgets budgets;
+  budgets.memory_budget = 1 << 20;  // 1 MB
+  budgets.file_budget = 10 << 20;
+  budgets.row_bytes = 100;
+  return budgets;
+}
+
+TEST(SchedulerTest, Rule1MemoryBeatsFileBeatsServer) {
+  Scheduler scheduler{MiddlewareConfig()};
+  DataLocation file{LocationKind::kFile, 1};
+  DataLocation mem{LocationKind::kMemory, 2};
+  std::vector<SchedItem> items = {
+      Item(0, 0, 100, 10, kServer),
+      Item(1, 1, 100, 10, file),
+      Item(2, 2, 100, 10, mem),
+  };
+  std::map<DataLocation, uint64_t> rows = {{file, 100}, {mem, 100}};
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_EQ(plan.source.kind, LocationKind::kMemory);
+  EXPECT_EQ(plan.admitted, (std::vector<int>{2}));
+
+  items.erase(items.begin() + 2);
+  plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_EQ(plan.source.kind, LocationKind::kFile);
+
+  items.erase(items.begin() + 1);
+  plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_EQ(plan.source.kind, LocationKind::kServer);
+}
+
+TEST(SchedulerTest, Rule2BatchSharesOneStore) {
+  Scheduler scheduler{MiddlewareConfig()};
+  DataLocation file_a{LocationKind::kFile, 1};
+  DataLocation file_b{LocationKind::kFile, 2};
+  std::vector<SchedItem> items = {
+      Item(0, 0, 10, 10, file_a),
+      Item(1, 1, 10, 10, file_b),
+      Item(2, 2, 10, 10, file_a),
+  };
+  std::map<DataLocation, uint64_t> rows = {{file_a, 100}, {file_b, 100}};
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  // Only items of one file group admitted (the smaller aggregate wins;
+  // file_a has 20 rows vs file_b 10 -> file_b? No: group size by data_size:
+  // file_a = 20, file_b = 10 -> file_b is smaller).
+  EXPECT_EQ(plan.source, file_b);
+  EXPECT_EQ(plan.admitted, (std::vector<int>{1}));
+}
+
+TEST(SchedulerTest, Rule3SmallestCcFirstAndAdmission) {
+  MiddlewareConfig config;
+  config.memory_budget_bytes = 1 << 20;
+  Scheduler scheduler{config};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.memory_budget = 250;
+  std::vector<SchedItem> items = {
+      Item(0, 0, 10, 200, kServer),
+      Item(1, 1, 10, 50, kServer),
+      Item(2, 2, 10, 100, kServer),
+      Item(3, 3, 10, 400, kServer),
+  };
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  // Order: 1 (50), 2 (100), then 0 (200) doesn't fit (350 > 250), 3 no.
+  EXPECT_EQ(plan.admitted, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, FirstItemAlwaysAdmittedDespiteOversizedEstimate) {
+  Scheduler scheduler{MiddlewareConfig()};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.memory_budget = 10;  // nothing fits
+  std::vector<SchedItem> items = {Item(0, 0, 10, 1000, kServer)};
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  EXPECT_EQ(plan.admitted, (std::vector<int>{0}));
+}
+
+TEST(SchedulerTest, FifoPolicyKeepsArrivalOrder) {
+  MiddlewareConfig config;
+  config.order_policy = OrderPolicy::kFifo;
+  Scheduler scheduler{config};
+  std::vector<SchedItem> items = {
+      Item(0, 5, 10, 500, kServer),
+      Item(1, 2, 10, 50, kServer),
+  };
+  BatchPlan plan = scheduler.PlanBatch(items, {}, DefaultBudgets());
+  EXPECT_EQ(plan.admitted, (std::vector<int>{1, 0}));  // by seq
+}
+
+TEST(SchedulerTest, LargestFirstPolicy) {
+  MiddlewareConfig config;
+  config.order_policy = OrderPolicy::kLargestCcFirst;
+  Scheduler scheduler{config};
+  std::vector<SchedItem> items = {
+      Item(0, 0, 10, 50, kServer),
+      Item(1, 1, 10, 500, kServer),
+  };
+  BatchPlan plan = scheduler.PlanBatch(items, {}, DefaultBudgets());
+  EXPECT_EQ(plan.admitted, (std::vector<int>{1, 0}));
+}
+
+TEST(SchedulerTest, Rule5StagesLargestDataFirstToMemory) {
+  MiddlewareConfig config;
+  config.enable_file_staging = false;  // isolate the memory tier
+  config.cc_memory_reserve = 0.0;      // exact-budget arithmetic below
+  Scheduler scheduler{config};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.memory_budget = 100 * 100 + 40;  // CC estimates (20) + one store
+  std::vector<SchedItem> items = {
+      Item(0, 0, 60, 10, kServer),
+      Item(1, 1, 100, 10, kServer),  // largest; only this one fits
+  };
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  ASSERT_EQ(plan.staging.size(), 1u);
+  EXPECT_EQ(plan.staging[0].idx, 1);
+  EXPECT_EQ(plan.staging[0].target, LocationKind::kMemory);
+}
+
+TEST(SchedulerTest, FallsBackToFileWhenMemoryFull) {
+  MiddlewareConfig config;
+  Scheduler scheduler{config};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.memory_budget = 30;  // only CC estimates fit
+  std::vector<SchedItem> items = {Item(0, 0, 100, 10, kServer)};
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  ASSERT_EQ(plan.staging.size(), 1u);
+  EXPECT_EQ(plan.staging[0].target, LocationKind::kFile);
+}
+
+TEST(SchedulerTest, NoStagingWhenDisabled) {
+  MiddlewareConfig config;
+  config.enable_memory_staging = false;
+  config.enable_file_staging = false;
+  Scheduler scheduler{config};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.file_budget = 0;
+  std::vector<SchedItem> items = {Item(0, 0, 100, 10, kServer)};
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  EXPECT_TRUE(plan.staging.empty());
+}
+
+TEST(SchedulerTest, FileBudgetLimitsFileStaging) {
+  MiddlewareConfig config;
+  config.enable_memory_staging = false;
+  Scheduler scheduler{config};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.file_budget = 100 * 100;  // exactly one 100-row node
+  std::vector<SchedItem> items = {
+      Item(0, 0, 100, 10, kServer),
+      Item(1, 1, 100, 10, kServer),
+  };
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  EXPECT_EQ(plan.staging.size(), 1u);
+}
+
+TEST(SchedulerTest, MemorySourceNeverRestaged) {
+  Scheduler scheduler{MiddlewareConfig()};
+  DataLocation mem{LocationKind::kMemory, 3};
+  std::vector<SchedItem> items = {Item(0, 0, 50, 10, mem)};
+  std::map<DataLocation, uint64_t> rows = {{mem, 50}};
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_TRUE(plan.staging.empty());
+}
+
+TEST(SchedulerTest, FileSplitTriggersBelowThreshold) {
+  MiddlewareConfig config;
+  config.file_split_threshold = 0.5;
+  config.enable_memory_staging = false;
+  Scheduler scheduler{config};
+  DataLocation file{LocationKind::kFile, 1};
+  std::vector<SchedItem> items = {Item(0, 0, 40, 10, file)};
+  std::map<DataLocation, uint64_t> rows = {{file, 100}};  // 40% <= 50%
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_TRUE(plan.file_split);
+  ASSERT_EQ(plan.staging.size(), 1u);
+  EXPECT_EQ(plan.staging[0].target, LocationKind::kFile);
+}
+
+TEST(SchedulerTest, FileSplitDoesNotTriggerAboveThreshold) {
+  MiddlewareConfig config;
+  config.file_split_threshold = 0.5;
+  config.enable_memory_staging = false;
+  Scheduler scheduler{config};
+  DataLocation file{LocationKind::kFile, 1};
+  std::vector<SchedItem> items = {Item(0, 0, 80, 10, file)};
+  std::map<DataLocation, uint64_t> rows = {{file, 100}};  // 80% > 50%
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_FALSE(plan.file_split);
+  EXPECT_TRUE(plan.staging.empty());
+}
+
+TEST(SchedulerTest, ZeroThresholdNeverSplits) {
+  MiddlewareConfig config;
+  config.file_split_threshold = 0.0;  // singleton-file configuration
+  config.enable_memory_staging = false;
+  Scheduler scheduler{config};
+  DataLocation file{LocationKind::kFile, 1};
+  std::vector<SchedItem> items = {Item(0, 0, 1, 10, file)};
+  std::map<DataLocation, uint64_t> rows = {{file, 1000}};
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_FALSE(plan.file_split);
+}
+
+TEST(SchedulerTest, ThresholdOneAlwaysSplits) {
+  MiddlewareConfig config;
+  config.file_split_threshold = 1.0;  // file-per-node configuration
+  config.enable_memory_staging = false;
+  Scheduler scheduler{config};
+  DataLocation file{LocationKind::kFile, 1};
+  std::vector<SchedItem> items = {Item(0, 0, 100, 10, file)};
+  std::map<DataLocation, uint64_t> rows = {{file, 100}};  // 100% <= 100%
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_TRUE(plan.file_split);
+}
+
+TEST(SchedulerTest, SmallestMemoryGroupDrainsFirst) {
+  Scheduler scheduler{MiddlewareConfig()};
+  DataLocation mem_a{LocationKind::kMemory, 1};
+  DataLocation mem_b{LocationKind::kMemory, 2};
+  std::vector<SchedItem> items = {
+      Item(0, 0, 500, 10, mem_a),
+      Item(1, 1, 50, 10, mem_b),
+  };
+  std::map<DataLocation, uint64_t> rows = {{mem_a, 500}, {mem_b, 50}};
+  BatchPlan plan = scheduler.PlanBatch(items, rows, DefaultBudgets());
+  EXPECT_EQ(plan.source, mem_b);
+}
+
+TEST(SchedulerTest, StagedMemoryReducesCcAdmission) {
+  Scheduler scheduler{MiddlewareConfig()};
+  SchedBudgets budgets = DefaultBudgets();
+  budgets.memory_budget = 300;
+  budgets.staged_memory_used = 200;  // only 100 left for CC tables
+  std::vector<SchedItem> items = {
+      Item(0, 0, 10, 80, kServer),
+      Item(1, 1, 10, 80, kServer),
+  };
+  BatchPlan plan = scheduler.PlanBatch(items, {}, budgets);
+  EXPECT_EQ(plan.admitted.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,167 @@
+#include "sql/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+
+std::unique_ptr<Expr> BoundEq(const Schema& schema, const std::string& col,
+                              Value v) {
+  auto e = Expr::ColEq(col, v);
+  EXPECT_TRUE(e->Bind(schema).ok());
+  return e;
+}
+
+TEST(ExprTest, TrueMatchesEverything) {
+  auto e = Expr::True();
+  EXPECT_TRUE(e->bound());
+  EXPECT_TRUE(e->Eval({0, 1, 2}));
+  EXPECT_EQ(e->ToSql(), "TRUE");
+}
+
+TEST(ExprTest, ColumnEqEvaluates) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  auto e = BoundEq(schema, "A2", 1);
+  EXPECT_TRUE(e->Eval({0, 1, 0}));
+  EXPECT_FALSE(e->Eval({0, 2, 0}));
+  EXPECT_EQ(e->ToSql(), "A2 = 1");
+}
+
+TEST(ExprTest, ColumnNeEvaluates) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  auto e = Expr::ColNe("A1", 2);
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_TRUE(e->Eval({0, 0, 0}));
+  EXPECT_FALSE(e->Eval({2, 0, 0}));
+  EXPECT_EQ(e->ToSql(), "A1 <> 2");
+}
+
+TEST(ExprTest, UnboundEvaluationWouldBeUnsafe) {
+  auto e = Expr::ColEq("A1", 1);
+  EXPECT_FALSE(e->bound());
+}
+
+TEST(ExprTest, BindFailsOnUnknownColumn) {
+  Schema schema = MakeSchema({3}, 2);
+  auto e = Expr::ColEq("missing", 1);
+  EXPECT_EQ(e->Bind(schema).code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, BindIsIdempotent) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  auto e = Expr::ColEq("A1", 0);
+  ASSERT_TRUE(e->Bind(schema).ok());
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_TRUE(e->Eval({0, 1, 1}));
+}
+
+TEST(ExprTest, AndRequiresAll) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  std::vector<std::unique_ptr<Expr>> terms;
+  terms.push_back(Expr::ColEq("A1", 1));
+  terms.push_back(Expr::ColEq("A2", 2));
+  auto e = Expr::And(std::move(terms));
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_TRUE(e->Eval({1, 2, 0}));
+  EXPECT_FALSE(e->Eval({1, 1, 0}));
+  EXPECT_FALSE(e->Eval({0, 2, 0}));
+  EXPECT_EQ(e->ToSql(), "(A1 = 1 AND A2 = 2)");
+}
+
+TEST(ExprTest, OrRequiresAny) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  std::vector<std::unique_ptr<Expr>> terms;
+  terms.push_back(Expr::ColEq("A1", 1));
+  terms.push_back(Expr::ColEq("A2", 2));
+  auto e = Expr::Or(std::move(terms));
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_TRUE(e->Eval({1, 0, 0}));
+  EXPECT_TRUE(e->Eval({0, 2, 0}));
+  EXPECT_FALSE(e->Eval({0, 0, 0}));
+  EXPECT_EQ(e->ToSql(), "(A1 = 1 OR A2 = 2)");
+}
+
+TEST(ExprTest, SingleChildAndOrCollapse) {
+  std::vector<std::unique_ptr<Expr>> one;
+  one.push_back(Expr::ColEq("A1", 1));
+  auto e = Expr::And(std::move(one));
+  EXPECT_EQ(e->kind(), ExprKind::kColumnEq);
+  std::vector<std::unique_ptr<Expr>> two;
+  two.push_back(Expr::ColEq("A1", 1));
+  auto f = Expr::Or(std::move(two));
+  EXPECT_EQ(f->kind(), ExprKind::kColumnEq);
+}
+
+TEST(ExprTest, NotNegates) {
+  Schema schema = MakeSchema({3}, 2);
+  auto e = Expr::Not(Expr::ColEq("A1", 1));
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_FALSE(e->Eval({1, 0}));
+  EXPECT_TRUE(e->Eval({0, 0}));
+  EXPECT_EQ(e->ToSql(), "NOT A1 = 1");
+}
+
+TEST(ExprTest, CloneIsDeepAndPreservesBinding) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  std::vector<std::unique_ptr<Expr>> terms;
+  terms.push_back(Expr::ColEq("A1", 1));
+  terms.push_back(Expr::ColNe("A2", 0));
+  auto original = Expr::And(std::move(terms));
+  ASSERT_TRUE(original->Bind(schema).ok());
+  auto clone = original->Clone();
+  EXPECT_TRUE(clone->bound());
+  EXPECT_EQ(clone->ToSql(), original->ToSql());
+  EXPECT_TRUE(clone->Eval({1, 1, 0}));
+  original.reset();
+  EXPECT_TRUE(clone->Eval({1, 1, 0}));  // independent of the original
+}
+
+TEST(ExprTest, TreeSizeCountsNodes) {
+  std::vector<std::unique_ptr<Expr>> terms;
+  terms.push_back(Expr::ColEq("A1", 1));
+  terms.push_back(Expr::ColEq("A2", 2));
+  auto e = Expr::Not(Expr::And(std::move(terms)));
+  EXPECT_EQ(e->TreeSize(), 4u);
+}
+
+TEST(ExprTest, AndOfHandlesNulls) {
+  auto a = Expr::ColEq("A1", 1);
+  auto b = Expr::ColEq("A2", 2);
+  auto both = AndOf(std::move(a), std::move(b));
+  EXPECT_EQ(both->kind(), ExprKind::kAnd);
+  auto only = AndOf(Expr::ColEq("A1", 1), nullptr);
+  EXPECT_EQ(only->kind(), ExprKind::kColumnEq);
+  auto other = AndOf(nullptr, Expr::ColEq("A1", 1));
+  EXPECT_EQ(other->kind(), ExprKind::kColumnEq);
+}
+
+TEST(ExprTest, NestedCompositionEvaluates) {
+  Schema schema = MakeSchema({4, 4, 4}, 2);
+  // (A1 = 1 AND A2 <> 2) OR NOT A3 = 3
+  std::vector<std::unique_ptr<Expr>> conj;
+  conj.push_back(Expr::ColEq("A1", 1));
+  conj.push_back(Expr::ColNe("A2", 2));
+  std::vector<std::unique_ptr<Expr>> disj;
+  disj.push_back(Expr::And(std::move(conj)));
+  disj.push_back(Expr::Not(Expr::ColEq("A3", 3)));
+  auto e = Expr::Or(std::move(disj));
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_TRUE(e->Eval({1, 0, 3, 0}));   // left conjunct holds
+  EXPECT_TRUE(e->Eval({0, 2, 0, 0}));   // right NOT holds
+  EXPECT_FALSE(e->Eval({0, 2, 3, 0}));  // neither
+}
+
+TEST(ExprTest, BoundColumnIndexExposed) {
+  Schema schema = MakeSchema({3, 3}, 2);
+  auto e = Expr::ColEq("A2", 1);
+  EXPECT_EQ(e->BoundColumnIndex(), -1);
+  ASSERT_TRUE(e->Bind(schema).ok());
+  EXPECT_EQ(e->BoundColumnIndex(), 1);
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,214 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace sqlclass {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Tokenize("SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 tokens + end
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[6].IsSymbol("="));
+  EXPECT_EQ((*tokens)[7].int_value, 1);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  auto tokens = Tokenize("MyTable");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "MyTable");
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Tokenize("'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+}
+
+TEST(LexerTest, EscapedQuoteInString) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, NotEqualsVariants) {
+  auto tokens = Tokenize("a <> 1 b != 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[4].IsSymbol("<>"));  // != normalized
+}
+
+TEST(LexerTest, NegativeIntegers) {
+  auto tokens = Tokenize("-42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, -42);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto result = Tokenize("a @ b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(ParserTest, SelectStar) {
+  auto query = ParseQuery("SELECT * FROM data");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->selects.size(), 1u);
+  const SelectStmt& stmt = query->selects[0];
+  EXPECT_EQ(stmt.table, "data");
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].kind, SelectItemKind::kStar);
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(ParserTest, SelectWithWhere) {
+  auto query = ParseQuery("SELECT * FROM data WHERE A1 = 2 AND A2 <> 0");
+  ASSERT_TRUE(query.ok());
+  const SelectStmt& stmt = query->selects[0];
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->ToSql(), "(A1 = 2 AND A2 <> 0)");
+}
+
+TEST(ParserTest, CcTableQueryShape) {
+  auto query = ParseQuery(
+      "SELECT 'A1' AS attr_name, A1 AS value, class, COUNT(*) "
+      "FROM data WHERE A2 = 1 GROUP BY class, A1");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const SelectStmt& stmt = query->selects[0];
+  ASSERT_EQ(stmt.items.size(), 4u);
+  EXPECT_EQ(stmt.items[0].kind, SelectItemKind::kStringLiteral);
+  EXPECT_EQ(stmt.items[0].text, "A1");
+  EXPECT_EQ(stmt.items[0].alias, "attr_name");
+  EXPECT_EQ(stmt.items[1].kind, SelectItemKind::kColumn);
+  EXPECT_EQ(stmt.items[1].alias, "value");
+  EXPECT_EQ(stmt.items[2].kind, SelectItemKind::kColumn);
+  EXPECT_EQ(stmt.items[3].kind, SelectItemKind::kCountStar);
+  EXPECT_EQ(stmt.group_by, (std::vector<std::string>{"class", "A1"}));
+}
+
+TEST(ParserTest, UnionAllChains) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM a UNION ALL SELECT COUNT(*) FROM b "
+      "UNION ALL SELECT COUNT(*) FROM c");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->selects.size(), 3u);
+  EXPECT_EQ(query->selects[2].table, "c");
+}
+
+TEST(ParserTest, UnionWithoutAllFails) {
+  EXPECT_FALSE(ParseQuery("SELECT * FROM a UNION SELECT * FROM b").ok());
+}
+
+TEST(ParserTest, OrPrecedenceLowerThanAnd) {
+  auto pred = ParsePredicate("A1 = 1 OR A2 = 2 AND A3 = 3");
+  ASSERT_TRUE(pred.ok());
+  // Should parse as A1 = 1 OR (A2 = 2 AND A3 = 3).
+  EXPECT_EQ((*pred)->kind(), ExprKind::kOr);
+  EXPECT_EQ((*pred)->ToSql(), "(A1 = 1 OR (A2 = 2 AND A3 = 3))");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto pred = ParsePredicate("(A1 = 1 OR A2 = 2) AND A3 = 3");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ((*pred)->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, NotParses) {
+  auto pred = ParsePredicate("NOT A1 = 1");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ((*pred)->kind(), ExprKind::kNot);
+}
+
+TEST(ParserTest, TruePredicate) {
+  auto pred = ParsePredicate("TRUE");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ((*pred)->kind(), ExprKind::kTrue);
+}
+
+TEST(ParserTest, PredicateRoundTripsThroughToSql) {
+  const std::string inputs[] = {
+      "A1 = 1",
+      "A1 <> 2",
+      "(A1 = 1 AND A2 = 2)",
+      "(A1 = 1 OR (A2 = 2 AND A3 <> 0))",
+      "NOT (A1 = 1 OR A2 = 2)",
+  };
+  for (const std::string& input : inputs) {
+    auto pred = ParsePredicate(input);
+    ASSERT_TRUE(pred.ok()) << input;
+    auto reparsed = ParsePredicate((*pred)->ToSql());
+    ASSERT_TRUE(reparsed.ok()) << (*pred)->ToSql();
+    EXPECT_EQ((*reparsed)->ToSql(), (*pred)->ToSql());
+  }
+}
+
+TEST(ParserTest, QueryRoundTripsThroughToSql) {
+  const std::string sql =
+      "SELECT 'A1' AS attr_name, A1 AS value, class, COUNT(*) FROM data "
+      "WHERE (A2 = 1 AND A3 <> 0) GROUP BY class, A1 UNION ALL "
+      "SELECT 'A2' AS attr_name, A2 AS value, class, COUNT(*) FROM data "
+      "WHERE (A2 = 1 AND A3 <> 0) GROUP BY class, A2";
+  auto query = ParseQuery(sql);
+  ASSERT_TRUE(query.ok());
+  auto reparsed = ParseQuery(query->ToSql());
+  ASSERT_TRUE(reparsed.ok()) << query->ToSql();
+  EXPECT_EQ(reparsed->ToSql(), query->ToSql());
+}
+
+TEST(ParserTest, MissingFromFails) {
+  EXPECT_FALSE(ParseQuery("SELECT *").ok());
+}
+
+TEST(ParserTest, MissingTableFails) {
+  EXPECT_FALSE(ParseQuery("SELECT * FROM").ok());
+}
+
+TEST(ParserTest, TrailingTokensFail) {
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t garbage garbage").ok());
+  EXPECT_FALSE(ParsePredicate("A1 = 1 A2").ok());
+}
+
+TEST(ParserTest, ComparisonNeedsIntegerLiteral) {
+  EXPECT_FALSE(ParsePredicate("A1 = A2").ok());
+  EXPECT_FALSE(ParsePredicate("A1 = 'text'").ok());
+}
+
+TEST(ParserTest, StarMixedWithItemsFailsDownstream) {
+  // Grammar-level: '*' must be alone; "a, *" does not parse as a list.
+  EXPECT_FALSE(ParseQuery("SELECT a, * FROM t").ok());
+}
+
+TEST(ParserTest, GroupByRequiresColumns) {
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t GROUP BY").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t GROUP a").ok());
+}
+
+TEST(ParserTest, CountRequiresStar) {
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(a) FROM t").ok());
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,169 @@
+#include "middleware/staging.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::TempDir;
+
+class StagingTest : public ::testing::Test {
+ protected:
+  StagingTest() : staging_(dir_.path(), 3, &cost_) {}
+
+  TempDir dir_;
+  CostCounters cost_;
+  StagingManager staging_;
+};
+
+TEST_F(StagingTest, FileStoreRoundTrip) {
+  auto id = staging_.BeginFileStore();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(staging_.AppendToFileStore(*id, {1, 2, 3}).ok());
+  ASSERT_TRUE(staging_.AppendToFileStore(*id, {4, 5, 6}).ok());
+  ASSERT_TRUE(staging_.FinishFileStore(*id).ok());
+  EXPECT_EQ(cost_.mw_file_rows_written, 2u);
+
+  auto source = staging_.OpenFileStore(*id);
+  ASSERT_TRUE(source.ok());
+  Row row;
+  ASSERT_TRUE(*(*source)->Next(&row));
+  EXPECT_EQ(row, (Row{1, 2, 3}));
+  ASSERT_TRUE(*(*source)->Next(&row));
+  EXPECT_EQ(row, (Row{4, 5, 6}));
+  EXPECT_FALSE(*(*source)->Next(&row));
+  EXPECT_EQ(cost_.mw_file_rows_read, 2u);
+}
+
+TEST_F(StagingTest, MemoryStoreRoundTrip) {
+  uint64_t id = staging_.BeginMemoryStore();
+  staging_.AppendToMemoryStore(id, {7, 8, 9});
+  auto store = staging_.GetMemoryStore(id);
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ((*store)->num_rows(), 1u);
+  EXPECT_EQ((*store)->RowAt(0)[2], 9);
+}
+
+TEST_F(StagingTest, ByteAccountingTracksBothTiers) {
+  EXPECT_EQ(staging_.RowBytes(), 12u);
+  auto fid = staging_.BeginFileStore();
+  ASSERT_TRUE(fid.ok());
+  ASSERT_TRUE(staging_.AppendToFileStore(*fid, {1, 2, 3}).ok());
+  EXPECT_EQ(staging_.file_bytes_used(), 12u);
+  uint64_t mid = staging_.BeginMemoryStore();
+  staging_.AppendToMemoryStore(mid, {1, 2, 3});
+  staging_.AppendToMemoryStore(mid, {1, 2, 3});
+  EXPECT_EQ(staging_.memory_bytes_used(), 24u);
+  ASSERT_TRUE(staging_.FinishFileStore(*fid).ok());
+  ASSERT_TRUE(staging_.Free(DataLocation{LocationKind::kFile, *fid}).ok());
+  EXPECT_EQ(staging_.file_bytes_used(), 0u);
+  ASSERT_TRUE(staging_.Free(DataLocation{LocationKind::kMemory, mid}).ok());
+  EXPECT_EQ(staging_.memory_bytes_used(), 0u);
+}
+
+TEST_F(StagingTest, StoreRowsQueriesBothKinds) {
+  auto fid = staging_.BeginFileStore();
+  ASSERT_TRUE(staging_.AppendToFileStore(*fid, {1, 2, 3}).ok());
+  ASSERT_TRUE(staging_.FinishFileStore(*fid).ok());
+  uint64_t mid = staging_.BeginMemoryStore();
+  staging_.AppendToMemoryStore(mid, {1, 2, 3});
+  staging_.AppendToMemoryStore(mid, {1, 2, 3});
+  EXPECT_EQ(*staging_.StoreRows(DataLocation{LocationKind::kFile, *fid}), 1u);
+  EXPECT_EQ(*staging_.StoreRows(DataLocation{LocationKind::kMemory, mid}),
+            2u);
+  EXPECT_FALSE(
+      staging_.StoreRows(DataLocation{LocationKind::kServer, 0}).ok());
+  EXPECT_FALSE(
+      staging_.StoreRows(DataLocation{LocationKind::kFile, 999}).ok());
+}
+
+TEST_F(StagingTest, FreeDeletesFileFromDisk) {
+  auto fid = staging_.BeginFileStore();
+  ASSERT_TRUE(staging_.AppendToFileStore(*fid, {1, 2, 3}).ok());
+  ASSERT_TRUE(staging_.FinishFileStore(*fid).ok());
+  const std::string path =
+      dir_.path() + "/mwstage_" + std::to_string(*fid) + ".dat";
+  EXPECT_TRUE(std::filesystem::exists(path));
+  ASSERT_TRUE(staging_.Free(DataLocation{LocationKind::kFile, *fid}).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(staging_.OpenFileStore(*fid).ok());
+}
+
+TEST_F(StagingTest, OpenUnfinishedFileFails) {
+  auto fid = staging_.BeginFileStore();
+  ASSERT_TRUE(staging_.AppendToFileStore(*fid, {1, 2, 3}).ok());
+  EXPECT_FALSE(staging_.OpenFileStore(*fid).ok());
+}
+
+TEST_F(StagingTest, AppendToUnknownStoreFails) {
+  EXPECT_FALSE(staging_.AppendToFileStore(999, {1, 2, 3}).ok());
+  EXPECT_FALSE(staging_.FinishFileStore(999).ok());
+  EXPECT_FALSE(staging_.GetMemoryStore(999).ok());
+}
+
+TEST_F(StagingTest, LiveStoresListsBothTiers) {
+  EXPECT_TRUE(staging_.LiveStores().empty());
+  auto fid = staging_.BeginFileStore();
+  uint64_t mid = staging_.BeginMemoryStore();
+  auto stores = staging_.LiveStores();
+  ASSERT_EQ(stores.size(), 2u);
+  ASSERT_TRUE(staging_.FinishFileStore(*fid).ok());
+  ASSERT_TRUE(staging_.Free(DataLocation{LocationKind::kMemory, mid}).ok());
+  EXPECT_EQ(staging_.LiveStores().size(), 1u);
+}
+
+TEST_F(StagingTest, CreationCountersTrack) {
+  EXPECT_EQ(staging_.files_created(), 0);
+  auto fid = staging_.BeginFileStore();
+  (void)fid;
+  staging_.BeginMemoryStore();
+  staging_.BeginMemoryStore();
+  EXPECT_EQ(staging_.files_created(), 1);
+  EXPECT_EQ(staging_.memory_stores_created(), 2);
+}
+
+TEST_F(StagingTest, FreeingUnknownStoreFails) {
+  EXPECT_FALSE(staging_.Free(DataLocation{LocationKind::kFile, 5}).ok());
+  EXPECT_FALSE(staging_.Free(DataLocation{LocationKind::kMemory, 5}).ok());
+  EXPECT_FALSE(staging_.Free(DataLocation{LocationKind::kServer, 0}).ok());
+}
+
+TEST_F(StagingTest, DestructorCleansUpFiles) {
+  std::string path;
+  {
+    TempDir dir;
+    CostCounters cost;
+    StagingManager staging(dir.path(), 2, &cost);
+    auto fid = staging.BeginFileStore();
+    ASSERT_TRUE(staging.AppendToFileStore(*fid, {1, 2}).ok());
+    ASSERT_TRUE(staging.FinishFileStore(*fid).ok());
+    path = dir.path() + "/mwstage_" + std::to_string(*fid) + ".dat";
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(StagingTest, ManyStoresCoexist) {
+  std::vector<uint64_t> fids;
+  for (int i = 0; i < 10; ++i) {
+    auto fid = staging_.BeginFileStore();
+    ASSERT_TRUE(fid.ok());
+    for (int r = 0; r <= i; ++r) {
+      ASSERT_TRUE(staging_.AppendToFileStore(*fid, {r, r, r}).ok());
+    }
+    ASSERT_TRUE(staging_.FinishFileStore(*fid).ok());
+    fids.push_back(*fid);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(
+        *staging_.StoreRows(DataLocation{LocationKind::kFile, fids[i]}),
+        static_cast<uint64_t>(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace sqlclass

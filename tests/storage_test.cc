@@ -1,0 +1,227 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/row_store.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+using testing_util::TempDir;
+
+std::vector<Row> WriteAndReadBack(const std::string& path, int columns,
+                                  const std::vector<Row>& rows,
+                                  IoCounters* io) {
+  auto writer = HeapFileWriter::Create(path, columns, io);
+  EXPECT_TRUE(writer.ok());
+  for (const Row& row : rows) {
+    EXPECT_TRUE((*writer)->Append(row).ok());
+  }
+  EXPECT_TRUE((*writer)->Finish().ok());
+
+  auto reader = HeapFileReader::Open(path, columns, io);
+  EXPECT_TRUE(reader.ok());
+  std::vector<Row> read;
+  Row row;
+  while (true) {
+    auto more = (*reader)->Next(&row);
+    EXPECT_TRUE(more.ok());
+    if (!*more) break;
+    read.push_back(row);
+  }
+  return read;
+}
+
+TEST(RowCodecTest, RoundTrip) {
+  RowCodec codec(3);
+  EXPECT_EQ(codec.row_bytes(), 12u);
+  Row row = {1, -5, 1000000};
+  std::vector<char> buf(codec.row_bytes());
+  codec.Encode(row, buf.data());
+  Row decoded;
+  codec.Decode(buf.data(), &decoded);
+  EXPECT_EQ(decoded, row);
+}
+
+TEST(SlotsPerPageTest, Computation) {
+  // (8192 - 4) / 12 = 682 for 3 columns.
+  EXPECT_EQ(SlotsPerPage(12), 682u);
+  EXPECT_EQ(SlotsPerPage(kPageSize - kPageHeaderBytes), 1u);
+}
+
+TEST(HeapFileTest, EmptyFileRoundTrip) {
+  TempDir dir;
+  IoCounters io;
+  std::vector<Row> read =
+      WriteAndReadBack(dir.path() + "/empty.tbl", 2, {}, &io);
+  EXPECT_TRUE(read.empty());
+  EXPECT_EQ(io.pages_written, 0u);
+}
+
+TEST(HeapFileTest, SmallRoundTrip) {
+  TempDir dir;
+  IoCounters io;
+  std::vector<Row> rows = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(WriteAndReadBack(dir.path() + "/small.tbl", 2, rows, &io), rows);
+  EXPECT_EQ(io.rows_written, 3u);
+  EXPECT_EQ(io.rows_read, 3u);
+  EXPECT_EQ(io.pages_written, 1u);
+}
+
+TEST(HeapFileTest, MultiPageRoundTrip) {
+  TempDir dir;
+  IoCounters io;
+  Schema schema = MakeSchema({8, 8, 8, 8}, 4);
+  std::vector<Row> rows = RandomRows(schema, 5000, 3);
+  EXPECT_EQ(WriteAndReadBack(dir.path() + "/big.tbl", 5, rows, &io), rows);
+  EXPECT_GT(io.pages_written, 1u);
+  EXPECT_EQ(io.pages_read, io.pages_written);
+}
+
+TEST(HeapFileTest, ExactlyOneFullPage) {
+  TempDir dir;
+  IoCounters io;
+  const size_t slots = SlotsPerPage(2 * sizeof(Value));
+  std::vector<Row> rows(slots, Row{1, 2});
+  EXPECT_EQ(WriteAndReadBack(dir.path() + "/full.tbl", 2, rows, &io).size(),
+            slots);
+  EXPECT_EQ(io.pages_written, 1u);
+}
+
+TEST(HeapFileTest, OneRowOverFullPage) {
+  TempDir dir;
+  IoCounters io;
+  const size_t slots = SlotsPerPage(2 * sizeof(Value));
+  std::vector<Row> rows(slots + 1, Row{1, 2});
+  EXPECT_EQ(WriteAndReadBack(dir.path() + "/over.tbl", 2, rows, &io).size(),
+            slots + 1);
+  EXPECT_EQ(io.pages_written, 2u);
+}
+
+TEST(HeapFileTest, NumRowsFromMetadata) {
+  TempDir dir;
+  const std::string path = dir.path() + "/meta.tbl";
+  auto writer = HeapFileWriter::Create(path, 2, nullptr);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 1234; ++i) {
+    ASSERT_TRUE((*writer)->Append({i % 3, i % 5}).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = HeapFileReader::Open(path, 2, nullptr);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 1234u);
+}
+
+TEST(HeapFileTest, ResetRewinds) {
+  TempDir dir;
+  const std::string path = dir.path() + "/reset.tbl";
+  std::vector<Row> rows = {{1, 1}, {2, 2}};
+  IoCounters io;
+  WriteAndReadBack(path, 2, rows, &io);
+  auto reader = HeapFileReader::Open(path, 2, nullptr);
+  ASSERT_TRUE(reader.ok());
+  Row row;
+  ASSERT_TRUE(*(*reader)->Next(&row));
+  EXPECT_EQ(row, (Row{1, 1}));
+  ASSERT_TRUE((*reader)->Reset().ok());
+  ASSERT_TRUE(*(*reader)->Next(&row));
+  EXPECT_EQ(row, (Row{1, 1}));
+}
+
+TEST(HeapFileTest, ReadAtFetchesByTid) {
+  TempDir dir;
+  const std::string path = dir.path() + "/tid.tbl";
+  Schema schema = MakeSchema({100, 100}, 2);
+  std::vector<Row> rows = RandomRows(schema, 3000, 5);
+  IoCounters io;
+  WriteAndReadBack(path, 3, rows, &io);
+  auto reader = HeapFileReader::Open(path, 3, nullptr);
+  ASSERT_TRUE(reader.ok());
+  Row row;
+  for (Tid tid : {Tid{0}, Tid{1}, Tid{2999}, Tid{1500}, Tid{7}}) {
+    ASSERT_TRUE((*reader)->ReadAt(tid, &row).ok());
+    EXPECT_EQ(row, rows[tid]) << "tid " << tid;
+  }
+}
+
+TEST(HeapFileTest, ReadAtOutOfRangeFails) {
+  TempDir dir;
+  const std::string path = dir.path() + "/oob.tbl";
+  IoCounters io;
+  WriteAndReadBack(path, 2, {{1, 2}}, &io);
+  auto reader = HeapFileReader::Open(path, 2, nullptr);
+  ASSERT_TRUE(reader.ok());
+  Row row;
+  EXPECT_FALSE((*reader)->ReadAt(5, &row).ok());
+}
+
+TEST(HeapFileTest, ReadAtSamePageChargesOnePageRead) {
+  TempDir dir;
+  const std::string path = dir.path() + "/probe.tbl";
+  IoCounters write_io;
+  WriteAndReadBack(path, 2, {{1, 2}, {3, 4}, {5, 6}}, &write_io);
+  IoCounters io;
+  auto reader = HeapFileReader::Open(path, 2, &io);
+  ASSERT_TRUE(reader.ok());
+  Row row;
+  ASSERT_TRUE((*reader)->ReadAt(0, &row).ok());
+  ASSERT_TRUE((*reader)->ReadAt(1, &row).ok());
+  ASSERT_TRUE((*reader)->ReadAt(2, &row).ok());
+  EXPECT_EQ(io.pages_read, 1u);  // all on the buffered page
+  EXPECT_EQ(io.rows_read, 3u);
+}
+
+TEST(HeapFileTest, OpenMissingFileFails) {
+  TempDir dir;
+  auto reader = HeapFileReader::Open(dir.path() + "/nope.tbl", 2, nullptr);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST(HeapFileTest, AppendAfterFinishFails) {
+  TempDir dir;
+  auto writer = HeapFileWriter::Create(dir.path() + "/fin.tbl", 2, nullptr);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_FALSE((*writer)->Append({1, 2}).ok());
+}
+
+TEST(HeapFileTest, ZeroColumnsRejected) {
+  TempDir dir;
+  EXPECT_FALSE(HeapFileWriter::Create(dir.path() + "/z.tbl", 0, nullptr).ok());
+  EXPECT_FALSE(HeapFileReader::Open(dir.path() + "/z.tbl", 0, nullptr).ok());
+}
+
+// ---------------------------------------------------------- InMemoryRowStore
+
+TEST(InMemoryRowStoreTest, AppendAndRead) {
+  InMemoryRowStore store(3);
+  store.Append({1, 2, 3});
+  store.Append({4, 5, 6});
+  ASSERT_EQ(store.num_rows(), 2u);
+  EXPECT_EQ(store.RowAt(1)[0], 4);
+  EXPECT_EQ(store.RowAt(1)[2], 6);
+}
+
+TEST(InMemoryRowStoreTest, MemoryBytesTracksPayload) {
+  InMemoryRowStore store(4);
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+  store.Append({1, 2, 3, 4});
+  EXPECT_EQ(store.MemoryBytes(), 16u);
+  store.Append({1, 2, 3, 4});
+  EXPECT_EQ(store.MemoryBytes(), 32u);
+}
+
+TEST(InMemoryRowStoreTest, ClearReleases) {
+  InMemoryRowStore store(2);
+  store.Append({1, 2});
+  store.Clear();
+  EXPECT_EQ(store.num_rows(), 0u);
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -1,0 +1,168 @@
+#include "mining/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+
+/// Builds the two-level tree:   root splits A1 = 0;
+///   equals child: leaf class 0
+///   other child:  splits A2 = 1 -> leaves class 1 / class 0.
+DecisionTree SmallTree(const Schema& schema) {
+  DecisionTree tree(schema);
+  tree.CreateRoot(100);
+  TreeNode& root = tree.node(0);
+  root.state = NodeState::kPartitioned;
+  root.split_attr = 0;
+  root.split_value = 0;
+
+  int left = tree.CreateChild(0, Expr::ColEq("A1", 0), {1}, 40);
+  tree.node(left).state = NodeState::kLeaf;
+  tree.node(left).majority_class = 0;
+
+  int right = tree.CreateChild(0, Expr::ColNe("A1", 0), {0, 1}, 60);
+  TreeNode& r = tree.node(right);
+  r.state = NodeState::kPartitioned;
+  r.split_attr = 1;
+  r.split_value = 1;
+  int rl = tree.CreateChild(right, Expr::ColEq("A2", 1), {0}, 25);
+  tree.node(rl).state = NodeState::kLeaf;
+  tree.node(rl).majority_class = 1;
+  int rr = tree.CreateChild(right, Expr::ColNe("A2", 1), {0, 1}, 35);
+  tree.node(rr).state = NodeState::kLeaf;
+  tree.node(rr).majority_class = 0;
+  return tree;
+}
+
+class TreeTest : public ::testing::Test {
+ protected:
+  TreeTest() : schema_(MakeSchema({3, 3}, 2)) {}
+  Schema schema_;
+};
+
+TEST_F(TreeTest, RootCreation) {
+  DecisionTree tree(schema_);
+  int root = tree.CreateRoot(500);
+  EXPECT_EQ(root, 0);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_EQ(tree.node(0).data_size, 500u);
+  EXPECT_EQ(tree.node(0).active_attrs, (std::vector<int>{0, 1}));
+  EXPECT_EQ(tree.node(0).state, NodeState::kActive);
+  EXPECT_EQ(tree.ActiveNodes(), (std::vector<int>{0}));
+}
+
+TEST_F(TreeTest, ChildrenLinkBothWays) {
+  DecisionTree tree = SmallTree(schema_);
+  EXPECT_EQ(tree.num_nodes(), 5);
+  EXPECT_EQ(tree.node(0).children.size(), 2u);
+  EXPECT_EQ(tree.node(1).parent, 0);
+  EXPECT_EQ(tree.node(2).parent, 0);
+  EXPECT_EQ(tree.node(3).depth, 2);
+}
+
+TEST_F(TreeTest, NodePredicateIsPathConjunction) {
+  DecisionTree tree = SmallTree(schema_);
+  EXPECT_EQ(tree.NodePredicate(0)->kind(), ExprKind::kTrue);
+  EXPECT_EQ(tree.NodePredicate(1)->ToSql(), "A1 = 0");
+  EXPECT_EQ(tree.NodePredicate(3)->ToSql(), "(A1 <> 0 AND A2 = 1)");
+  EXPECT_EQ(tree.NodePredicate(4)->ToSql(), "(A1 <> 0 AND A2 <> 1)");
+}
+
+TEST_F(TreeTest, ClassifyRoutesThroughSplits) {
+  DecisionTree tree = SmallTree(schema_);
+  EXPECT_EQ(*tree.Classify({0, 2, 0}), 0);  // A1=0 -> left leaf
+  EXPECT_EQ(*tree.Classify({2, 1, 0}), 1);  // A1!=0, A2=1
+  EXPECT_EQ(*tree.Classify({2, 0, 0}), 0);  // A1!=0, A2!=1
+}
+
+TEST_F(TreeTest, ClassifyFailsOnIncompleteTree) {
+  DecisionTree tree(schema_);
+  tree.CreateRoot(10);
+  EXPECT_FALSE(tree.Classify({0, 0, 0}).ok());
+}
+
+TEST_F(TreeTest, AccuracyAgainstLabeledRows) {
+  DecisionTree tree = SmallTree(schema_);
+  std::vector<Row> rows = {
+      {0, 0, 0},  // predicted 0, correct
+      {1, 1, 1},  // predicted 1, correct
+      {1, 0, 1},  // predicted 0, wrong
+      {2, 2, 0},  // predicted 0, correct
+  };
+  auto accuracy = tree.Accuracy(rows);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_DOUBLE_EQ(*accuracy, 0.75);
+  EXPECT_FALSE(tree.Accuracy({}).ok());
+}
+
+TEST_F(TreeTest, LeafAndDepthCounts) {
+  DecisionTree tree = SmallTree(schema_);
+  EXPECT_EQ(tree.CountLeaves(), 3);
+  EXPECT_EQ(tree.MaxDepth(), 2);
+}
+
+TEST_F(TreeTest, SignatureIndependentOfCreationOrder) {
+  // Build the same logical tree with children materialized in a different
+  // sequence: signatures must match.
+  DecisionTree a = SmallTree(schema_);
+
+  DecisionTree b(schema_);
+  b.CreateRoot(100);
+  b.node(0).state = NodeState::kPartitioned;
+  b.node(0).split_attr = 0;
+  b.node(0).split_value = 0;
+  // Create the same children but process the right subtree first.
+  int left = b.CreateChild(0, Expr::ColEq("A1", 0), {1}, 40);
+  int right = b.CreateChild(0, Expr::ColNe("A1", 0), {0, 1}, 60);
+  b.node(right).state = NodeState::kPartitioned;
+  b.node(right).split_attr = 1;
+  b.node(right).split_value = 1;
+  int rl = b.CreateChild(right, Expr::ColEq("A2", 1), {0}, 25);
+  int rr = b.CreateChild(right, Expr::ColNe("A2", 1), {0, 1}, 35);
+  b.node(rl).state = NodeState::kLeaf;
+  b.node(rl).majority_class = 1;
+  b.node(rr).state = NodeState::kLeaf;
+  b.node(rr).majority_class = 0;
+  b.node(left).state = NodeState::kLeaf;
+  b.node(left).majority_class = 0;
+
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST_F(TreeTest, SignatureDistinguishesDifferentTrees) {
+  DecisionTree a = SmallTree(schema_);
+  DecisionTree b = SmallTree(schema_);
+  b.node(1).majority_class = 1;  // flip one leaf
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+TEST_F(TreeTest, ToStringRendersStructure) {
+  DecisionTree tree = SmallTree(schema_);
+  std::string text = tree.ToString();
+  EXPECT_NE(text.find("split A1 = 0"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+}
+
+TEST_F(TreeTest, ToStringTruncates) {
+  DecisionTree tree = SmallTree(schema_);
+  std::string text = tree.ToString(1);
+  EXPECT_NE(text.find("truncated"), std::string::npos);
+}
+
+TEST_F(TreeTest, ActiveNodesTracksFrontier) {
+  DecisionTree tree(schema_);
+  tree.CreateRoot(10);
+  tree.node(0).state = NodeState::kPartitioned;
+  int c1 = tree.CreateChild(0, Expr::ColEq("A1", 0), {1}, 5);
+  int c2 = tree.CreateChild(0, Expr::ColNe("A1", 0), {0, 1}, 5);
+  EXPECT_EQ(tree.ActiveNodes(), (std::vector<int>{c1, c2}));
+  tree.node(c1).state = NodeState::kLeaf;
+  EXPECT_EQ(tree.ActiveNodes(), (std::vector<int>{c2}));
+}
+
+}  // namespace
+}  // namespace sqlclass
