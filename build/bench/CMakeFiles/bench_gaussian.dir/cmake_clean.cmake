@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gaussian.dir/bench_gaussian.cpp.o"
+  "CMakeFiles/bench_gaussian.dir/bench_gaussian.cpp.o.d"
+  "bench_gaussian"
+  "bench_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_scan.dir/bench_index_scan.cpp.o"
+  "CMakeFiles/bench_index_scan.dir/bench_index_scan.cpp.o.d"
+  "bench_index_scan"
+  "bench_index_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

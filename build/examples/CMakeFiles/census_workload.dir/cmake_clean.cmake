@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_workload.dir/census_workload.cpp.o"
+  "CMakeFiles/census_workload.dir/census_workload.cpp.o.d"
+  "census_workload"
+  "census_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_bayes_example.dir/naive_bayes_example.cpp.o"
+  "CMakeFiles/naive_bayes_example.dir/naive_bayes_example.cpp.o.d"
+  "naive_bayes_example"
+  "naive_bayes_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_bayes_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_and_export.dir/prune_and_export.cpp.o"
+  "CMakeFiles/prune_and_export.dir/prune_and_export.cpp.o.d"
+  "prune_and_export"
+  "prune_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

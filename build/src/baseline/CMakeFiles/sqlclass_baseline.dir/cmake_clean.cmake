@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_baseline.dir/aux_structures.cc.o"
+  "CMakeFiles/sqlclass_baseline.dir/aux_structures.cc.o.d"
+  "CMakeFiles/sqlclass_baseline.dir/extract_all.cc.o"
+  "CMakeFiles/sqlclass_baseline.dir/extract_all.cc.o.d"
+  "CMakeFiles/sqlclass_baseline.dir/sql_counting.cc.o"
+  "CMakeFiles/sqlclass_baseline.dir/sql_counting.cc.o.d"
+  "libsqlclass_baseline.a"
+  "libsqlclass_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_catalog.dir/catalog.cc.o"
+  "CMakeFiles/sqlclass_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/sqlclass_catalog.dir/schema.cc.o"
+  "CMakeFiles/sqlclass_catalog.dir/schema.cc.o.d"
+  "libsqlclass_catalog.a"
+  "libsqlclass_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

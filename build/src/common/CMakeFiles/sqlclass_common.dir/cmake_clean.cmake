@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_common.dir/logging.cc.o"
+  "CMakeFiles/sqlclass_common.dir/logging.cc.o.d"
+  "CMakeFiles/sqlclass_common.dir/status.cc.o"
+  "CMakeFiles/sqlclass_common.dir/status.cc.o.d"
+  "libsqlclass_common.a"
+  "libsqlclass_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_datagen.dir/census.cc.o"
+  "CMakeFiles/sqlclass_datagen.dir/census.cc.o.d"
+  "CMakeFiles/sqlclass_datagen.dir/csv.cc.o"
+  "CMakeFiles/sqlclass_datagen.dir/csv.cc.o.d"
+  "CMakeFiles/sqlclass_datagen.dir/gaussian.cc.o"
+  "CMakeFiles/sqlclass_datagen.dir/gaussian.cc.o.d"
+  "CMakeFiles/sqlclass_datagen.dir/load.cc.o"
+  "CMakeFiles/sqlclass_datagen.dir/load.cc.o.d"
+  "CMakeFiles/sqlclass_datagen.dir/random_tree.cc.o"
+  "CMakeFiles/sqlclass_datagen.dir/random_tree.cc.o.d"
+  "libsqlclass_datagen.a"
+  "libsqlclass_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/async_provider.cc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/async_provider.cc.o" "gcc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/async_provider.cc.o.d"
+  "/root/repo/src/middleware/batch_matcher.cc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/batch_matcher.cc.o" "gcc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/batch_matcher.cc.o.d"
+  "/root/repo/src/middleware/estimator.cc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/estimator.cc.o" "gcc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/estimator.cc.o.d"
+  "/root/repo/src/middleware/middleware.cc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/middleware.cc.o" "gcc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/middleware.cc.o.d"
+  "/root/repo/src/middleware/scheduler.cc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/scheduler.cc.o" "gcc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/scheduler.cc.o.d"
+  "/root/repo/src/middleware/staging.cc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/staging.cc.o" "gcc" "src/middleware/CMakeFiles/sqlclass_middleware.dir/staging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/sqlclass_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/sqlclass_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlclass_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlclass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlclass_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlclass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_middleware.dir/async_provider.cc.o"
+  "CMakeFiles/sqlclass_middleware.dir/async_provider.cc.o.d"
+  "CMakeFiles/sqlclass_middleware.dir/batch_matcher.cc.o"
+  "CMakeFiles/sqlclass_middleware.dir/batch_matcher.cc.o.d"
+  "CMakeFiles/sqlclass_middleware.dir/estimator.cc.o"
+  "CMakeFiles/sqlclass_middleware.dir/estimator.cc.o.d"
+  "CMakeFiles/sqlclass_middleware.dir/middleware.cc.o"
+  "CMakeFiles/sqlclass_middleware.dir/middleware.cc.o.d"
+  "CMakeFiles/sqlclass_middleware.dir/scheduler.cc.o"
+  "CMakeFiles/sqlclass_middleware.dir/scheduler.cc.o.d"
+  "CMakeFiles/sqlclass_middleware.dir/staging.cc.o"
+  "CMakeFiles/sqlclass_middleware.dir/staging.cc.o.d"
+  "libsqlclass_middleware.a"
+  "libsqlclass_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/cc_sql.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/cc_sql.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/cc_sql.cc.o.d"
+  "/root/repo/src/mining/cc_table.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/cc_table.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/cc_table.cc.o.d"
+  "/root/repo/src/mining/dense_cc.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/dense_cc.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/dense_cc.cc.o.d"
+  "/root/repo/src/mining/discretize.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/discretize.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/discretize.cc.o.d"
+  "/root/repo/src/mining/evaluate.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/evaluate.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/evaluate.cc.o.d"
+  "/root/repo/src/mining/feature_selection.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/feature_selection.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/feature_selection.cc.o.d"
+  "/root/repo/src/mining/inmemory_provider.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/inmemory_provider.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/inmemory_provider.cc.o.d"
+  "/root/repo/src/mining/naive_bayes.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/naive_bayes.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/mining/prune.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/prune.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/prune.cc.o.d"
+  "/root/repo/src/mining/split.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/split.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/split.cc.o.d"
+  "/root/repo/src/mining/tree.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree.cc.o.d"
+  "/root/repo/src/mining/tree_client.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree_client.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree_client.cc.o.d"
+  "/root/repo/src/mining/tree_export.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree_export.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree_export.cc.o.d"
+  "/root/repo/src/mining/tree_io.cc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree_io.cc.o" "gcc" "src/mining/CMakeFiles/sqlclass_mining.dir/tree_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlclass_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlclass_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlclass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_mining.dir/cc_sql.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/cc_sql.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/cc_table.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/cc_table.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/dense_cc.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/dense_cc.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/discretize.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/discretize.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/evaluate.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/evaluate.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/feature_selection.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/feature_selection.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/inmemory_provider.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/inmemory_provider.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/naive_bayes.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/prune.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/prune.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/split.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/split.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/tree.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/tree.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/tree_client.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/tree_client.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/tree_export.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/tree_export.cc.o.d"
+  "CMakeFiles/sqlclass_mining.dir/tree_io.cc.o"
+  "CMakeFiles/sqlclass_mining.dir/tree_io.cc.o.d"
+  "libsqlclass_mining.a"
+  "libsqlclass_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

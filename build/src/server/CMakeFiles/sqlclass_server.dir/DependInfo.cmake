@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/cost_model.cc" "src/server/CMakeFiles/sqlclass_server.dir/cost_model.cc.o" "gcc" "src/server/CMakeFiles/sqlclass_server.dir/cost_model.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/sqlclass_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/sqlclass_server.dir/server.cc.o.d"
+  "/root/repo/src/server/table_stats.cc" "src/server/CMakeFiles/sqlclass_server.dir/table_stats.cc.o" "gcc" "src/server/CMakeFiles/sqlclass_server.dir/table_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlclass_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlclass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlclass_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlclass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_server.dir/cost_model.cc.o"
+  "CMakeFiles/sqlclass_server.dir/cost_model.cc.o.d"
+  "CMakeFiles/sqlclass_server.dir/server.cc.o"
+  "CMakeFiles/sqlclass_server.dir/server.cc.o.d"
+  "CMakeFiles/sqlclass_server.dir/table_stats.cc.o"
+  "CMakeFiles/sqlclass_server.dir/table_stats.cc.o.d"
+  "libsqlclass_server.a"
+  "libsqlclass_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

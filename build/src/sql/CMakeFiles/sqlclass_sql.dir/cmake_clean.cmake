@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_sql.dir/ast.cc.o"
+  "CMakeFiles/sqlclass_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sqlclass_sql.dir/executor.cc.o"
+  "CMakeFiles/sqlclass_sql.dir/executor.cc.o.d"
+  "CMakeFiles/sqlclass_sql.dir/expr.cc.o"
+  "CMakeFiles/sqlclass_sql.dir/expr.cc.o.d"
+  "CMakeFiles/sqlclass_sql.dir/lexer.cc.o"
+  "CMakeFiles/sqlclass_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlclass_sql.dir/parser.cc.o"
+  "CMakeFiles/sqlclass_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sqlclass_sql.dir/result_set.cc.o"
+  "CMakeFiles/sqlclass_sql.dir/result_set.cc.o.d"
+  "libsqlclass_sql.a"
+  "libsqlclass_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlclass_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/sqlclass_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/sqlclass_storage.dir/heap_file.cc.o"
+  "CMakeFiles/sqlclass_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/sqlclass_storage.dir/row_codec.cc.o"
+  "CMakeFiles/sqlclass_storage.dir/row_codec.cc.o.d"
+  "libsqlclass_storage.a"
+  "libsqlclass_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlclass_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

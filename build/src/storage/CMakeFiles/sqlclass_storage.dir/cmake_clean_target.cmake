@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlclass_storage.a"
+)

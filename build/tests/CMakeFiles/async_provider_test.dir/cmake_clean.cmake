@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_provider_test.dir/async_provider_test.cc.o"
+  "CMakeFiles/async_provider_test.dir/async_provider_test.cc.o.d"
+  "async_provider_test"
+  "async_provider_test.pdb"
+  "async_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

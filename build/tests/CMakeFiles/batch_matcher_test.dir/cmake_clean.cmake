@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_matcher_test.dir/batch_matcher_test.cc.o"
+  "CMakeFiles/batch_matcher_test.dir/batch_matcher_test.cc.o.d"
+  "batch_matcher_test"
+  "batch_matcher_test.pdb"
+  "batch_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_cc_test.dir/dense_cc_test.cc.o"
+  "CMakeFiles/dense_cc_test.dir/dense_cc_test.cc.o.d"
+  "dense_cc_test"
+  "dense_cc_test.pdb"
+  "dense_cc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_trace_test.dir/middleware_trace_test.cc.o"
+  "CMakeFiles/middleware_trace_test.dir/middleware_trace_test.cc.o.d"
+  "middleware_trace_test"
+  "middleware_trace_test.pdb"
+  "middleware_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

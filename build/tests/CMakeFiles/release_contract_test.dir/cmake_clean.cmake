@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_contract_test.dir/release_contract_test.cc.o"
+  "CMakeFiles/release_contract_test.dir/release_contract_test.cc.o.d"
+  "release_contract_test"
+  "release_contract_test.pdb"
+  "release_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

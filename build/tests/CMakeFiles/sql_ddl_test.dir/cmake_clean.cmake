@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_ddl_test.dir/sql_ddl_test.cc.o"
+  "CMakeFiles/sql_ddl_test.dir/sql_ddl_test.cc.o.d"
+  "sql_ddl_test"
+  "sql_ddl_test.pdb"
+  "sql_ddl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_ddl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

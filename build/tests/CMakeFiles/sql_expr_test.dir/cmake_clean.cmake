@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_expr_test.dir/sql_expr_test.cc.o"
+  "CMakeFiles/sql_expr_test.dir/sql_expr_test.cc.o.d"
+  "sql_expr_test"
+  "sql_expr_test.pdb"
+  "sql_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_client_test.dir/tree_client_test.cc.o"
+  "CMakeFiles/tree_client_test.dir/tree_client_test.cc.o.d"
+  "tree_client_test"
+  "tree_client_test.pdb"
+  "tree_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

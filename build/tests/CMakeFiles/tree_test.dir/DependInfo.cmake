@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree_test.cc" "tests/CMakeFiles/tree_test.dir/tree_test.cc.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/sqlclass_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/sqlclass_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sqlclass_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/sqlclass_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/sqlclass_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlclass_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlclass_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sqlclass_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlclass_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
