@@ -30,9 +30,12 @@ namespace sqlclass {
 /// children (see CcProvider::ReleaseNode).
 ///
 /// The produced classifier is identical to the synchronous drive — only
-/// wall-clock overlap changes. One caveat: while a grow is in flight, do
-/// not read shared observer state (server cost counters, middleware stats)
-/// from the client thread; read them after Grow returns.
+/// wall-clock overlap changes. Scalar observer state (server cost counters,
+/// middleware Stats, buffer-pool Stats) is atomic and may be read from any
+/// thread while a grow is in flight; per-field values are exact, though a
+/// multi-field read is not a consistent cross-field snapshot. Structured
+/// observer state (middleware trace(), staging(), estimator()) is still
+/// single-threaded: read it only after Grow returns.
 class AsyncCcProvider : public CcProvider {
  public:
   /// `inner` must outlive this object and must not be driven by anyone

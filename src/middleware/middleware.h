@@ -1,6 +1,7 @@
 #ifndef SQLCLASS_MIDDLEWARE_MIDDLEWARE_H_
 #define SQLCLASS_MIDDLEWARE_MIDDLEWARE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -37,17 +38,40 @@ namespace sqlclass {
 /// Single-threaded; drive it from one thread like the client loop of §3.
 class ClassificationMiddleware : public CcProvider {
  public:
-  /// Observable behaviour of a run, for tests and benches.
+  /// Observable behaviour of a run, for tests and benches. Fields are
+  /// atomics so an observer thread may read them while a grow is in flight
+  /// (e.g. through middleware/async_provider.h); the middleware itself
+  /// mutates them from the single thread that drives it.
   struct Stats {
-    uint64_t batches = 0;
-    uint64_t nodes_fulfilled = 0;
-    uint64_t server_scans = 0;
-    uint64_t file_scans = 0;
-    uint64_t memory_scans = 0;
-    uint64_t sql_fallbacks = 0;
-    uint64_t stores_freed = 0;
-    uint64_t stores_evicted = 0;  // memory stores evicted under CC pressure
-    uint64_t file_splits = 0;     // batches that triggered file splitting
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> nodes_fulfilled{0};
+    std::atomic<uint64_t> server_scans{0};
+    std::atomic<uint64_t> file_scans{0};
+    std::atomic<uint64_t> memory_scans{0};
+    std::atomic<uint64_t> sql_fallbacks{0};
+    std::atomic<uint64_t> stores_freed{0};
+    std::atomic<uint64_t> stores_evicted{0};  // memory stores evicted under CC pressure
+    std::atomic<uint64_t> file_splits{0};  // batches that triggered file splitting
+
+    Stats() = default;
+    Stats(const Stats& other) { *this = other; }
+    Stats& operator=(const Stats& other) {
+      auto copy = [](std::atomic<uint64_t>& dst,
+                     const std::atomic<uint64_t>& src) {
+        dst.store(src.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      };
+      copy(batches, other.batches);
+      copy(nodes_fulfilled, other.nodes_fulfilled);
+      copy(server_scans, other.server_scans);
+      copy(file_scans, other.file_scans);
+      copy(memory_scans, other.memory_scans);
+      copy(sql_fallbacks, other.sql_fallbacks);
+      copy(stores_freed, other.stores_freed);
+      copy(stores_evicted, other.stores_evicted);
+      copy(file_splits, other.file_splits);
+      return *this;
+    }
   };
 
   /// One entry per executed batch: what was scanned, from where, and what

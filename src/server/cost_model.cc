@@ -4,20 +4,67 @@
 
 namespace sqlclass {
 
+namespace {
+
+/// Applies `fn(field_of_this, field_of_other)` to every counter pair — the
+/// single place that enumerates the field list.
+template <typename Self, typename Other, typename Fn>
+void ForEachField(Self& a, Other& b, Fn fn) {
+  fn(a.server_scans, b.server_scans);
+  fn(a.server_rows_evaluated, b.server_rows_evaluated);
+  fn(a.cursor_rows_transferred, b.cursor_rows_transferred);
+  fn(a.cursor_values_transferred, b.cursor_values_transferred);
+  fn(a.server_groupby_rows, b.server_groupby_rows);
+  fn(a.temp_table_rows_written, b.temp_table_rows_written);
+  fn(a.index_probes, b.index_probes);
+  fn(a.index_rows_inserted, b.index_rows_inserted);
+  fn(a.result_rows_returned, b.result_rows_returned);
+  fn(a.mw_file_rows_written, b.mw_file_rows_written);
+  fn(a.mw_file_rows_read, b.mw_file_rows_read);
+  fn(a.mw_memory_rows_read, b.mw_memory_rows_read);
+  fn(a.mw_cc_updates, b.mw_cc_updates);
+}
+
+}  // namespace
+
+CostCounters& CostCounters::operator=(const CostCounters& other) {
+  ForEachField(*this, other,
+               [](std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
+                 dst.store(src.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+               });
+  return *this;
+}
+
 void CostCounters::Add(const CostCounters& other) {
-  server_scans += other.server_scans;
-  server_rows_evaluated += other.server_rows_evaluated;
-  cursor_rows_transferred += other.cursor_rows_transferred;
-  cursor_values_transferred += other.cursor_values_transferred;
-  server_groupby_rows += other.server_groupby_rows;
-  temp_table_rows_written += other.temp_table_rows_written;
-  index_probes += other.index_probes;
-  index_rows_inserted += other.index_rows_inserted;
-  result_rows_returned += other.result_rows_returned;
-  mw_file_rows_written += other.mw_file_rows_written;
-  mw_file_rows_read += other.mw_file_rows_read;
-  mw_memory_rows_read += other.mw_memory_rows_read;
-  mw_cc_updates += other.mw_cc_updates;
+  ForEachField(*this, other,
+               [](std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
+                 dst.fetch_add(src.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+               });
+}
+
+void CostCounters::AddProportional(const CostCounters& delta, uint64_t num,
+                                   uint64_t den) {
+  if (den == 0) return;
+  ForEachField(*this, delta,
+               [num, den](std::atomic<uint64_t>& dst,
+                          const std::atomic<uint64_t>& src) {
+                 const uint64_t value = src.load(std::memory_order_relaxed);
+                 dst.fetch_add((value * num + den / 2) / den,
+                               std::memory_order_relaxed);
+               });
+}
+
+CostCounters CostCounters::Delta(const CostCounters& after,
+                                 const CostCounters& before) {
+  CostCounters diff = after;
+  ForEachField(diff, before,
+               [](std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
+                 dst.fetch_sub(src.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+               });
+  return diff;
 }
 
 std::string CostCounters::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef SQLCLASS_SERVER_COST_MODEL_H_
 #define SQLCLASS_SERVER_COST_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -12,25 +13,46 @@ namespace sqlclass {
 /// The split mirrors the paper's system boundary: "server" events happen in
 /// the RDBMS process; "mw" (middleware) events happen in the middleware's
 /// file system or memory.
+///
+/// Fields are atomics so observers (benches, the service-layer metrics
+/// snapshot, a client thread watching an async grow) may read them while
+/// another thread is metering work. Mutation sites keep the plain `++` /
+/// `+=` syntax; copies and snapshots go through the copy constructor /
+/// assignment, which read field-by-field (the snapshot is consistent per
+/// field, not across fields — fine for monotone counters).
 struct CostCounters {
   // --- server side ---
-  uint64_t server_scans = 0;             // cursor scans / query branches started
-  uint64_t server_rows_evaluated = 0;    // rows touched by a server scan
-  uint64_t cursor_rows_transferred = 0;  // rows shipped server -> middleware
-  uint64_t cursor_values_transferred = 0;  // values inside those rows
-  uint64_t server_groupby_rows = 0;      // rows aggregated by SQL GROUP BY
-  uint64_t temp_table_rows_written = 0;  // rows/TIDs copied into temp tables
-  uint64_t index_probes = 0;             // positioned (TID / keyset) fetches
-  uint64_t index_rows_inserted = 0;      // secondary-index build entries
-  uint64_t result_rows_returned = 0;     // result-set rows shipped to client
+  std::atomic<uint64_t> server_scans{0};  // cursor scans / query branches started
+  std::atomic<uint64_t> server_rows_evaluated{0};    // rows touched by a server scan
+  std::atomic<uint64_t> cursor_rows_transferred{0};  // rows shipped server -> middleware
+  std::atomic<uint64_t> cursor_values_transferred{0};  // values inside those rows
+  std::atomic<uint64_t> server_groupby_rows{0};      // rows aggregated by SQL GROUP BY
+  std::atomic<uint64_t> temp_table_rows_written{0};  // rows/TIDs copied into temp tables
+  std::atomic<uint64_t> index_probes{0};         // positioned (TID / keyset) fetches
+  std::atomic<uint64_t> index_rows_inserted{0};  // secondary-index build entries
+  std::atomic<uint64_t> result_rows_returned{0};  // result-set rows shipped to client
 
   // --- middleware side ---
-  uint64_t mw_file_rows_written = 0;     // rows staged into middleware files
-  uint64_t mw_file_rows_read = 0;        // rows read back from staged files
-  uint64_t mw_memory_rows_read = 0;      // rows iterated from in-memory stores
-  uint64_t mw_cc_updates = 0;            // CC cell updates (row x attr)
+  std::atomic<uint64_t> mw_file_rows_written{0};  // rows staged into middleware files
+  std::atomic<uint64_t> mw_file_rows_read{0};  // rows read back from staged files
+  std::atomic<uint64_t> mw_memory_rows_read{0};  // rows iterated from in-memory stores
+  std::atomic<uint64_t> mw_cc_updates{0};      // CC cell updates (row x attr)
+
+  CostCounters() = default;
+  CostCounters(const CostCounters& other) { *this = other; }
+  CostCounters& operator=(const CostCounters& other);
 
   void Add(const CostCounters& other);
+
+  /// Adds `delta * num / den` (rounded to nearest) of every field — the
+  /// service layer's proportional crediting of one shared scan to the
+  /// sessions that rode it.
+  void AddProportional(const CostCounters& delta, uint64_t num, uint64_t den);
+
+  /// Field-wise `after - before` for two snapshots of the same counters.
+  static CostCounters Delta(const CostCounters& after,
+                            const CostCounters& before);
+
   void Reset() { *this = CostCounters(); }
   std::string ToString() const;
 };

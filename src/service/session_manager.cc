@@ -1,0 +1,215 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sqlclass {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const ServiceConfig& config) : config_(config) {}
+
+StatusOr<SessionId> SessionManager::Submit(SessionSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  if (closed_) {
+    ++rejected_;
+    return Status::ResourceExhausted("service is shutting down");
+  }
+  const size_t quota = spec.memory_quota_bytes != 0
+                           ? spec.memory_quota_bytes
+                           : config_.default_session_quota_bytes;
+  if (quota > config_.memory_budget_bytes) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "session quota " + std::to_string(quota) +
+        " exceeds service memory budget " +
+        std::to_string(config_.memory_budget_bytes));
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) + ")");
+  }
+
+  const SessionId id = next_id_++;
+  Session session;
+  session.spec = std::move(spec);
+  session.quota_bytes = quota;
+  session.enqueued_at = Clock::now();
+  if (config_.admission_timeout_ms > 0) {
+    session.deadline = session.enqueued_at +
+                       std::chrono::milliseconds(config_.admission_timeout_ms);
+  }
+  sessions_.emplace(id, std::move(session));
+  queue_.push_back(id);
+  worker_cv_.notify_all();
+  return id;
+}
+
+bool SessionManager::HeadAdmissible() const {
+  if (queue_.empty()) return false;
+  const Session& head = sessions_.at(queue_.front());
+  return active_ < config_.max_active_sessions &&
+         memory_committed_ + head.quota_bytes <= config_.memory_budget_bytes;
+}
+
+void SessionManager::ExpireLocked(SessionId id) {
+  Session& session = sessions_.at(id);
+  session.state = State::kDone;
+  SessionResult result;
+  result.id = id;
+  result.queue_wait_ms = MsSince(session.enqueued_at);
+  result.status = Status::ResourceExhausted(
+      "session " + std::to_string(id) + " timed out in the admission queue");
+  session.result = std::move(result);
+  ++timed_out_;
+  waiter_cv_.notify_all();
+}
+
+void SessionManager::SweepExpiredLocked() {
+  const auto now = Clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const Session& session = sessions_.at(*it);
+    if (session.deadline && now >= *session.deadline) {
+      ExpireLocked(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<SessionManager::Claim> SessionManager::ClaimNext() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopped_) return std::nullopt;
+    SweepExpiredLocked();
+    if (HeadAdmissible()) break;
+    // Sleep until the earliest queue deadline (to expire it promptly) or a
+    // state change.
+    std::optional<Clock::time_point> earliest;
+    for (SessionId id : queue_) {
+      const Session& session = sessions_.at(id);
+      if (session.deadline && (!earliest || *session.deadline < *earliest)) {
+        earliest = session.deadline;
+      }
+    }
+    if (earliest) {
+      worker_cv_.wait_until(lock, *earliest);
+    } else {
+      worker_cv_.wait(lock);
+    }
+  }
+
+  const SessionId id = queue_.front();
+  queue_.pop_front();
+  Session& session = sessions_.at(id);
+  session.state = State::kRunning;
+  ++active_;
+  memory_committed_ += session.quota_bytes;
+  peak_active_ = std::max<uint64_t>(peak_active_, active_);
+  peak_memory_ = std::max(peak_memory_, memory_committed_);
+  ++admitted_;
+
+  Claim claim;
+  claim.id = id;
+  claim.spec = session.spec;
+  claim.quota_bytes = session.quota_bytes;
+  claim.queue_wait_ms = MsSince(session.enqueued_at);
+  queue_wait_ms_sum_ += claim.queue_wait_ms;
+  queue_wait_ms_max_ = std::max(queue_wait_ms_max_, claim.queue_wait_ms);
+  return claim;
+}
+
+void SessionManager::Complete(SessionId id, SessionResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.state != State::kRunning) return;
+  Session& session = it->second;
+  session.state = State::kDone;
+  --active_;
+  memory_committed_ -= session.quota_bytes;
+  if (result.status.ok()) {
+    ++completed_ok_;
+  } else {
+    ++failed_;
+  }
+  result.id = id;
+  session.result = std::move(result);
+  worker_cv_.notify_all();  // slot and memory freed
+  waiter_cv_.notify_all();
+}
+
+SessionResult SessionManager::Wait(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    SessionResult result;
+    result.id = id;
+    result.status =
+        Status::InvalidArgument("unknown session " + std::to_string(id));
+    return result;
+  }
+  while (!it->second.result.has_value()) {
+    // Enforce the queue deadline from here too, so timeouts fire even when
+    // every worker is busy running other sessions.
+    if (it->second.state == State::kQueued && it->second.deadline) {
+      if (waiter_cv_.wait_until(lock, *it->second.deadline) ==
+          std::cv_status::timeout) {
+        if (it->second.state == State::kQueued &&
+            Clock::now() >= *it->second.deadline) {
+          queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                       queue_.end());
+          ExpireLocked(id);
+        }
+      }
+    } else {
+      waiter_cv_.wait(lock);
+    }
+  }
+  return *it->second.result;
+}
+
+void SessionManager::CloseQueue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+}
+
+void SessionManager::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  waiter_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void SessionManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  worker_cv_.notify_all();
+}
+
+void SessionManager::FillMetrics(ServiceMetrics* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->sessions_submitted = submitted_;
+  out->sessions_admitted = admitted_;
+  out->sessions_rejected = rejected_;
+  out->sessions_timed_out = timed_out_;
+  out->sessions_completed = completed_ok_;
+  out->sessions_failed = failed_;
+  out->avg_queue_wait_ms =
+      admitted_ == 0 ? 0.0 : queue_wait_ms_sum_ / static_cast<double>(admitted_);
+  out->max_queue_wait_ms = queue_wait_ms_max_;
+  out->peak_active_sessions = peak_active_;
+  out->peak_memory_committed = peak_memory_;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,123 @@
+#ifndef SQLCLASS_SERVICE_SESSION_MANAGER_H_
+#define SQLCLASS_SERVICE_SESSION_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+#include "service/session.h"
+
+namespace sqlclass {
+
+/// Session lifecycle and admission control for the classification service:
+/// a bounded FIFO admission queue, an active-session ceiling, and a shared
+/// memory budget that the sum of active sessions' quotas may not exceed.
+///
+/// Sessions that cannot even be queued (queue full, quota larger than the
+/// whole budget) are rejected at Submit. Queued sessions that are not
+/// admitted before their deadline complete with a ResourceExhausted timeout
+/// — a graceful Status, never a crash. Admission is strict FIFO: the queue
+/// head blocks later arrivals even if those would fit, so no session
+/// starves.
+///
+/// Thread-safe. Lock order (see DESIGN.md "Service layer"): this manager's
+/// mutex is self-contained — no method calls out while holding it.
+class SessionManager {
+ public:
+  explicit SessionManager(const ServiceConfig& config);
+
+  /// A session handed to a worker: admission succeeded, slot and memory are
+  /// committed until Complete(id).
+  struct Claim {
+    SessionId id = 0;
+    SessionSpec spec;
+    size_t quota_bytes = 0;
+    double queue_wait_ms = 0;
+  };
+
+  /// Enqueues a session, or rejects it outright (queue closed or full,
+  /// quota > total budget).
+  StatusOr<SessionId> Submit(SessionSpec spec);
+
+  /// Blocks until the queue head is admissible (claims it), or the manager
+  /// is stopped (returns nullopt). Expired queue entries encountered while
+  /// waiting are completed with a timeout error.
+  std::optional<Claim> ClaimNext();
+
+  /// Marks a claimed session finished, releasing its slot and memory.
+  void Complete(SessionId id, SessionResult result);
+
+  /// Blocks until the session has a result (run finished, timed out, or
+  /// rejected id -> InvalidArgument result). Enforces the caller's queue
+  /// deadline even when no worker is polling.
+  SessionResult Wait(SessionId id);
+
+  /// Stops accepting new sessions; queued-but-unclaimed work keeps its
+  /// admission semantics (it may still be claimed or time out).
+  void CloseQueue();
+
+  /// Blocks until nothing is queued or running.
+  void Drain();
+
+  /// Wakes every ClaimNext with nullopt. Call after Drain for a clean stop.
+  void Stop();
+
+  /// Admission-side slice of ServiceMetrics.
+  void FillMetrics(ServiceMetrics* out) const;
+
+ private:
+  enum class State { kQueued, kRunning, kDone };
+  using Clock = std::chrono::steady_clock;
+
+  struct Session {
+    SessionSpec spec;
+    size_t quota_bytes = 0;
+    State state = State::kQueued;
+    Clock::time_point enqueued_at;
+    std::optional<Clock::time_point> deadline;
+    std::optional<SessionResult> result;
+  };
+
+  /// True when the queue head may start now. Caller holds mu_.
+  bool HeadAdmissible() const;
+
+  /// Completes `id` (must be queued) with a timeout error. Caller holds mu_.
+  void ExpireLocked(SessionId id);
+
+  /// Drops expired entries from the queue front/middle. Caller holds mu_.
+  void SweepExpiredLocked();
+
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable worker_cv_;   // queue / capacity changes
+  std::condition_variable waiter_cv_;   // results ready
+  std::map<SessionId, Session> sessions_;
+  std::deque<SessionId> queue_;
+  SessionId next_id_ = 1;
+  int active_ = 0;
+  size_t memory_committed_ = 0;
+  bool closed_ = false;
+  bool stopped_ = false;
+
+  // Metrics (guarded by mu_).
+  uint64_t submitted_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t timed_out_ = 0;
+  uint64_t completed_ok_ = 0;
+  uint64_t failed_ = 0;
+  double queue_wait_ms_sum_ = 0;
+  double queue_wait_ms_max_ = 0;
+  uint64_t peak_active_ = 0;
+  size_t peak_memory_ = 0;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SERVICE_SESSION_MANAGER_H_

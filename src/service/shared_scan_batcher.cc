@@ -1,0 +1,433 @@
+#include "service/shared_scan_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "middleware/batch_matcher.h"
+
+namespace sqlclass {
+
+SharedScanBatcher::SharedScanBatcher(SqlServer* server, std::mutex* server_mu,
+                                     const ServiceConfig& config)
+    : server_(server), server_mu_(server_mu), config_(config) {}
+
+Status SharedScanBatcher::RegisterTable(const std::string& table) {
+  Schema schema;
+  uint64_t rows = 0;
+  {
+    std::lock_guard<std::mutex> server_lock(*server_mu_);
+    SQLCLASS_ASSIGN_OR_RETURN(const Schema* s, server_->GetSchema(table));
+    if (!s->has_class_column()) {
+      return Status::InvalidArgument("table has no class column: " + table);
+    }
+    schema = *s;
+    SQLCLASS_ASSIGN_OR_RETURN(rows, server_->TableRowCount(table));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  TableState& t = tables_[table];  // re-register refreshes the snapshot
+  t.schema = std::move(schema);
+  t.num_classes = t.schema.attribute(t.schema.class_column()).cardinality;
+  t.rows = rows;
+  return Status::OK();
+}
+
+const Schema* SharedScanBatcher::GetSchema(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second.schema;
+}
+
+uint64_t SharedScanBatcher::TableRows(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.rows;
+}
+
+Status SharedScanBatcher::RegisterSession(SessionId id,
+                                          const std::string& table,
+                                          size_t quota_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::InvalidArgument("table not registered: " + table);
+  }
+  if (sessions_.count(id) != 0) {
+    return Status::InvalidArgument("session already registered");
+  }
+  SessionState state;
+  state.table = table;
+  state.quota_bytes = quota_bytes;
+  sessions_.emplace(id, std::move(state));
+  ++it->second.sessions_registered;
+  cv_.notify_all();  // registered-set change affects scan triggering
+  return Status::OK();
+}
+
+void SharedScanBatcher::UnregisterSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  TableState& t = tables_.at(it->second.table);
+  auto& pending = t.pending;
+  pending.erase(std::remove_if(pending.begin(), pending.end(),
+                               [id](const PendingReq& p) {
+                                 return p.session == id;
+                               }),
+                pending.end());
+  if (it->second.waiting) --t.sessions_waiting;
+  --t.sessions_registered;
+  sessions_.erase(it);
+  cv_.notify_all();  // waiters must re-evaluate without this rider
+}
+
+Status SharedScanBatcher::Enqueue(SessionId id, CcRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("session not registered");
+  }
+  SessionState& s = it->second;
+  if (!s.error.ok()) return s.error;
+  TableState& t = tables_.at(s.table);
+
+  if (request.predicate == nullptr) request.predicate = Expr::True();
+  SQLCLASS_RETURN_IF_ERROR(request.predicate->Bind(t.schema));
+  if (request.active_attrs.empty()) {
+    return Status::InvalidArgument("request with no attributes to count");
+  }
+  for (int attr : request.active_attrs) {
+    if (attr < 0 || attr >= t.schema.num_columns() ||
+        attr == t.schema.class_column()) {
+      return Status::InvalidArgument("bad attribute column in request");
+    }
+  }
+  if (request.parent_id < 0) request.data_size = t.rows;
+
+  PendingReq p;
+  p.session = id;
+  p.request = std::move(request);
+  t.pending.push_back(std::move(p));
+  ++s.outstanding;
+  t.gather_deadline.reset();  // new work restarts the gather window
+  cv_.notify_all();
+  return Status::OK();
+}
+
+bool SharedScanBatcher::AllPendingOwnersWaiting(const TableState& t) const {
+  for (const PendingReq& p : t.pending) {
+    auto it = sessions_.find(p.session);
+    if (it != sessions_.end() && !it->second.waiting) return false;
+  }
+  return true;
+}
+
+bool SharedScanBatcher::ShouldLeadScan(
+    TableState& t, std::optional<Clock::time_point>* wait_until) {
+  wait_until->reset();
+  if (t.scan_in_progress || t.pending.empty()) return false;
+  if (!AllPendingOwnersWaiting(t)) return false;
+  // Every session with queued work is blocked waiting. If every registered
+  // session is waiting, nobody can contribute more work: scan immediately.
+  if (t.sessions_waiting >= t.sessions_registered) return true;
+  // Some registered session is between waves; give it one gather window to
+  // contribute its next requests before scanning without it.
+  const auto now = Clock::now();
+  if (!t.gather_deadline) {
+    t.gather_deadline =
+        now + std::chrono::milliseconds(config_.gather_window_ms);
+  }
+  if (now >= *t.gather_deadline) return true;
+  *wait_until = t.gather_deadline;
+  return false;
+}
+
+StatusOr<std::vector<CcResult>> SharedScanBatcher::Fulfill(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("session not registered");
+  }
+  SessionState& s = it->second;
+  TableState& t = tables_.at(s.table);
+
+  auto stop_waiting = [&] {
+    if (s.waiting) {
+      s.waiting = false;
+      --t.sessions_waiting;
+    }
+  };
+
+  while (true) {
+    if (!s.error.ok()) {
+      // Sticky: outstanding stays non-zero, so a client loop that keys on
+      // PendingRequests() keeps seeing the error instead of silently
+      // finishing with a partial model.
+      stop_waiting();
+      return s.error;
+    }
+    if (!s.outbox.empty()) {
+      stop_waiting();
+      std::vector<CcResult> results = std::move(s.outbox);
+      s.outbox.clear();
+      s.outstanding -= results.size();
+      return results;
+    }
+    if (s.outstanding == 0) {
+      stop_waiting();
+      return std::vector<CcResult>();
+    }
+
+    if (!config_.enable_scan_sharing) {
+      // Private scans: serve only this session's queued requests, no
+      // cross-session gathering (still one scan per wave per session).
+      RunScan(lock, s.table, id);
+      continue;
+    }
+
+    if (!s.waiting) {
+      s.waiting = true;
+      ++t.sessions_waiting;
+      cv_.notify_all();  // other waiters re-check the trigger condition
+    }
+
+    std::optional<Clock::time_point> wait_until;
+    if (ShouldLeadScan(t, &wait_until)) {
+      RunScan(lock, s.table, std::nullopt);
+      continue;  // results (possibly for us) are deposited; re-check
+    }
+    if (wait_until) {
+      cv_.wait_until(lock, *wait_until);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void SharedScanBatcher::RunScan(std::unique_lock<std::mutex>& lock,
+                                const std::string& table,
+                                std::optional<SessionId> only_session) {
+  TableState& t = tables_.at(table);
+
+  std::vector<PendingReq> batch;
+  if (only_session) {
+    auto& pending = t.pending;
+    for (PendingReq& p : pending) {
+      if (p.session == *only_session) batch.push_back(std::move(p));
+    }
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](const PendingReq& p) {
+                                   return p.session == *only_session;
+                                 }),
+                  pending.end());
+  } else {
+    t.scan_in_progress = true;
+    t.gather_deadline.reset();
+    batch = std::move(t.pending);
+    t.pending.clear();
+  }
+  if (batch.empty()) {
+    if (!only_session) t.scan_in_progress = false;
+    return;
+  }
+
+  // Snapshot rider quotas while mu_ is held; the scan runs without mu_.
+  std::map<SessionId, size_t> quotas;
+  for (const PendingReq& p : batch) {
+    auto sit = sessions_.find(p.session);
+    if (sit != sessions_.end()) quotas[p.session] = sit->second.quota_bytes;
+  }
+
+  // The TableState node and its schema are stable (tables are never
+  // erased), so the scan can read them with mu_ released.
+  lock.unlock();
+  ScanOutcome out = ExecuteScan(table, t.schema, t.num_classes, batch, quotas);
+  lock.lock();
+
+  // --- Deposit results and credit costs. ---
+  std::map<SessionId, uint64_t> reqs_per_session;
+  for (const PendingReq& p : batch) ++reqs_per_session[p.session];
+
+  // The proportional share excludes CC-update work, which is attributed
+  // exactly below (riders with small frontiers pay for their own counting).
+  CostCounters shared_delta = out.delta;
+  shared_delta.mw_cc_updates = 0;
+
+  uint64_t delivered = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const SessionId sid = batch[i].session;
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) continue;  // unregistered mid-scan: drop
+    SessionState& s = it->second;
+    if (!out.scan_status.ok()) {
+      if (s.error.ok()) s.error = out.scan_status;
+      continue;
+    }
+    auto err = out.session_errors.find(sid);
+    if (err != out.session_errors.end()) {
+      if (s.error.ok()) s.error = err->second;
+      continue;
+    }
+    s.outbox.push_back(std::move(out.results[i]));
+    ++delivered;
+  }
+  for (const auto& [sid, reqs] : reqs_per_session) {
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) continue;
+    SessionState& s = it->second;
+    s.credited.AddProportional(shared_delta, reqs,
+                               static_cast<uint64_t>(batch.size()));
+    auto cc = out.cc_updates.find(sid);
+    if (cc != out.cc_updates.end()) s.credited.mw_cc_updates += cc->second;
+    ++s.scans;
+  }
+
+  ++scans_executed_;
+  ++scans_by_table_[table];
+  requests_fulfilled_ += delivered;
+  scan_session_slots_ += reqs_per_session.size();
+  rows_scanned_ += out.rows_scanned;
+
+  if (!only_session) t.scan_in_progress = false;
+  cv_.notify_all();
+}
+
+SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
+    const std::string& table, const Schema& schema, int num_classes,
+    const std::vector<PendingReq>& batch,
+    const std::map<SessionId, size_t>& quotas) {
+  ScanOutcome out;
+  const int n = static_cast<int>(batch.size());
+  const int class_column = schema.class_column();
+
+  std::lock_guard<std::mutex> server_lock(*server_mu_);
+  CostCounters& cost = server_->cost_counters();
+  const CostCounters before = cost;
+
+  std::vector<CcTable> ccs;
+  ccs.reserve(n);
+  for (int i = 0; i < n; ++i) ccs.emplace_back(num_classes);
+
+  std::vector<const Expr*> predicates;
+  predicates.reserve(n);
+  for (const PendingReq& p : batch) {
+    predicates.push_back(p.request.predicate.get());
+  }
+  BatchMatcher matcher(predicates);
+
+  // One pass over the table for the whole cross-session batch (§4.1.1
+  // lifted across sessions), with §4.3.1 OR-pushdown when every rider has a
+  // selective predicate.
+  std::string sql = "SELECT * FROM " + table;
+  if (config_.enable_filter_pushdown) {
+    bool any_true = false;
+    std::vector<std::unique_ptr<Expr>> clauses;
+    for (const PendingReq& p : batch) {
+      if (p.request.predicate->kind() == ExprKind::kTrue) {
+        any_true = true;
+        break;
+      }
+      clauses.push_back(p.request.predicate->Clone());
+    }
+    if (!any_true && !clauses.empty()) {
+      sql += " WHERE " + Expr::Or(std::move(clauses))->ToSql();
+    }
+  }
+
+  StatusOr<std::unique_ptr<ServerCursor>> cursor_or =
+      server_->OpenCursorSql(sql);
+  if (!cursor_or.ok()) {
+    out.scan_status = cursor_or.status();
+    return out;
+  }
+  std::unique_ptr<ServerCursor> cursor = std::move(cursor_or).value();
+
+  Row row;
+  std::vector<int> matches;
+  while (true) {
+    StatusOr<bool> more = cursor->Next(&row);
+    if (!more.ok()) {
+      out.scan_status = more.status();
+      return out;
+    }
+    if (!more.value()) break;
+    ++out.rows_scanned;
+    matcher.Match(row, &matches);
+    for (int pos : matches) {
+      const PendingReq& p = batch[pos];
+      ccs[pos].AddRow(row, p.request.active_attrs, class_column);
+      const uint64_t updates = p.request.active_attrs.size();
+      cost.mw_cc_updates += updates;
+      out.cc_updates[p.session] += updates;
+    }
+  }
+
+  // Exact-count validation (same invariant the middleware enforces): a
+  // mismatch poisons only the owning session, not its co-riders.
+  for (int i = 0; i < n; ++i) {
+    const PendingReq& p = batch[i];
+    if (static_cast<uint64_t>(ccs[i].TotalRows()) != p.request.data_size) {
+      out.session_errors.emplace(
+          p.session,
+          Status::Internal(
+              "counted " + std::to_string(ccs[i].TotalRows()) +
+              " rows for node " + std::to_string(p.request.node_id) +
+              ", expected " + std::to_string(p.request.data_size)));
+    }
+  }
+
+  // Per-session quota: the CC tables one session's wave materializes must
+  // fit its admission quota.
+  std::map<SessionId, size_t> bytes_per_session;
+  for (int i = 0; i < n; ++i) {
+    bytes_per_session[batch[i].session] += ccs[i].ApproxBytes();
+  }
+  for (const auto& [sid, bytes] : bytes_per_session) {
+    if (out.session_errors.count(sid) != 0) continue;
+    auto qit = quotas.find(sid);
+    const size_t quota = qit == quotas.end() ? 0 : qit->second;
+    if (quota != 0 && bytes > quota) {
+      out.session_errors.emplace(
+          sid, Status::ResourceExhausted(
+                   "session CC tables (" + std::to_string(bytes) +
+                   " bytes) exceed session memory quota (" +
+                   std::to_string(quota) + " bytes)"));
+    }
+  }
+
+  out.results.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.results.emplace_back(batch[i].request.node_id, std::move(ccs[i]));
+  }
+  out.delta = CostCounters::Delta(cost, before);
+  return out;
+}
+
+size_t SharedScanBatcher::Outstanding(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second.outstanding;
+}
+
+CostCounters SharedScanBatcher::CreditedCost(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? CostCounters() : it->second.credited;
+}
+
+uint64_t SharedScanBatcher::ScansParticipated(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second.scans;
+}
+
+void SharedScanBatcher::FillMetrics(ServiceMetrics* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->scans_executed = scans_executed_;
+  out->requests_fulfilled = requests_fulfilled_;
+  out->scan_session_slots = scan_session_slots_;
+  out->rows_scanned = rows_scanned_;
+  out->scans_by_table = scans_by_table_;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,173 @@
+#ifndef SQLCLASS_SERVICE_SHARED_SCAN_BATCHER_H_
+#define SQLCLASS_SERVICE_SHARED_SCAN_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "mining/cc_provider.h"
+#include "server/server.h"
+#include "service/session.h"
+
+namespace sqlclass {
+
+/// Extends the paper's §4.1.1 batching *across sessions*: CC requests from
+/// every session growing over the same table are collected into one scan
+/// window and fulfilled in a single pass over the data. The 1999 middleware
+/// merges one client's frontier into one scan; with many concurrent clients
+/// the same wave structure appears across sessions — N clients at similar
+/// depths would otherwise each scan the table once per level.
+///
+/// Scan-window protocol (correctness never depends on timing — CC tables
+/// are exact counts, so the classifiers are identical however requests get
+/// grouped into scans):
+///   * A session blocks in Fulfill while it has undelivered requests.
+///   * A scan may start only when every session with unfulfilled queued
+///     requests is blocked waiting — at that point nobody can add to the
+///     current wave without first consuming results.
+///   * If some *registered* session has no queued requests (it is between
+///     waves: consuming results, about to queue children), the scan waits
+///     one gather window for it, then runs without it. When every
+///     registered session is waiting, the scan runs immediately.
+///   * The first waiter to observe the condition becomes the scan leader;
+///     `scan_in_progress` keeps the scan per table single-flight.
+///
+/// Each rider is credited a proportional share (by request count) of the
+/// scan's metered cost; CC-update work is credited exactly. Per-session
+/// quotas bound the CC memory one session's wave may hold: exceeding the
+/// quota fails that session with ResourceExhausted without disturbing the
+/// scan's other riders.
+///
+/// Lock order (see DESIGN.md "Service layer"): `mu_` (batcher state) and
+/// `server_mu_` (serializes all SqlServer access) are never held together —
+/// the leader drops `mu_` before scanning.
+class SharedScanBatcher {
+ public:
+  /// `server` and `server_mu` outlive the batcher; every server access goes
+  /// through `server_mu`.
+  SharedScanBatcher(SqlServer* server, std::mutex* server_mu,
+                    const ServiceConfig& config);
+
+  /// Caches schema and row count; the table must exist on the server and
+  /// have a class column.
+  Status RegisterTable(const std::string& table);
+
+  const Schema* GetSchema(const std::string& table) const;
+
+  /// Row count cached at RegisterTable; 0 for unknown tables.
+  uint64_t TableRows(const std::string& table) const;
+
+  /// Declares an active session over `table` (must be registered). The
+  /// session participates in scan gathering until UnregisterSession.
+  Status RegisterSession(SessionId id, const std::string& table,
+                         size_t quota_bytes);
+
+  /// Removes the session; leftover pending requests (aborted grow) are
+  /// dropped so other sessions' scans never wait on a dead rider.
+  void UnregisterSession(SessionId id);
+
+  /// Queues one CC request (binds and validates the predicate).
+  Status Enqueue(SessionId id, CcRequest request);
+
+  /// Blocks until some of the session's requests are fulfilled. Empty
+  /// result only when the session has nothing outstanding. A session error
+  /// (quota exceeded, scan failure) is sticky.
+  StatusOr<std::vector<CcResult>> Fulfill(SessionId id);
+
+  /// Queued-but-undelivered request count for one session.
+  size_t Outstanding(SessionId id) const;
+
+  /// This session's credited cost share and scan participation so far.
+  CostCounters CreditedCost(SessionId id) const;
+  uint64_t ScansParticipated(SessionId id) const;
+
+  /// Scan-side slice of ServiceMetrics.
+  void FillMetrics(ServiceMetrics* out) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingReq {
+    SessionId session = 0;
+    CcRequest request;  // predicate bound against the table schema
+  };
+
+  struct TableState {
+    Schema schema;
+    int num_classes = 0;
+    uint64_t rows = 0;
+    std::vector<PendingReq> pending;
+    int sessions_registered = 0;
+    int sessions_waiting = 0;
+    bool scan_in_progress = false;
+    /// Set when "all pending owners waiting" first holds with some
+    /// registered session still between waves; cleared on new work.
+    std::optional<Clock::time_point> gather_deadline;
+  };
+
+  struct SessionState {
+    std::string table;
+    size_t quota_bytes = 0;
+    size_t outstanding = 0;  // queued or fulfilled-but-undelivered
+    bool waiting = false;
+    std::vector<CcResult> outbox;
+    Status error = Status::OK();
+    CostCounters credited;
+    uint64_t scans = 0;
+  };
+
+  /// True when every session owning a request in `t.pending` is waiting.
+  bool AllPendingOwnersWaiting(const TableState& t) const;
+
+  /// Whether the calling waiter should lead a scan now; may arm the gather
+  /// deadline. Returns the wait deadline to use otherwise. Caller holds mu_.
+  bool ShouldLeadScan(TableState& t,
+                      std::optional<Clock::time_point>* wait_until);
+
+  /// Extracts this scan's requests, runs it with mu_ released, deposits
+  /// results/errors, and wakes waiters. Caller holds `lock` on mu_.
+  void RunScan(std::unique_lock<std::mutex>& lock, const std::string& table,
+               std::optional<SessionId> only_session);
+
+  /// The single pass (takes server_mu_; mu_ must not be held).
+  struct ScanOutcome {
+    Status scan_status = Status::OK();       // whole-scan failure
+    std::vector<CcResult> results;           // parallel to `batch` on success
+    std::map<SessionId, Status> session_errors;  // per-rider failures
+    CostCounters delta;                      // metered cost of this scan
+    std::map<SessionId, uint64_t> cc_updates;  // exact per-session CC work
+    uint64_t rows_scanned = 0;
+  };
+  ScanOutcome ExecuteScan(const std::string& table, const Schema& schema,
+                          int num_classes,
+                          const std::vector<PendingReq>& batch,
+                          const std::map<SessionId, size_t>& quotas);
+
+  SqlServer* server_;
+  std::mutex* server_mu_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, TableState> tables_;
+  std::map<SessionId, SessionState> sessions_;
+
+  // Scan metrics (guarded by mu_).
+  uint64_t scans_executed_ = 0;
+  uint64_t requests_fulfilled_ = 0;
+  uint64_t scan_session_slots_ = 0;
+  uint64_t rows_scanned_ = 0;
+  std::map<std::string, uint64_t> scans_by_table_;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_SERVICE_SHARED_SCAN_BATCHER_H_

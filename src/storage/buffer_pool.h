@@ -1,6 +1,7 @@
 #ifndef SQLCLASS_STORAGE_BUFFER_POOL_H_
 #define SQLCLASS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -25,16 +26,33 @@ class BufferPool {
   /// Loads one page's bytes into `dst` (page-size buffer).
   using PageLoader = std::function<Status(char* dst)>;
 
+  /// Counter fields are atomics so an observer thread (service metrics,
+  /// stats polling during an async grow) may read them while the owning
+  /// server thread is faulting pages in. Structural state (`frames_`,
+  /// `index_`) is still single-writer: only the thread driving the server
+  /// may call Fetch / invalidation.
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+
+    Stats() = default;
+    Stats(const Stats& other) { *this = other; }
+    Stats& operator=(const Stats& other) {
+      hits.store(other.hits.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+      misses.store(other.misses.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      evictions.store(other.evictions.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      return *this;
+    }
 
     double HitRate() const {
-      const uint64_t total = hits + misses;
+      const uint64_t h = hits.load(std::memory_order_relaxed);
+      const uint64_t total = h + misses.load(std::memory_order_relaxed);
       return total == 0 ? 0.0
-                        : static_cast<double>(hits) /
-                              static_cast<double>(total);
+                        : static_cast<double>(h) / static_cast<double>(total);
     }
   };
 

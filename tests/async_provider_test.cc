@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "datagen/load.h"
 #include "datagen/random_tree.h"
 #include "middleware/middleware.h"
@@ -152,6 +155,119 @@ TEST_F(AsyncProviderTest, EmptyFulfillWhenNothingQueued) {
   auto results = async.FulfillSome();
   ASSERT_TRUE(results.ok());
   EXPECT_TRUE(results->empty());
+}
+
+TEST_F(AsyncProviderTest, StatsReadableMidGrow) {
+  // Regression for the old async_provider.h caveat: scalar observer state
+  // (server cost counters, middleware Stats, buffer-pool Stats) must be
+  // readable from another thread *while* a grow is in flight. Run under
+  // -DSQLCLASS_SANITIZE=thread to prove it.
+  const std::string reference = ReferenceSignature();
+  auto middleware = MakeMiddleware();
+  AsyncCcProvider async(middleware.get());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      CostCounters cost = server_->cost_counters();
+      (void)cost;
+      ClassificationMiddleware::Stats mw_stats = middleware->stats();
+      (void)mw_stats;
+      BufferPool::Stats bp = server_->buffer_pool().stats();
+      (void)bp.HitRate();
+      reads.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  DecisionTreeClient client(schema_, TreeClientConfig());
+  auto tree = client.Grow(&async, rows_.size());
+  stop.store(true);
+  observer.join();
+
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->Signature(), reference);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST_F(AsyncProviderTest, ManySmallTreesBackToBackOnOneWrapper) {
+  // One wrapper (and its worker thread) must survive many grow cycles: the
+  // queues drain fully between trees and worker_rounds keeps advancing.
+  InMemoryCcProvider inner(schema_, &rows_);
+  AsyncCcProvider async(&inner);
+
+  const std::string reference = ReferenceSignature();
+  uint64_t last_rounds = 0;
+  for (int run = 0; run < 8; ++run) {
+    DecisionTreeClient client(schema_, TreeClientConfig());
+    auto tree = client.Grow(&async, rows_.size());
+    ASSERT_TRUE(tree.ok()) << "run " << run << ": "
+                           << tree.status().ToString();
+    EXPECT_EQ(tree->Signature(), reference) << "run " << run;
+    EXPECT_EQ(async.PendingRequests(), 0u);
+    EXPECT_GT(async.worker_rounds(), last_rounds) << "run " << run;
+    last_rounds = async.worker_rounds();
+  }
+}
+
+TEST_F(AsyncProviderTest, EarlyReleaseNodeDoesNotDeadlock) {
+  // Release a node *before* queueing its children — out of contract order —
+  // against both inner providers. Neither may deadlock; with staging
+  // disabled the middleware holds no per-node stores, so results stay
+  // correct too.
+  auto count_rows = [&](Expr& predicate) {
+    EXPECT_TRUE(predicate.Bind(schema_).ok());  // idempotent: providers
+    uint64_t n = 0;                             // re-bind their own copy
+    for (const Row& row : rows_) {
+      if (predicate.Eval(row)) ++n;
+    }
+    return n;
+  };
+
+  MiddlewareConfig no_staging;
+  no_staging.enable_file_staging = false;
+  no_staging.enable_memory_staging = false;
+  auto middleware = MakeMiddleware(no_staging);
+  InMemoryCcProvider inmemory(schema_, &rows_);
+
+  CcProvider* inners[] = {&inmemory,
+                          static_cast<CcProvider*>(middleware.get())};
+  for (CcProvider* inner : inners) {
+    AsyncCcProvider async(inner);
+
+    CcRequest root;
+    root.node_id = 0;
+    root.parent_id = -1;
+    root.predicate = Expr::True();
+    root.active_attrs = schema_.PredictorColumns();
+    root.data_size = rows_.size();
+    ASSERT_TRUE(async.QueueRequest(std::move(root)).ok());
+    auto root_results = async.FulfillSome();
+    ASSERT_TRUE(root_results.ok()) << root_results.status().ToString();
+    ASSERT_EQ(root_results->size(), 1u);
+
+    async.ReleaseNode(0);  // early: children not queued yet
+
+    int next_id = 1;
+    for (Value v : {Value(0), Value(1)}) {
+      CcRequest child;
+      child.node_id = next_id++;
+      child.parent_id = 0;
+      child.predicate = Expr::ColEq("A1", v);
+      child.active_attrs = schema_.PredictorColumns();
+      child.data_size = count_rows(*child.predicate);
+      ASSERT_TRUE(async.QueueRequest(std::move(child)).ok());
+    }
+    while (async.PendingRequests() > 0) {
+      auto results = async.FulfillSome();
+      ASSERT_TRUE(results.ok()) << results.status().ToString();
+      for (const CcResult& result : *results) {
+        EXPECT_GE(result.node_id, 1);
+        async.ReleaseNode(result.node_id);  // early again (leaves)
+      }
+    }
+  }
 }
 
 TEST_F(AsyncProviderTest, CleanShutdownWithWorkInFlight) {
