@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the middleware suite twice — serial scans vs 4-way-parallel scans —
+# and diffs the thread-count-invariant outputs (CC identity checks and
+# simulated cost) to demonstrate the parallel-scan determinism contract end
+# to end: the classifier and the simulated cost model must not be able to
+# see the thread count; only wall time may differ.
+#
+# Usage: scripts/check_determinism.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+BUILD_DIR=${1:-build}
+cd "$(dirname "$0")/.."
+
+if [[ ! -x "$BUILD_DIR/tests/middleware_test" ]]; then
+  echo "error: build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for threads in 1 4; do
+  echo "== middleware suite with SQLCLASS_PARALLEL_SCAN_THREADS=$threads =="
+  for test_bin in middleware_test middleware_property_test parallel_scan_test; do
+    SQLCLASS_PARALLEL_SCAN_THREADS=$threads \
+      "$BUILD_DIR/tests/$test_bin" --gtest_brief=1
+  done
+  SQLCLASS_PARALLEL_SCAN_THREADS=$threads \
+    "$BUILD_DIR/bench/bench_parallel_scan" --smoke \
+    --dump="$tmp/dump_$threads.json" >/dev/null
+  # Wall-clock fields legitimately differ run to run; everything else — the
+  # CC-identity verdicts and the simulated seconds — must not.
+  sed -E 's/"(wall_seconds|speedup_vs_serial)":[0-9.]+/"\1":_/g' \
+    "$tmp/dump_$threads.json" >"$tmp/invariant_$threads.json"
+done
+
+diff "$tmp/invariant_1.json" "$tmp/invariant_4.json"
+echo "OK: CC tables and simulated cost identical across thread counts"

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace sqlclass {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::RunTasks(int tasks, const std::function<void(int)>& fn) {
+  for (int i = 0; i < tasks; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--unfinished_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveParallelThreads(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("SQLCLASS_PARALLEL_SCAN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return ThreadPool::HardwareConcurrency();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,68 @@
+#ifndef SQLCLASS_COMMON_THREAD_POOL_H_
+#define SQLCLASS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqlclass {
+
+/// Fixed-size worker pool driving the morsel-parallel counting scans. No
+/// work stealing: tasks go through one shared FIFO queue and workers pull
+/// from it, which is all the scan needs — morsel claiming itself is a
+/// single atomic counter inside the scan body, so queue contention is one
+/// task per worker per scan.
+///
+/// Thread-safe: Submit/WaitIdle may be called from any thread, though the
+/// counting paths only ever drive a pool from one coordinator thread.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  /// Runs fn(0) .. fn(tasks - 1) across the pool and blocks until all
+  /// return. The index is a logical slot id (per-slot state is touched by
+  /// exactly one invocation), not an OS thread id.
+  void RunTasks(int tasks, const std::function<void(int)>& fn);
+
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // waiters: all work finished
+  std::deque<std::function<void()>> queue_;
+  uint64_t unfinished_ = 0;  // queued + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> threads_;  // last member: started after state
+};
+
+/// Resolves the `parallel_scan_threads` knob: a positive value is taken as
+/// is, 0 means hardware concurrency; the SQLCLASS_PARALLEL_SCAN_THREADS
+/// environment variable overrides the 0 default (used by the determinism
+/// harness to pin both runs of a suite to specific thread counts).
+int ResolveParallelThreads(int configured);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_COMMON_THREAD_POOL_H_

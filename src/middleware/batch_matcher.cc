@@ -60,19 +60,19 @@ void BatchMatcher::Insert(const std::vector<Literal>& literals, int index) {
   node->terminals.push_back(index);
 }
 
-void BatchMatcher::MatchRec(const TrieNode& node, const Row& row,
+void BatchMatcher::MatchRec(const TrieNode& node, const Value* values,
                             std::vector<int>* out) const {
   for (int terminal : node.terminals) out->push_back(terminal);
   for (const auto& [literal, child] : node.children) {
-    if (literal.Eval(row)) MatchRec(*child, row, out);
+    if (literal.Eval(values)) MatchRec(*child, values, out);
   }
 }
 
-void BatchMatcher::Match(const Row& row, std::vector<int>* out) const {
+void BatchMatcher::Match(const Value* values, std::vector<int>* out) const {
   out->clear();
-  MatchRec(root_, row, out);
+  MatchRec(root_, values, out);
   for (const auto& [pred, index] : fallback_) {
-    if (pred == nullptr || pred->Eval(row)) out->push_back(index);
+    if (pred == nullptr || pred->Eval(values)) out->push_back(index);
   }
 }
 

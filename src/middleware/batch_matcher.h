@@ -28,7 +28,13 @@ class BatchMatcher {
   explicit BatchMatcher(const std::vector<const Expr*>& predicates);
 
   /// Clears and fills `*out` with the indexes of all matching predicates.
-  void Match(const Row& row, std::vector<int>* out) const;
+  void Match(const Row& row, std::vector<int>* out) const {
+    Match(row.data(), out);
+  }
+
+  /// Pointer-row overload for batch-decoded rows (RowBatch::RowAt);
+  /// `values` must span every column any predicate references.
+  void Match(const Value* values, std::vector<int>* out) const;
 
   /// True when every predicate was trie-indexable (exposed for tests).
   bool fully_indexed() const { return fallback_.empty(); }
@@ -39,8 +45,8 @@ class BatchMatcher {
     bool equals = true;  // true: column == value, false: column != value
     Value value = 0;
 
-    bool Eval(const Row& row) const {
-      return equals ? row[column] == value : row[column] != value;
+    bool Eval(const Value* values) const {
+      return equals ? values[column] == value : values[column] != value;
     }
     bool operator==(const Literal& other) const {
       return column == other.column && equals == other.equals &&
@@ -58,7 +64,7 @@ class BatchMatcher {
                                  std::vector<Literal>* literals);
 
   void Insert(const std::vector<Literal>& literals, int index);
-  void MatchRec(const TrieNode& node, const Row& row,
+  void MatchRec(const TrieNode& node, const Value* values,
                 std::vector<int>* out) const;
 
   TrieNode root_;

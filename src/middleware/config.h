@@ -59,6 +59,18 @@ struct MiddlewareConfig {
 
   /// Rows between CC-memory overflow checks during a counting scan.
   uint64_t overflow_check_interval = 1024;
+
+  /// Worker threads for morsel-parallel counting scans. 0 = resolve to
+  /// hardware concurrency (overridable via SQLCLASS_PARALLEL_SCAN_THREADS);
+  /// 1 = always scan serially (old behavior). The parallel path charges the
+  /// same logical costs as the serial one, so the simulated cost model is
+  /// thread-count-invariant; only wall time changes.
+  int parallel_scan_threads = 0;
+
+  /// Minimum source rows before a batch is scanned in parallel. Small scans
+  /// stay serial: thread fan-out costs more than it saves, and serial scans
+  /// keep the paper's mid-scan overflow-eviction timing exactly.
+  uint64_t parallel_scan_min_rows = 32768;
 };
 
 }  // namespace sqlclass

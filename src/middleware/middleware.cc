@@ -7,6 +7,7 @@
 #include <set>
 
 #include "middleware/batch_matcher.h"
+#include "middleware/parallel_scan.h"
 #include "mining/cc_sql.h"
 
 namespace sqlclass {
@@ -30,6 +31,9 @@ ClassificationMiddleware::Create(SqlServer* server, const std::string& table,
   }
   if (config.overflow_check_interval == 0) {
     return Status::InvalidArgument("overflow check interval must be >= 1");
+  }
+  if (config.parallel_scan_threads < 0) {
+    return Status::InvalidArgument("parallel scan threads must be >= 0");
   }
   return std::unique_ptr<ClassificationMiddleware>(
       new ClassificationMiddleware(server, table, *schema, rows,
@@ -332,64 +336,137 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
     return Status::OK();
   };
 
+  // §4.3.1: the (S_1 OR ... OR S_k) pushdown filter — null when any node
+  // wants the whole source (or pushdown is disabled).
+  auto build_pushdown_filter = [&]() -> std::unique_ptr<Expr> {
+    if (!config_.enable_filter_pushdown) return nullptr;
+    std::vector<std::unique_ptr<Expr>> clauses;
+    for (const Pending& pending : batch) {
+      if (pending.request.predicate->kind() == ExprKind::kTrue) return nullptr;
+      clauses.push_back(pending.request.predicate->Clone());
+    }
+    if (clauses.empty()) return nullptr;
+    return Expr::Or(std::move(clauses));
+  };
+
+  // Route large scans with no staging through the morsel-parallel path. It
+  // builds the identical CC tables and charges the identical logical costs
+  // (see DESIGN.md "Parallel counting"); overflow is checked once after the
+  // merge instead of mid-scan, which staging-free batches tolerate.
+  const int scan_threads = ResolveParallelThreads(config_.parallel_scan_threads);
+  uint64_t source_rows = table_rows_;
+  if (plan.source.kind != LocationKind::kServer) {
+    SQLCLASS_ASSIGN_OR_RETURN(source_rows, staging_->StoreRows(plan.source));
+  }
+  const bool use_parallel = scan_threads > 1 && plan.staging.empty() &&
+                            source_rows >= config_.parallel_scan_min_rows;
+
   // ---- Single pass over the chosen source (§4.1.1).
-  switch (plan.source.kind) {
-    case LocationKind::kServer: {
-      std::string sql = "SELECT * FROM " + table_;
-      if (config_.enable_filter_pushdown) {
-        // §4.3.1: ship (S_1 OR ... OR S_k) so only relevant rows transfer.
-        bool any_true = false;
-        std::vector<std::unique_ptr<Expr>> clauses;
-        for (const Pending& pending : batch) {
-          if (pending.request.predicate->kind() == ExprKind::kTrue) {
-            any_true = true;
-            break;
-          }
-          clauses.push_back(pending.request.predicate->Clone());
+  if (use_parallel) {
+    ParallelScanOptions options;
+    options.class_column = class_column;
+    options.num_classes = num_classes_;
+    options.matcher = &matcher;
+    options.node_attrs.reserve(n);
+    for (const Pending& pending : batch) {
+      options.node_attrs.push_back(&pending.request.active_attrs);
+    }
+    std::unique_ptr<Expr> filter;  // must outlive the scan
+    ParallelScanResult scan;
+    switch (plan.source.kind) {
+      case LocationKind::kServer: {
+        filter = build_pushdown_filter();
+        if (filter != nullptr) SQLCLASS_RETURN_IF_ERROR(filter->Bind(schema_));
+        options.filter = filter.get();
+        options.charge.server_row_evaluated = true;
+        options.charge.cursor_transfer = true;
+        ++cost.server_scans;  // what OpenCursor charges at open
+        SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
+                                  server_->TableHeapPath(table_));
+        SQLCLASS_ASSIGN_OR_RETURN(
+            scan, ParallelCountScan::OverHeapFile(
+                      ScanPool(scan_threads), path, schema_.num_columns(),
+                      options, &cost, &server_->io_counters()));
+        ++stats_.server_scans;
+        break;
+      }
+      case LocationKind::kFile: {
+        options.charge.mw_file_read = true;
+        SQLCLASS_ASSIGN_OR_RETURN(
+            const std::string path,
+            staging_->FileStorePath(plan.source.store_id));
+        SQLCLASS_ASSIGN_OR_RETURN(
+            scan, ParallelCountScan::OverHeapFile(
+                      ScanPool(scan_threads), path, schema_.num_columns(),
+                      options, &cost, &staging_->io_counters()));
+        ++stats_.file_scans;
+        break;
+      }
+      case LocationKind::kMemory: {
+        options.charge.mw_memory_read = true;
+        SQLCLASS_ASSIGN_OR_RETURN(
+            const InMemoryRowStore* store,
+            staging_->GetMemoryStore(plan.source.store_id));
+        SQLCLASS_ASSIGN_OR_RETURN(
+            scan, ParallelCountScan::OverMemoryStore(ScanPool(scan_threads),
+                                                     *store, options, &cost));
+        ++stats_.memory_scans;
+        break;
+      }
+    }
+    for (int i = 0; i < n; ++i) ccs[i] = std::move(scan.ccs[i]);
+    trace.rows_scanned = scan.rows_delivered;
+  } else {
+    switch (plan.source.kind) {
+      case LocationKind::kServer: {
+        std::string sql = "SELECT * FROM " + table_;
+        if (std::unique_ptr<Expr> filter = build_pushdown_filter()) {
+          sql += " WHERE " + filter->ToSql();
         }
-        if (!any_true && !clauses.empty()) {
-          sql += " WHERE " + Expr::Or(std::move(clauses))->ToSql();
+        SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<ServerCursor> cursor,
+                                  server_->OpenCursorSql(sql));
+        Row row;
+        while (true) {
+          SQLCLASS_ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+          if (!more) break;
+          SQLCLASS_RETURN_IF_ERROR(process_row(row));
         }
+        ++stats_.server_scans;
+        break;
       }
-      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<ServerCursor> cursor,
-                                server_->OpenCursorSql(sql));
-      Row row;
-      while (true) {
-        SQLCLASS_ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
-        if (!more) break;
-        SQLCLASS_RETURN_IF_ERROR(process_row(row));
+      case LocationKind::kFile: {
+        SQLCLASS_ASSIGN_OR_RETURN(
+            std::unique_ptr<RowSource> source,
+            staging_->OpenFileStore(plan.source.store_id));
+        Row row;
+        while (true) {
+          SQLCLASS_ASSIGN_OR_RETURN(bool more, source->Next(&row));
+          if (!more) break;
+          SQLCLASS_RETURN_IF_ERROR(process_row(row));
+        }
+        ++stats_.file_scans;
+        break;
       }
-      ++stats_.server_scans;
-      break;
+      case LocationKind::kMemory: {
+        SQLCLASS_ASSIGN_OR_RETURN(
+            const InMemoryRowStore* store,
+            staging_->GetMemoryStore(plan.source.store_id));
+        const size_t rows = store->num_rows();
+        const int width = store->num_columns();
+        Row row(width);
+        for (size_t r = 0; r < rows; ++r) {
+          const Value* values = store->RowAt(r);
+          row.assign(values, values + width);
+          ++cost.mw_memory_rows_read;
+          SQLCLASS_RETURN_IF_ERROR(process_row(row));
+        }
+        ++stats_.memory_scans;
+        break;
+      }
     }
-    case LocationKind::kFile: {
-      SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<RowSource> source,
-                                staging_->OpenFileStore(plan.source.store_id));
-      Row row;
-      while (true) {
-        SQLCLASS_ASSIGN_OR_RETURN(bool more, source->Next(&row));
-        if (!more) break;
-        SQLCLASS_RETURN_IF_ERROR(process_row(row));
-      }
-      ++stats_.file_scans;
-      if (plan.file_split) ++stats_.file_splits;
-      break;
-    }
-    case LocationKind::kMemory: {
-      SQLCLASS_ASSIGN_OR_RETURN(const InMemoryRowStore* store,
-                                staging_->GetMemoryStore(plan.source.store_id));
-      const size_t rows = store->num_rows();
-      const int width = store->num_columns();
-      Row row(width);
-      for (size_t r = 0; r < rows; ++r) {
-        const Value* values = store->RowAt(r);
-        row.assign(values, values + width);
-        ++cost.mw_memory_rows_read;
-        SQLCLASS_RETURN_IF_ERROR(process_row(row));
-      }
-      ++stats_.memory_scans;
-      break;
-    }
+  }
+  if (plan.source.kind == LocationKind::kFile && plan.file_split) {
+    ++stats_.file_splits;
   }
   check_overflow();
 
@@ -446,6 +523,13 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   }
   trace_.push_back(trace);
   return results;
+}
+
+ThreadPool* ClassificationMiddleware::ScanPool(int threads) {
+  if (scan_pool_ == nullptr || scan_pool_->size() != threads) {
+    scan_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return scan_pool_.get();
 }
 
 StatusOr<CcTable> ClassificationMiddleware::SqlFallback(

@@ -10,6 +10,7 @@
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "middleware/config.h"
 #include "middleware/estimator.h"
 #include "middleware/scheduler.h"
@@ -143,6 +144,10 @@ class ClassificationMiddleware : public CcProvider {
   /// Builds the node's CC table entirely at the server (§4.1.1 fallback).
   StatusOr<CcTable> SqlFallback(const Pending& pending);
 
+  /// Lazily (re)creates the worker pool for morsel-parallel scans at the
+  /// resolved thread count. Workers exist only while scans need them.
+  ThreadPool* ScanPool(int threads);
+
   SqlServer* server_;
   std::string table_;
   Schema schema_;
@@ -157,6 +162,7 @@ class ClassificationMiddleware : public CcProvider {
   uint64_t next_seq_ = 0;
   Stats stats_;
   std::vector<BatchTrace> trace_;
+  std::unique_ptr<ThreadPool> scan_pool_;  // lazily created, see ScanPool()
 };
 
 }  // namespace sqlclass

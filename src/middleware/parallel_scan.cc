@@ -1,0 +1,201 @@
+#include "middleware/parallel_scan.h"
+
+#include <atomic>
+#include <memory>
+
+#include "storage/heap_file.h"
+#include "storage/row_batch.h"
+
+namespace sqlclass {
+
+namespace {
+
+/// Everything one worker accumulates privately during a scan. Merged on the
+/// coordinator thread after the join, in worker order.
+struct WorkerTally {
+  std::vector<CcTable> ccs;
+  std::vector<uint64_t> node_matches;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_delivered = 0;
+  uint64_t cc_updates = 0;
+  Status status;
+};
+
+WorkerTally MakeTally(const ParallelScanOptions& options) {
+  WorkerTally tally;
+  const size_t n = options.node_attrs.size();
+  tally.ccs.reserve(n);
+  for (size_t i = 0; i < n; ++i) tally.ccs.emplace_back(options.num_classes);
+  tally.node_matches.assign(n, 0);
+  return tally;
+}
+
+void CountRow(const Value* values, const ParallelScanOptions& options,
+              std::vector<int>* matches, WorkerTally* tally) {
+  ++tally->rows_scanned;
+  if (options.filter != nullptr && !options.filter->Eval(values)) return;
+  ++tally->rows_delivered;
+  options.matcher->Match(values, matches);
+  for (int pos : *matches) {
+    const std::vector<int>& attrs = *options.node_attrs[pos];
+    tally->ccs[pos].AddRow(values, attrs, options.class_column);
+    tally->cc_updates += attrs.size();
+    ++tally->node_matches[pos];
+  }
+}
+
+/// Folds the per-worker tallies (in worker order) and charges the logical
+/// costs once. CC cells are int64 sums over disjoint row partitions, so the
+/// merged tables equal a serial scan's regardless of morsel assignment.
+StatusOr<ParallelScanResult> MergeTallies(std::vector<WorkerTally> tallies,
+                                          const ParallelScanOptions& options,
+                                          int num_columns,
+                                          CostCounters* cost) {
+  for (WorkerTally& tally : tallies) {
+    SQLCLASS_RETURN_IF_ERROR(tally.status);
+  }
+  ParallelScanResult result;
+  const size_t n = options.node_attrs.size();
+  result.ccs.reserve(n);
+  for (size_t i = 0; i < n; ++i) result.ccs.emplace_back(options.num_classes);
+  result.node_matches.assign(n, 0);
+  for (WorkerTally& tally : tallies) {
+    for (size_t i = 0; i < n; ++i) {
+      result.ccs[i].Merge(tally.ccs[i]);
+      result.node_matches[i] += tally.node_matches[i];
+    }
+    result.rows_scanned += tally.rows_scanned;
+    result.rows_delivered += tally.rows_delivered;
+    result.cc_updates += tally.cc_updates;
+  }
+  if (cost != nullptr) {
+    if (options.charge.server_row_evaluated) {
+      cost->server_rows_evaluated += result.rows_scanned;
+    }
+    if (options.charge.cursor_transfer) {
+      cost->cursor_rows_transferred += result.rows_delivered;
+      cost->cursor_values_transferred +=
+          result.rows_delivered * static_cast<uint64_t>(num_columns);
+    }
+    if (options.charge.mw_file_read) {
+      cost->mw_file_rows_read += result.rows_delivered;
+    }
+    if (options.charge.mw_memory_read) {
+      cost->mw_memory_rows_read += result.rows_delivered;
+    }
+    cost->mw_cc_updates += result.cc_updates;
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ParallelScanResult> ParallelCountScan::OverHeapFile(
+    ThreadPool* pool, const std::string& path, int num_columns,
+    const ParallelScanOptions& options, CostCounters* cost, IoCounters* io) {
+  const int pool_threads = pool != nullptr ? pool->size() : 1;
+
+  // Per-worker physical counters: IoCounters is a plain struct, so workers
+  // must not share one. Merged below; totals match a pool-less serial scan.
+  std::vector<IoCounters> local_io(
+      static_cast<size_t>(pool_threads > 0 ? pool_threads : 1));
+
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> first,
+      HeapFileReader::Open(path, num_columns, &local_io[0]));
+  const std::vector<PageRange> morsels =
+      MakePageMorsels(first->num_pages(), options.pages_per_morsel);
+
+  int workers = pool_threads;
+  if (static_cast<size_t>(workers) > morsels.size()) {
+    workers = static_cast<int>(morsels.size());
+  }
+  if (workers < 1) workers = 1;
+
+  std::vector<std::unique_ptr<HeapFileReader>> readers;
+  readers.reserve(workers);
+  readers.push_back(std::move(first));
+  for (int w = 1; w < workers; ++w) {
+    SQLCLASS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HeapFileReader> reader,
+        HeapFileReader::Open(path, num_columns, &local_io[w]));
+    readers.push_back(std::move(reader));
+  }
+
+  std::vector<WorkerTally> tallies;
+  tallies.reserve(workers);
+  for (int w = 0; w < workers; ++w) tallies.push_back(MakeTally(options));
+
+  std::atomic<size_t> next_morsel{0};
+  auto run_worker = [&](int w) {
+    WorkerTally& tally = tallies[w];
+    HeapFileReader* reader = readers[w].get();
+    RowBatch batch;
+    std::vector<int> matches;
+    while (true) {
+      const size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels.size()) break;
+      for (uint64_t page = morsels[m].begin; page < morsels[m].end; ++page) {
+        Status status = reader->ReadPageInto(page, &batch);
+        if (!status.ok()) {
+          tally.status = std::move(status);
+          return;
+        }
+        const size_t rows = batch.num_rows();
+        for (size_t r = 0; r < rows; ++r) {
+          CountRow(batch.RowAt(r), options, &matches, &tally);
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr && workers > 1) {
+    pool->RunTasks(workers, run_worker);
+  } else {
+    run_worker(0);
+  }
+
+  if (io != nullptr) {
+    for (int w = 0; w < workers; ++w) io->Add(local_io[w]);
+  }
+  return MergeTallies(std::move(tallies), options, num_columns, cost);
+}
+
+StatusOr<ParallelScanResult> ParallelCountScan::OverMemoryStore(
+    ThreadPool* pool, const InMemoryRowStore& store,
+    const ParallelScanOptions& options, CostCounters* cost) {
+  const std::vector<std::pair<size_t, size_t>> morsels =
+      store.RowMorsels(options.rows_per_morsel);
+
+  int workers = pool != nullptr ? pool->size() : 1;
+  if (static_cast<size_t>(workers) > morsels.size()) {
+    workers = static_cast<int>(morsels.size());
+  }
+  if (workers < 1) workers = 1;
+
+  std::vector<WorkerTally> tallies;
+  tallies.reserve(workers);
+  for (int w = 0; w < workers; ++w) tallies.push_back(MakeTally(options));
+
+  std::atomic<size_t> next_morsel{0};
+  auto run_worker = [&](int w) {
+    WorkerTally& tally = tallies[w];
+    std::vector<int> matches;
+    while (true) {
+      const size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels.size()) break;
+      for (size_t r = morsels[m].first; r < morsels[m].second; ++r) {
+        CountRow(store.RowAt(r), options, &matches, &tally);
+      }
+    }
+  };
+
+  if (pool != nullptr && workers > 1) {
+    pool->RunTasks(workers, run_worker);
+  } else {
+    run_worker(0);
+  }
+  return MergeTallies(std::move(tallies), options, store.num_columns(), cost);
+}
+
+}  // namespace sqlclass

@@ -52,13 +52,19 @@ StatusOr<uint64_t> StagingManager::BeginFileStore() {
 }
 
 Status StagingManager::AppendToFileStore(uint64_t id, const Row& row) {
-  auto it = files_.find(id);
-  if (it == files_.end() || it->second.writer == nullptr) {
-    return Status::Internal("staged file not open for writing: " +
-                            std::to_string(id));
+  FileStore* file = append_cache_id_ == id ? append_cache_ : nullptr;
+  if (file == nullptr) {
+    auto it = files_.find(id);
+    if (it == files_.end() || it->second.writer == nullptr) {
+      return Status::Internal("staged file not open for writing: " +
+                              std::to_string(id));
+    }
+    file = &it->second;
+    append_cache_id_ = id;
+    append_cache_ = file;
   }
-  SQLCLASS_RETURN_IF_ERROR(it->second.writer->Append(row));
-  ++it->second.rows;
+  SQLCLASS_RETURN_IF_ERROR(file->writer->Append(row));
+  ++file->rows;
   ++cost_->mw_file_rows_written;
   file_bytes_used_ += RowBytes();
   return Status::OK();
@@ -69,6 +75,10 @@ Status StagingManager::FinishFileStore(uint64_t id) {
   if (it == files_.end() || it->second.writer == nullptr) {
     return Status::Internal("staged file not open for writing: " +
                             std::to_string(id));
+  }
+  if (append_cache_id_ == id) {
+    append_cache_ = nullptr;
+    append_cache_id_ = 0;
   }
   SQLCLASS_RETURN_IF_ERROR(it->second.writer->Finish());
   it->second.writer.reset();
@@ -104,6 +114,18 @@ StatusOr<std::unique_ptr<RowSource>> StagingManager::OpenFileStore(
       HeapFileReader::Open(it->second.path, num_columns_, &io_));
   return std::unique_ptr<RowSource>(
       new StagedFileRowSource(std::move(reader), cost_));
+}
+
+StatusOr<std::string> StagingManager::FileStorePath(uint64_t id) const {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no staged file: " + std::to_string(id));
+  }
+  if (it->second.writer != nullptr) {
+    return Status::Internal("staged file still being written: " +
+                            std::to_string(id));
+  }
+  return it->second.path;
 }
 
 StatusOr<const InMemoryRowStore*> StagingManager::GetMemoryStore(
@@ -160,6 +182,10 @@ Status StagingManager::Free(const DataLocation& loc) {
       if (it == files_.end()) {
         return Status::NotFound("no staged file: " +
                                 std::to_string(loc.store_id));
+      }
+      if (append_cache_id_ == loc.store_id) {
+        append_cache_ = nullptr;
+        append_cache_id_ = 0;
       }
       if (it->second.writer != nullptr) {
         SQLCLASS_RETURN_IF_ERROR(it->second.writer->Finish());

@@ -58,6 +58,16 @@ class StagingManager {
   /// caller as memory reads).
   StatusOr<const InMemoryRowStore*> GetMemoryStore(uint64_t id) const;
 
+  /// Path of a sealed staged file, for readers that bypass OpenFileStore
+  /// (the parallel counting scan opens one reader per worker and charges
+  /// mw_file_rows_read itself). Errors while the file is still being
+  /// written.
+  StatusOr<std::string> FileStorePath(uint64_t id) const;
+
+  /// Physical I/O of staged files (not part of the simulated cost model);
+  /// parallel scans merge their per-worker counters into this.
+  IoCounters& io_counters() { return io_; }
+
   // ---------------------------------------------------------- accounting
 
   StatusOr<uint64_t> StoreRows(const DataLocation& loc) const;
@@ -91,6 +101,11 @@ class StagingManager {
   CostCounters* cost_;
   IoCounters io_;  // physical I/O of staged files (not in simulated cost)
   uint64_t next_id_ = 1;
+  // Append fast path: the scan loop appends run-length batches to the same
+  // store, so remember the last looked-up open file (std::map node pointers
+  // are stable across inserts; invalidated on Finish/Free).
+  uint64_t append_cache_id_ = 0;
+  FileStore* append_cache_ = nullptr;
   std::map<uint64_t, FileStore> files_;
   std::map<uint64_t, MemoryStore> memory_;
   size_t file_bytes_used_ = 0;

@@ -29,6 +29,31 @@ void CcTable::AddRow(const Row& row, const std::vector<int>& attr_columns,
   AddClassTotal(class_value, 1);
 }
 
+void CcTable::AddRow(const Value* values, const std::vector<int>& attr_columns,
+                     int class_column) {
+  const Value class_value = values[class_column];
+  for (int attr : attr_columns) {
+    Add(attr, values[attr], class_value);
+  }
+  AddClassTotal(class_value, 1);
+}
+
+void CcTable::Merge(const CcTable& other) {
+  assert(num_classes_ == other.num_classes_);
+  for (const auto& [key, counts] : other.cells_) {
+    auto [it, inserted] = cells_.try_emplace(key);
+    if (inserted) {
+      it->second = counts;
+    } else {
+      for (int c = 0; c < num_classes_; ++c) it->second[c] += counts[c];
+    }
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    class_totals_[c] += other.class_totals_[c];
+  }
+  total_rows_ += other.total_rows_;
+}
+
 void CcTable::AddClassTotal(Value class_value, int64_t count) {
   assert(class_value >= 0 && class_value < num_classes_);
   class_totals_[class_value] += count;

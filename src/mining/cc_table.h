@@ -39,6 +39,17 @@ class CcTable {
   void AddRow(const Row& row, const std::vector<int>& attr_columns,
               int class_column);
 
+  /// Pointer-row overload for batch-decoded rows (RowBatch::RowAt); avoids
+  /// materializing a Row. `values` must span all referenced columns.
+  void AddRow(const Value* values, const std::vector<int>& attr_columns,
+              int class_column);
+
+  /// Folds another CC table built over a disjoint row partition into this
+  /// one. Cell counts and class totals are int64 sums, so merging
+  /// per-partition tables in any grouping yields exactly the table a serial
+  /// scan of the union would build (the parallel-scan determinism argument).
+  void Merge(const CcTable& other);
+
   /// Adds `count` to the per-class node totals only (used when building
   /// from pre-aggregated SQL results, where totals come from one attribute).
   void AddClassTotal(Value class_value, int64_t count);

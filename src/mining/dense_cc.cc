@@ -19,14 +19,27 @@ DenseCcTable::DenseCcTable(const Schema& schema,
   counts_.assign(offset * static_cast<size_t>(num_classes_), 0);
 }
 
-void DenseCcTable::AddRow(const Row& row) {
-  const Value class_value = row[class_column_];
+void DenseCcTable::AddRow(const Row& row) { AddRow(row.data()); }
+
+void DenseCcTable::AddRow(const Value* values) {
+  const Value class_value = values[class_column_];
   assert(class_value >= 0 && class_value < num_classes_);
   for (size_t slot = 0; slot < attr_columns_.size(); ++slot) {
-    ++counts_[CellOffset(slot, row[attr_columns_[slot]]) + class_value];
+    ++counts_[CellOffset(slot, values[attr_columns_[slot]]) + class_value];
   }
   ++class_totals_[class_value];
   ++total_rows_;
+}
+
+void DenseCcTable::Merge(const DenseCcTable& other) {
+  assert(num_classes_ == other.num_classes_);
+  assert(attr_columns_ == other.attr_columns_);
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  for (int c = 0; c < num_classes_; ++c) {
+    class_totals_[c] += other.class_totals_[c];
+  }
+  total_rows_ += other.total_rows_;
 }
 
 int64_t DenseCcTable::Count(int attr, Value value, Value class_value) const {

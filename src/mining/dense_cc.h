@@ -23,6 +23,14 @@ class DenseCcTable {
 
   void AddRow(const Row& row);
 
+  /// Pointer-row overload for batch-decoded rows (RowBatch::RowAt).
+  void AddRow(const Value* values);
+
+  /// Folds another dense table (same schema and attribute slots) built over
+  /// a disjoint row partition into this one: element-wise int64 sums, so
+  /// any merge grouping reproduces the serial result exactly.
+  void Merge(const DenseCcTable& other);
+
   int64_t Count(int attr, Value value, Value class_value) const;
   int64_t TotalRows() const { return total_rows_; }
   const std::vector<int64_t>& ClassTotals() const { return class_totals_; }

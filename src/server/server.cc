@@ -195,6 +195,14 @@ StatusOr<uint64_t> SqlServer::TableRowCount(const std::string& table) const {
   return state->row_count;
 }
 
+StatusOr<std::string> SqlServer::TableHeapPath(const std::string& table) const {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  if (state->loading) {
+    return Status::Internal("table still loading: " + table);
+  }
+  return state->path;
+}
+
 StatusOr<std::unique_ptr<RowSource>> SqlServer::Scan(
     const std::string& table) {
   SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));

@@ -121,6 +121,11 @@ class SqlServer : public TableProvider {
   StatusOr<const Schema*> GetSchema(const std::string& table) override;
   StatusOr<uint64_t> TableRowCount(const std::string& table) const;
 
+  /// Path of a loaded table's heap file, for scanners that open their own
+  /// readers (the morsel-parallel counting scan opens one per worker).
+  /// Errors while the table is still loading.
+  StatusOr<std::string> TableHeapPath(const std::string& table) const;
+
   /// Physical scan used by the SQL executor; meters physical I/O only (the
   /// executor's ExecStats carry the logical charges).
   StatusOr<std::unique_ptr<RowSource>> Scan(const std::string& table) override;

@@ -100,6 +100,16 @@ struct ServiceConfig {
 
   CostModel cost_model;
   size_t buffer_pool_pages = 1024;
+
+  /// Worker threads for morsel-parallel counting scans inside a shared
+  /// scan (0 = hardware concurrency, overridable via the
+  /// SQLCLASS_PARALLEL_SCAN_THREADS environment variable; 1 = serial
+  /// scans, the old behavior). Logical cost charging is identical either
+  /// way; only wall time changes.
+  int parallel_scan_threads = 0;
+
+  /// Minimum table rows before a shared scan runs in parallel.
+  uint64_t parallel_scan_min_rows = 32768;
 };
 
 /// Point-in-time view of service health, safe to take while sessions run.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "middleware/batch_matcher.h"
+#include "middleware/parallel_scan.h"
 
 namespace sqlclass {
 
@@ -239,9 +240,12 @@ void SharedScanBatcher::RunScan(std::unique_lock<std::mutex>& lock,
   }
 
   // The TableState node and its schema are stable (tables are never
-  // erased), so the scan can read them with mu_ released.
+  // erased), so the scan can read them with mu_ released. Row count is
+  // snapshotted here because RegisterTable may refresh it under mu_.
+  const uint64_t table_rows = t.rows;
   lock.unlock();
-  ScanOutcome out = ExecuteScan(table, t.schema, t.num_classes, batch, quotas);
+  ScanOutcome out =
+      ExecuteScan(table, t.schema, t.num_classes, table_rows, batch, quotas);
   lock.lock();
 
   // --- Deposit results and credit costs. ---
@@ -294,7 +298,7 @@ void SharedScanBatcher::RunScan(std::unique_lock<std::mutex>& lock,
 
 SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
     const std::string& table, const Schema& schema, int num_classes,
-    const std::vector<PendingReq>& batch,
+    uint64_t table_rows, const std::vector<PendingReq>& batch,
     const std::map<SessionId, size_t>& quotas) {
   ScanOutcome out;
   const int n = static_cast<int>(batch.size());
@@ -315,50 +319,100 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
   }
   BatchMatcher matcher(predicates);
 
-  // One pass over the table for the whole cross-session batch (§4.1.1
-  // lifted across sessions), with §4.3.1 OR-pushdown when every rider has a
-  // selective predicate.
-  std::string sql = "SELECT * FROM " + table;
-  if (config_.enable_filter_pushdown) {
-    bool any_true = false;
+  // §4.3.1 OR-pushdown when every rider has a selective predicate.
+  auto build_pushdown_filter = [&]() -> std::unique_ptr<Expr> {
+    if (!config_.enable_filter_pushdown) return nullptr;
     std::vector<std::unique_ptr<Expr>> clauses;
     for (const PendingReq& p : batch) {
-      if (p.request.predicate->kind() == ExprKind::kTrue) {
-        any_true = true;
-        break;
-      }
+      if (p.request.predicate->kind() == ExprKind::kTrue) return nullptr;
       clauses.push_back(p.request.predicate->Clone());
     }
-    if (!any_true && !clauses.empty()) {
-      sql += " WHERE " + Expr::Or(std::move(clauses))->ToSql();
+    if (clauses.empty()) return nullptr;
+    return Expr::Or(std::move(clauses));
+  };
+
+  // One pass over the table for the whole cross-session batch (§4.1.1
+  // lifted across sessions). Large tables go through the morsel-parallel
+  // counting scan, which charges the identical logical costs.
+  const int scan_threads =
+      ResolveParallelThreads(config_.parallel_scan_threads);
+  if (scan_threads > 1 && table_rows >= config_.parallel_scan_min_rows) {
+    ParallelScanOptions options;
+    options.class_column = class_column;
+    options.num_classes = num_classes;
+    options.matcher = &matcher;
+    options.node_attrs.reserve(n);
+    for (const PendingReq& p : batch) {
+      options.node_attrs.push_back(&p.request.active_attrs);
     }
-  }
+    std::unique_ptr<Expr> filter = build_pushdown_filter();
+    if (filter != nullptr) {
+      Status bind_status = filter->Bind(schema);
+      if (!bind_status.ok()) {
+        out.scan_status = bind_status;
+        return out;
+      }
+    }
+    options.filter = filter.get();
+    options.charge.server_row_evaluated = true;
+    options.charge.cursor_transfer = true;
 
-  StatusOr<std::unique_ptr<ServerCursor>> cursor_or =
-      server_->OpenCursorSql(sql);
-  if (!cursor_or.ok()) {
-    out.scan_status = cursor_or.status();
-    return out;
-  }
-  std::unique_ptr<ServerCursor> cursor = std::move(cursor_or).value();
-
-  Row row;
-  std::vector<int> matches;
-  while (true) {
-    StatusOr<bool> more = cursor->Next(&row);
-    if (!more.ok()) {
-      out.scan_status = more.status();
+    StatusOr<std::string> path_or = server_->TableHeapPath(table);
+    if (!path_or.ok()) {
+      out.scan_status = path_or.status();
       return out;
     }
-    if (!more.value()) break;
-    ++out.rows_scanned;
-    matcher.Match(row, &matches);
-    for (int pos : matches) {
-      const PendingReq& p = batch[pos];
-      ccs[pos].AddRow(row, p.request.active_attrs, class_column);
-      const uint64_t updates = p.request.active_attrs.size();
-      cost.mw_cc_updates += updates;
-      out.cc_updates[p.session] += updates;
+    if (scan_pool_ == nullptr || scan_pool_->size() != scan_threads) {
+      scan_pool_ = std::make_unique<ThreadPool>(scan_threads);
+    }
+    ++cost.server_scans;  // what OpenCursor charges at open
+    StatusOr<ParallelScanResult> scan_or = ParallelCountScan::OverHeapFile(
+        scan_pool_.get(), *path_or, schema.num_columns(), options, &cost,
+        &server_->io_counters());
+    if (!scan_or.ok()) {
+      out.scan_status = scan_or.status();
+      return out;
+    }
+    ParallelScanResult scan = std::move(scan_or).value();
+    out.rows_scanned = scan.rows_delivered;
+    for (int i = 0; i < n; ++i) {
+      ccs[i] = std::move(scan.ccs[i]);
+      const uint64_t updates =
+          scan.node_matches[i] * batch[i].request.active_attrs.size();
+      if (updates > 0) out.cc_updates[batch[i].session] += updates;
+    }
+  } else {
+    std::string sql = "SELECT * FROM " + table;
+    if (std::unique_ptr<Expr> filter = build_pushdown_filter()) {
+      sql += " WHERE " + filter->ToSql();
+    }
+
+    StatusOr<std::unique_ptr<ServerCursor>> cursor_or =
+        server_->OpenCursorSql(sql);
+    if (!cursor_or.ok()) {
+      out.scan_status = cursor_or.status();
+      return out;
+    }
+    std::unique_ptr<ServerCursor> cursor = std::move(cursor_or).value();
+
+    Row row;
+    std::vector<int> matches;
+    while (true) {
+      StatusOr<bool> more = cursor->Next(&row);
+      if (!more.ok()) {
+        out.scan_status = more.status();
+        return out;
+      }
+      if (!more.value()) break;
+      ++out.rows_scanned;
+      matcher.Match(row, &matches);
+      for (int pos : matches) {
+        const PendingReq& p = batch[pos];
+        ccs[pos].AddRow(row, p.request.active_attrs, class_column);
+        const uint64_t updates = p.request.active_attrs.size();
+        cost.mw_cc_updates += updates;
+        out.cc_updates[p.session] += updates;
+      }
     }
   }
 

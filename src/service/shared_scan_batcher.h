@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -13,6 +14,7 @@
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "mining/cc_provider.h"
 #include "server/server.h"
 #include "service/session.h"
@@ -147,13 +149,17 @@ class SharedScanBatcher {
     uint64_t rows_scanned = 0;
   };
   ScanOutcome ExecuteScan(const std::string& table, const Schema& schema,
-                          int num_classes,
+                          int num_classes, uint64_t table_rows,
                           const std::vector<PendingReq>& batch,
                           const std::map<SessionId, size_t>& quotas);
 
   SqlServer* server_;
   std::mutex* server_mu_;
   const ServiceConfig config_;
+
+  /// Workers for morsel-parallel scans; created lazily by ExecuteScan and
+  /// guarded by server_mu_ (scans are single-flight per server anyway).
+  std::unique_ptr<ThreadPool> scan_pool_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

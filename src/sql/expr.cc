@@ -95,28 +95,28 @@ bool Expr::bound() const {
   return false;
 }
 
-bool Expr::Eval(const Row& row) const {
+bool Expr::Eval(const Value* values) const {
   switch (kind_) {
     case ExprKind::kTrue:
       return true;
     case ExprKind::kColumnEq:
       assert(column_index_ >= 0);
-      return row[column_index_] == literal_;
+      return values[column_index_] == literal_;
     case ExprKind::kColumnNe:
       assert(column_index_ >= 0);
-      return row[column_index_] != literal_;
+      return values[column_index_] != literal_;
     case ExprKind::kAnd:
       for (const auto& child : children_) {
-        if (!child->Eval(row)) return false;
+        if (!child->Eval(values)) return false;
       }
       return true;
     case ExprKind::kOr:
       for (const auto& child : children_) {
-        if (child->Eval(row)) return true;
+        if (child->Eval(values)) return true;
       }
       return false;
     case ExprKind::kNot:
-      return !children_[0]->Eval(row);
+      return !children_[0]->Eval(values);
   }
   return false;
 }

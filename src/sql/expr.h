@@ -58,7 +58,11 @@ class Expr {
 
   /// Evaluates against a row of the bound schema. Must be bound first for
   /// column comparisons.
-  bool Eval(const Row& row) const;
+  bool Eval(const Row& row) const { return Eval(row.data()); }
+
+  /// Pointer-row overload for batch-decoded rows (RowBatch::RowAt);
+  /// `values` must span every column the expression references.
+  bool Eval(const Value* values) const;
 
   /// Renders standard SQL text, e.g. `(A1 = 2 AND A2 <> 0)`.
   std::string ToSql() const;

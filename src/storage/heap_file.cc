@@ -1,5 +1,6 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -12,6 +13,20 @@ size_t SlotsPerPage(size_t row_bytes) {
   return (kPageSize - kPageHeaderBytes) / row_bytes;
 }
 
+std::vector<PageRange> MakePageMorsels(uint64_t num_pages,
+                                       uint64_t pages_per_morsel) {
+  if (pages_per_morsel == 0) pages_per_morsel = 1;
+  std::vector<PageRange> morsels;
+  morsels.reserve(
+      static_cast<size_t>((num_pages + pages_per_morsel - 1) /
+                          pages_per_morsel));
+  for (uint64_t begin = 0; begin < num_pages; begin += pages_per_morsel) {
+    const uint64_t end = std::min(num_pages, begin + pages_per_morsel);
+    morsels.push_back(PageRange{begin, end});
+  }
+  return morsels;
+}
+
 // ---------------------------------------------------------------- writer
 
 HeapFileWriter::HeapFileWriter(std::string path, std::FILE* file,
@@ -20,7 +35,7 @@ HeapFileWriter::HeapFileWriter(std::string path, std::FILE* file,
       file_(file),
       codec_(num_columns),
       counters_(counters),
-      page_(kPageSize, 0) {}
+      buffer_(kWriteBufferPages * kPageSize, 0) {}
 
 HeapFileWriter::~HeapFileWriter() {
   if (file_ != nullptr) std::fclose(file_);
@@ -68,10 +83,11 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
     if (std::fseek(file, last_offset, SEEK_SET) != 0) {
       return Status::IoError("seek failed for " + path);
     }
-    if (std::fread(writer->page_.data(), 1, kPageSize, file) != kPageSize) {
+    // Reload into buffer slot 0 (nothing is buffered yet on open).
+    if (std::fread(writer->buffer_.data(), 1, kPageSize, file) != kPageSize) {
       return Status::IoError("short page read for " + path);
     }
-    const uint32_t last_rows = DecodeFixed32(writer->page_.data());
+    const uint32_t last_rows = DecodeFixed32(writer->buffer_.data());
     writer->existing_rows_ = (num_pages - 1) * slots + last_rows;
     if (last_rows < slots) {
       writer->rows_in_page_ = last_rows;
@@ -80,7 +96,7 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
       }
     } else {
       // Last page full: clear the buffer and keep writing at EOF.
-      std::memset(writer->page_.data(), 0, writer->page_.size());
+      std::memset(writer->buffer_.data(), 0, kPageSize);
       if (std::fseek(file, 0, SEEK_END) != 0) {
         return Status::IoError("seek failed for " + path);
       }
@@ -92,30 +108,42 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
 Status HeapFileWriter::Append(const Row& row) {
   if (finished_) return Status::Internal("Append after Finish");
   const size_t slots = SlotsPerPage(codec_.row_bytes());
-  codec_.Encode(row, page_.data() + kPageHeaderBytes +
+  codec_.Encode(row, CurrentPage() + kPageHeaderBytes +
                          rows_in_page_ * codec_.row_bytes());
   ++rows_in_page_;
   ++rows_written_;
   if (counters_ != nullptr) ++counters_->rows_written;
-  if (rows_in_page_ == slots) return FlushPage();
+  if (rows_in_page_ == slots) return SealPage();
   return Status::OK();
 }
 
-Status HeapFileWriter::FlushPage() {
+Status HeapFileWriter::SealPage() {
   if (rows_in_page_ == 0) return Status::OK();
-  EncodeFixed32(page_.data(), rows_in_page_);
-  if (std::fwrite(page_.data(), 1, kPageSize, file_) != kPageSize) {
+  EncodeFixed32(CurrentPage(), rows_in_page_);
+  rows_in_page_ = 0;
+  ++pages_buffered_;
+  if (pages_buffered_ == kWriteBufferPages) return FlushBuffer();
+  return Status::OK();
+}
+
+Status HeapFileWriter::FlushBuffer() {
+  if (pages_buffered_ == 0) return Status::OK();
+  const size_t bytes = pages_buffered_ * kPageSize;
+  if (std::fwrite(buffer_.data(), 1, bytes, file_) != bytes) {
     return Status::IoError("short write to " + path_);
   }
-  if (counters_ != nullptr) ++counters_->pages_written;
-  rows_in_page_ = 0;
-  std::memset(page_.data(), 0, page_.size());
+  // One logical page write per sealed page, exactly as when each page was
+  // flushed individually.
+  if (counters_ != nullptr) counters_->pages_written += pages_buffered_;
+  pages_buffered_ = 0;
+  std::memset(buffer_.data(), 0, buffer_.size());
   return Status::OK();
 }
 
 Status HeapFileWriter::Finish() {
   if (finished_) return Status::OK();
-  SQLCLASS_RETURN_IF_ERROR(FlushPage());
+  SQLCLASS_RETURN_IF_ERROR(SealPage());
+  SQLCLASS_RETURN_IF_ERROR(FlushBuffer());
   if (std::fclose(file_) != 0) {
     file_ = nullptr;
     return Status::IoError("close failed for " + path_);
@@ -244,6 +272,49 @@ StatusOr<bool> HeapFileReader::Next(Row* row) {
   ++rows_returned_;
   if (counters_ != nullptr) ++counters_->rows_read;
   return true;
+}
+
+StatusOr<bool> HeapFileReader::NextBatch(RowBatch* batch) {
+  batch->Reset(codec_.num_columns());
+  if (rows_returned_ >= num_rows_) return false;
+  if (!page_loaded_ || next_slot_ >= rows_in_current_page_) {
+    uint64_t next_page = page_loaded_ ? current_page_ + 1 : 0;
+    SQLCLASS_RETURN_IF_ERROR(LoadPage(next_page));
+    next_slot_ = 0;
+  }
+  const uint32_t count = rows_in_current_page_ - next_slot_;
+  const size_t row_bytes = codec_.row_bytes();
+  const char* src = page_.data() + kPageHeaderBytes + next_slot_ * row_bytes;
+  Value* dst = batch->AppendRows(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    codec_.DecodeInto(src + i * row_bytes, dst + i * codec_.num_columns());
+  }
+  next_slot_ = rows_in_current_page_;
+  rows_returned_ += count;
+  if (counters_ != nullptr) counters_->rows_read += count;
+  return true;
+}
+
+Status HeapFileReader::ReadPageInto(uint64_t page_index, RowBatch* batch) {
+  batch->Reset(codec_.num_columns());
+  if (page_index >= num_pages_) {
+    return Status::InvalidArgument("page index out of range: " +
+                                   std::to_string(page_index));
+  }
+  if (!page_loaded_ || page_index != current_page_) {
+    SQLCLASS_RETURN_IF_ERROR(LoadPage(page_index));
+  }
+  // Positioned read: invalidate the sequential position like ReadAt does.
+  next_slot_ = rows_in_current_page_;
+  const uint32_t count = rows_in_current_page_;
+  const size_t row_bytes = codec_.row_bytes();
+  const char* src = page_.data() + kPageHeaderBytes;
+  Value* dst = batch->AppendRows(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    codec_.DecodeInto(src + i * row_bytes, dst + i * codec_.num_columns());
+  }
+  if (counters_ != nullptr) counters_->rows_read += count;
+  return Status::OK();
 }
 
 Status HeapFileReader::ReadAt(Tid tid, Row* row) {

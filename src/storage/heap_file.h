@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_counters.h"
+#include "storage/row_batch.h"
 #include "storage/row_codec.h"
 
 namespace sqlclass {
@@ -20,8 +21,27 @@ namespace sqlclass {
 inline constexpr size_t kPageSize = 8192;
 inline constexpr size_t kPageHeaderBytes = sizeof(uint32_t);
 
+/// Pages the writer seals before issuing one contiguous fwrite. Purely a
+/// physical batching knob: page layout and per-page write accounting are
+/// identical to flushing each page individually.
+inline constexpr size_t kWriteBufferPages = 8;
+
 /// Rows a page can hold for a given row width.
 size_t SlotsPerPage(size_t row_bytes);
+
+/// Half-open range of page indexes [begin, end) — the morsel unit handed to
+/// parallel scan workers.
+struct PageRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Splits [0, num_pages) into consecutive ranges of at most
+/// `pages_per_morsel` pages, in file order. The fixed order is what makes
+/// the parallel merge deterministic regardless of which worker claims which
+/// morsel.
+std::vector<PageRange> MakePageMorsels(uint64_t num_pages,
+                                       uint64_t pages_per_morsel);
 
 /// Append-only writer for a paged heap file on disk. Not thread-safe.
 class HeapFileWriter {
@@ -56,14 +76,23 @@ class HeapFileWriter {
   HeapFileWriter(std::string path, std::FILE* file, int num_columns,
                  IoCounters* counters);
 
-  Status FlushPage();
+  /// Pointer to the page currently being filled (inside buffer_).
+  char* CurrentPage() { return buffer_.data() + pages_buffered_ * kPageSize; }
+
+  /// Stamps the current page's header and advances to the next buffer slot,
+  /// flushing the buffer once kWriteBufferPages pages are sealed.
+  Status SealPage();
+
+  /// Writes all sealed pages in one contiguous fwrite.
+  Status FlushBuffer();
 
   std::string path_;
   std::FILE* file_;
   RowCodec codec_;
   IoCounters* counters_;  // may be null
-  std::vector<char> page_;
-  uint32_t rows_in_page_ = 0;
+  std::vector<char> buffer_;    // kWriteBufferPages pages
+  size_t pages_buffered_ = 0;   // sealed, not yet written
+  uint32_t rows_in_page_ = 0;   // rows in the page being filled
   uint64_t rows_written_ = 0;
   uint64_t existing_rows_ = 0;
   bool finished_ = false;
@@ -88,6 +117,16 @@ class HeapFileReader {
   /// On I/O error returns an error status.
   StatusOr<bool> Next(Row* row);
 
+  /// Decodes the remaining rows of the next unread page into `*batch`
+  /// (batch is Reset first); returns false at end of file. Charges the
+  /// same counters as reading those rows one by one with Next().
+  StatusOr<bool> NextBatch(RowBatch* batch);
+
+  /// Decodes all rows of page `page_index` into `*batch` (Reset first).
+  /// Positioned read: like ReadAt, it invalidates the sequential scan
+  /// position — callers interleaving with Next() must Reset() in between.
+  Status ReadPageInto(uint64_t page_index, RowBatch* batch);
+
   /// Rewinds to the first row.
   Status Reset();
 
@@ -97,6 +136,9 @@ class HeapFileReader {
 
   /// Total rows in the file (from the file size and trailer page count).
   uint64_t num_rows() const { return num_rows_; }
+
+  /// Total pages in the file (basis for morsel partitioning).
+  uint64_t num_pages() const { return num_pages_; }
 
  private:
   HeapFileReader(std::string path, std::FILE* file, int num_columns,

@@ -14,9 +14,15 @@ void RowCodec::Encode(const Row& row, char* dst) const {
 }
 
 void RowCodec::Decode(const char* src, Row* row) const {
-  row->resize(num_columns_);
+  if (row->size() != static_cast<size_t>(num_columns_)) {
+    row->resize(num_columns_);
+  }
+  DecodeInto(src, row->data());
+}
+
+void RowCodec::DecodeInto(const char* src, Value* dst) const {
   for (int i = 0; i < num_columns_; ++i) {
-    (*row)[i] = static_cast<Value>(DecodeFixed32(src + i * sizeof(Value)));
+    dst[i] = static_cast<Value>(DecodeFixed32(src + i * sizeof(Value)));
   }
 }
 

@@ -23,8 +23,14 @@ class RowCodec {
   /// Writes `row` (must have num_columns values) into `dst[0, row_bytes)`.
   void Encode(const Row& row, char* dst) const;
 
-  /// Reads one row from `src[0, row_bytes)` into `*row` (resized).
+  /// Reads one row from `src[0, row_bytes)` into `*row`. Resize-free when
+  /// the row already holds num_columns values (the hoisted-Row scan loops
+  /// rely on this to stay allocation-free after the first iteration).
   void Decode(const char* src, Row* row) const;
+
+  /// Reads one row from `src[0, row_bytes)` into `dst[0, num_columns)`.
+  /// The batched page decode uses this to fill RowBatch storage directly.
+  void DecodeInto(const char* src, Value* dst) const;
 
  private:
   int num_columns_;
