@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "common/json_writer.h"
 #include "common/stopwatch.h"
 #include "datagen/load.h"
 #include "middleware/middleware.h"
@@ -110,68 +111,10 @@ inline double Mb(uint64_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }
 
-/// Tiny append-only JSON writer for the committed BENCH_*.json artifacts —
-/// enough structure for flat records without pulling in a serializer. Not
-/// general-purpose: keys and string values must not need escaping. Commas
-/// are inserted automatically; End*() marks the container as a finished
-/// element of its parent.
-class JsonWriter {
- public:
-  void BeginObject() { Elem(); buf_ += '{'; need_comma_ = false; }
-  void EndObject() { buf_ += '}'; need_comma_ = true; }
-  void BeginArray() { Elem(); buf_ += '['; need_comma_ = false; }
-  void EndArray() { buf_ += ']'; need_comma_ = true; }
-  void Key(const std::string& key) {
-    Elem();
-    buf_ += '"';
-    buf_ += key;
-    buf_ += "\":";
-    need_comma_ = false;
-  }
-  void String(const std::string& value) {
-    Elem();
-    buf_ += '"';
-    buf_ += value;
-    buf_ += '"';
-    need_comma_ = true;
-  }
-  void Int(uint64_t value) {
-    Elem();
-    buf_ += std::to_string(value);
-    need_comma_ = true;
-  }
-  void Double(double value) {
-    Elem();
-    char tmp[32];
-    std::snprintf(tmp, sizeof(tmp), "%.6f", value);
-    buf_ += tmp;
-    need_comma_ = true;
-  }
-  void Bool(bool value) {
-    Elem();
-    buf_ += value ? "true" : "false";
-    need_comma_ = true;
-  }
-
-  const std::string& str() const { return buf_; }
-
-  bool WriteToFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const bool ok = std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
-    std::fputc('\n', f);
-    std::fclose(f);
-    return ok;
-  }
-
- private:
-  void Elem() {
-    if (need_comma_) buf_ += ',';
-  }
-
-  std::string buf_;
-  bool need_comma_ = false;
-};
+/// The JSON writer behind the committed BENCH_*.json artifacts now lives in
+/// common/json_writer.h (escaping handled there); the alias keeps existing
+/// bench code spelling it bench::JsonWriter.
+using JsonWriter = ::sqlclass::JsonWriter;
 
 }  // namespace bench
 }  // namespace sqlclass

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs the full static/dynamic analysis matrix locally, one leg at a time:
+#
+#   werror   -Werror build (plus -Wthread-safety under clang) + full ctest
+#   tidy     clang-tidy over src/ (skipped when clang-tidy is absent)
+#   asan     -fsanitize=address,undefined build + full ctest
+#   tsan     -fsanitize=thread build + the concurrency-labeled ctest subset
+#   lint     cost-accounting lint + self-test (ctest -L lint, werror build)
+#
+# Each leg builds into build-analysis/<leg> so an incremental rerun is
+# cheap. Select legs by name: scripts/run_analysis_matrix.sh asan tsan
+# (default: every leg). Environment: JOBS=<n> overrides the parallelism.
+#
+# Exits non-zero on the first failing leg.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+BASE=build-analysis
+LEGS=("$@")
+if [[ ${#LEGS[@]} -eq 0 ]]; then
+  LEGS=(werror tidy asan tsan lint)
+fi
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+configure_and_build() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@" >"$dir.configure.log" 2>&1 ||
+    { cat "$dir.configure.log"; return 1; }
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_leg() {
+  local leg=$1
+  local dir="$BASE/$leg"
+  mkdir -p "$BASE"
+  case "$leg" in
+    werror)
+      note "werror: -Werror (thread-safety analysis under clang) + ctest"
+      configure_and_build "$dir" -DSQLCLASS_WERROR=ON
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+      ;;
+    tidy)
+      note "tidy: clang-tidy (bugprone, concurrency, performance)"
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed: skipping the tidy leg"
+        return 0
+      fi
+      configure_and_build "$dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+      # Headers are covered through HeaderFilterRegex in .clang-tidy.
+      find src -name '*.cc' -print0 |
+        xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$dir" --quiet
+      ;;
+    asan)
+      note "asan: -fsanitize=address,undefined + full ctest"
+      configure_and_build "$dir" -DSQLCLASS_SANITIZE=address,undefined
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+      ;;
+    tsan)
+      note "tsan: -fsanitize=thread + ctest -L concurrency"
+      configure_and_build "$dir" -DSQLCLASS_SANITIZE=thread
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L concurrency
+      ;;
+    lint)
+      note "lint: cost-accounting invariant + self-test"
+      # Reuses the werror tree when present; configures a plain one if not.
+      local lint_dir="$BASE/werror"
+      if [[ ! -d "$lint_dir" ]]; then
+        lint_dir="$BASE/lint"
+        cmake -B "$lint_dir" -S . >/dev/null
+      fi
+      ctest --test-dir "$lint_dir" --output-on-failure -L lint
+      ;;
+    *)
+      echo "unknown leg: $leg (expected: werror tidy asan tsan lint)" >&2
+      return 2
+      ;;
+  esac
+}
+
+for leg in "${LEGS[@]}"; do
+  run_leg "$leg"
+done
+note "analysis matrix passed: ${LEGS[*]}"

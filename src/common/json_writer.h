@@ -1,0 +1,111 @@
+#ifndef SQLCLASS_COMMON_JSON_WRITER_H_
+#define SQLCLASS_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sqlclass {
+
+/// Tiny append-only JSON writer for flat records (bench artifacts, metric
+/// dumps) — enough structure without pulling in a serializer. Commas are
+/// inserted automatically; End*() marks the container as a finished element
+/// of its parent. Keys and string values are escaped per RFC 8259: quotes,
+/// backslashes, and control characters below 0x20 never corrupt the output.
+class JsonWriter {
+ public:
+  void BeginObject() { Elem(); buf_ += '{'; need_comma_ = false; }
+  void EndObject() { buf_ += '}'; need_comma_ = true; }
+  void BeginArray() { Elem(); buf_ += '['; need_comma_ = false; }
+  void EndArray() { buf_ += ']'; need_comma_ = true; }
+  void Key(const std::string& key) {
+    Elem();
+    AppendEscaped(key);
+    buf_ += ':';
+    need_comma_ = false;
+  }
+  void String(const std::string& value) {
+    Elem();
+    AppendEscaped(value);
+    need_comma_ = true;
+  }
+  void Int(uint64_t value) {
+    Elem();
+    buf_ += std::to_string(value);
+    need_comma_ = true;
+  }
+  void Double(double value) {
+    Elem();
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%.6f", value);
+    buf_ += tmp;
+    need_comma_ = true;
+  }
+  void Bool(bool value) {
+    Elem();
+    buf_ += value ? "true" : "false";
+    need_comma_ = true;
+  }
+
+  const std::string& str() const { return buf_; }
+
+  bool WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
+    std::fputc('\n', f);
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  void Elem() {
+    if (need_comma_) buf_ += ',';
+  }
+
+  void AppendEscaped(const std::string& s) {
+    buf_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          buf_ += "\\\"";
+          break;
+        case '\\':
+          buf_ += "\\\\";
+          break;
+        case '\b':
+          buf_ += "\\b";
+          break;
+        case '\f':
+          buf_ += "\\f";
+          break;
+        case '\n':
+          buf_ += "\\n";
+          break;
+        case '\r':
+          buf_ += "\\r";
+          break;
+        case '\t':
+          buf_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char tmp[8];
+            std::snprintf(tmp, sizeof(tmp), "\\u%04x",
+                          static_cast<unsigned>(c));
+            buf_ += tmp;
+          } else {
+            buf_ += c;
+          }
+      }
+    }
+    buf_ += '"';
+  }
+
+  std::string buf_;
+  bool need_comma_ = false;
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_COMMON_JSON_WRITER_H_

@@ -1,0 +1,70 @@
+#ifndef SQLCLASS_COMMON_THREAD_ANNOTATIONS_H_
+#define SQLCLASS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (the conventional set from
+/// the LLVM docs). Under Clang with -Wthread-safety these make the locking
+/// contracts in this codebase compiler-checked: every GUARDED_BY member
+/// access and every REQUIRES function call is verified at compile time, and
+/// the analysis-matrix build (-Werror=thread-safety-analysis, see
+/// scripts/run_analysis_matrix.sh) turns violations into build failures.
+/// Under GCC and other compilers the macros expand to nothing.
+///
+/// Conventions (see DESIGN.md "Static analysis & invariants"):
+///  * every member a mutex protects carries GUARDED_BY(mu_);
+///  * private helpers that assume the lock carry REQUIRES(mu_) instead of a
+///    "caller holds mu_" comment;
+///  * functions that must NOT be entered with a lock held (because they
+///    acquire it, or acquire another lock ordered before it) carry
+///    EXCLUDES(mu_).
+/// Use the annotated wrappers in common/mutex.h, not bare std::mutex —
+/// std::mutex carries no capability attributes, so the analysis cannot see
+/// its lock/unlock.
+
+#if defined(__clang__)
+#define SQLCLASS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SQLCLASS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) SQLCLASS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY SQLCLASS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define GUARDED_BY(x) SQLCLASS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) SQLCLASS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the capability held (held on entry and
+/// still held on exit; the body may drop and re-take it).
+#define REQUIRES(...) \
+  SQLCLASS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (not held on entry, held on exit).
+#define ACQUIRE(...) SQLCLASS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not held on exit).
+#define RELEASE(...) SQLCLASS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  SQLCLASS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define EXCLUDES(...) SQLCLASS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no acquire/release).
+#define ASSERT_CAPABILITY(x) SQLCLASS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SQLCLASS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppresses analysis inside one function. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SQLCLASS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SQLCLASS_COMMON_THREAD_ANNOTATIONS_H_

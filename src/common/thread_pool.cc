@@ -14,25 +14,30 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
     ++unfinished_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    idle_cv_.Wait(lock, [this]() REQUIRES(mu_) { return unfinished_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::RunTasks(int tasks, const std::function<void(int)>& fn) {
@@ -46,16 +51,24 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(lock, [this]() REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--unfinished_ == 0) idle_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (error && first_error_ == nullptr) first_error_ = error;
+      if (--unfinished_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -7,10 +7,10 @@ AsyncCcProvider::AsyncCcProvider(CcProvider* inner)
 
 AsyncCcProvider::~AsyncCcProvider() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
   worker_.join();
 }
 
@@ -18,36 +18,36 @@ Status AsyncCcProvider::QueueRequest(CcRequest request) {
   // Validation happens on the worker thread; a bad request surfaces as an
   // error from the next FulfillSome.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!error_.ok()) return error_;
     inbox_.push_back(std::move(request));
     ++outstanding_;
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
   return Status::OK();
 }
 
 void AsyncCcProvider::ReleaseNode(int node_id) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     releases_.push_back(node_id);
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
 }
 
 size_t AsyncCcProvider::PendingRequests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return outstanding_;
 }
 
 uint64_t AsyncCcProvider::worker_rounds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return worker_rounds_;
 }
 
 StatusOr<std::vector<CcResult>> AsyncCcProvider::FulfillSome() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  client_cv_.wait(lock, [&] {
+  MutexLock lock(mutex_);
+  client_cv_.Wait(lock, [this]() REQUIRES(mutex_) {
     return !outbox_.empty() || !error_.ok() || outstanding_ == 0;
   });
   if (!error_.ok()) return error_;
@@ -58,9 +58,9 @@ StatusOr<std::vector<CcResult>> AsyncCcProvider::FulfillSome() {
 }
 
 void AsyncCcProvider::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    worker_cv_.wait(lock, [&] {
+    worker_cv_.Wait(lock, [this]() REQUIRES(mutex_) {
       return stop_ || !inbox_.empty() || !releases_.empty() ||
              (error_.ok() && inner_->PendingRequests() > 0);
     });
@@ -70,7 +70,7 @@ void AsyncCcProvider::WorkerLoop() {
     requests.swap(inbox_);
     std::deque<int> releases;
     releases.swap(releases_);
-    lock.unlock();
+    lock.Unlock();
 
     // Inner provider is driven exclusively from this thread.
     for (int node_id : releases) inner_->ReleaseNode(node_id);
@@ -89,13 +89,13 @@ void AsyncCcProvider::WorkerLoop() {
       }
     }
 
-    lock.lock();
+    lock.Lock();
     if (!status.ok() && error_.ok()) error_ = status;
     if (!batch.empty()) {
       for (CcResult& result : batch) outbox_.push_back(std::move(result));
       ++worker_rounds_;
     }
-    if (!outbox_.empty() || !error_.ok()) client_cv_.notify_all();
+    if (!outbox_.empty() || !error_.ok()) client_cv_.NotifyAll();
   }
 }
 

@@ -1,13 +1,13 @@
 #ifndef SQLCLASS_MIDDLEWARE_ASYNC_PROVIDER_H_
 #define SQLCLASS_MIDDLEWARE_ASYNC_PROVIDER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mining/cc_provider.h"
 
 namespace sqlclass {
@@ -46,35 +46,35 @@ class AsyncCcProvider : public CcProvider {
   AsyncCcProvider(const AsyncCcProvider&) = delete;
   AsyncCcProvider& operator=(const AsyncCcProvider&) = delete;
 
-  Status QueueRequest(CcRequest request) override;
+  Status QueueRequest(CcRequest request) override EXCLUDES(mutex_);
 
   /// Blocks until the worker has fulfilled something (or everything
   /// outstanding has already been delivered / an error occurred).
-  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  StatusOr<std::vector<CcResult>> FulfillSome() override EXCLUDES(mutex_);
 
-  void ReleaseNode(int node_id) override;
+  void ReleaseNode(int node_id) override EXCLUDES(mutex_);
 
   /// Requests queued but not yet delivered to the client.
-  size_t PendingRequests() const override;
+  size_t PendingRequests() const override EXCLUDES(mutex_);
 
   /// Batches the worker executed (for tests: proves overlap happened).
-  uint64_t worker_rounds() const;
+  uint64_t worker_rounds() const EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  CcProvider* inner_;
+  CcProvider* inner_;  // driven only by the worker thread
 
-  mutable std::mutex mutex_;
-  std::condition_variable worker_cv_;   // signals work for the worker
-  std::condition_variable client_cv_;   // signals results for the client
-  std::deque<CcRequest> inbox_;
-  std::deque<int> releases_;
-  std::vector<CcResult> outbox_;
-  Status error_ = Status::OK();
-  size_t outstanding_ = 0;  // queued, not yet handed to the client
-  uint64_t worker_rounds_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar worker_cv_;   // signals work for the worker
+  CondVar client_cv_;   // signals results for the client
+  std::deque<CcRequest> inbox_ GUARDED_BY(mutex_);
+  std::deque<int> releases_ GUARDED_BY(mutex_);
+  std::vector<CcResult> outbox_ GUARDED_BY(mutex_);
+  Status error_ GUARDED_BY(mutex_) = Status::OK();
+  size_t outstanding_ GUARDED_BY(mutex_) = 0;  // queued, not yet delivered
+  uint64_t worker_rounds_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
 
   std::thread worker_;  // last member: starts after state is ready
 };

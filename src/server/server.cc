@@ -16,7 +16,12 @@ class HeapFileRowSource : public RowSource {
   explicit HeapFileRowSource(std::unique_ptr<HeapFileReader> reader)
       : reader_(std::move(reader)) {}
 
-  StatusOr<bool> Next(Row* row) override { return reader_->Next(row); }
+  StatusOr<bool> Next(Row* row) override {
+    // Physical reads are metered inside HeapFileReader::Next; the logical
+    // per-row work of the stats scan is charged by the driver.
+    // cost: charged-by-caller(SqlServer::AnalyzeTable)
+    return reader_->Next(row);
+  }
   Status Reset() override { return reader_->Reset(); }
   uint64_t num_rows() const override { return reader_->num_rows(); }
 

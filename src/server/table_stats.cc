@@ -13,6 +13,9 @@ StatusOr<TableStats> TableStats::Build(const Schema& schema,
                                           0);
   }
   Row row;
+  // The stats pass consumes whatever source the server hands it; the server
+  // charges the scan's logical cost around this call.
+  // cost: charged-by-caller(SqlServer::AnalyzeTable)
   while (true) {
     SQLCLASS_ASSIGN_OR_RETURN(bool more, source->Next(&row));
     if (!more) break;

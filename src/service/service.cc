@@ -77,7 +77,7 @@ Status ClassificationService::CreateAndLoadTable(const std::string& name,
                                                  const Schema& schema,
                                                  const std::vector<Row>& rows) {
   {
-    std::lock_guard<std::mutex> lock(server_mu_);
+    MutexLock lock(server_mu_);
     SQLCLASS_RETURN_IF_ERROR(server_->CreateTable(name, schema));
     SQLCLASS_RETURN_IF_ERROR(server_->LoadRows(name, rows));
     server_->ResetCostCounters();
@@ -109,7 +109,7 @@ SessionResult ClassificationService::Run(SessionSpec spec) {
 
 void ClassificationService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    MutexLock lock(shutdown_mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }

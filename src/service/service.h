@@ -2,12 +2,13 @@
 #define SQLCLASS_SERVICE_SERVICE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "server/server.h"
 #include "service/session.h"
 #include "service/session_manager.h"
@@ -75,7 +76,7 @@ class ClassificationService {
   /// tests and benchmarks that inspect global counters or prepare data
   /// out-of-band. Hold the mutex across any server call.
   SqlServer* server() { return server_.get(); }
-  std::mutex* server_mutex() { return &server_mu_; }
+  Mutex* server_mutex() RETURN_CAPABILITY(server_mu_) { return &server_mu_; }
 
  private:
   ClassificationService(const std::string& base_dir, ServiceConfig config);
@@ -84,13 +85,13 @@ class ClassificationService {
   SessionResult RunSession(const SessionManager::Claim& claim);
 
   const ServiceConfig config_;
-  std::unique_ptr<SqlServer> server_;
-  std::mutex server_mu_;
+  std::unique_ptr<SqlServer> server_ PT_GUARDED_BY(server_mu_);
+  Mutex server_mu_;
   SharedScanBatcher batcher_;
   SessionManager manager_;
 
-  std::mutex shutdown_mu_;
-  bool shutdown_ = false;
+  Mutex shutdown_mu_;
+  bool shutdown_ GUARDED_BY(shutdown_mu_) = false;
 
   std::vector<std::thread> workers_;  // last members: start after state
 };

@@ -18,7 +18,7 @@ double MsSince(std::chrono::steady_clock::time_point t) {
 SessionManager::SessionManager(const ServiceConfig& config) : config_(config) {}
 
 StatusOr<SessionId> SessionManager::Submit(SessionSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
   if (closed_) {
     ++rejected_;
@@ -51,7 +51,7 @@ StatusOr<SessionId> SessionManager::Submit(SessionSpec spec) {
   }
   sessions_.emplace(id, std::move(session));
   queue_.push_back(id);
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
   return id;
 }
 
@@ -72,7 +72,7 @@ void SessionManager::ExpireLocked(SessionId id) {
       "session " + std::to_string(id) + " timed out in the admission queue");
   session.result = std::move(result);
   ++timed_out_;
-  waiter_cv_.notify_all();
+  waiter_cv_.NotifyAll();
 }
 
 void SessionManager::SweepExpiredLocked() {
@@ -89,7 +89,7 @@ void SessionManager::SweepExpiredLocked() {
 }
 
 std::optional<SessionManager::Claim> SessionManager::ClaimNext() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (stopped_) return std::nullopt;
     SweepExpiredLocked();
@@ -104,9 +104,9 @@ std::optional<SessionManager::Claim> SessionManager::ClaimNext() {
       }
     }
     if (earliest) {
-      worker_cv_.wait_until(lock, *earliest);
+      worker_cv_.WaitUntil(lock, *earliest);
     } else {
-      worker_cv_.wait(lock);
+      worker_cv_.Wait(lock);
     }
   }
 
@@ -131,7 +131,7 @@ std::optional<SessionManager::Claim> SessionManager::ClaimNext() {
 }
 
 void SessionManager::Complete(SessionId id, SessionResult result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end() || it->second.state != State::kRunning) return;
   Session& session = it->second;
@@ -145,12 +145,12 @@ void SessionManager::Complete(SessionId id, SessionResult result) {
   }
   result.id = id;
   session.result = std::move(result);
-  worker_cv_.notify_all();  // slot and memory freed
-  waiter_cv_.notify_all();
+  worker_cv_.NotifyAll();  // slot and memory freed
+  waiter_cv_.NotifyAll();
 }
 
 SessionResult SessionManager::Wait(SessionId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     SessionResult result;
@@ -163,7 +163,7 @@ SessionResult SessionManager::Wait(SessionId id) {
     // Enforce the queue deadline from here too, so timeouts fire even when
     // every worker is busy running other sessions.
     if (it->second.state == State::kQueued && it->second.deadline) {
-      if (waiter_cv_.wait_until(lock, *it->second.deadline) ==
+      if (waiter_cv_.WaitUntil(lock, *it->second.deadline) ==
           std::cv_status::timeout) {
         if (it->second.state == State::kQueued &&
             Clock::now() >= *it->second.deadline) {
@@ -173,32 +173,34 @@ SessionResult SessionManager::Wait(SessionId id) {
         }
       }
     } else {
-      waiter_cv_.wait(lock);
+      waiter_cv_.Wait(lock);
     }
   }
   return *it->second.result;
 }
 
 void SessionManager::CloseQueue() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
 }
 
 void SessionManager::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  waiter_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  waiter_cv_.Wait(lock, [&]() REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void SessionManager::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopped_ = true;
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
 }
 
 void SessionManager::FillMetrics(ServiceMetrics* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->sessions_submitted = submitted_;
   out->sessions_admitted = admitted_;
   out->sessions_rejected = rejected_;

@@ -2,14 +2,14 @@
 #define SQLCLASS_SERVICE_SESSION_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "service/session.h"
 
 namespace sqlclass {
@@ -42,33 +42,33 @@ class SessionManager {
 
   /// Enqueues a session, or rejects it outright (queue closed or full,
   /// quota > total budget).
-  StatusOr<SessionId> Submit(SessionSpec spec);
+  StatusOr<SessionId> Submit(SessionSpec spec) EXCLUDES(mu_);
 
   /// Blocks until the queue head is admissible (claims it), or the manager
   /// is stopped (returns nullopt). Expired queue entries encountered while
   /// waiting are completed with a timeout error.
-  std::optional<Claim> ClaimNext();
+  std::optional<Claim> ClaimNext() EXCLUDES(mu_);
 
   /// Marks a claimed session finished, releasing its slot and memory.
-  void Complete(SessionId id, SessionResult result);
+  void Complete(SessionId id, SessionResult result) EXCLUDES(mu_);
 
   /// Blocks until the session has a result (run finished, timed out, or
   /// rejected id -> InvalidArgument result). Enforces the caller's queue
   /// deadline even when no worker is polling.
-  SessionResult Wait(SessionId id);
+  SessionResult Wait(SessionId id) EXCLUDES(mu_);
 
   /// Stops accepting new sessions; queued-but-unclaimed work keeps its
   /// admission semantics (it may still be claimed or time out).
-  void CloseQueue();
+  void CloseQueue() EXCLUDES(mu_);
 
   /// Blocks until nothing is queued or running.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Wakes every ClaimNext with nullopt. Call after Drain for a clean stop.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   /// Admission-side slice of ServiceMetrics.
-  void FillMetrics(ServiceMetrics* out) const;
+  void FillMetrics(ServiceMetrics* out) const EXCLUDES(mu_);
 
  private:
   enum class State { kQueued, kRunning, kDone };
@@ -83,39 +83,39 @@ class SessionManager {
     std::optional<SessionResult> result;
   };
 
-  /// True when the queue head may start now. Caller holds mu_.
-  bool HeadAdmissible() const;
+  /// True when the queue head may start now.
+  bool HeadAdmissible() const REQUIRES(mu_);
 
-  /// Completes `id` (must be queued) with a timeout error. Caller holds mu_.
-  void ExpireLocked(SessionId id);
+  /// Completes `id` (must be queued) with a timeout error.
+  void ExpireLocked(SessionId id) REQUIRES(mu_);
 
-  /// Drops expired entries from the queue front/middle. Caller holds mu_.
-  void SweepExpiredLocked();
+  /// Drops expired entries from the queue front/middle.
+  void SweepExpiredLocked() REQUIRES(mu_);
 
   const ServiceConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable worker_cv_;   // queue / capacity changes
-  std::condition_variable waiter_cv_;   // results ready
-  std::map<SessionId, Session> sessions_;
-  std::deque<SessionId> queue_;
-  SessionId next_id_ = 1;
-  int active_ = 0;
-  size_t memory_committed_ = 0;
-  bool closed_ = false;
-  bool stopped_ = false;
+  mutable Mutex mu_;
+  CondVar worker_cv_;   // queue / capacity changes
+  CondVar waiter_cv_;   // results ready
+  std::map<SessionId, Session> sessions_ GUARDED_BY(mu_);
+  std::deque<SessionId> queue_ GUARDED_BY(mu_);
+  SessionId next_id_ GUARDED_BY(mu_) = 1;
+  int active_ GUARDED_BY(mu_) = 0;
+  size_t memory_committed_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
 
-  // Metrics (guarded by mu_).
-  uint64_t submitted_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t timed_out_ = 0;
-  uint64_t completed_ok_ = 0;
-  uint64_t failed_ = 0;
-  double queue_wait_ms_sum_ = 0;
-  double queue_wait_ms_max_ = 0;
-  uint64_t peak_active_ = 0;
-  size_t peak_memory_ = 0;
+  // Metrics.
+  uint64_t submitted_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ GUARDED_BY(mu_) = 0;
+  uint64_t timed_out_ GUARDED_BY(mu_) = 0;
+  uint64_t completed_ok_ GUARDED_BY(mu_) = 0;
+  uint64_t failed_ GUARDED_BY(mu_) = 0;
+  double queue_wait_ms_sum_ GUARDED_BY(mu_) = 0;
+  double queue_wait_ms_max_ GUARDED_BY(mu_) = 0;
+  uint64_t peak_active_ GUARDED_BY(mu_) = 0;
+  size_t peak_memory_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sqlclass

@@ -8,7 +8,7 @@
 
 namespace sqlclass {
 
-SharedScanBatcher::SharedScanBatcher(SqlServer* server, std::mutex* server_mu,
+SharedScanBatcher::SharedScanBatcher(SqlServer* server, Mutex* server_mu,
                                      const ServiceConfig& config)
     : server_(server), server_mu_(server_mu), config_(config) {}
 
@@ -16,7 +16,7 @@ Status SharedScanBatcher::RegisterTable(const std::string& table) {
   Schema schema;
   uint64_t rows = 0;
   {
-    std::lock_guard<std::mutex> server_lock(*server_mu_);
+    MutexLock server_lock(*server_mu_);
     SQLCLASS_ASSIGN_OR_RETURN(const Schema* s, server_->GetSchema(table));
     if (!s->has_class_column()) {
       return Status::InvalidArgument("table has no class column: " + table);
@@ -25,7 +25,7 @@ Status SharedScanBatcher::RegisterTable(const std::string& table) {
     SQLCLASS_ASSIGN_OR_RETURN(rows, server_->TableRowCount(table));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TableState& t = tables_[table];  // re-register refreshes the snapshot
   t.schema = std::move(schema);
   t.num_classes = t.schema.attribute(t.schema.class_column()).cardinality;
@@ -34,13 +34,13 @@ Status SharedScanBatcher::RegisterTable(const std::string& table) {
 }
 
 const Schema* SharedScanBatcher::GetSchema(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   return it == tables_.end() ? nullptr : &it->second.schema;
 }
 
 uint64_t SharedScanBatcher::TableRows(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   return it == tables_.end() ? 0 : it->second.rows;
 }
@@ -48,7 +48,7 @@ uint64_t SharedScanBatcher::TableRows(const std::string& table) const {
 Status SharedScanBatcher::RegisterSession(SessionId id,
                                           const std::string& table,
                                           size_t quota_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::InvalidArgument("table not registered: " + table);
@@ -61,12 +61,12 @@ Status SharedScanBatcher::RegisterSession(SessionId id,
   state.quota_bytes = quota_bytes;
   sessions_.emplace(id, std::move(state));
   ++it->second.sessions_registered;
-  cv_.notify_all();  // registered-set change affects scan triggering
+  cv_.NotifyAll();  // registered-set change affects scan triggering
   return Status::OK();
 }
 
 void SharedScanBatcher::UnregisterSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
   TableState& t = tables_.at(it->second.table);
@@ -79,11 +79,11 @@ void SharedScanBatcher::UnregisterSession(SessionId id) {
   if (it->second.waiting) --t.sessions_waiting;
   --t.sessions_registered;
   sessions_.erase(it);
-  cv_.notify_all();  // waiters must re-evaluate without this rider
+  cv_.NotifyAll();  // waiters must re-evaluate without this rider
 }
 
 Status SharedScanBatcher::Enqueue(SessionId id, CcRequest request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::InvalidArgument("session not registered");
@@ -111,7 +111,7 @@ Status SharedScanBatcher::Enqueue(SessionId id, CcRequest request) {
   t.pending.push_back(std::move(p));
   ++s.outstanding;
   t.gather_deadline.reset();  // new work restarts the gather window
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -144,7 +144,7 @@ bool SharedScanBatcher::ShouldLeadScan(
 }
 
 StatusOr<std::vector<CcResult>> SharedScanBatcher::Fulfill(SessionId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::InvalidArgument("session not registered");
@@ -182,31 +182,30 @@ StatusOr<std::vector<CcResult>> SharedScanBatcher::Fulfill(SessionId id) {
     if (!config_.enable_scan_sharing) {
       // Private scans: serve only this session's queued requests, no
       // cross-session gathering (still one scan per wave per session).
-      RunScan(lock, s.table, id);
+      RunScan(s.table, id);
       continue;
     }
 
     if (!s.waiting) {
       s.waiting = true;
       ++t.sessions_waiting;
-      cv_.notify_all();  // other waiters re-check the trigger condition
+      cv_.NotifyAll();  // other waiters re-check the trigger condition
     }
 
     std::optional<Clock::time_point> wait_until;
     if (ShouldLeadScan(t, &wait_until)) {
-      RunScan(lock, s.table, std::nullopt);
+      RunScan(s.table, std::nullopt);
       continue;  // results (possibly for us) are deposited; re-check
     }
     if (wait_until) {
-      cv_.wait_until(lock, *wait_until);
+      cv_.WaitUntil(lock, *wait_until);
     } else {
-      cv_.wait(lock);
+      cv_.Wait(lock);
     }
   }
 }
 
-void SharedScanBatcher::RunScan(std::unique_lock<std::mutex>& lock,
-                                const std::string& table,
+void SharedScanBatcher::RunScan(const std::string& table,
                                 std::optional<SessionId> only_session) {
   TableState& t = tables_.at(table);
 
@@ -243,10 +242,10 @@ void SharedScanBatcher::RunScan(std::unique_lock<std::mutex>& lock,
   // erased), so the scan can read them with mu_ released. Row count is
   // snapshotted here because RegisterTable may refresh it under mu_.
   const uint64_t table_rows = t.rows;
-  lock.unlock();
+  mu_.Unlock();
   ScanOutcome out =
       ExecuteScan(table, t.schema, t.num_classes, table_rows, batch, quotas);
-  lock.lock();
+  mu_.Lock();
 
   // --- Deposit results and credit costs. ---
   std::map<SessionId, uint64_t> reqs_per_session;
@@ -293,7 +292,7 @@ void SharedScanBatcher::RunScan(std::unique_lock<std::mutex>& lock,
   rows_scanned_ += out.rows_scanned;
 
   if (!only_session) t.scan_in_progress = false;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
@@ -304,7 +303,7 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
   const int n = static_cast<int>(batch.size());
   const int class_column = schema.class_column();
 
-  std::lock_guard<std::mutex> server_lock(*server_mu_);
+  MutexLock server_lock(*server_mu_);
   CostCounters& cost = server_->cost_counters();
   const CostCounters before = cost;
 
@@ -458,25 +457,25 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
 }
 
 size_t SharedScanBatcher::Outstanding(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? 0 : it->second.outstanding;
 }
 
 CostCounters SharedScanBatcher::CreditedCost(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? CostCounters() : it->second.credited;
 }
 
 uint64_t SharedScanBatcher::ScansParticipated(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? 0 : it->second.scans;
 }
 
 void SharedScanBatcher::FillMetrics(ServiceMetrics* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->scans_executed = scans_executed_;
   out->requests_fulfilled = requests_fulfilled_;
   out->scan_session_slots = scan_session_slots_;

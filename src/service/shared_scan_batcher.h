@@ -2,18 +2,18 @@
 #define SQLCLASS_SERVICE_SHARED_SCAN_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "mining/cc_provider.h"
 #include "server/server.h"
@@ -55,44 +55,45 @@ class SharedScanBatcher {
  public:
   /// `server` and `server_mu` outlive the batcher; every server access goes
   /// through `server_mu`.
-  SharedScanBatcher(SqlServer* server, std::mutex* server_mu,
+  SharedScanBatcher(SqlServer* server, Mutex* server_mu,
                     const ServiceConfig& config);
 
   /// Caches schema and row count; the table must exist on the server and
   /// have a class column.
-  Status RegisterTable(const std::string& table);
+  Status RegisterTable(const std::string& table) EXCLUDES(mu_, *server_mu_);
 
-  const Schema* GetSchema(const std::string& table) const;
+  const Schema* GetSchema(const std::string& table) const EXCLUDES(mu_);
 
   /// Row count cached at RegisterTable; 0 for unknown tables.
-  uint64_t TableRows(const std::string& table) const;
+  uint64_t TableRows(const std::string& table) const EXCLUDES(mu_);
 
   /// Declares an active session over `table` (must be registered). The
   /// session participates in scan gathering until UnregisterSession.
   Status RegisterSession(SessionId id, const std::string& table,
-                         size_t quota_bytes);
+                         size_t quota_bytes) EXCLUDES(mu_);
 
   /// Removes the session; leftover pending requests (aborted grow) are
   /// dropped so other sessions' scans never wait on a dead rider.
-  void UnregisterSession(SessionId id);
+  void UnregisterSession(SessionId id) EXCLUDES(mu_);
 
   /// Queues one CC request (binds and validates the predicate).
-  Status Enqueue(SessionId id, CcRequest request);
+  Status Enqueue(SessionId id, CcRequest request) EXCLUDES(mu_);
 
   /// Blocks until some of the session's requests are fulfilled. Empty
   /// result only when the session has nothing outstanding. A session error
   /// (quota exceeded, scan failure) is sticky.
-  StatusOr<std::vector<CcResult>> Fulfill(SessionId id);
+  StatusOr<std::vector<CcResult>> Fulfill(SessionId id)
+      EXCLUDES(mu_, *server_mu_);
 
   /// Queued-but-undelivered request count for one session.
-  size_t Outstanding(SessionId id) const;
+  size_t Outstanding(SessionId id) const EXCLUDES(mu_);
 
   /// This session's credited cost share and scan participation so far.
-  CostCounters CreditedCost(SessionId id) const;
-  uint64_t ScansParticipated(SessionId id) const;
+  CostCounters CreditedCost(SessionId id) const EXCLUDES(mu_);
+  uint64_t ScansParticipated(SessionId id) const EXCLUDES(mu_);
 
   /// Scan-side slice of ServiceMetrics.
-  void FillMetrics(ServiceMetrics* out) const;
+  void FillMetrics(ServiceMetrics* out) const EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -127,17 +128,18 @@ class SharedScanBatcher {
   };
 
   /// True when every session owning a request in `t.pending` is waiting.
-  bool AllPendingOwnersWaiting(const TableState& t) const;
+  bool AllPendingOwnersWaiting(const TableState& t) const REQUIRES(mu_);
 
   /// Whether the calling waiter should lead a scan now; may arm the gather
-  /// deadline. Returns the wait deadline to use otherwise. Caller holds mu_.
+  /// deadline. Returns the wait deadline to use otherwise.
   bool ShouldLeadScan(TableState& t,
-                      std::optional<Clock::time_point>* wait_until);
+                      std::optional<Clock::time_point>* wait_until)
+      REQUIRES(mu_);
 
-  /// Extracts this scan's requests, runs it with mu_ released, deposits
-  /// results/errors, and wakes waiters. Caller holds `lock` on mu_.
-  void RunScan(std::unique_lock<std::mutex>& lock, const std::string& table,
-               std::optional<SessionId> only_session);
+  /// Extracts this scan's requests, runs it with mu_ released (re-acquired
+  /// before returning), deposits results/errors, and wakes waiters.
+  void RunScan(const std::string& table, std::optional<SessionId> only_session)
+      REQUIRES(mu_) EXCLUDES(*server_mu_);
 
   /// The single pass (takes server_mu_; mu_ must not be held).
   struct ScanOutcome {
@@ -151,27 +153,28 @@ class SharedScanBatcher {
   ScanOutcome ExecuteScan(const std::string& table, const Schema& schema,
                           int num_classes, uint64_t table_rows,
                           const std::vector<PendingReq>& batch,
-                          const std::map<SessionId, size_t>& quotas);
+                          const std::map<SessionId, size_t>& quotas)
+      EXCLUDES(mu_, *server_mu_);
 
-  SqlServer* server_;
-  std::mutex* server_mu_;
+  SqlServer* const server_ PT_GUARDED_BY(server_mu_);
+  Mutex* const server_mu_;
   const ServiceConfig config_;
 
   /// Workers for morsel-parallel scans; created lazily by ExecuteScan and
   /// guarded by server_mu_ (scans are single-flight per server anyway).
-  std::unique_ptr<ThreadPool> scan_pool_;
+  std::unique_ptr<ThreadPool> scan_pool_ GUARDED_BY(server_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, TableState> tables_;
-  std::map<SessionId, SessionState> sessions_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, TableState> tables_ GUARDED_BY(mu_);
+  std::map<SessionId, SessionState> sessions_ GUARDED_BY(mu_);
 
-  // Scan metrics (guarded by mu_).
-  uint64_t scans_executed_ = 0;
-  uint64_t requests_fulfilled_ = 0;
-  uint64_t scan_session_slots_ = 0;
-  uint64_t rows_scanned_ = 0;
-  std::map<std::string, uint64_t> scans_by_table_;
+  // Scan metrics.
+  uint64_t scans_executed_ GUARDED_BY(mu_) = 0;
+  uint64_t requests_fulfilled_ GUARDED_BY(mu_) = 0;
+  uint64_t scan_session_slots_ GUARDED_BY(mu_) = 0;
+  uint64_t rows_scanned_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, uint64_t> scans_by_table_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlclass

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace sqlclass {
 
@@ -9,14 +10,16 @@ BufferPool::BufferPool(size_t capacity_pages, size_t page_bytes)
   assert(capacity_pages >= 1);
 }
 
-StatusOr<const char*> BufferPool::Fetch(uint64_t file_id, uint64_t page_index,
-                                        const PageLoader& loader) {
+Status BufferPool::Fetch(uint64_t file_id, uint64_t page_index,
+                         const PageLoader& loader, char* dst) {
   const Key key(file_id, page_index);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     ++stats_.hits;
     frames_.splice(frames_.begin(), frames_, it->second);  // move to front
-    return static_cast<const char*>(it->second->data.data());
+    std::memcpy(dst, it->second->data.data(), page_bytes_);
+    return Status::OK();
   }
   ++stats_.misses;
   if (frames_.size() >= capacity_) {
@@ -34,10 +37,12 @@ StatusOr<const char*> BufferPool::Fetch(uint64_t file_id, uint64_t page_index,
     return status;
   }
   index_[key] = frames_.begin();
-  return static_cast<const char*>(frame.data.data());
+  std::memcpy(dst, frame.data.data(), page_bytes_);
+  return Status::OK();
 }
 
 void BufferPool::InvalidateFile(uint64_t file_id) {
+  MutexLock lock(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
     if (it->key.first == file_id) {
       index_.erase(it->key);
@@ -49,8 +54,14 @@ void BufferPool::InvalidateFile(uint64_t file_id) {
 }
 
 void BufferPool::Clear() {
+  MutexLock lock(mu_);
   frames_.clear();
   index_.clear();
+}
+
+size_t BufferPool::cached_pages() const {
+  MutexLock lock(mu_);
+  return frames_.size();
 }
 
 }  // namespace sqlclass

@@ -8,7 +8,9 @@
 #include <map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sqlclass {
 
@@ -20,17 +22,21 @@ namespace sqlclass {
 ///
 /// Pages are keyed by (file id, page index); files are responsible for
 /// invalidating their pages when their contents change (append, drop).
-/// Single-threaded, like the rest of the engine.
+///
+/// Thread-safe: structural state (`frames_`, `index_`) is protected by an
+/// internal mutex, and Fetch copies the page out under that lock instead of
+/// handing back a pointer into the LRU list (which a concurrent eviction
+/// could invalidate). The loader runs with the lock held, serializing
+/// faults — acceptable because the morsel-parallel scan path reads pages
+/// directly and only single-flight cursor scans go through the pool.
 class BufferPool {
  public:
   /// Loads one page's bytes into `dst` (page-size buffer).
   using PageLoader = std::function<Status(char* dst)>;
 
   /// Counter fields are atomics so an observer thread (service metrics,
-  /// stats polling during an async grow) may read them while the owning
-  /// server thread is faulting pages in. Structural state (`frames_`,
-  /// `index_`) is still single-writer: only the thread driving the server
-  /// may call Fetch / invalidation.
+  /// stats polling during an async grow) may read them without taking the
+  /// pool's mutex.
   struct Stats {
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
@@ -62,19 +68,19 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns the cached page, calling `loader` on a miss. The pointer is
-  /// valid until the next Fetch / invalidation (callers copy out).
-  StatusOr<const char*> Fetch(uint64_t file_id, uint64_t page_index,
-                              const PageLoader& loader);
+  /// Copies the page's bytes into `dst` (page-size buffer), calling
+  /// `loader` on a miss.
+  Status Fetch(uint64_t file_id, uint64_t page_index, const PageLoader& loader,
+               char* dst) EXCLUDES(mu_);
 
   /// Drops every cached page of `file_id`.
-  void InvalidateFile(uint64_t file_id);
+  void InvalidateFile(uint64_t file_id) EXCLUDES(mu_);
 
   /// Drops everything.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   size_t capacity_pages() const { return capacity_; }
-  size_t cached_pages() const { return frames_.size(); }
+  size_t cached_pages() const EXCLUDES(mu_);
   const Stats& stats() const { return stats_; }
 
  private:
@@ -84,10 +90,12 @@ class BufferPool {
     std::vector<char> data;
   };
 
-  size_t capacity_;
-  size_t page_bytes_;
-  std::list<Frame> frames_;  // front = most recently used
-  std::map<Key, std::list<Frame>::iterator> index_;
+  const size_t capacity_;
+  const size_t page_bytes_;
+
+  mutable Mutex mu_;
+  std::list<Frame> frames_ GUARDED_BY(mu_);  // front = most recently used
+  std::map<Key, std::list<Frame>::iterator> index_ GUARDED_BY(mu_);
   Stats stats_;
 };
 

@@ -77,26 +77,41 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
   const uint64_t num_pages = static_cast<uint64_t>(size) / kPageSize;
   const size_t slots = SlotsPerPage(writer->codec_.row_bytes());
   if (num_pages > 0) {
-    // Reload the last page; if it is partially filled, continue it in
-    // place (the next flush rewrites it at the same offset).
     const long last_offset = static_cast<long>((num_pages - 1) * kPageSize);
     if (std::fseek(file, last_offset, SEEK_SET) != 0) {
       return Status::IoError("seek failed for " + path);
     }
-    // Reload into buffer slot 0 (nothing is buffered yet on open).
-    if (std::fread(writer->buffer_.data(), 1, kPageSize, file) != kPageSize) {
-      return Status::IoError("short page read for " + path);
+    // Peek only the last page's header to learn its fill level — metadata,
+    // not a data-page read.
+    // cost: unmetered(page-header metadata peek)
+    char hdr[kPageHeaderBytes];
+    if (std::fread(hdr, 1, kPageHeaderBytes, file) != kPageHeaderBytes) {
+      return Status::IoError("short header read for " + path);
     }
-    const uint32_t last_rows = DecodeFixed32(writer->buffer_.data());
+    const uint32_t last_rows = DecodeFixed32(hdr);
+    if (last_rows > slots) {
+      return Status::IoError("corrupt page header in " + path);
+    }
     writer->existing_rows_ = (num_pages - 1) * slots + last_rows;
     if (last_rows < slots) {
+      // Reload the partially filled last page into buffer slot 0 (nothing
+      // is buffered yet on open) and continue it in place — the next flush
+      // rewrites it at the same offset. A real data-page read: charge it.
+      if (std::fseek(file, last_offset, SEEK_SET) != 0) {
+        return Status::IoError("seek failed for " + path);
+      }
+      if (std::fread(writer->buffer_.data(), 1, kPageSize, file) !=
+          kPageSize) {
+        return Status::IoError("short page read for " + path);
+      }
+      if (counters != nullptr) ++counters->pages_read;
       writer->rows_in_page_ = last_rows;
       if (std::fseek(file, last_offset, SEEK_SET) != 0) {
         return Status::IoError("seek failed for " + path);
       }
     } else {
-      // Last page full: clear the buffer and keep writing at EOF.
-      std::memset(writer->buffer_.data(), 0, kPageSize);
+      // Last page full: keep writing at EOF (buffer stays zeroed — the full
+      // page was never loaded, saving one page read per append-to-full).
       if (std::fseek(file, 0, SEEK_END) != 0) {
         return Status::IoError("seek failed for " + path);
       }
@@ -197,7 +212,9 @@ StatusOr<std::unique_ptr<HeapFileReader>> HeapFileReader::Open(
     reader->num_rows_ = 0;
   } else {
     const size_t slots = SlotsPerPage(reader->codec_.row_bytes());
-    // Peek the last page header without charging counters (metadata read).
+    // Peek the last page header without charging counters — metadata, not
+    // a data-page read.
+    // cost: unmetered(page-header metadata peek)
     if (std::fseek(file,
                    static_cast<long>((reader->num_pages_ - 1) * kPageSize),
                    SEEK_SET) != 0) {
@@ -242,10 +259,8 @@ Status HeapFileReader::LoadPage(uint64_t page_index) {
     return Status::OK();
   };
   if (pool_ != nullptr) {
-    SQLCLASS_ASSIGN_OR_RETURN(const char* cached,
-                              pool_->Fetch(file_id_, page_index,
-                                           physical_read));
-    std::memcpy(page_.data(), cached, kPageSize);
+    SQLCLASS_RETURN_IF_ERROR(
+        pool_->Fetch(file_id_, page_index, physical_read, page_.data()));
   } else {
     SQLCLASS_RETURN_IF_ERROR(physical_read(page_.data()));
   }

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "server/server.h"
 #include "test_util.h"
@@ -43,12 +46,12 @@ bool PageIs(const char* data, uint64_t file, uint64_t page) {
 TEST(BufferPoolTest, MissThenHit) {
   BufferPool pool(4, 64);
   FakeSource source;
-  auto first = pool.Fetch(1, 0, source.LoaderFor(1, 0));
-  ASSERT_TRUE(first.ok());
-  EXPECT_TRUE(PageIs(*first, 1, 0));
+  char buf[64];
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
+  EXPECT_TRUE(PageIs(buf, 1, 0));
   EXPECT_EQ(source.loads(), 1);
-  auto second = pool.Fetch(1, 0, source.LoaderFor(1, 0));
-  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
+  EXPECT_TRUE(PageIs(buf, 1, 0));
   EXPECT_EQ(source.loads(), 1);  // served from cache
   EXPECT_EQ(pool.stats().hits, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
@@ -58,44 +61,47 @@ TEST(BufferPoolTest, MissThenHit) {
 TEST(BufferPoolTest, LruEvictsColdestPage) {
   BufferPool pool(2, 64);
   FakeSource source;
-  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
-  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1)).ok());
+  char buf[64];
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
+  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1), buf).ok());
   // Touch page 0 so page 1 becomes coldest; then insert page 2.
-  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
-  ASSERT_TRUE(pool.Fetch(1, 2, source.LoaderFor(1, 2)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
+  ASSERT_TRUE(pool.Fetch(1, 2, source.LoaderFor(1, 2), buf).ok());
   EXPECT_EQ(pool.stats().evictions, 1u);
   EXPECT_EQ(pool.cached_pages(), 2u);
   // Page 0 survived (hit), page 1 was evicted (miss).
   const int loads_before = source.loads();
-  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
   EXPECT_EQ(source.loads(), loads_before);
-  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1), buf).ok());
   EXPECT_EQ(source.loads(), loads_before + 1);
 }
 
 TEST(BufferPoolTest, FilesDoNotCollide) {
   BufferPool pool(4, 64);
   FakeSource source;
-  auto a = pool.Fetch(1, 0, source.LoaderFor(1, 0));
-  auto b = pool.Fetch(2, 0, source.LoaderFor(2, 0));
-  ASSERT_TRUE(a.ok());
-  ASSERT_TRUE(b.ok());
-  EXPECT_TRUE(PageIs(*b, 2, 0));
+  char a[64];
+  char b[64];
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), a).ok());
+  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0), b).ok());
+  EXPECT_TRUE(PageIs(a, 1, 0));
+  EXPECT_TRUE(PageIs(b, 2, 0));
   EXPECT_EQ(source.loads(), 2);
 }
 
 TEST(BufferPoolTest, InvalidateFileDropsOnlyThatFile) {
   BufferPool pool(8, 64);
   FakeSource source;
-  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
-  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1)).ok());
-  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0)).ok());
+  char buf[64];
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
+  ASSERT_TRUE(pool.Fetch(1, 1, source.LoaderFor(1, 1), buf).ok());
+  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0), buf).ok());
   pool.InvalidateFile(1);
   EXPECT_EQ(pool.cached_pages(), 1u);
   const int loads_before = source.loads();
-  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0)).ok());
+  ASSERT_TRUE(pool.Fetch(2, 0, source.LoaderFor(2, 0), buf).ok());
   EXPECT_EQ(source.loads(), loads_before);  // file 2 still cached
-  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
   EXPECT_EQ(source.loads(), loads_before + 1);  // file 1 reloaded
 }
 
@@ -106,18 +112,56 @@ TEST(BufferPoolTest, LoaderFailureIsNotCached) {
     ++attempts;
     return Status::IoError("disk on fire");
   };
-  EXPECT_FALSE(pool.Fetch(1, 0, failing).ok());
+  char buf[64];
+  EXPECT_FALSE(pool.Fetch(1, 0, failing, buf).ok());
   EXPECT_EQ(pool.cached_pages(), 0u);
-  EXPECT_FALSE(pool.Fetch(1, 0, failing).ok());
+  EXPECT_FALSE(pool.Fetch(1, 0, failing, buf).ok());
   EXPECT_EQ(attempts, 2);  // retried, not served from cache
 }
 
 TEST(BufferPoolTest, ClearEmptiesEverything) {
   BufferPool pool(4, 64);
   FakeSource source;
-  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0)).ok());
+  char buf[64];
+  ASSERT_TRUE(pool.Fetch(1, 0, source.LoaderFor(1, 0), buf).ok());
   pool.Clear();
   EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentFetchesSeeConsistentPages) {
+  // Copy-out Fetch means a rider never reads a frame a concurrent eviction
+  // is recycling: every thread must observe exactly the page it asked for,
+  // even with a pool far smaller than the working set.
+  BufferPool pool(2, 64);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &bad, t] {
+      char buf[64];
+      for (int i = 0; i < kIterations; ++i) {
+        const uint64_t file = static_cast<uint64_t>(t % 3 + 1);
+        const uint64_t page = static_cast<uint64_t>(i % 5);
+        auto loader = [file, page](char* dst) -> Status {
+          std::memset(dst, 0, 16);
+          std::memcpy(dst, &file, sizeof(file));
+          std::memcpy(dst + 8, &page, sizeof(page));
+          return Status::OK();
+        };
+        if (!pool.Fetch(file, page, loader, buf).ok() ||
+            !PageIs(buf, file, page)) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  const auto& stats = pool.stats();
+  EXPECT_EQ(stats.hits.load() + stats.misses.load(),
+            static_cast<uint64_t>(kThreads) * kIterations);
 }
 
 // ------------------------------------------------- server integration

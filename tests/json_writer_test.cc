@@ -1,0 +1,89 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sqlclass {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("scan");
+  w.Key("rows");
+  w.Int(42);
+  w.Key("seconds");
+  w.Double(1.5);
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"name":"scan","rows":42,"seconds":1.500000,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("runs");
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Key("i");
+    w.Int(i);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("done");
+  w.Bool(false);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"runs":[{"i":0},{"i":1}],"done":false})");
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("pa\"th");
+  w.String("C:\\tmp\\\"out\".json");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"pa\\\"th\":\"C:\\\\tmp\\\\\\\"out\\\".json\"}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("msg");
+  w.String("line1\nline2\ttab\rcr\x01raw");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"msg\":\"line1\\nline2\\ttab\\rcr\\u0001raw\"}");
+}
+
+TEST(JsonWriterTest, BackspaceAndFormFeedUseShortEscapes) {
+  JsonWriter w;
+  w.String(std::string("a\bb\fc"));
+  EXPECT_EQ(w.str(), "\"a\\bb\\fc\"");
+}
+
+TEST(JsonWriterTest, WriteToFileRoundTrips) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("quote");
+  w.String("she said \"hi\"");
+  w.EndObject();
+  const std::string path = testing::TempDir() + "/json_writer_test.json";
+  ASSERT_TRUE(w.WriteToFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n),
+            "{\"quote\":\"she said \\\"hi\\\"\"}\n");
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "middleware/batch_matcher.h"
@@ -708,7 +709,7 @@ TEST(ServiceParallelTest, SharedScanBatcherMatchesSerialBatcher) {
     EXPECT_TRUE(server.LoadRows("data", rows).ok());
     server.ResetCostCounters();
 
-    std::mutex server_mu;
+    Mutex server_mu;
     ServiceConfig config;
     config.parallel_scan_threads = threads;
     config.parallel_scan_min_rows = 1;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "datagen/load.h"
 #include "datagen/random_tree.h"
 #include "mining/inmemory_provider.h"
@@ -282,7 +283,7 @@ TEST_F(ServiceTest, CcUpdateCostIsCreditedExactly) {
     ASSERT_TRUE(result.status.ok());
     credited_updates += result.cost.mw_cc_updates;
   }
-  std::lock_guard<std::mutex> lock(*service->server_mutex());
+  MutexLock lock(*service->server_mutex());
   EXPECT_EQ(credited_updates,
             static_cast<uint64_t>(
                 service->server()->cost_counters().mw_cc_updates));

@@ -181,6 +181,67 @@ TEST(HeapFileTest, OpenMissingFileFails) {
   EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
 }
 
+TEST(HeapFileTest, OpenForAppendChargesPartialPageReload) {
+  TempDir dir;
+  const std::string path = dir.path() + "/append.tbl";
+  IoCounters write_io;
+  WriteAndReadBack(path, 2, {{1, 2}, {3, 4}}, &write_io);
+
+  // The last page is partially filled, so reopening for append must reload
+  // it — a real data-page read, charged like any other.
+  IoCounters io;
+  auto writer = HeapFileWriter::OpenForAppend(path, 2, &io);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(io.pages_read, 1u);
+  EXPECT_EQ((*writer)->existing_rows(), 2u);
+  ASSERT_TRUE((*writer)->Append({5, 6}).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  IoCounters read_io;
+  auto reader = HeapFileReader::Open(path, 2, &read_io);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 3u);
+}
+
+TEST(HeapFileTest, OpenForAppendFullLastPageReadsNoDataPage) {
+  TempDir dir;
+  const std::string path = dir.path() + "/full.tbl";
+  const size_t slots = SlotsPerPage(RowCodec(2).row_bytes());
+  std::vector<Row> rows;
+  for (size_t i = 0; i < slots; ++i) {
+    rows.push_back({static_cast<Value>(i), static_cast<Value>(i % 7)});
+  }
+  IoCounters write_io;
+  WriteAndReadBack(path, 2, rows, &write_io);
+
+  // Last page exactly full: appends go to a fresh page, so open reads only
+  // the page header (unmetered metadata), never a data page.
+  IoCounters io;
+  auto writer = HeapFileWriter::OpenForAppend(path, 2, &io);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(io.pages_read, 0u);
+  EXPECT_EQ((*writer)->existing_rows(), slots);
+  ASSERT_TRUE((*writer)->Append({7, 7}).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  IoCounters read_io;
+  auto reader = HeapFileReader::Open(path, 2, &read_io);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->num_rows(), slots + 1);
+  Row row;
+  uint64_t n = 0;
+  Row last;
+  while (true) {
+    auto more = (*reader)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    last = row;
+    ++n;
+  }
+  EXPECT_EQ(n, slots + 1);
+  EXPECT_EQ(last, (Row{7, 7}));
+}
+
 TEST(HeapFileTest, AppendAfterFinishFails) {
   TempDir dir;
   auto writer = HeapFileWriter::Create(dir.path() + "/fin.tbl", 2, nullptr);

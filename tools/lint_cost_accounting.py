@@ -1,0 +1,427 @@
+#!/usr/bin/env python3
+"""Cost-accounting invariant lint.
+
+Every row or byte the engine moves must be charged to the cost model:
+logical work to a CostCounters field (src/server/cost_model.h), physical
+I/O to an IoCounters field (src/storage/io_counters.h). This checker walks
+the metered subsystems (src/storage, src/server, src/middleware) and fails
+if any I/O or row-movement primitive call site sits in a function that
+neither charges a counter nor carries an explicit waiver.
+
+Primitives (call sites that move rows/bytes):
+    fread( / fwrite(           physical page traffic
+    .Decode( / ->Decode(       row decode out of a page image
+    .DecodeInto( / ->DecodeInto(
+    .Encode( / ->Encode(       row encode into a page image
+    ->Next( / .Next(           cursor / row-source advance
+    ->NextBatch( / .NextBatch(
+
+Charges (anything that mutates a counter field): ++x or x += where x names
+a field of CostCounters or IoCounters (the field lists are parsed out of
+the headers at runtime, so new counters are picked up automatically), or a
+call to Add / AddProportional / Delta on those structs.
+
+Waivers — a comment anywhere in the same function body:
+    // cost: charged-by-caller(<symbol>)   the named caller meters this path
+    // cost: unmetered(<reason>)           deliberately free (metadata reads)
+
+Granularity is the enclosing function: a primitive is fine if the same
+function charges any counter. That is deliberately coarse — the goal is to
+catch paths nobody metered at all, not to audit arithmetic.
+
+Engines: uses libclang when the `clang.cindex` python module is importable
+(exact AST function extents); otherwise a regex/brace-scanning fallback
+that understands enough C++ to find function bodies. Both engines apply
+identical primitive/charge/waiver rules; the fallback is the one exercised
+in CI (the build image has no clang).
+
+Exit status: 0 clean, 1 violations, 2 internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+DEFAULT_SUBDIRS = ("src/storage", "src/server", "src/middleware")
+
+PRIMITIVE_RE = re.compile(
+    r"""(?:\bstd::)?\bfread\s*\(
+      | (?:\bstd::)?\bfwrite\s*\(
+      | (?:\.|->)Decode\s*\(
+      | (?:\.|->)DecodeInto\s*\(
+      | (?:\.|->)Encode\s*\(
+      | (?:\.|->)Next\s*\(
+      | (?:\.|->)NextBatch\s*\(
+    """,
+    re.VERBOSE,
+)
+
+WAIVER_RE = re.compile(
+    r"//\s*cost:\s*(charged-by-caller|unmetered)\s*\(([^)\n]+)\)"
+)
+
+# Methods on the counter structs that account in bulk.
+BULK_CHARGE_RE = re.compile(r"(?:\.|->)(?:Add|AddProportional)\s*\(")
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+    "defined", "alignof", "decltype", "noexcept", "assert",
+}
+ANNOTATION_MACROS = {
+    "REQUIRES", "EXCLUDES", "ACQUIRE", "RELEASE", "TRY_ACQUIRE",
+    "GUARDED_BY", "PT_GUARDED_BY", "RETURN_CAPABILITY", "CAPABILITY",
+    "ASSERT_CAPABILITY", "SQLCLASS_THREAD_ANNOTATION",
+}
+
+
+def parse_counter_fields(root):
+    """Field names of CostCounters and IoCounters, parsed from the headers."""
+    fields = set()
+    sources = [
+        os.path.join(root, "src", "server", "cost_model.h"),
+        os.path.join(root, "src", "storage", "io_counters.h"),
+    ]
+    field_re = re.compile(
+        r"^\s*(?:std::atomic<\s*)?(?:u?int\d+_t|size_t|double)\s*>?\s*"
+        r"([a-z][a-z0-9_]*)\s*(?:\{|=)"
+    )
+    for path in sources:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                m = field_re.match(line)
+                if m:
+                    fields.add(m.group(1))
+    if not fields:
+        raise RuntimeError("no counter fields parsed — headers moved?")
+    return fields
+
+
+def charge_regex(fields):
+    names = "|".join(sorted(fields))
+    # ++counters->rows_read;   counters_->pages_read += n;   ++cost.mw_cc_updates
+    return re.compile(
+        r"\+\+[^;\n]*\b(?:%s)\b|\b(?:%s)\b\s*(?:\+\+|\+=)" % (names, names)
+    )
+
+
+def strip_code(text):
+    """Returns (clean, comments): `clean` has comments and string/char
+    literals blanked (newlines kept, so offsets and line numbers survive);
+    `comments` has everything *except* comments blanked, for waiver scans."""
+    clean = []
+    comments = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                clean.append("  ")
+                comments.append("//")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                clean.append("  ")
+                comments.append("/*")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                clean.append('"')
+                comments.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                clean.append("'")
+                comments.append(" ")
+                i += 1
+                continue
+            clean.append(c)
+            comments.append(c if c == "\n" else " ")
+            i += 1
+            continue
+        if mode in ("line_comment", "block_comment"):
+            end = (mode == "line_comment" and c == "\n") or (
+                mode == "block_comment" and c == "*" and nxt == "/"
+            )
+            if mode == "block_comment" and end:
+                comments.append("*/")
+                clean.append("  ")
+                i += 2
+                mode = "code"
+                continue
+            if mode == "line_comment" and end:
+                comments.append("\n")
+                clean.append("\n")
+                i += 1
+                mode = "code"
+                continue
+            comments.append(c)
+            clean.append("\n" if c == "\n" else " ")
+            i += 1
+            continue
+        # string / char literal
+        if c == "\\":
+            clean.append("  ")
+            comments.append("  ")
+            i += 2
+            continue
+        if (mode == "string" and c == '"') or (mode == "char" and c == "'"):
+            clean.append(c)
+            comments.append(" ")
+            mode = "code"
+            i += 1
+            continue
+        clean.append("\n" if c == "\n" else " ")
+        comments.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(clean), "".join(comments)
+
+
+def function_name_for(clean, body_open):
+    """Best-effort name of the function whose body opens at `body_open`."""
+    # Header text: from the previous ; } or { up to the body brace.
+    start = max(
+        clean.rfind(";", 0, body_open),
+        clean.rfind("}", 0, body_open),
+        clean.rfind("{", 0, body_open),
+    )
+    header = clean[start + 1 : body_open]
+    for m in re.finditer(r"([A-Za-z_~][\w]*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(",
+                         header):
+        name = re.sub(r"\s+", "", m.group(1))
+        base = name.split("::")[-1].lstrip("~")
+        if base in KEYWORDS or base in ANNOTATION_MACROS:
+            continue
+        return name
+    return "<anonymous>"
+
+
+def find_functions(clean):
+    """Yields (name, body_start, body_end) for each function body: a `{`
+    at paren depth 0 whose previous non-space token is `)` (possibly via
+    annotation-macro suffixes, which also end in `)`), not nested inside
+    another function body."""
+    out = []
+    depth_inside = 0  # brace depth within the current function body
+    in_function_until = -1
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "{":
+            if i < in_function_until:
+                i += 1
+                continue
+            # Walk back over `const` / `noexcept` / `override` / `final`
+            # suffixes so inline methods are recognized too.
+            j = i - 1
+            while True:
+                while j >= 0 and clean[j].isspace():
+                    j -= 1
+                if j >= 0 and (clean[j].isalnum() or clean[j] == "_"):
+                    k = j
+                    while k >= 0 and (clean[k].isalnum() or clean[k] == "_"):
+                        k -= 1
+                    word = clean[k + 1 : j + 1]
+                    if word in ("const", "noexcept", "override", "final"):
+                        j = k
+                        continue
+                break
+            if j >= 0 and clean[j] == ")":
+                # Brace-match to find the body end.
+                depth = 1
+                k = i + 1
+                while k < n and depth > 0:
+                    if clean[k] == "{":
+                        depth += 1
+                    elif clean[k] == "}":
+                        depth -= 1
+                    k += 1
+                out.append((function_name_for(clean, i), i, k))
+                in_function_until = k
+        i += 1
+    return out
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def check_file_regex(path, charge_re):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    clean, comments = strip_code(text)
+    violations = []
+    for name, body_start, body_end in find_functions(clean):
+        body = clean[body_start:body_end]
+        prims = list(PRIMITIVE_RE.finditer(body))
+        if not prims:
+            continue
+        if charge_re.search(body) or BULK_CHARGE_RE.search(body):
+            continue
+        if WAIVER_RE.search(comments[body_start:body_end]):
+            continue
+        for prim in prims:
+            offset = body_start + prim.start()
+            violations.append(
+                (path, line_of(text, offset), name,
+                 prim.group(0).strip().rstrip("(")))
+    return violations
+
+
+def check_file_libclang(path, charge_re, index, root):
+    """AST-exact variant of the same rules; raises to trigger the regex
+    fallback on any parse trouble."""
+    from clang import cindex  # noqa: F401  (import checked by caller)
+
+    tu = index.parse(
+        path,
+        args=["-std=c++20", "-I", os.path.join(root, "src"), "-xc++"],
+    )
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    clean, comments = strip_code(text)
+    violations = []
+
+    def walk(node):
+        from clang.cindex import CursorKind
+
+        if node.kind in (
+            CursorKind.FUNCTION_DECL,
+            CursorKind.CXX_METHOD,
+            CursorKind.CONSTRUCTOR,
+            CursorKind.DESTRUCTOR,
+            CursorKind.FUNCTION_TEMPLATE,
+        ) and node.is_definition() and node.extent.start.file and \
+                node.extent.start.file.name == path:
+            start = node.extent.start.offset
+            end = node.extent.end.offset
+            body = clean[start:end]
+            prims = list(PRIMITIVE_RE.finditer(body))
+            if prims and not charge_re.search(body) and not \
+                    BULK_CHARGE_RE.search(body) and not \
+                    WAIVER_RE.search(comments[start:end]):
+                for prim in prims:
+                    violations.append(
+                        (path, line_of(text, start + prim.start()),
+                         node.spelling or "<anonymous>",
+                         prim.group(0).strip().rstrip("(")))
+            return  # function extents never nest in this codebase
+        for child in node.get_children():
+            walk(child)
+
+    walk(tu.cursor)
+    return violations
+
+
+def run_check(root, subdirs, charge_re):
+    try:
+        from clang import cindex
+        index = cindex.Index.create()
+        engine = "libclang"
+    except Exception:
+        index = None
+        engine = "regex"
+
+    violations = []
+    files = []
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(".cc") or name.endswith(".h"):
+                    files.append(os.path.join(dirpath, name))
+    for path in sorted(files):
+        if index is not None:
+            try:
+                violations.extend(
+                    check_file_libclang(path, charge_re, index, root))
+                continue
+            except Exception:
+                pass  # parse trouble: regex rules are the authority
+        violations.extend(check_file_regex(path, charge_re))
+    return engine, files, violations
+
+
+def self_test(root, charge_re):
+    """Proves the checker detects an uncharged write: copies heap_file.cc,
+    injects a function with a bare fwrite, and requires a violation."""
+    source = os.path.join(root, "src", "storage", "heap_file.cc")
+    with open(source, encoding="utf-8") as f:
+        text = f.read()
+    injected = text + (
+        "\nnamespace sqlclass {\n"
+        "void UnchargedAppendForLintSelfTest(std::FILE* file, const char* b) {\n"
+        "  std::fwrite(b, 1, 42, file);\n"
+        "}\n"
+        "}  // namespace sqlclass\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        mutated = os.path.join(tmp, "heap_file.cc")
+        with open(mutated, "w", encoding="utf-8") as f:
+            f.write(injected)
+        baseline = check_file_regex(source, charge_re)
+        found = check_file_regex(mutated, charge_re)
+    new = [v for v in found if v[2] == "UnchargedAppendForLintSelfTest"]
+    if baseline:
+        print("self-test: FAIL — pristine heap_file.cc already has "
+              f"{len(baseline)} violation(s); fix those first")
+        return 1
+    if not new:
+        print("self-test: FAIL — injected uncharged fwrite was not detected")
+        return 1
+    print("self-test: OK — injected uncharged fwrite detected "
+          f"({new[0][2]} at line {new[0][1]})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repo root (default: parent of tools/)")
+    parser.add_argument("--subdir", action="append", dest="subdirs",
+                        help="metered subtree, repeatable "
+                             f"(default: {', '.join(DEFAULT_SUBDIRS)})")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker catches an injected "
+                             "uncharged fwrite, then exit")
+    args = parser.parse_args()
+
+    try:
+        charge_re = charge_regex(parse_counter_fields(args.root))
+        if args.self_test:
+            return self_test(args.root, charge_re)
+        subdirs = args.subdirs or list(DEFAULT_SUBDIRS)
+        engine, files, violations = run_check(args.root, subdirs, charge_re)
+    except Exception as e:  # noqa: BLE001
+        print(f"lint_cost_accounting: internal error: {e}", file=sys.stderr)
+        return 2
+
+    if violations:
+        print(f"cost-accounting lint: {len(violations)} uncharged "
+              f"primitive call site(s) [{engine} engine]:")
+        for path, line, func, prim in violations:
+            rel = os.path.relpath(path, args.root)
+            print(f"  {rel}:{line}: `{prim}` in {func}() — no counter "
+                  "charge in this function and no `// cost:` waiver")
+        print("\nFix: charge the moved rows/bytes to CostCounters or "
+              "IoCounters in the same function, or (only when the caller "
+              "truly meters the path) add\n"
+              "  // cost: charged-by-caller(<symbol>)   or\n"
+              "  // cost: unmetered(<reason>)")
+        return 1
+    print(f"cost-accounting lint: clean — {len(files)} files, "
+          f"{engine} engine")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
