@@ -5,6 +5,9 @@
 #   tidy     clang-tidy over src/ (skipped when clang-tidy is absent)
 #   asan     -fsanitize=address,undefined build + full ctest
 #   tsan     -fsanitize=thread build + the concurrency-labeled ctest subset
+#   faults   -fsanitize=address,undefined build + the fault-injection ctest
+#            subset (ctest -L faults): every registered fault point driven
+#            through its failure path under ASan
 #   lint     cost-accounting lint + self-test (ctest -L lint, werror build)
 #
 # Each leg builds into build-analysis/<leg> so an incremental rerun is
@@ -20,7 +23,7 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 BASE=build-analysis
 LEGS=("$@")
 if [[ ${#LEGS[@]} -eq 0 ]]; then
-  LEGS=(werror tidy asan tsan lint)
+  LEGS=(werror tidy asan tsan faults lint)
 fi
 
 note() { printf '\n== %s ==\n' "$*"; }
@@ -64,6 +67,19 @@ run_leg() {
       configure_and_build "$dir" -DSQLCLASS_SANITIZE=thread
       ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L concurrency
       ;;
+    faults)
+      note "faults: -fsanitize=address,undefined + ctest -L faults"
+      # Builds into (or incrementally refreshes) the asan tree when present;
+      # failure paths must be leak- and overflow-clean, not just return the
+      # right Status.
+      local faults_dir="$BASE/asan"
+      if [[ ! -d "$faults_dir" ]]; then
+        faults_dir="$dir"
+      fi
+      configure_and_build "$faults_dir" -DSQLCLASS_SANITIZE=address,undefined
+      ctest --test-dir "$faults_dir" --output-on-failure -j "$JOBS" \
+        --no-tests=error -L faults
+      ;;
     lint)
       note "lint: cost-accounting invariant + self-test"
       # Reuses the werror tree when present; configures a plain one if not.
@@ -75,7 +91,7 @@ run_leg() {
       ctest --test-dir "$lint_dir" --output-on-failure -L lint
       ;;
     *)
-      echo "unknown leg: $leg (expected: werror tidy asan tsan lint)" >&2
+      echo "unknown leg: $leg (expected: werror tidy asan tsan faults lint)" >&2
       return 2
       ;;
   esac

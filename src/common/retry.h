@@ -1,0 +1,37 @@
+#ifndef SQLCLASS_COMMON_RETRY_H_
+#define SQLCLASS_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace sqlclass {
+
+/// Bounded exponential backoff for transient scan faults. `max_attempts`
+/// counts the first try: 3 means one initial attempt plus two retries.
+/// Tests set `initial_backoff_us = 0` to retry without sleeping.
+struct RetryPolicy {
+  int max_attempts = 3;
+  uint64_t initial_backoff_us = 200;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 100000;
+};
+
+/// Delay before retry number `attempt` (1-based: the delay after the
+/// attempt-th failure), capped at max_backoff_us.
+inline uint64_t BackoffDelayUs(const RetryPolicy& policy, int attempt) {
+  double delay = static_cast<double>(policy.initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  const double cap = static_cast<double>(policy.max_backoff_us);
+  if (delay > cap) delay = cap;
+  return static_cast<uint64_t>(delay);
+}
+
+inline void SleepForBackoff(const RetryPolicy& policy, int attempt) {
+  const uint64_t us = BackoffDelayUs(policy, attempt);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_COMMON_RETRY_H_

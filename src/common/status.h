@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kUnimplemented,
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

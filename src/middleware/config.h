@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/retry.h"
+
 namespace sqlclass {
 
 /// Ordering policy for eligible nodes within a scheduled batch. The paper's
@@ -71,6 +73,12 @@ struct MiddlewareConfig {
   /// stay serial: thread fan-out costs more than it saves, and serial scans
   /// keep the paper's mid-scan overflow-eviction timing exactly.
   uint64_t parallel_scan_min_rows = 32768;
+
+  /// Backoff schedule for transient scan faults against the *server* source
+  /// (I/O errors, checksum failures). Staged-source failures are never
+  /// retried in place — the store is invalidated and the batch degrades to
+  /// the server, which is where this policy then applies.
+  RetryPolicy scan_retry;
 };
 
 }  // namespace sqlclass

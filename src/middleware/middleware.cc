@@ -6,6 +6,8 @@
 #include <optional>
 #include <set>
 
+#include "common/logging.h"
+#include "common/retry.h"
 #include "middleware/batch_matcher.h"
 #include "middleware/parallel_scan.h"
 #include "mining/cc_sql.h"
@@ -226,48 +228,24 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   trace.source = plan.source;
   trace.nodes = n;
   trace.file_split = plan.file_split;
-  for (const StageDecision& decision : plan.staging) {
-    if (decision.target == LocationKind::kFile) {
-      ++trace.staged_to_file;
-    } else {
-      ++trace.staged_to_memory;
-    }
-  }
 
+  // Per-attempt scan state. A recovery pass (staging abort, degradation to
+  // the server, transient retry) rebuilds all of it from scratch, so the
+  // one pass that succeeds fully determines the delivered CC tables — that
+  // is what makes recovered results byte-identical to a fault-free run.
+  // Charges from failed passes stay in the cost counters: the work really
+  // happened, and honest accounting is part of the degradation contract.
+  DataLocation source = plan.source;
+  bool staging_enabled = !plan.staging.empty();
   std::vector<CcTable> ccs;
-  ccs.reserve(n);
-  for (int i = 0; i < n; ++i) ccs.emplace_back(num_classes_);
   std::vector<bool> fallback(n, false);
   std::vector<bool> requeue(n, false);
   std::vector<size_t> observed_bytes(n, 0);
   int live_ccs = n;
-
-  // Open staging stores for the planned nodes (Rule 4: batch nodes only).
   std::vector<std::optional<DataLocation>> stage_into(n);
-  size_t planned_memory_bytes = 0;
-  for (const StageDecision& decision : plan.staging) {
-    const int pos = decision.idx;
-    DataLocation loc;
-    loc.kind = decision.target;
-    if (decision.target == LocationKind::kFile) {
-      SQLCLASS_ASSIGN_OR_RETURN(loc.store_id, staging_->BeginFileStore());
-    } else {
-      loc.store_id = staging_->BeginMemoryStore();
-      planned_memory_bytes +=
-          batch[pos].request.data_size * staging_->RowBytes();
-    }
-    stage_into[pos] = loc;
-  }
-
-  // Memory left for CC tables during this scan: total budget minus staged
-  // data already resident minus the reservations for this batch's memory
-  // staging (which fills up as the scan proceeds).
-  const size_t memory_baseline =
-      staging_->memory_bytes_used() + planned_memory_bytes;
-  const size_t cc_available =
-      config_.memory_budget_bytes > memory_baseline
-          ? config_.memory_budget_bytes - memory_baseline
-          : 0;
+  size_t cc_available = 0;
+  uint64_t rows_since_check = 0;
+  bool staging_fault = false;
 
   std::vector<const Expr*> predicates;
   predicates.reserve(n);
@@ -275,6 +253,60 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
     predicates.push_back(pending.request.predicate.get());
   }
   BatchMatcher matcher(predicates);
+
+  auto reset_state = [&]() {
+    ccs.clear();
+    ccs.reserve(n);
+    for (int i = 0; i < n; ++i) ccs.emplace_back(num_classes_);
+    std::fill(fallback.begin(), fallback.end(), false);
+    std::fill(requeue.begin(), requeue.end(), false);
+    std::fill(observed_bytes.begin(), observed_bytes.end(), 0);
+    live_ccs = n;
+    trace.rows_scanned = 0;
+    rows_since_check = 0;
+    staging_fault = false;
+  };
+
+  // Opens fresh staging stores for the planned nodes (Rule 4: batch nodes
+  // only) and computes the memory left for CC tables during this scan:
+  // total budget minus staged data already resident minus the reservations
+  // for this batch's memory staging (which fills up as the scan proceeds).
+  auto begin_staging = [&]() -> Status {
+    size_t planned_memory_bytes = 0;
+    for (const StageDecision& decision : plan.staging) {
+      const int pos = decision.idx;
+      DataLocation loc;
+      loc.kind = decision.target;
+      if (decision.target == LocationKind::kFile) {
+        SQLCLASS_ASSIGN_OR_RETURN(loc.store_id, staging_->BeginFileStore());
+      } else {
+        loc.store_id = staging_->BeginMemoryStore();
+        planned_memory_bytes +=
+            batch[pos].request.data_size * staging_->RowBytes();
+      }
+      stage_into[pos] = loc;
+    }
+    const size_t memory_baseline =
+        staging_->memory_bytes_used() + planned_memory_bytes;
+    cc_available = config_.memory_budget_bytes > memory_baseline
+                       ? config_.memory_budget_bytes - memory_baseline
+                       : 0;
+    return Status::OK();
+  };
+
+  // Drops every store this batch has been staging into, tolerating stores
+  // that half-opened before a create failure.
+  auto abort_staging = [&]() {
+    for (int pos = 0; pos < n; ++pos) {
+      if (!stage_into[pos].has_value()) continue;
+      Status freed = staging_->Free(*stage_into[pos]);
+      if (!freed.ok()) {
+        SQLCLASS_LOG(kWarning) << "could not free aborted staging store: "
+                               << freed.ToString();
+      }
+      stage_into[pos].reset();
+    }
+  };
 
   // Runtime handling of estimation error (§4.1.1): when the batch's actual
   // CC bytes exceed the available memory, evict the largest CC table. An
@@ -309,7 +341,6 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
     }
   };
 
-  uint64_t rows_since_check = 0;
   std::vector<int> matches;
   auto process_row = [&](const Row& row) -> Status {
     ++trace.rows_scanned;
@@ -322,8 +353,14 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
       if (stage_into[pos].has_value()) {
         const DataLocation& loc = *stage_into[pos];
         if (loc.kind == LocationKind::kFile) {
-          SQLCLASS_RETURN_IF_ERROR(
-              staging_->AppendToFileStore(loc.store_id, row));
+          Status appended = staging_->AppendToFileStore(loc.store_id, row);
+          if (!appended.ok()) {
+            // A failed staged *write* poisons only the stores, not the
+            // counts: flag it so the recovery driver rescans the same
+            // source with staging off rather than degrading the source.
+            staging_fault = true;
+            return appended;
+          }
         } else {
           staging_->AppendToMemoryStore(loc.store_id, row);
         }
@@ -349,133 +386,231 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
     return Expr::Or(std::move(clauses));
   };
 
-  // Route large scans with no staging through the morsel-parallel path. It
-  // builds the identical CC tables and charges the identical logical costs
-  // (see DESIGN.md "Parallel counting"); overflow is checked once after the
-  // merge instead of mid-scan, which staging-free batches tolerate.
-  const int scan_threads = ResolveParallelThreads(config_.parallel_scan_threads);
-  uint64_t source_rows = table_rows_;
-  if (plan.source.kind != LocationKind::kServer) {
-    SQLCLASS_ASSIGN_OR_RETURN(source_rows, staging_->StoreRows(plan.source));
-  }
-  const bool use_parallel = scan_threads > 1 && plan.staging.empty() &&
-                            source_rows >= config_.parallel_scan_min_rows;
+  // ---- One pass over the chosen source (§4.1.1). Routes large scans with
+  // no staging through the morsel-parallel path: it builds the identical CC
+  // tables and charges the identical logical costs (see DESIGN.md "Parallel
+  // counting"); overflow is checked once after the merge instead of
+  // mid-scan, which staging-free batches tolerate.
+  auto run_pass = [&]() -> Status {
+    const int scan_threads =
+        ResolveParallelThreads(config_.parallel_scan_threads);
+    uint64_t source_rows = table_rows_;
+    if (source.kind != LocationKind::kServer) {
+      SQLCLASS_ASSIGN_OR_RETURN(source_rows, staging_->StoreRows(source));
+    }
+    const bool use_parallel = scan_threads > 1 && !staging_enabled &&
+                              source_rows >= config_.parallel_scan_min_rows;
+    if (use_parallel) {
+      ParallelScanOptions options;
+      options.class_column = class_column;
+      options.num_classes = num_classes_;
+      options.matcher = &matcher;
+      options.node_attrs.reserve(n);
+      for (const Pending& pending : batch) {
+        options.node_attrs.push_back(&pending.request.active_attrs);
+      }
+      std::unique_ptr<Expr> filter;  // must outlive the scan
+      ParallelScanResult scan;
+      switch (source.kind) {
+        case LocationKind::kServer: {
+          filter = build_pushdown_filter();
+          if (filter != nullptr) {
+            SQLCLASS_RETURN_IF_ERROR(filter->Bind(schema_));
+          }
+          options.filter = filter.get();
+          options.charge.server_row_evaluated = true;
+          options.charge.cursor_transfer = true;
+          ++cost.server_scans;  // what OpenCursor charges at open
+          SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
+                                    server_->TableHeapPath(table_));
+          SQLCLASS_ASSIGN_OR_RETURN(
+              scan, ParallelCountScan::OverHeapFile(
+                        ScanPool(scan_threads), path, schema_.num_columns(),
+                        options, &cost, &server_->io_counters()));
+          ++stats_.server_scans;
+          break;
+        }
+        case LocationKind::kFile: {
+          options.charge.mw_file_read = true;
+          SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
+                                    staging_->FileStorePath(source.store_id));
+          SQLCLASS_ASSIGN_OR_RETURN(
+              scan, ParallelCountScan::OverHeapFile(
+                        ScanPool(scan_threads), path, schema_.num_columns(),
+                        options, &cost, &staging_->io_counters()));
+          ++stats_.file_scans;
+          break;
+        }
+        case LocationKind::kMemory: {
+          options.charge.mw_memory_read = true;
+          SQLCLASS_ASSIGN_OR_RETURN(const InMemoryRowStore* store,
+                                    staging_->GetMemoryStore(source.store_id));
+          SQLCLASS_ASSIGN_OR_RETURN(
+              scan, ParallelCountScan::OverMemoryStore(ScanPool(scan_threads),
+                                                       *store, options, &cost));
+          ++stats_.memory_scans;
+          break;
+        }
+      }
+      for (int i = 0; i < n; ++i) ccs[i] = std::move(scan.ccs[i]);
+      trace.rows_scanned = scan.rows_delivered;
+    } else {
+      switch (source.kind) {
+        case LocationKind::kServer: {
+          std::string sql = "SELECT * FROM " + table_;
+          if (std::unique_ptr<Expr> filter = build_pushdown_filter()) {
+            sql += " WHERE " + filter->ToSql();
+          }
+          SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<ServerCursor> cursor,
+                                    server_->OpenCursorSql(sql));
+          Row row;
+          while (true) {
+            SQLCLASS_ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+            if (!more) break;
+            SQLCLASS_RETURN_IF_ERROR(process_row(row));
+          }
+          ++stats_.server_scans;
+          break;
+        }
+        case LocationKind::kFile: {
+          SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<RowSource> rows,
+                                    staging_->OpenFileStore(source.store_id));
+          Row row;
+          while (true) {
+            SQLCLASS_ASSIGN_OR_RETURN(bool more, rows->Next(&row));
+            if (!more) break;
+            SQLCLASS_RETURN_IF_ERROR(process_row(row));
+          }
+          ++stats_.file_scans;
+          break;
+        }
+        case LocationKind::kMemory: {
+          SQLCLASS_ASSIGN_OR_RETURN(const InMemoryRowStore* store,
+                                    staging_->GetMemoryStore(source.store_id));
+          const size_t rows = store->num_rows();
+          const int width = store->num_columns();
+          Row row(width);
+          for (size_t r = 0; r < rows; ++r) {
+            const Value* values = store->RowAt(r);
+            row.assign(values, values + width);
+            ++cost.mw_memory_rows_read;
+            SQLCLASS_RETURN_IF_ERROR(process_row(row));
+          }
+          ++stats_.memory_scans;
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  };
 
-  // ---- Single pass over the chosen source (§4.1.1).
-  if (use_parallel) {
-    ParallelScanOptions options;
-    options.class_column = class_column;
-    options.num_classes = num_classes_;
-    options.matcher = &matcher;
-    options.node_attrs.reserve(n);
-    for (const Pending& pending : batch) {
-      options.node_attrs.push_back(&pending.request.active_attrs);
+  // ---- Recovery driver: run the pass, and on a recoverable fault walk the
+  // degradation ladder (each rung can be taken at most once or a bounded
+  // number of times, so the loop terminates):
+  //   1. staging write failed       -> rescan the same source, staging off
+  //   2. staged source failed       -> invalidate the store, degrade to the
+  //                                    server (graceful degradation up the
+  //                                    staging hierarchy, §4.1.2)
+  //   3. server source failed       -> bounded exponential-backoff retries
+  // Anything else — or rung 3 exhausted — fails the batch with a Status
+  // that names the code, source, and attempt count.
+  int attempt = 1;
+  while (true) {
+    reset_state();
+    if (staging_enabled) {
+      Status staged = begin_staging();
+      if (!staged.ok()) {
+        // Could not even create the stores (staging dir deleted, disk
+        // full): give up staging for this batch, keep counting.
+        abort_staging();
+        staging_enabled = false;
+        ++stats_.staging_aborts;
+        trace.staging_aborted = true;
+        SQLCLASS_LOG(kWarning) << "staging disabled for batch " << trace.batch
+                               << ": " << staged.ToString();
+        continue;
+      }
+    } else {
+      cc_available = config_.memory_budget_bytes > staging_->memory_bytes_used()
+                         ? config_.memory_budget_bytes -
+                               staging_->memory_bytes_used()
+                         : 0;
     }
-    std::unique_ptr<Expr> filter;  // must outlive the scan
-    ParallelScanResult scan;
-    switch (plan.source.kind) {
-      case LocationKind::kServer: {
-        filter = build_pushdown_filter();
-        if (filter != nullptr) SQLCLASS_RETURN_IF_ERROR(filter->Bind(schema_));
-        options.filter = filter.get();
-        options.charge.server_row_evaluated = true;
-        options.charge.cursor_transfer = true;
-        ++cost.server_scans;  // what OpenCursor charges at open
-        SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
-                                  server_->TableHeapPath(table_));
-        SQLCLASS_ASSIGN_OR_RETURN(
-            scan, ParallelCountScan::OverHeapFile(
-                      ScanPool(scan_threads), path, schema_.num_columns(),
-                      options, &cost, &server_->io_counters()));
-        ++stats_.server_scans;
-        break;
-      }
-      case LocationKind::kFile: {
-        options.charge.mw_file_read = true;
-        SQLCLASS_ASSIGN_OR_RETURN(
-            const std::string path,
-            staging_->FileStorePath(plan.source.store_id));
-        SQLCLASS_ASSIGN_OR_RETURN(
-            scan, ParallelCountScan::OverHeapFile(
-                      ScanPool(scan_threads), path, schema_.num_columns(),
-                      options, &cost, &staging_->io_counters()));
-        ++stats_.file_scans;
-        break;
-      }
-      case LocationKind::kMemory: {
-        options.charge.mw_memory_read = true;
-        SQLCLASS_ASSIGN_OR_RETURN(
-            const InMemoryRowStore* store,
-            staging_->GetMemoryStore(plan.source.store_id));
-        SQLCLASS_ASSIGN_OR_RETURN(
-            scan, ParallelCountScan::OverMemoryStore(ScanPool(scan_threads),
-                                                     *store, options, &cost));
-        ++stats_.memory_scans;
-        break;
-      }
+    Status pass = run_pass();
+    if (pass.ok()) break;
+
+    abort_staging();
+    if (pass.code() == StatusCode::kDataLoss) ++stats_.checksum_failures;
+    const bool recoverable = pass.code() == StatusCode::kIoError ||
+                             pass.code() == StatusCode::kDataLoss ||
+                             pass.code() == StatusCode::kNotFound;
+    if (!recoverable) return pass;
+    if (staging_fault && staging_enabled) {
+      staging_enabled = false;
+      ++stats_.staging_aborts;
+      trace.staging_aborted = true;
+      SQLCLASS_LOG(kWarning) << "staging aborted for batch " << trace.batch
+                             << ": " << pass.ToString();
+      continue;
     }
-    for (int i = 0; i < n; ++i) ccs[i] = std::move(scan.ccs[i]);
-    trace.rows_scanned = scan.rows_delivered;
-  } else {
-    switch (plan.source.kind) {
-      case LocationKind::kServer: {
-        std::string sql = "SELECT * FROM " + table_;
-        if (std::unique_ptr<Expr> filter = build_pushdown_filter()) {
-          sql += " WHERE " + filter->ToSql();
-        }
-        SQLCLASS_ASSIGN_OR_RETURN(std::unique_ptr<ServerCursor> cursor,
-                                  server_->OpenCursorSql(sql));
-        Row row;
-        while (true) {
-          SQLCLASS_ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
-          if (!more) break;
-          SQLCLASS_RETURN_IF_ERROR(process_row(row));
-        }
-        ++stats_.server_scans;
-        break;
-      }
-      case LocationKind::kFile: {
-        SQLCLASS_ASSIGN_OR_RETURN(
-            std::unique_ptr<RowSource> source,
-            staging_->OpenFileStore(plan.source.store_id));
-        Row row;
-        while (true) {
-          SQLCLASS_ASSIGN_OR_RETURN(bool more, source->Next(&row));
-          if (!more) break;
-          SQLCLASS_RETURN_IF_ERROR(process_row(row));
-        }
-        ++stats_.file_scans;
-        break;
-      }
-      case LocationKind::kMemory: {
-        SQLCLASS_ASSIGN_OR_RETURN(
-            const InMemoryRowStore* store,
-            staging_->GetMemoryStore(plan.source.store_id));
-        const size_t rows = store->num_rows();
-        const int width = store->num_columns();
-        Row row(width);
-        for (size_t r = 0; r < rows; ++r) {
-          const Value* values = store->RowAt(r);
-          row.assign(values, values + width);
-          ++cost.mw_memory_rows_read;
-          SQLCLASS_RETURN_IF_ERROR(process_row(row));
-        }
-        ++stats_.memory_scans;
-        break;
-      }
+    if (source.kind != LocationKind::kServer) {
+      InvalidateStore(source);
+      ++stats_.stores_invalidated;
+      ++stats_.degraded_scans;
+      trace.degraded_to_server = true;
+      SQLCLASS_LOG(kWarning) << "staged store failed mid-scan, re-servicing "
+                                "batch "
+                             << trace.batch
+                             << " from the server: " << pass.ToString();
+      source = DataLocation{LocationKind::kServer, 0};
+      continue;
     }
+    if (attempt < config_.scan_retry.max_attempts) {
+      ++stats_.scan_retries;
+      ++trace.scan_retries;
+      SleepForBackoff(config_.scan_retry, attempt);
+      ++attempt;
+      continue;
+    }
+    return Status(pass.code(),
+                  "batch scan over table '" + table_ + "' failed after " +
+                      std::to_string(attempt) +
+                      " attempt(s): " + pass.message());
   }
-  if (plan.source.kind == LocationKind::kFile && plan.file_split) {
+  trace.source = source;  // where the surviving pass actually read from
+  if (source.kind == LocationKind::kFile && plan.file_split) {
     ++stats_.file_splits;
   }
   check_overflow();
 
-  // Seal staged files; record locations so descendants inherit them.
+  // Seal staged files; record locations so descendants inherit them. A seal
+  // failure after a successful scan costs only the store, never the counts:
+  // drop it and let descendants fall back to this batch's source.
   for (int pos = 0; pos < n; ++pos) {
     if (stage_into[pos].has_value() &&
         stage_into[pos]->kind == LocationKind::kFile) {
-      SQLCLASS_RETURN_IF_ERROR(
-          staging_->FinishFileStore(stage_into[pos]->store_id));
+      Status sealed = staging_->FinishFileStore(stage_into[pos]->store_id);
+      if (!sealed.ok()) {
+        SQLCLASS_LOG(kWarning) << "dropping staged store that failed to "
+                                  "seal: "
+                               << sealed.ToString();
+        Status freed = staging_->Free(*stage_into[pos]);
+        if (!freed.ok()) {
+          SQLCLASS_LOG(kWarning) << "could not free unsealed store: "
+                                 << freed.ToString();
+        }
+        stage_into[pos].reset();
+        ++stats_.staging_aborts;
+        trace.staging_aborted = true;
+      }
+    }
+  }
+  for (int pos = 0; pos < n; ++pos) {
+    if (!stage_into[pos].has_value()) continue;
+    if (stage_into[pos]->kind == LocationKind::kFile) {
+      ++trace.staged_to_file;
+    } else {
+      ++trace.staged_to_memory;
     }
   }
 
@@ -491,9 +626,10 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
       Pending retry = std::move(batch[pos]);
       retry.est_cc_bytes =
           std::max(retry.est_cc_bytes * 2, observed_bytes[pos] * 2);
-      if (stage_into[pos].has_value()) {
-        retry.location = *stage_into[pos];
-      }
+      // Point the retry at this batch's actual source, not the planned one:
+      // after a mid-batch degradation the planned store no longer exists.
+      retry.location =
+          stage_into[pos].has_value() ? *stage_into[pos] : source;
       estimator_.SetLocation(retry.request.node_id, retry.location);
       pending_.push_back(std::move(retry));
       ++trace.requeued;
@@ -517,12 +653,26 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
                              pending.request.active_attrs);
     estimator_.SetLocation(pending.request.node_id,
                            stage_into[pos].has_value() ? *stage_into[pos]
-                                                       : plan.source);
+                                                       : source);
     unreleased_.insert(pending.request.node_id);
     results.emplace_back(pending.request.node_id, std::move(ccs[pos]));
   }
   trace_.push_back(trace);
   return results;
+}
+
+void ClassificationMiddleware::InvalidateStore(const DataLocation& loc) {
+  if (loc.kind == LocationKind::kServer) return;
+  Status freed = staging_->Free(loc);
+  if (!freed.ok()) {
+    SQLCLASS_LOG(kWarning) << "could not free invalidated store: "
+                           << freed.ToString();
+  }
+  const DataLocation server_loc{LocationKind::kServer, 0};
+  estimator_.RelocateStore(loc, server_loc);
+  for (Pending& pending : pending_) {
+    if (pending.location == loc) pending.location = server_loc;
+  }
 }
 
 ThreadPool* ClassificationMiddleware::ScanPool(int threads) {

@@ -53,6 +53,11 @@ class ClassificationMiddleware : public CcProvider {
     std::atomic<uint64_t> stores_freed{0};
     std::atomic<uint64_t> stores_evicted{0};  // memory stores evicted under CC pressure
     std::atomic<uint64_t> file_splits{0};  // batches that triggered file splitting
+    std::atomic<uint64_t> scan_retries{0};   // server-source passes retried
+    std::atomic<uint64_t> degraded_scans{0};  // staged sources re-serviced from the server
+    std::atomic<uint64_t> stores_invalidated{0};  // stores dropped after a read fault
+    std::atomic<uint64_t> staging_aborts{0};  // batches that gave up staging mid-scan
+    std::atomic<uint64_t> checksum_failures{0};  // kDataLoss passes observed
 
     Stats() = default;
     Stats(const Stats& other) { *this = other; }
@@ -71,6 +76,11 @@ class ClassificationMiddleware : public CcProvider {
       copy(stores_freed, other.stores_freed);
       copy(stores_evicted, other.stores_evicted);
       copy(file_splits, other.file_splits);
+      copy(scan_retries, other.scan_retries);
+      copy(degraded_scans, other.degraded_scans);
+      copy(stores_invalidated, other.stores_invalidated);
+      copy(staging_aborts, other.staging_aborts);
+      copy(checksum_failures, other.checksum_failures);
       return *this;
     }
   };
@@ -88,6 +98,9 @@ class ClassificationMiddleware : public CcProvider {
     int sql_fallbacks = 0;
     bool file_split = false;
     uint64_t rows_scanned = 0;    // rows delivered by the source
+    int scan_retries = 0;         // failed server passes retried in place
+    bool degraded_to_server = false;  // staged source invalidated mid-batch
+    bool staging_aborted = false;     // staging dropped mid-batch
   };
 
   /// `server` and the named table must outlive the middleware. The table's
@@ -143,6 +156,13 @@ class ClassificationMiddleware : public CcProvider {
 
   /// Builds the node's CC table entirely at the server (§4.1.1 fallback).
   StatusOr<CcTable> SqlFallback(const Pending& pending);
+
+  /// Drops a staged store that failed mid-scan: frees it (tolerantly),
+  /// repoints the estimator's subtree and any pending requests that
+  /// referenced it back at the server. The degraded requests are re-serviced
+  /// by full server scans — correct (predicates are absolute) but costlier,
+  /// which is the honest price of losing the store.
+  void InvalidateStore(const DataLocation& loc);
 
   /// Lazily (re)creates the worker pool for morsel-parallel scans at the
   /// resolved thread count. Workers exist only while scans need them.

@@ -1,6 +1,11 @@
 #include "middleware/staging.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
 
 namespace sqlclass {
 
@@ -34,9 +39,22 @@ StagingManager::StagingManager(std::string dir, int num_columns,
     : dir_(std::move(dir)), num_columns_(num_columns), cost_(cost) {}
 
 StagingManager::~StagingManager() {
+  // Best-effort teardown: the staging directory may have been deleted out
+  // from under us (operator cleanup, tmpfs reaping). Failures here must not
+  // escalate — staged files are scratch state.
   for (auto& [id, file] : files_) {
-    if (file.writer != nullptr) file.writer->Finish().ok();
-    std::remove(file.path.c_str());
+    if (file.writer != nullptr) {
+      Status finish = file.writer->Finish();
+      if (!finish.ok()) {
+        SQLCLASS_LOG(kWarning) << "staged file " << id
+                               << " failed to finish during teardown: "
+                               << finish.ToString();
+      }
+    }
+    if (std::remove(file.path.c_str()) != 0 && errno != ENOENT) {
+      SQLCLASS_LOG(kWarning) << "could not remove staged file " << file.path
+                             << ": " << std::strerror(errno);
+    }
   }
 }
 
@@ -52,6 +70,7 @@ StatusOr<uint64_t> StagingManager::BeginFileStore() {
 }
 
 Status StagingManager::AppendToFileStore(uint64_t id, const Row& row) {
+  SQLCLASS_FAULT_POINT(faults::kStagingAppend);
   FileStore* file = append_cache_id_ == id ? append_cache_ : nullptr;
   if (file == nullptr) {
     auto it = files_.find(id);
@@ -188,11 +207,22 @@ Status StagingManager::Free(const DataLocation& loc) {
         append_cache_id_ = 0;
       }
       if (it->second.writer != nullptr) {
-        SQLCLASS_RETURN_IF_ERROR(it->second.writer->Finish());
+        // The store is being discarded; a flush failure only means there is
+        // less to delete. Log and keep freeing.
+        Status finish = it->second.writer->Finish();
+        if (!finish.ok()) {
+          SQLCLASS_LOG(kWarning)
+              << "staged file " << loc.store_id
+              << " failed to finish while being freed: " << finish.ToString();
+        }
         it->second.writer.reset();
       }
       file_bytes_used_ -= it->second.rows * RowBytes();
-      std::remove(it->second.path.c_str());
+      if (std::remove(it->second.path.c_str()) != 0 && errno != ENOENT) {
+        SQLCLASS_LOG(kWarning)
+            << "could not remove staged file " << it->second.path << ": "
+            << std::strerror(errno);
+      }
       files_.erase(it);
       return Status::OK();
     }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "common/fault_injector.h"
 #include "sql/parser.h"
 
 namespace sqlclass {
@@ -43,6 +44,7 @@ ServerCursor::ServerCursor(Mode mode, std::unique_ptr<HeapFileReader> reader,
       counters_(counters) {}
 
 StatusOr<bool> ServerCursor::Next(Row* row) {
+  SQLCLASS_FAULT_POINT(faults::kServerCursorAdvance);
   if (mode_ == Mode::kScan) {
     while (true) {
       SQLCLASS_ASSIGN_OR_RETURN(bool more, reader_->Next(row));

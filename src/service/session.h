@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "mining/naive_bayes.h"
 #include "mining/tree.h"
@@ -110,6 +111,14 @@ struct ServiceConfig {
 
   /// Minimum table rows before a shared scan runs in parallel.
   uint64_t parallel_scan_min_rows = 32768;
+
+  /// Backoff schedule for transient shared-scan faults (I/O errors,
+  /// checksum failures, vanished files). Each retry re-runs the whole pass
+  /// from scratch, so the CC tables a successful retry delivers are
+  /// identical to a fault-free scan's. A scan that exhausts its attempts
+  /// fails every rider with a descriptive Status; sessions not riding that
+  /// scan are unaffected.
+  RetryPolicy scan_retry;
 };
 
 /// Point-in-time view of service health, safe to take while sessions run.
@@ -131,6 +140,8 @@ struct ServiceMetrics {
   uint64_t requests_fulfilled = 0;   // CC requests served by those scans
   uint64_t scan_session_slots = 0;   // Sum over scans of sessions served
   uint64_t rows_scanned = 0;
+  uint64_t scan_retries = 0;   // transient scan faults retried with backoff
+  uint64_t scan_failures = 0;  // scans that failed after exhausting retries
   std::map<std::string, uint64_t> scans_by_table;  // per-location scan counts
 
   /// Average CC requests served per scan. With N sessions growing identical

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/retry.h"
 #include "middleware/batch_matcher.h"
 #include "middleware/parallel_scan.h"
 
@@ -290,12 +291,44 @@ void SharedScanBatcher::RunScan(const std::string& table,
   requests_fulfilled_ += delivered;
   scan_session_slots_ += reqs_per_session.size();
   rows_scanned_ += out.rows_scanned;
+  scan_retries_ += out.retries;
+  if (!out.scan_status.ok()) ++scan_failures_;
 
   if (!only_session) t.scan_in_progress = false;
   cv_.NotifyAll();
 }
 
 SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScan(
+    const std::string& table, const Schema& schema, int num_classes,
+    uint64_t table_rows, const std::vector<PendingReq>& batch,
+    const std::map<SessionId, size_t>& quotas) {
+  int attempt = 1;
+  while (true) {
+    ScanOutcome out =
+        ExecuteScanOnce(table, schema, num_classes, table_rows, batch, quotas);
+    out.retries = static_cast<uint64_t>(attempt - 1);
+    if (out.scan_status.ok()) return out;
+    const StatusCode code = out.scan_status.code();
+    const bool transient = code == StatusCode::kIoError ||
+                           code == StatusCode::kDataLoss ||
+                           code == StatusCode::kNotFound;
+    if (!transient || attempt >= config_.scan_retry.max_attempts) {
+      out.scan_status =
+          Status(code, "shared scan over table '" + table + "' failed after " +
+                           std::to_string(attempt) +
+                           " attempt(s): " + out.scan_status.message());
+      return out;
+    }
+    // Retrying rebuilds all CC tables from scratch, so riders see either a
+    // fault-free-identical result or the wrapped error above — never a
+    // partially counted table. Failed-attempt costs stay on the server
+    // counters (honest accounting) but are not credited to riders.
+    SleepForBackoff(config_.scan_retry, attempt);
+    ++attempt;
+  }
+}
+
+SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScanOnce(
     const std::string& table, const Schema& schema, int num_classes,
     uint64_t table_rows, const std::vector<PendingReq>& batch,
     const std::map<SessionId, size_t>& quotas) {
@@ -480,6 +513,8 @@ void SharedScanBatcher::FillMetrics(ServiceMetrics* out) const {
   out->requests_fulfilled = requests_fulfilled_;
   out->scan_session_slots = scan_session_slots_;
   out->rows_scanned = rows_scanned_;
+  out->scan_retries = scan_retries_;
+  out->scan_failures = scan_failures_;
   out->scans_by_table = scans_by_table_;
 }
 

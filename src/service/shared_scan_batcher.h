@@ -149,11 +149,23 @@ class SharedScanBatcher {
     CostCounters delta;                      // metered cost of this scan
     std::map<SessionId, uint64_t> cc_updates;  // exact per-session CC work
     uint64_t rows_scanned = 0;
+    uint64_t retries = 0;                    // failed passes retried
   };
+
+  /// Runs ExecuteScanOnce under ServiceConfig::scan_retry: transient
+  /// failures (I/O, data loss, vanished file) are retried with bounded
+  /// backoff; each attempt rebuilds every CC table from scratch, so a
+  /// successful retry is indistinguishable from a fault-free scan. The
+  /// final failure wraps the last error with the attempt count.
   ScanOutcome ExecuteScan(const std::string& table, const Schema& schema,
                           int num_classes, uint64_t table_rows,
                           const std::vector<PendingReq>& batch,
                           const std::map<SessionId, size_t>& quotas)
+      EXCLUDES(mu_, *server_mu_);
+  ScanOutcome ExecuteScanOnce(const std::string& table, const Schema& schema,
+                              int num_classes, uint64_t table_rows,
+                              const std::vector<PendingReq>& batch,
+                              const std::map<SessionId, size_t>& quotas)
       EXCLUDES(mu_, *server_mu_);
 
   SqlServer* const server_ PT_GUARDED_BY(server_mu_);
@@ -174,6 +186,8 @@ class SharedScanBatcher {
   uint64_t requests_fulfilled_ GUARDED_BY(mu_) = 0;
   uint64_t scan_session_slots_ GUARDED_BY(mu_) = 0;
   uint64_t rows_scanned_ GUARDED_BY(mu_) = 0;
+  uint64_t scan_retries_ GUARDED_BY(mu_) = 0;
+  uint64_t scan_failures_ GUARDED_BY(mu_) = 0;
   std::map<std::string, uint64_t> scans_by_table_ GUARDED_BY(mu_);
 };
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/fault_injector.h"
+
 namespace sqlclass {
 
 BufferPool::BufferPool(size_t capacity_pages, size_t page_bytes)
@@ -13,6 +15,7 @@ BufferPool::BufferPool(size_t capacity_pages, size_t page_bytes)
 Status BufferPool::Fetch(uint64_t file_id, uint64_t page_index,
                          const PageLoader& loader, char* dst) {
   const Key key(file_id, page_index);
+  SQLCLASS_FAULT_POINT(faults::kBufferPoolFetch);
   MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {

@@ -1,0 +1,81 @@
+#include "storage/checksum.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sqlclass {
+
+namespace {
+
+std::atomic<bool> g_verify_checksums{[] {
+  const char* env = std::getenv("SQLCLASS_PAGE_CHECKSUMS");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}()};
+
+}  // namespace
+
+uint32_t Checksum32(const char* data, size_t n, uint32_t seed) {
+  // 64-bit multiply-rotate mix (splitmix-style) folded to 32 bits. Four
+  // independent 8-byte lanes per round: each lane's mul/rot chain is
+  // ~4 cycles of latency, so one lane caps out near 2 bytes/cycle while
+  // four in flight keep the multiplier busy — the difference between a
+  // measurable scan tax and noise on 8 KiB pages.
+  constexpr uint64_t kMul1 = 0xff51afd7ed558ccdULL;
+  constexpr uint64_t kMul2 = 0xc4ceb9fe1a85ec53ULL;
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (seed + 0x85ebca6bULL * n);
+  uint64_t h1 = h ^ kMul1;
+  uint64_t h2 = h ^ kMul2;
+  uint64_t h3 = h + 0x2545f4914f6cdd1dULL;
+  while (n >= 32) {
+    uint64_t w0;
+    uint64_t w1;
+    uint64_t w2;
+    uint64_t w3;
+    std::memcpy(&w0, data, 8);
+    std::memcpy(&w1, data + 8, 8);
+    std::memcpy(&w2, data + 16, 8);
+    std::memcpy(&w3, data + 24, 8);
+    h ^= w0 * kMul1;
+    h = ((h << 29) | (h >> 35)) * kMul2;
+    h1 ^= w1 * kMul1;
+    h1 = ((h1 << 29) | (h1 >> 35)) * kMul2;
+    h2 ^= w2 * kMul1;
+    h2 = ((h2 << 29) | (h2 >> 35)) * kMul2;
+    h3 ^= w3 * kMul1;
+    h3 = ((h3 << 29) | (h3 >> 35)) * kMul2;
+    data += 32;
+    n -= 32;
+  }
+  h ^= ((h1 << 13) | (h1 >> 51)) * kMul1;
+  h ^= ((h2 << 29) | (h2 >> 35)) * kMul2;
+  h ^= (h3 << 43) | (h3 >> 21);
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, data, 8);
+    h ^= w * kMul1;
+    h = ((h << 29) | (h >> 35)) * kMul2;
+    data += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  for (size_t i = 0; i < n; ++i) {
+    tail |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+            << (8 * i);
+  }
+  h ^= tail * 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 29;
+  return static_cast<uint32_t>(h) ^ static_cast<uint32_t>(h >> 32);
+}
+
+bool PageChecksumVerificationEnabled() {
+  return g_verify_checksums.load(std::memory_order_relaxed);
+}
+
+void SetPageChecksumVerification(bool enabled) {
+  g_verify_checksums.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,25 @@
+#ifndef SQLCLASS_STORAGE_CHECKSUM_H_
+#define SQLCLASS_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sqlclass {
+
+/// Word-at-a-time multiply-rotate mixing hash over `n` bytes. Not
+/// cryptographic — it exists to catch torn writes, bit rot, and truncation
+/// on heap-file pages at a cost that disappears next to the fread itself.
+/// The result is stable across platforms (input is read little-endian).
+uint32_t Checksum32(const char* data, size_t n, uint32_t seed = 0);
+
+/// Whether heap-file readers verify page checksums (writers always stamp
+/// them). Defaults to on; the SQLCLASS_PAGE_CHECKSUMS=0 environment
+/// variable or SetPageChecksumVerification(false) disables verification —
+/// useful for benchmarking the verification cost and for forensic reads of
+/// a page already known to be damaged.
+bool PageChecksumVerificationEnabled();
+void SetPageChecksumVerification(bool enabled);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_CHECKSUM_H_

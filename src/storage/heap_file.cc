@@ -5,8 +5,64 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/fault_injector.h"
+#include "storage/checksum.h"
 
 namespace sqlclass {
+
+namespace {
+
+/// Row count stored in a page header.
+uint32_t PageRowCount(const char* page) {
+  return DecodeFixed32(page + kPageRowCountOffset);
+}
+
+/// Writes the full v2 header over the page: magic, version, row count, and
+/// the checksum of everything but the checksum word.
+void StampPageHeader(char* page, uint32_t rows) {
+  EncodeFixed32(page + kPageMagicOffset, kPageMagic);
+  EncodeFixed32(page + kPageVersionOffset, kHeapFormatVersion);
+  EncodeFixed32(page + kPageRowCountOffset, rows);
+  EncodeFixed32(page + kPageChecksumOffset, ComputePageChecksum(page));
+}
+
+/// Structural check of the first header words (magic + version). Distinct
+/// from checksum verification: a failed magic means "not one of our pages",
+/// an IoError; a failed checksum means our page rotted, a DataLoss.
+Status VerifyPageMagic(const char* page, const std::string& path) {
+  if (DecodeFixed32(page + kPageMagicOffset) != kPageMagic) {
+    return Status::IoError("bad page magic in " + path);
+  }
+  if (DecodeFixed32(page + kPageVersionOffset) != kHeapFormatVersion) {
+    return Status::IoError(
+        "unsupported heap page version " +
+        std::to_string(DecodeFixed32(page + kPageVersionOffset)) + " in " +
+        path);
+  }
+  return Status::OK();
+}
+
+/// Recomputes and compares the page checksum (no-op when verification is
+/// globally disabled). `counters` (nullable) gets the failure tally.
+Status VerifyPageChecksum(const char* page, const std::string& path,
+                          IoCounters* counters) {
+  if (!PageChecksumVerificationEnabled()) return Status::OK();
+  const uint32_t stored = DecodeFixed32(page + kPageChecksumOffset);
+  const uint32_t actual = ComputePageChecksum(page);
+  if (stored != actual) {
+    if (counters != nullptr) ++counters->checksum_failures;
+    return Status::DataLoss("page checksum mismatch in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t ComputePageChecksum(const char* page) {
+  const uint32_t head = Checksum32(page, kPageChecksumOffset);
+  return Checksum32(page + kPageHeaderBytes, kPageSize - kPageHeaderBytes,
+                    head);
+}
 
 size_t SlotsPerPage(size_t row_bytes) {
   assert(row_bytes > 0 && row_bytes <= kPageSize - kPageHeaderBytes);
@@ -46,6 +102,7 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::Create(
   if (num_columns <= 0) {
     return Status::InvalidArgument("heap file needs >= 1 column");
   }
+  SQLCLASS_FAULT_POINT(faults::kStorageOpen);
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::IoError("cannot create heap file: " + path);
@@ -59,6 +116,7 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
   if (num_columns <= 0) {
     return Status::InvalidArgument("heap file needs >= 1 column");
   }
+  SQLCLASS_FAULT_POINT(faults::kStorageOpen);
   std::FILE* file = std::fopen(path.c_str(), "r+b");
   if (file == nullptr) {
     return Status::IoError("cannot open heap file for append: " + path);
@@ -88,7 +146,8 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
     if (std::fread(hdr, 1, kPageHeaderBytes, file) != kPageHeaderBytes) {
       return Status::IoError("short header read for " + path);
     }
-    const uint32_t last_rows = DecodeFixed32(hdr);
+    SQLCLASS_RETURN_IF_ERROR(VerifyPageMagic(hdr, path));
+    const uint32_t last_rows = PageRowCount(hdr);
     if (last_rows > slots) {
       return Status::IoError("corrupt page header in " + path);
     }
@@ -100,11 +159,14 @@ StatusOr<std::unique_ptr<HeapFileWriter>> HeapFileWriter::OpenForAppend(
       if (std::fseek(file, last_offset, SEEK_SET) != 0) {
         return Status::IoError("seek failed for " + path);
       }
+      SQLCLASS_FAULT_POINT(faults::kStorageRead);
       if (std::fread(writer->buffer_.data(), 1, kPageSize, file) !=
           kPageSize) {
         return Status::IoError("short page read for " + path);
       }
       if (counters != nullptr) ++counters->pages_read;
+      SQLCLASS_RETURN_IF_ERROR(
+          VerifyPageChecksum(writer->buffer_.data(), path, counters));
       writer->rows_in_page_ = last_rows;
       if (std::fseek(file, last_offset, SEEK_SET) != 0) {
         return Status::IoError("seek failed for " + path);
@@ -134,7 +196,7 @@ Status HeapFileWriter::Append(const Row& row) {
 
 Status HeapFileWriter::SealPage() {
   if (rows_in_page_ == 0) return Status::OK();
-  EncodeFixed32(CurrentPage(), rows_in_page_);
+  StampPageHeader(CurrentPage(), rows_in_page_);
   rows_in_page_ = 0;
   ++pages_buffered_;
   if (pages_buffered_ == kWriteBufferPages) return FlushBuffer();
@@ -143,6 +205,7 @@ Status HeapFileWriter::SealPage() {
 
 Status HeapFileWriter::FlushBuffer() {
   if (pages_buffered_ == 0) return Status::OK();
+  SQLCLASS_FAULT_POINT(faults::kStorageWrite);
   const size_t bytes = pages_buffered_ * kPageSize;
   if (std::fwrite(buffer_.data(), 1, bytes, file_) != bytes) {
     return Status::IoError("short write to " + path_);
@@ -159,6 +222,14 @@ Status HeapFileWriter::Finish() {
   if (finished_) return Status::OK();
   SQLCLASS_RETURN_IF_ERROR(SealPage());
   SQLCLASS_RETURN_IF_ERROR(FlushBuffer());
+  SQLCLASS_FAULT_POINT(faults::kStorageClose);
+  // Buffered stdio defers real writes: an ENOSPC from the kernel can first
+  // surface at flush/close time, and ignoring it silently truncates the
+  // file. The file stays open on flush failure so the destructor releases
+  // the handle.
+  if (std::fflush(file_) != 0 || std::ferror(file_) != 0) {
+    return Status::IoError("flush failed for " + path_);
+  }
   if (std::fclose(file_) != 0) {
     file_ = nullptr;
     return Status::IoError("close failed for " + path_);
@@ -188,6 +259,7 @@ StatusOr<std::unique_ptr<HeapFileReader>> HeapFileReader::Open(
   if (num_columns <= 0) {
     return Status::InvalidArgument("heap file needs >= 1 column");
   }
+  SQLCLASS_FAULT_POINT(faults::kStorageOpen);
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open heap file: " + path);
@@ -224,7 +296,8 @@ StatusOr<std::unique_ptr<HeapFileReader>> HeapFileReader::Open(
     if (std::fread(hdr, 1, kPageHeaderBytes, file) != kPageHeaderBytes) {
       return Status::IoError("short header read for " + path);
     }
-    uint32_t last_rows = DecodeFixed32(hdr);
+    SQLCLASS_RETURN_IF_ERROR(VerifyPageMagic(hdr, path));
+    uint32_t last_rows = PageRowCount(hdr);
     if (last_rows > slots) {
       return Status::IoError("corrupt page header in " + path);
     }
@@ -248,6 +321,7 @@ Status HeapFileReader::LoadPage(uint64_t page_index) {
     return Status::Internal("page index out of range in " + path_);
   }
   auto physical_read = [&](char* dst) -> Status {
+    SQLCLASS_FAULT_POINT(faults::kStorageRead);
     if (std::fseek(file_, static_cast<long>(page_index * kPageSize),
                    SEEK_SET) != 0) {
       return Status::IoError("seek failed for " + path_);
@@ -256,7 +330,10 @@ Status HeapFileReader::LoadPage(uint64_t page_index) {
       return Status::IoError("short page read for " + path_);
     }
     if (counters_ != nullptr) ++counters_->pages_read;
-    return Status::OK();
+    // Verify at load time only — a page served from the buffer pool was
+    // already checked when it entered.
+    SQLCLASS_RETURN_IF_ERROR(VerifyPageMagic(dst, path_));
+    return VerifyPageChecksum(dst, path_, counters_);
   };
   if (pool_ != nullptr) {
     SQLCLASS_RETURN_IF_ERROR(
@@ -266,7 +343,7 @@ Status HeapFileReader::LoadPage(uint64_t page_index) {
   }
   current_page_ = page_index;
   page_loaded_ = true;
-  rows_in_current_page_ = DecodeFixed32(page_.data());
+  rows_in_current_page_ = PageRowCount(page_.data());
   if (rows_in_current_page_ > SlotsPerPage(codec_.row_bytes())) {
     page_loaded_ = false;
     return Status::IoError("corrupt page header in " + path_);

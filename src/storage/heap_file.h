@@ -16,10 +16,27 @@
 
 namespace sqlclass {
 
-/// Page layout: [row_count: u32][rows...]; rows are fixed-width slots so a
-/// Tid is simply (page_index * slots_per_page + slot).
+/// Page layout (format v2):
+///   [magic: u32][version: u32][row_count: u32][checksum: u32][rows...]
+/// Rows are fixed-width slots so a Tid is simply
+/// (page_index * slots_per_page + slot). The checksum covers the whole page
+/// except its own word; writers always stamp it, readers verify unless
+/// SQLCLASS_PAGE_CHECKSUMS=0 (a mismatch surfaces as StatusCode::kDataLoss).
+/// v1 pages (bare row-count header) are not readable — heap files never
+/// outlive the build that wrote them.
 inline constexpr size_t kPageSize = 8192;
-inline constexpr size_t kPageHeaderBytes = sizeof(uint32_t);
+inline constexpr uint32_t kPageMagic = 0x53514C43;  // "SQLC"
+inline constexpr uint32_t kHeapFormatVersion = 2;
+inline constexpr size_t kPageMagicOffset = 0;
+inline constexpr size_t kPageVersionOffset = sizeof(uint32_t);
+inline constexpr size_t kPageRowCountOffset = 2 * sizeof(uint32_t);
+inline constexpr size_t kPageChecksumOffset = 3 * sizeof(uint32_t);
+inline constexpr size_t kPageHeaderBytes = 4 * sizeof(uint32_t);
+
+/// Checksum of a full kPageSize page: every byte except the checksum word
+/// itself. What SealPage stamps at kPageChecksumOffset and what readers
+/// recompute. Exposed so tests can forge or verify page trailers.
+uint32_t ComputePageChecksum(const char* page);
 
 /// Pages the writer seals before issuing one contiguous fwrite. Purely a
 /// physical batching knob: page layout and per-page write accounting are

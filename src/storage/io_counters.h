@@ -13,12 +13,15 @@ struct IoCounters {
   uint64_t pages_written = 0;
   uint64_t rows_read = 0;
   uint64_t rows_written = 0;
+  /// Pages whose stored checksum did not match their contents on read.
+  uint64_t checksum_failures = 0;
 
   void Add(const IoCounters& other) {
     pages_read += other.pages_read;
     pages_written += other.pages_written;
     rows_read += other.rows_read;
     rows_written += other.rows_written;
+    checksum_failures += other.checksum_failures;
   }
 
   void Reset() { *this = IoCounters(); }

@@ -47,8 +47,8 @@ TEST(RowCodecTest, RoundTrip) {
 }
 
 TEST(SlotsPerPageTest, Computation) {
-  // (8192 - 4) / 12 = 682 for 3 columns.
-  EXPECT_EQ(SlotsPerPage(12), 682u);
+  // (8192 - 16) / 12 = 681 for 3 columns (v2: 16-byte checksummed header).
+  EXPECT_EQ(SlotsPerPage(12), (kPageSize - kPageHeaderBytes) / 12);
   EXPECT_EQ(SlotsPerPage(kPageSize - kPageHeaderBytes), 1u);
 }
 

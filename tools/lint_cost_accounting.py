@@ -24,6 +24,9 @@ call to Add / AddProportional / Delta on those structs.
 Waivers — a comment anywhere in the same function body:
     // cost: charged-by-caller(<symbol>)   the named caller meters this path
     // cost: unmetered(<reason>)           deliberately free (metadata reads)
+    // cost: fault-injected(<point>)       failure-path-only primitive behind
+                                           a SQLCLASS_FAULT_POINT; moves no
+                                           rows on the success path
 
 Granularity is the enclosing function: a primitive is fine if the same
 function charges any counter. That is deliberately coarse — the goal is to
@@ -59,7 +62,8 @@ PRIMITIVE_RE = re.compile(
 )
 
 WAIVER_RE = re.compile(
-    r"//\s*cost:\s*(charged-by-caller|unmetered)\s*\(([^)\n]+)\)"
+    r"//\s*cost:\s*(charged-by-caller|unmetered|fault-injected)"
+    r"\s*\(([^)\n]+)\)"
 )
 
 # Methods on the counter structs that account in bulk.
@@ -352,13 +356,18 @@ def run_check(root, subdirs, charge_re):
 
 def self_test(root, charge_re):
     """Proves the checker detects an uncharged write: copies heap_file.cc,
-    injects a function with a bare fwrite, and requires a violation."""
+    injects a function with a bare fwrite, and requires a violation. Also
+    proves the fault-injected waiver silences a failure-path primitive."""
     source = os.path.join(root, "src", "storage", "heap_file.cc")
     with open(source, encoding="utf-8") as f:
         text = f.read()
     injected = text + (
         "\nnamespace sqlclass {\n"
         "void UnchargedAppendForLintSelfTest(std::FILE* file, const char* b) {\n"
+        "  std::fwrite(b, 1, 42, file);\n"
+        "}\n"
+        "void WaivedFaultPathForLintSelfTest(std::FILE* file, const char* b) {\n"
+        "  // cost: fault-injected(storage/fwrite)\n"
         "  std::fwrite(b, 1, 42, file);\n"
         "}\n"
         "}  // namespace sqlclass\n"
@@ -370,6 +379,7 @@ def self_test(root, charge_re):
         baseline = check_file_regex(source, charge_re)
         found = check_file_regex(mutated, charge_re)
     new = [v for v in found if v[2] == "UnchargedAppendForLintSelfTest"]
+    waived = [v for v in found if v[2] == "WaivedFaultPathForLintSelfTest"]
     if baseline:
         print("self-test: FAIL — pristine heap_file.cc already has "
               f"{len(baseline)} violation(s); fix those first")
@@ -377,8 +387,12 @@ def self_test(root, charge_re):
     if not new:
         print("self-test: FAIL — injected uncharged fwrite was not detected")
         return 1
+    if waived:
+        print("self-test: FAIL — fault-injected waiver did not silence the "
+              "waived fwrite")
+        return 1
     print("self-test: OK — injected uncharged fwrite detected "
-          f"({new[0][2]} at line {new[0][1]})")
+          f"({new[0][2]} at line {new[0][1]}), fault-injected waiver honored")
     return 0
 
 
@@ -416,7 +430,9 @@ def main():
               "IoCounters in the same function, or (only when the caller "
               "truly meters the path) add\n"
               "  // cost: charged-by-caller(<symbol>)   or\n"
-              "  // cost: unmetered(<reason>)")
+              "  // cost: unmetered(<reason>)   or\n"
+              "  // cost: fault-injected(<point>)   (failure-path-only "
+              "primitives behind a fault point)")
         return 1
     print(f"cost-accounting lint: clean — {len(files)} files, "
           f"{engine} engine")
