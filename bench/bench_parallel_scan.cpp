@@ -122,11 +122,30 @@ int main(int argc, char** argv) {
       row_grid.push_back(static_cast<uint64_t>(r * BenchScale()));
     }
   }
-  const std::vector<int> thread_grid = smoke ? std::vector<int>{1, 4}
-                                             : std::vector<int>{1, 2, 4, 8};
+  // On a single-core host a multi-thread grid measures scheduler thrash,
+  // not scan parallelism — ~1.0x "speedups" that would read as a bug. Run
+  // the serial column only and say why in the JSON instead.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const bool single_core = hardware <= 1;
+  std::string skipped_reason;
+  if (single_core) {
+    skipped_reason =
+        "hardware_concurrency=" + std::to_string(hardware) +
+        ": multi-thread cells skipped (wall-clock speedup over the serial "
+        "scan is meaningless without a second core)";
+  }
+  std::vector<int> thread_grid;
+  if (single_core) {
+    thread_grid = {1};
+  } else if (smoke) {
+    thread_grid = {1, 4};
+  } else {
+    thread_grid = {1, 2, 4, 8};
+  }
 
   std::printf("# Morsel-parallel counting scan (hardware_concurrency=%u)\n",
-              std::thread::hardware_concurrency());
+              hardware);
+  if (single_core) std::printf("# %s\n", skipped_reason.c_str());
   std::printf("%-10s %-8s %12s %12s %10s %10s\n", "rows", "threads",
               "wall_sec", "sim_sec", "speedup", "cc_ok");
 
@@ -204,7 +223,11 @@ int main(int argc, char** argv) {
     json.Key("bench");
     json.String("parallel_scan");
     json.Key("hardware_concurrency");
-    json.Int(std::thread::hardware_concurrency());
+    json.Int(hardware);
+    if (!skipped_reason.empty()) {
+      json.Key("skipped_reason");
+      json.String(skipped_reason);
+    }
     json.Key("frontier_nodes");
     json.Int(frontier.predicates.size());
     json.Key("note");

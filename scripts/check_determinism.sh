@@ -21,7 +21,8 @@ trap 'rm -rf "$tmp"' EXIT
 
 for threads in 1 4; do
   echo "== middleware suite with SQLCLASS_PARALLEL_SCAN_THREADS=$threads =="
-  for test_bin in middleware_test middleware_property_test parallel_scan_test; do
+  for test_bin in middleware_test middleware_property_test parallel_scan_test \
+                  bitmap_test; do
     SQLCLASS_PARALLEL_SCAN_THREADS=$threads \
       "$BUILD_DIR/tests/$test_bin" --gtest_brief=1
   done
@@ -36,3 +37,16 @@ done
 
 diff "$tmp/invariant_1.json" "$tmp/invariant_4.json"
 echo "OK: CC tables and simulated cost identical across thread counts"
+
+# Bitmap counting path: two full runs must agree on everything but wall
+# time (the per-word charges are cache-state-invariant, and the bench
+# itself verifies the bitmap-served tree equals the row-scan tree).
+for run in 1 2; do
+  echo "== bitmap counting bench, run $run =="
+  "$BUILD_DIR/bench/bench_bitmap" --smoke \
+    --dump="$tmp/bitmap_$run.json" >/dev/null
+  sed -E 's/"([a-z_]*wall[a-z_]*|wall_speedup)":[0-9.e+-]+/"\1":_/g' \
+    "$tmp/bitmap_$run.json" >"$tmp/bitmap_invariant_$run.json"
+done
+diff "$tmp/bitmap_invariant_1.json" "$tmp/bitmap_invariant_2.json"
+echo "OK: bitmap-served trees and simulated cost identical across runs"

@@ -33,6 +33,14 @@ bool ParseCodeToken(const std::string& token, StatusCode* out) {
   return true;
 }
 
+// The SQLCLASS_FAULT_POINT fast path consults Global() only once g_enabled
+// is set, and g_enabled is only set by Arm() — which for the env spec runs
+// in Global()'s constructor. Force construction at process start, or
+// SQLCLASS_FAULTS would never arm anything in a process that doesn't touch
+// the injector API.
+[[maybe_unused]] const FaultInjector& g_env_spec_bootstrap =
+    FaultInjector::Global();
+
 }  // namespace
 
 FaultInjector::FaultInjector() : rng_(kDefaultSeed) {
@@ -61,7 +69,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kStorageOpen,        faults::kStorageRead,
       faults::kStorageWrite,       faults::kStorageClose,
       faults::kBufferPoolFetch,    faults::kServerCursorAdvance,
-      faults::kStagingAppend,
+      faults::kStagingAppend,      faults::kBitmapOpen,
+      faults::kBitmapRead,
   };
   return *points;
 }

@@ -27,6 +27,8 @@ inline constexpr char kStorageClose[] = "storage/fclose";
 inline constexpr char kBufferPoolFetch[] = "buffer_pool/fetch";
 inline constexpr char kServerCursorAdvance[] = "server/cursor_advance";
 inline constexpr char kStagingAppend[] = "staging/append";
+inline constexpr char kBitmapOpen[] = "bitmap/open";
+inline constexpr char kBitmapRead[] = "bitmap/read";
 }  // namespace faults
 
 namespace internal_faults {

@@ -56,6 +56,14 @@ struct MiddlewareConfig {
 
   OrderPolicy order_policy = OrderPolicy::kSmallestCcFirst;
 
+  /// Serve conjunctive node predicates from the table's bitmap index by
+  /// AND + popcount (scheduler Rule 0) whenever the server has one
+  /// (SqlServer::BuildBitmapIndex). Produces byte-identical CC tables at
+  /// per-bitmap-word cost instead of per-row cursor cost; a bitmap read
+  /// fault falls back transparently to the row-scan path. Overridable at
+  /// runtime via SQLCLASS_BITMAP_INDEX=0/1.
+  bool use_bitmap_index = true;
+
   /// Directory for staged middleware files. Must exist and be writable.
   std::string staging_dir = ".";
 

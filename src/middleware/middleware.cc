@@ -1,5 +1,7 @@
 #include "middleware/middleware.h"
 
+#include "middleware/bitmap_scan.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -155,6 +157,9 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::FulfillSome() {
   SQLCLASS_RETURN_IF_ERROR(GarbageCollectStores());
   SQLCLASS_RETURN_IF_ERROR(EvictMemoryStoresUnderPressure());
 
+  const bool bitmap_routing =
+      ResolveUseBitmapIndex(config_.use_bitmap_index) &&
+      server_->HasBitmapIndex(table_);
   std::vector<SchedItem> items;
   items.reserve(pending_.size());
   std::map<DataLocation, uint64_t> store_rows;
@@ -166,6 +171,9 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::FulfillSome() {
     item.data_size = pending.request.data_size;
     item.est_cc_bytes = pending.est_cc_bytes;
     item.location = pending.location;
+    item.bitmap_servable =
+        bitmap_routing && pending.location.kind == LocationKind::kServer &&
+        BitmapCountScan::Servable(pending.request.predicate.get());
     items.push_back(item);
     if (pending.location.kind != LocationKind::kServer &&
         store_rows.count(pending.location) == 0) {
@@ -237,6 +245,7 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   // happened, and honest accounting is part of the degradation contract.
   DataLocation source = plan.source;
   bool staging_enabled = !plan.staging.empty();
+  bool use_bitmap = plan.from_bitmap;
   std::vector<CcTable> ccs;
   std::vector<bool> fallback(n, false);
   std::vector<bool> requeue(n, false);
@@ -392,6 +401,27 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   // counting"); overflow is checked once after the merge instead of
   // mid-scan, which staging-free batches tolerate.
   auto run_pass = [&]() -> Status {
+    // Rule 0 service: answer every admitted node straight from the bitmap
+    // index. No rows are delivered — the per-word charges in
+    // BitmapCountScan::Run replace the per-row scan costs entirely. Any
+    // failure here (open fault, read fault, checksum mismatch) drops to
+    // the row-scan rung of the recovery ladder below, which rebuilds the
+    // identical CC tables the expensive way.
+    if (use_bitmap && source.kind == LocationKind::kServer) {
+      SQLCLASS_ASSIGN_OR_RETURN(BitmapIndexReader * index, BitmapReader());
+      std::vector<BitmapCountScan::Node> nodes(n);
+      for (int i = 0; i < n; ++i) {
+        nodes[i].predicate = batch[i].request.predicate.get();
+        nodes[i].active_attrs = &batch[i].request.active_attrs;
+        nodes[i].cc = &ccs[i];
+      }
+      SQLCLASS_RETURN_IF_ERROR(
+          BitmapCountScan::Run(index, schema_, &nodes, &cost));
+      trace.rows_scanned = 0;  // counts, not rows, flowed from the source
+      trace.served_from_bitmap = true;
+      ++stats_.bitmap_scans;
+      return Status::OK();
+    }
     const int scan_threads =
         ResolveParallelThreads(config_.parallel_scan_threads);
     uint64_t source_rows = table_rows_;
@@ -545,6 +575,20 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
                              pass.code() == StatusCode::kDataLoss ||
                              pass.code() == StatusCode::kNotFound;
     if (!recoverable) return pass;
+    if (use_bitmap) {
+      // Bitmap rung: the index failed (or rotted) mid-pass. Degrade
+      // transparently to the row-scan path — same source, same nodes,
+      // byte-identical results — and drop the reader so a later batch
+      // reopens the index from scratch.
+      use_bitmap = false;
+      bitmap_reader_.reset();
+      ++stats_.bitmap_fallbacks;
+      trace.bitmap_fallback = true;
+      SQLCLASS_LOG(kWarning) << "bitmap pass failed for batch " << trace.batch
+                             << ", falling back to row scan: "
+                             << pass.ToString();
+      continue;
+    }
     if (staging_fault && staging_enabled) {
       staging_enabled = false;
       ++stats_.staging_aborts;
@@ -680,6 +724,17 @@ ThreadPool* ClassificationMiddleware::ScanPool(int threads) {
     scan_pool_ = std::make_unique<ThreadPool>(threads);
   }
   return scan_pool_.get();
+}
+
+StatusOr<BitmapIndexReader*> ClassificationMiddleware::BitmapReader() {
+  if (bitmap_reader_ == nullptr) {
+    SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
+                              server_->BitmapIndexPath(table_));
+    SQLCLASS_ASSIGN_OR_RETURN(
+        bitmap_reader_,
+        BitmapIndexReader::Open(path, &server_->io_counters()));
+  }
+  return bitmap_reader_.get();
 }
 
 StatusOr<CcTable> ClassificationMiddleware::SqlFallback(

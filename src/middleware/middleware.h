@@ -17,6 +17,7 @@
 #include "middleware/staging.h"
 #include "mining/cc_provider.h"
 #include "server/server.h"
+#include "storage/bitmap/bitmap_index.h"
 
 namespace sqlclass {
 
@@ -58,6 +59,8 @@ class ClassificationMiddleware : public CcProvider {
     std::atomic<uint64_t> stores_invalidated{0};  // stores dropped after a read fault
     std::atomic<uint64_t> staging_aborts{0};  // batches that gave up staging mid-scan
     std::atomic<uint64_t> checksum_failures{0};  // kDataLoss passes observed
+    std::atomic<uint64_t> bitmap_scans{0};  // batches served from the bitmap index
+    std::atomic<uint64_t> bitmap_fallbacks{0};  // bitmap passes degraded to row scans
 
     Stats() = default;
     Stats(const Stats& other) { *this = other; }
@@ -81,6 +84,8 @@ class ClassificationMiddleware : public CcProvider {
       copy(stores_invalidated, other.stores_invalidated);
       copy(staging_aborts, other.staging_aborts);
       copy(checksum_failures, other.checksum_failures);
+      copy(bitmap_scans, other.bitmap_scans);
+      copy(bitmap_fallbacks, other.bitmap_fallbacks);
       return *this;
     }
   };
@@ -101,6 +106,8 @@ class ClassificationMiddleware : public CcProvider {
     int scan_retries = 0;         // failed server passes retried in place
     bool degraded_to_server = false;  // staged source invalidated mid-batch
     bool staging_aborted = false;     // staging dropped mid-batch
+    bool served_from_bitmap = false;  // Rule 0: counts came from the index
+    bool bitmap_fallback = false;     // bitmap pass failed; row scan served
   };
 
   /// `server` and the named table must outlive the middleware. The table's
@@ -168,6 +175,10 @@ class ClassificationMiddleware : public CcProvider {
   /// resolved thread count. Workers exist only while scans need them.
   ThreadPool* ScanPool(int threads);
 
+  /// Lazily opens (and caches) the reader over the server's bitmap index.
+  /// Reset after a failed bitmap pass so the next batch reopens cleanly.
+  StatusOr<BitmapIndexReader*> BitmapReader();
+
   SqlServer* server_;
   std::string table_;
   Schema schema_;
@@ -183,6 +194,7 @@ class ClassificationMiddleware : public CcProvider {
   Stats stats_;
   std::vector<BatchTrace> trace_;
   std::unique_ptr<ThreadPool> scan_pool_;  // lazily created, see ScanPool()
+  std::unique_ptr<BitmapIndexReader> bitmap_reader_;  // see BitmapReader()
 };
 
 }  // namespace sqlclass

@@ -28,6 +28,67 @@ BatchPlan Scheduler::PlanBatch(
   assert(!items.empty());
   BatchPlan plan;
 
+  // Rule 3's ordering + admission, shared by the bitmap route and the
+  // row-scan route: order eligible nodes by the configured policy and
+  // admit while the CC estimates fit in unpinned memory (first node
+  // always admitted).
+  auto admit_group = [&](std::vector<const SchedItem*>* group,
+                         std::vector<const SchedItem*>* admitted) {
+    std::sort(group->begin(), group->end(),
+              [&](const SchedItem* a, const SchedItem* b) {
+                switch (config_.order_policy) {
+                  case OrderPolicy::kSmallestCcFirst:
+                    if (a->est_cc_bytes != b->est_cc_bytes) {
+                      return a->est_cc_bytes < b->est_cc_bytes;
+                    }
+                    break;
+                  case OrderPolicy::kLargestCcFirst:
+                    if (a->est_cc_bytes != b->est_cc_bytes) {
+                      return a->est_cc_bytes > b->est_cc_bytes;
+                    }
+                    break;
+                  case OrderPolicy::kFifo:
+                    break;
+                }
+                return a->seq < b->seq;
+              });
+    const size_t cc_available =
+        budgets.memory_budget > budgets.staged_memory_used
+            ? budgets.memory_budget - budgets.staged_memory_used
+            : 0;
+    size_t cc_planned = 0;
+    for (const SchedItem* item : *group) {
+      if (!admitted->empty() &&
+          cc_planned + item->est_cc_bytes > cc_available) {
+        continue;  // leave for a later scan
+      }
+      cc_planned += item->est_cc_bytes;
+      admitted->push_back(item);
+      plan.admitted.push_back(item->idx);
+    }
+    return cc_planned;
+  };
+
+  // ---- Rule 0 (bitmap routing): requests answerable from the server's
+  // bitmap index are cheaper than any staged row store — AND + popcount
+  // over a few index words versus a per-row pass — so they form their own
+  // batch ahead of the location-ranked groups. Bitmap batches never stage:
+  // the pass produces counts, not a row stream the staging tiers could
+  // capture.
+  {
+    std::vector<const SchedItem*> bitmap_group;
+    for (const SchedItem& item : items) {
+      if (item.bitmap_servable) bitmap_group.push_back(&item);
+    }
+    if (!bitmap_group.empty()) {
+      plan.source = DataLocation{LocationKind::kServer, 0};
+      plan.from_bitmap = true;
+      std::vector<const SchedItem*> admitted;
+      admit_group(&bitmap_group, &admitted);
+      return plan;
+    }
+  }
+
   // ---- Rules 1 + 2: choose the scan source. Group the queue by data
   // location; prefer memory groups, then file groups, then the server.
   // Among same-kind groups pick the smallest aggregate data size so staged
@@ -63,39 +124,8 @@ BatchPlan Scheduler::PlanBatch(
   for (const SchedItem& item : items) {
     if (item.location == plan.source) group.push_back(&item);
   }
-  std::sort(group.begin(), group.end(),
-            [&](const SchedItem* a, const SchedItem* b) {
-              switch (config_.order_policy) {
-                case OrderPolicy::kSmallestCcFirst:
-                  if (a->est_cc_bytes != b->est_cc_bytes) {
-                    return a->est_cc_bytes < b->est_cc_bytes;
-                  }
-                  break;
-                case OrderPolicy::kLargestCcFirst:
-                  if (a->est_cc_bytes != b->est_cc_bytes) {
-                    return a->est_cc_bytes > b->est_cc_bytes;
-                  }
-                  break;
-                case OrderPolicy::kFifo:
-                  break;
-              }
-              return a->seq < b->seq;
-            });
-
-  const size_t cc_available =
-      budgets.memory_budget > budgets.staged_memory_used
-          ? budgets.memory_budget - budgets.staged_memory_used
-          : 0;
-  size_t cc_planned = 0;
   std::vector<const SchedItem*> admitted;
-  for (const SchedItem* item : group) {
-    if (!admitted.empty() && cc_planned + item->est_cc_bytes > cc_available) {
-      continue;  // leave for a later scan
-    }
-    cc_planned += item->est_cc_bytes;
-    admitted.push_back(item);
-    plan.admitted.push_back(item->idx);
-  }
+  const size_t cc_planned = admit_group(&group, &admitted);
 
   // ---- Rules 4-6 + file splitting: staging decisions for admitted nodes.
   std::vector<const SchedItem*> by_size = admitted;

@@ -17,6 +17,10 @@ struct SchedItem {
   uint64_t data_size = 0;  // exact |n|
   size_t est_cc_bytes = 0;
   DataLocation location;
+  /// The request's predicate can be answered from the server's bitmap
+  /// index (conjunctive shape, index built, knob on). Only ever set for
+  /// server-located items.
+  bool bitmap_servable = false;
 };
 
 /// Memory / file space state the scheduler plans against.
@@ -40,11 +44,18 @@ struct BatchPlan {
   std::vector<int> admitted;    // item idx, in servicing order (Rule 3)
   std::vector<StageDecision> staging;  // Rules 4-6 + file splitting
   bool file_split = false;      // staging caused by the split rule (§4.3.2)
+  /// Rule 0: the batch is served from the bitmap index (AND + popcount)
+  /// rather than a row scan. Bitmap batches never stage — the pass yields
+  /// counts, not a row stream.
+  bool from_bitmap = false;
 };
 
 /// The priority scheduler of §4.2. Stateless: each call plans one batch
 /// from the current queue snapshot.
 ///
+///  Rule 0: requests servable from the server's bitmap index (see
+///          middleware/bitmap_scan.h) batch together ahead of everything
+///          else and are answered by AND + popcount, with no staging.
 ///  Rule 1: in-memory scan > middleware file scan > server scan.
 ///  Rule 2: a batch serviced from a staged store must share that store
 ///          (i.e., share the ancestor the store was created for).

@@ -23,6 +23,9 @@ void ForEachField(Self& a, Other& b, Fn fn) {
   fn(a.mw_file_rows_read, b.mw_file_rows_read);
   fn(a.mw_memory_rows_read, b.mw_memory_rows_read);
   fn(a.mw_cc_updates, b.mw_cc_updates);
+  fn(a.mw_bitmap_words_read, b.mw_bitmap_words_read);
+  fn(a.mw_bitmap_and_ops, b.mw_bitmap_and_ops);
+  fn(a.mw_bitmap_popcounts, b.mw_bitmap_popcounts);
 }
 
 }  // namespace
@@ -81,7 +84,10 @@ std::string CostCounters::ToString() const {
       << " mw_file_rows_written=" << mw_file_rows_written
       << " mw_file_rows_read=" << mw_file_rows_read
       << " mw_memory_rows_read=" << mw_memory_rows_read
-      << " mw_cc_updates=" << mw_cc_updates;
+      << " mw_cc_updates=" << mw_cc_updates
+      << " mw_bitmap_words_read=" << mw_bitmap_words_read
+      << " mw_bitmap_and_ops=" << mw_bitmap_and_ops
+      << " mw_bitmap_popcounts=" << mw_bitmap_popcounts;
   return out.str();
 }
 
@@ -103,6 +109,10 @@ double CostModel::SimulatedSeconds(const CostCounters& c) const {
   us += mw_file_row_read_us * static_cast<double>(c.mw_file_rows_read);
   us += mw_memory_row_us * static_cast<double>(c.mw_memory_rows_read);
   us += mw_cc_update_us * static_cast<double>(c.mw_cc_updates);
+  us += mw_bitmap_word_read_us * static_cast<double>(c.mw_bitmap_words_read);
+  us += mw_bitmap_word_and_us * static_cast<double>(c.mw_bitmap_and_ops);
+  us += mw_bitmap_word_popcount_us *
+        static_cast<double>(c.mw_bitmap_popcounts);
   return us / 1e6;
 }
 

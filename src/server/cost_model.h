@@ -37,6 +37,9 @@ struct CostCounters {
   std::atomic<uint64_t> mw_file_rows_read{0};  // rows read back from staged files
   std::atomic<uint64_t> mw_memory_rows_read{0};  // rows iterated from in-memory stores
   std::atomic<uint64_t> mw_cc_updates{0};      // CC cell updates (row x attr)
+  std::atomic<uint64_t> mw_bitmap_words_read{0};  // bitmap-index words fetched
+  std::atomic<uint64_t> mw_bitmap_and_ops{0};   // word-wise AND/ANDNOT operations
+  std::atomic<uint64_t> mw_bitmap_popcounts{0};  // word popcounts folded into counts
 
   CostCounters() = default;
   CostCounters(const CostCounters& other) { *this = other; }
@@ -77,6 +80,14 @@ struct CostModel {
   double mw_file_row_read_us = 2.5;
   double mw_memory_row_us = 0.1;
   double mw_cc_update_us = 0.05;
+  /// Bitmap-counting charges are per 64-bit word, not per row: fetching a
+  /// cached-or-disk index word, ANDing two words, and popcounting one word
+  /// are a few nanoseconds each on 1999-relative scale — the asymmetry
+  /// against the per-row cursor costs above is exactly the speedup the
+  /// bitmap engine exists to buy (DESIGN.md "Bitmap counting").
+  double mw_bitmap_word_read_us = 0.004;
+  double mw_bitmap_word_and_us = 0.002;
+  double mw_bitmap_word_popcount_us = 0.002;
 
   double SimulatedSeconds(const CostCounters& counters) const;
 };

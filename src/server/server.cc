@@ -6,6 +6,7 @@
 
 #include "common/fault_injector.h"
 #include "sql/parser.h"
+#include "storage/bitmap/bitmap_index.h"
 
 namespace sqlclass {
 
@@ -137,6 +138,11 @@ Status SqlServer::DropTable(const std::string& name) {
     std::remove(it->second.path.c_str());
     tables_.erase(it);
   }
+  auto bmx = bitmap_indexes_.find(name);
+  if (bmx != bitmap_indexes_.end()) {
+    std::remove(bmx->second.c_str());
+    bitmap_indexes_.erase(bmx);
+  }
   stats_.erase(name);
   for (auto index_it = indexes_.begin(); index_it != indexes_.end();) {
     if (index_it->first.first == name) {
@@ -254,6 +260,13 @@ Status SqlServer::AppendRows(const std::string& name,
   SQLCLASS_RETURN_IF_ERROR(writer->Finish());
   state->row_count += rows.size();
   stats_.erase(name);  // histogram is stale; require a fresh ANALYZE
+  // The bitmap index no longer covers the new rows; drop it (rebuild is an
+  // explicit BuildBitmapIndex, like a fresh ANALYZE).
+  auto bmx = bitmap_indexes_.find(name);
+  if (bmx != bitmap_indexes_.end()) {
+    std::remove(bmx->second.c_str());
+    bitmap_indexes_.erase(bmx);
+  }
   buffer_pool_.InvalidateFile(info->id);  // cached pages changed on disk
   return Status::OK();
 }
@@ -473,6 +486,57 @@ Status SqlServer::DropIndex(const std::string& table,
   if (indexes_.erase(std::make_pair(table, column)) == 0) {
     return Status::NotFound("no index on " + table + "." + column);
   }
+  return Status::OK();
+}
+
+Status SqlServer::BuildBitmapIndex(const std::string& table) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  if (state->loading) return Status::Internal("loader open: " + table);
+  if (bitmap_indexes_.count(table) > 0) {
+    return Status::AlreadyExists("bitmap index exists on " + table);
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  std::vector<uint32_t> cardinalities;
+  cardinalities.reserve(info->schema.num_columns());
+  for (const AttributeDef& attr : info->schema.attributes()) {
+    if (attr.cardinality <= 0) {
+      return Status::InvalidArgument("column " + attr.name +
+                                     " has no finite domain to index");
+    }
+    cardinalities.push_back(static_cast<uint32_t>(attr.cardinality));
+  }
+  BitmapIndexBuilder builder(std::move(cardinalities));
+  SQLCLASS_RETURN_IF_ERROR(
+      ServerSideScan(table, nullptr, [&](Tid, const Row& row) -> Status {
+        ++cost_counters_.index_rows_inserted;
+        return builder.AddRow(row);
+      }));
+  const std::string path = BitmapIndexPathFor(state->path);
+  SQLCLASS_RETURN_IF_ERROR(builder.WriteFile(path, &io_counters_));
+  bitmap_indexes_[table] = path;
+  return Status::OK();
+}
+
+bool SqlServer::HasBitmapIndex(const std::string& table) const {
+  return bitmap_indexes_.count(table) > 0;
+}
+
+StatusOr<std::string> SqlServer::BitmapIndexPath(
+    const std::string& table) const {
+  auto it = bitmap_indexes_.find(table);
+  if (it == bitmap_indexes_.end()) {
+    return Status::NotFound("no bitmap index on " + table);
+  }
+  return it->second;
+}
+
+Status SqlServer::DropBitmapIndex(const std::string& table) {
+  auto it = bitmap_indexes_.find(table);
+  if (it == bitmap_indexes_.end()) {
+    return Status::NotFound("no bitmap index on " + table);
+  }
+  std::remove(it->second.c_str());
+  bitmap_indexes_.erase(it);
   return Status::OK();
 }
 

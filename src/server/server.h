@@ -164,6 +164,19 @@ class SqlServer : public TableProvider {
   bool HasIndex(const std::string& table, const std::string& column) const;
   Status DropIndex(const std::string& table, const std::string& column);
 
+  /// Builds the per-attribute, per-value bitmap index for every column of
+  /// `table` (one metered scan plus per-row insertion cost) and persists it
+  /// alongside the heap file. The middleware's bitmap routing (scheduler
+  /// Rule 0) and the service layer serve conjunctive CC requests from it.
+  /// Appending rows invalidates the index — rebuild after bulk INSERTs.
+  Status BuildBitmapIndex(const std::string& table);
+  bool HasBitmapIndex(const std::string& table) const;
+
+  /// Path of the table's bitmap index file, for scanners that open their
+  /// own BitmapIndexReader. Errors when no index exists.
+  StatusOr<std::string> BitmapIndexPath(const std::string& table) const;
+  Status DropBitmapIndex(const std::string& table);
+
   /// ANALYZE: builds optimizer statistics with one metered scan.
   Status AnalyzeTable(const std::string& table);
   StatusOr<const TableStats*> GetStats(const std::string& table) const;
@@ -255,6 +268,7 @@ class SqlServer : public TableProvider {
   Catalog catalog_;
   std::map<std::string, TableState> tables_;
   std::map<std::pair<std::string, std::string>, SecondaryIndex> indexes_;
+  std::map<std::string, std::string> bitmap_indexes_;  // table -> index path
   std::map<std::string, TableStats> stats_;
   std::map<std::string, std::vector<Tid>> tid_lists_;
   std::map<uint64_t, Keyset> keysets_;

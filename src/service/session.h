@@ -112,6 +112,13 @@ struct ServiceConfig {
   /// Minimum table rows before a shared scan runs in parallel.
   uint64_t parallel_scan_min_rows = 32768;
 
+  /// Serve shared scans whose predicates are all conjunctive from the
+  /// table's bitmap index (SqlServer::BuildBitmapIndex) by AND + popcount,
+  /// at per-bitmap-word cost instead of per-row cursor cost. A failed
+  /// bitmap pass falls back transparently to the row scan. Overridable at
+  /// runtime via SQLCLASS_BITMAP_INDEX=0/1.
+  bool use_bitmap_index = true;
+
   /// Backoff schedule for transient shared-scan faults (I/O errors,
   /// checksum failures, vanished files). Each retry re-runs the whole pass
   /// from scratch, so the CC tables a successful retry delivers are
@@ -142,6 +149,8 @@ struct ServiceMetrics {
   uint64_t rows_scanned = 0;
   uint64_t scan_retries = 0;   // transient scan faults retried with backoff
   uint64_t scan_failures = 0;  // scans that failed after exhausting retries
+  uint64_t bitmap_scans = 0;   // scans served from the bitmap index
+  uint64_t bitmap_fallbacks = 0;  // bitmap passes degraded to row scans
   std::map<std::string, uint64_t> scans_by_table;  // per-location scan counts
 
   /// Average CC requests served per scan. With N sessions growing identical

@@ -1,5 +1,8 @@
 #include "service/shared_scan_batcher.h"
 
+#include "middleware/bitmap_scan.h"
+#include "storage/bitmap/bitmap_index.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -292,6 +295,8 @@ void SharedScanBatcher::RunScan(const std::string& table,
   scan_session_slots_ += reqs_per_session.size();
   rows_scanned_ += out.rows_scanned;
   scan_retries_ += out.retries;
+  if (out.from_bitmap) ++bitmap_scans_;
+  if (out.bitmap_fallback) ++bitmap_fallbacks_;
   if (!out.scan_status.ok()) ++scan_failures_;
 
   if (!only_session) t.scan_in_progress = false;
@@ -363,12 +368,58 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScanOnce(
     return Expr::Or(std::move(clauses));
   };
 
+  // Bitmap-first routing: when every rider's predicate is conjunctive and
+  // the table carries a bitmap index, the whole cross-session batch is
+  // answered by AND + popcount — byte-identical CC tables at per-word
+  // cost. Any failure inside the bitmap pass (open fault, read fault,
+  // checksum mismatch) falls back transparently to the row-scan path
+  // below, with the partially built tables rebuilt from scratch.
+  bool bitmap_served = false;
+  if (ResolveUseBitmapIndex(config_.use_bitmap_index) &&
+      server_->HasBitmapIndex(table)) {
+    bool servable = true;
+    for (const PendingReq& p : batch) {
+      if (!BitmapCountScan::Servable(p.request.predicate.get())) {
+        servable = false;
+        break;
+      }
+    }
+    if (servable) {
+      Status bitmap_pass = [&]() -> Status {
+        SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
+                                  server_->BitmapIndexPath(table));
+        // A fresh reader per scan: the index may have been rebuilt since
+        // the last scan, and the header re-read is one page.
+        SQLCLASS_ASSIGN_OR_RETURN(
+            std::unique_ptr<BitmapIndexReader> reader,
+            BitmapIndexReader::Open(path, &server_->io_counters()));
+        std::vector<BitmapCountScan::Node> nodes(n);
+        for (int i = 0; i < n; ++i) {
+          nodes[i].predicate = batch[i].request.predicate.get();
+          nodes[i].active_attrs = &batch[i].request.active_attrs;
+          nodes[i].cc = &ccs[i];
+        }
+        return BitmapCountScan::Run(reader.get(), schema, &nodes, &cost);
+      }();
+      if (bitmap_pass.ok()) {
+        bitmap_served = true;
+        out.from_bitmap = true;
+      } else {
+        out.bitmap_fallback = true;
+        for (int i = 0; i < n; ++i) ccs[i] = CcTable(num_classes);
+      }
+    }
+  }
+
   // One pass over the table for the whole cross-session batch (§4.1.1
   // lifted across sessions). Large tables go through the morsel-parallel
   // counting scan, which charges the identical logical costs.
   const int scan_threads =
       ResolveParallelThreads(config_.parallel_scan_threads);
-  if (scan_threads > 1 && table_rows >= config_.parallel_scan_min_rows) {
+  if (bitmap_served) {
+    // Counts, not rows, flowed from the source; out.rows_scanned stays 0
+    // and no per-session CC-update work exists to credit exactly.
+  } else if (scan_threads > 1 && table_rows >= config_.parallel_scan_min_rows) {
     ParallelScanOptions options;
     options.class_column = class_column;
     options.num_classes = num_classes;
@@ -515,6 +566,8 @@ void SharedScanBatcher::FillMetrics(ServiceMetrics* out) const {
   out->rows_scanned = rows_scanned_;
   out->scan_retries = scan_retries_;
   out->scan_failures = scan_failures_;
+  out->bitmap_scans = bitmap_scans_;
+  out->bitmap_fallbacks = bitmap_fallbacks_;
   out->scans_by_table = scans_by_table_;
 }
 

@@ -150,6 +150,8 @@ class SharedScanBatcher {
     std::map<SessionId, uint64_t> cc_updates;  // exact per-session CC work
     uint64_t rows_scanned = 0;
     uint64_t retries = 0;                    // failed passes retried
+    bool from_bitmap = false;       // counts came from the bitmap index
+    bool bitmap_fallback = false;   // bitmap pass failed; row scan served
   };
 
   /// Runs ExecuteScanOnce under ServiceConfig::scan_retry: transient
@@ -188,6 +190,8 @@ class SharedScanBatcher {
   uint64_t rows_scanned_ GUARDED_BY(mu_) = 0;
   uint64_t scan_retries_ GUARDED_BY(mu_) = 0;
   uint64_t scan_failures_ GUARDED_BY(mu_) = 0;
+  uint64_t bitmap_scans_ GUARDED_BY(mu_) = 0;
+  uint64_t bitmap_fallbacks_ GUARDED_BY(mu_) = 0;
   std::map<std::string, uint64_t> scans_by_table_ GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,76 @@
+#ifndef SQLCLASS_STORAGE_BITMAP_BITMAP_H_
+#define SQLCLASS_STORAGE_BITMAP_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sqlclass {
+
+/// Word-level primitives for dense row bitmaps. A bitmap is an array of
+/// 64-bit words; bit `r` of the bitmap (word r/64, bit r%64) is set iff row
+/// `r` of the indexed table satisfies the bitmap's condition. Every bitmap
+/// over the same table has the same word count, and bits at or beyond the
+/// row count ("tail bits") are always zero — the invariant that lets a
+/// popcount over the raw words equal a row count with no masking.
+
+inline constexpr uint64_t kBitmapWordBits = 64;
+
+/// Words needed to hold one bit per row.
+inline uint64_t BitmapWordCount(uint64_t num_rows) {
+  return (num_rows + kBitmapWordBits - 1) / kBitmapWordBits;
+}
+
+inline void SetBit(uint64_t* words, uint64_t row) {
+  words[row / kBitmapWordBits] |= uint64_t{1} << (row % kBitmapWordBits);
+}
+
+inline bool TestBit(const uint64_t* words, uint64_t row) {
+  return (words[row / kBitmapWordBits] >> (row % kBitmapWordBits)) & 1u;
+}
+
+/// Fills `words` with ones for the first `num_rows` bits and zeros for the
+/// tail — the identity element of FoldAnd* (the "all rows" bitmap).
+inline void FillAllRows(uint64_t* words, uint64_t num_rows) {
+  const uint64_t n = BitmapWordCount(num_rows);
+  for (uint64_t i = 0; i < n; ++i) words[i] = ~uint64_t{0};
+  const uint64_t rem = num_rows % kBitmapWordBits;
+  if (n > 0 && rem != 0) words[n - 1] = (uint64_t{1} << rem) - 1;
+}
+
+/// acc &= other, word by word.
+inline void FoldAnd(uint64_t* acc, const uint64_t* other, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) acc[i] &= other[i];
+}
+
+/// acc &= ~other, word by word. Tail bits stay zero because they are zero
+/// in `acc` already.
+inline void FoldAndNot(uint64_t* acc, const uint64_t* other, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) acc[i] &= ~other[i];
+}
+
+/// out = a & b, word by word.
+inline void AndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                    uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) out[i] = a[i] & b[i];
+}
+
+inline uint64_t PopcountWords(const uint64_t* words, uint64_t n) {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+  }
+  return total;
+}
+
+/// popcount(a & b) without materializing the intersection.
+inline uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, uint64_t n) {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_BITMAP_BITMAP_H_

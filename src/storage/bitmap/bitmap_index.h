@@ -1,0 +1,135 @@
+#ifndef SQLCLASS_STORAGE_BITMAP_BITMAP_INDEX_H_
+#define SQLCLASS_STORAGE_BITMAP_BITMAP_INDEX_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/row.h"
+#include "common/status.h"
+#include "storage/io_counters.h"
+
+namespace sqlclass {
+
+/// Per-attribute, per-value dense bitmap index persisted alongside a v2
+/// heap file. For every column `c` of the indexed table and every value
+/// `v` in [0, cardinality(c)), the file holds one dense bitmap whose bit
+/// `r` is set iff row `r` has `row[c] == v`. Node-predicate counts then
+/// become bitmap AND + popcount instead of row-at-a-time decode.
+///
+/// File layout (all integers little-endian):
+///   [magic: u32][version: u32][num_columns: u32][reserved: u32]
+///   [num_rows: u64]
+///   [cardinality: u32] x num_columns
+///   [bitmap checksum: u32] x total_bitmaps     (sum of cardinalities)
+///   [header checksum: u32]                     (over all prior bytes)
+///   zero padding to an 8-byte boundary
+///   [bitmap words: u64 x words_per_bitmap] x total_bitmaps
+///
+/// Bitmaps are laid out column-major: all of column 0's values first, then
+/// column 1's, and so on. Every bitmap spans words_per_bitmap =
+/// ceil(num_rows / 64) words; bits at or beyond num_rows are zero.
+/// Writers always stamp both checksum layers; readers verify unless page
+/// checksum verification is globally disabled (SQLCLASS_PAGE_CHECKSUMS=0).
+/// A header mismatch or bitmap-checksum mismatch surfaces as
+/// StatusCode::kDataLoss, bad magic/version as kIoError — the same split
+/// heap pages use.
+inline constexpr uint32_t kBitmapMagic = 0x4D425153;  // "SQBM"
+inline constexpr uint32_t kBitmapFormatVersion = 1;
+
+/// Conventional index filename for a heap file at `heap_path`.
+std::string BitmapIndexPathFor(const std::string& heap_path);
+
+/// In-memory accumulator for a bitmap index, written out in one shot.
+/// Populate either by streaming rows during the heap-file write (AddRow)
+/// or by backfilling from an existing heap file (BuildFromHeapFile). Not
+/// thread-safe.
+class BitmapIndexBuilder {
+ public:
+  /// `cardinalities[c]` is the value-domain size of column `c`; every
+  /// column of the table (including the class column) gets bitmaps.
+  explicit BitmapIndexBuilder(std::vector<uint32_t> cardinalities);
+
+  /// Folds one row in; values must lie inside each column's domain.
+  Status AddRow(const Row& row);
+
+  /// Pointer-row overload for batch-decoded rows.
+  Status AddRow(const Value* values, size_t num_values);
+
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Serializes the accumulated bitmaps to `path` (truncating), stamping
+  /// per-bitmap and header checksums. `counters` (nullable) accumulates
+  /// physical page writes.
+  Status WriteFile(const std::string& path, IoCounters* counters) const;
+
+  /// One-shot backfill: scans the heap file at `heap_path` and writes the
+  /// index to `out_path`. Returns the number of rows indexed. Physical
+  /// reads and writes are charged to `counters` (nullable).
+  static StatusOr<uint64_t> BuildFromHeapFile(
+      const std::string& heap_path, std::vector<uint32_t> cardinalities,
+      const std::string& out_path, IoCounters* counters);
+
+ private:
+  std::vector<uint32_t> cardinalities_;
+  std::vector<uint32_t> bitmap_base_;  // per column: first bitmap ordinal
+  uint32_t total_bitmaps_ = 0;
+  uint64_t num_rows_ = 0;
+  /// One word vector per bitmap, grown as rows arrive.
+  std::vector<std::vector<uint64_t>> bits_;
+};
+
+/// Read-side handle on a persisted bitmap index. Open() reads and verifies
+/// the header; individual bitmaps are loaded lazily on first access and
+/// cached for the reader's lifetime. Not thread-safe — callers serialize
+/// access the same way they do for SqlServer. Fault-injection points:
+/// `bitmap/open` guards Open(), `bitmap/read` guards every physical bitmap
+/// load (see common/fault_injector.h).
+class BitmapIndexReader {
+ public:
+  BitmapIndexReader(const BitmapIndexReader&) = delete;
+  BitmapIndexReader& operator=(const BitmapIndexReader&) = delete;
+  ~BitmapIndexReader();
+
+  /// `counters` (nullable) accumulates physical page reads and checksum
+  /// failures.
+  static StatusOr<std::unique_ptr<BitmapIndexReader>> Open(
+      const std::string& path, IoCounters* counters);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t num_columns() const { return num_columns_; }
+  uint32_t cardinality(int column) const { return cardinalities_[column]; }
+  uint64_t words_per_bitmap() const { return words_per_bitmap_; }
+
+  /// The dense bitmap of rows where `column == value`, as
+  /// words_per_bitmap() words. First access reads and checksum-verifies the
+  /// bitmap from disk; later accesses return the cached copy. Errors on
+  /// out-of-domain (column, value).
+  StatusOr<const uint64_t*> BitmapWords(int column, Value value);
+
+  /// Drops every cached bitmap (the next access re-reads from disk) —
+  /// recovery hygiene after a failed pass, and a test hook.
+  void DropCache();
+
+ private:
+  BitmapIndexReader(std::string path, std::FILE* file, IoCounters* counters);
+
+  std::string path_;
+  std::FILE* file_;
+  IoCounters* counters_;  // may be null
+  uint32_t num_columns_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t words_per_bitmap_ = 0;
+  uint64_t payload_offset_ = 0;
+  std::vector<uint32_t> cardinalities_;
+  std::vector<uint32_t> bitmap_base_;       // per column: first bitmap ordinal
+  std::vector<uint32_t> bitmap_checksums_;  // per bitmap, from the header
+  std::vector<std::vector<uint64_t>> cache_;  // one slot per bitmap
+  std::vector<bool> loaded_;                  // cache_[i] is valid
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_STORAGE_BITMAP_BITMAP_INDEX_H_

@@ -1,0 +1,774 @@
+// Bitmap counting engine: index format roundtrip and corruption detection,
+// CC byte-identity of the AND+popcount path against the row-scan paths,
+// Rule 0 routing, cost determinism, and fault-point recovery (bitmap reads
+// degrade transparently to row scans).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/mutex.h"
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/bitmap_scan.h"
+#include "middleware/middleware.h"
+#include "mining/tree_client.h"
+#include "server/server.h"
+#include "service/service.h"
+#include "storage/bitmap/bitmap.h"
+#include "storage/bitmap/bitmap_index.h"
+#include "storage/checksum.h"
+#include "storage/heap_file.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::BruteForceCc;
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+using testing_util::TempDir;
+
+/// Resets the global injector on entry and exit so fault schedules never
+/// leak between tests (the injector is process-global).
+class FaultScope {
+ public:
+  FaultScope() { FaultInjector::Global().Reset(); }
+  ~FaultScope() { FaultInjector::Global().Reset(); }
+};
+
+/// Restores the checksum-verification toggle on scope exit.
+class ChecksumToggle {
+ public:
+  explicit ChecksumToggle(bool enabled)
+      : prev_(PageChecksumVerificationEnabled()) {
+    SetPageChecksumVerification(enabled);
+  }
+  ~ChecksumToggle() { SetPageChecksumVerification(prev_); }
+
+ private:
+  bool prev_;
+};
+
+/// Restores (or clears) one environment variable on scope exit.
+class EnvVarScope {
+ public:
+  EnvVarScope(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~EnvVarScope() {
+    if (had_prev_) {
+      setenv(name_.c_str(), prev_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+std::vector<uint32_t> Cardinalities(const Schema& schema) {
+  std::vector<uint32_t> cards;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    cards.push_back(static_cast<uint32_t>(schema.attribute(c).cardinality));
+  }
+  return cards;
+}
+
+void WriteHeap(const std::string& path, const std::vector<Row>& rows,
+               int columns) {
+  auto writer = HeapFileWriter::Create(path, columns, nullptr);
+  ASSERT_TRUE(writer.ok());
+  for (const Row& row : rows) ASSERT_TRUE((*writer)->Append(row).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+void FlipByte(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  if (offset < 0) {
+    ASSERT_EQ(std::fseek(f, offset, SEEK_END), 0);
+  } else {
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  }
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(c ^ 0x5a, f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Word helpers.
+// ---------------------------------------------------------------------------
+
+TEST(BitmapWordsTest, FillAllRowsMasksTailBits) {
+  for (uint64_t rows : {0ull, 1ull, 63ull, 64ull, 65ull, 130ull}) {
+    std::vector<uint64_t> words(BitmapWordCount(rows), ~0ull);
+    FillAllRows(words.data(), rows);
+    EXPECT_EQ(PopcountWords(words.data(), words.size()), rows) << rows;
+  }
+}
+
+TEST(BitmapWordsTest, AndPopcountMatchesSeparateOps) {
+  std::vector<uint64_t> a(3), b(3), tmp(3);
+  for (uint64_t r : {0ull, 5ull, 64ull, 130ull, 131ull}) {
+    if (r < 192) SetBit(a.data(), r);
+  }
+  for (uint64_t r : {5ull, 6ull, 64ull, 131ull}) SetBit(b.data(), r);
+  AndInto(a.data(), b.data(), tmp.data(), 3);
+  EXPECT_EQ(AndPopcount(a.data(), b.data(), 3),
+            PopcountWords(tmp.data(), 3));
+  EXPECT_EQ(AndPopcount(a.data(), b.data(), 3), 3u);  // rows 5, 64, 131
+}
+
+// ---------------------------------------------------------------------------
+// Index file roundtrip.
+// ---------------------------------------------------------------------------
+
+TEST(BitmapIndexTest, RoundtripPreservesEveryBitmap) {
+  TempDir dir;
+  Schema schema = MakeSchema({5, 3, 7}, 2);
+  std::vector<Row> rows = RandomRows(schema, 2000, 11);
+  const std::string path = dir.path() + "/t.bmx";
+
+  BitmapIndexBuilder builder(Cardinalities(schema));
+  for (const Row& row : rows) ASSERT_TRUE(builder.AddRow(row).ok());
+  EXPECT_EQ(builder.num_rows(), rows.size());
+  IoCounters io;
+  ASSERT_TRUE(builder.WriteFile(path, &io).ok());
+  EXPECT_GT(io.pages_written, 0u);
+
+  auto reader = BitmapIndexReader::Open(path, &io);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->num_rows(), rows.size());
+  EXPECT_EQ((*reader)->num_columns(),
+            static_cast<uint32_t>(schema.num_columns()));
+  EXPECT_EQ((*reader)->words_per_bitmap(), BitmapWordCount(rows.size()));
+
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const uint32_t card = (*reader)->cardinality(c);
+    ASSERT_EQ(card,
+              static_cast<uint32_t>(schema.attribute(c).cardinality));
+    uint64_t total = 0;
+    for (uint32_t v = 0; v < card; ++v) {
+      auto words = (*reader)->BitmapWords(c, static_cast<Value>(v));
+      ASSERT_TRUE(words.ok());
+      for (size_t r = 0; r < rows.size(); ++r) {
+        EXPECT_EQ(TestBit(*words, r), rows[r][c] == static_cast<Value>(v))
+            << "col " << c << " value " << v << " row " << r;
+      }
+      total += PopcountWords(*words, (*reader)->words_per_bitmap());
+    }
+    // Values partition the rows: per-column popcounts must sum to the row
+    // count, which also proves tail bits beyond num_rows stay zero.
+    EXPECT_EQ(total, rows.size()) << "column " << c;
+  }
+  EXPECT_GT(io.pages_read, 0u);
+}
+
+TEST(BitmapIndexTest, StreamingAndBackfillProduceIdenticalFiles) {
+  TempDir dir;
+  Schema schema = MakeSchema({4, 6}, 3);
+  std::vector<Row> rows = RandomRows(schema, 700, 23);
+  const std::string heap = dir.path() + "/t.tbl";
+  WriteHeap(heap, rows, schema.num_columns());
+
+  const std::string streamed = dir.path() + "/streamed.bmx";
+  BitmapIndexBuilder builder(Cardinalities(schema));
+  for (const Row& row : rows) ASSERT_TRUE(builder.AddRow(row).ok());
+  ASSERT_TRUE(builder.WriteFile(streamed, nullptr).ok());
+
+  const std::string backfilled = dir.path() + "/backfilled.bmx";
+  auto indexed = BitmapIndexBuilder::BuildFromHeapFile(
+      heap, Cardinalities(schema), backfilled, nullptr);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  EXPECT_EQ(*indexed, rows.size());
+
+  std::ifstream a(streamed, std::ios::binary), b(backfilled, std::ios::binary);
+  std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                      std::istreambuf_iterator<char>());
+  std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(BitmapIndexTest, EmptyTableRoundtrips) {
+  TempDir dir;
+  const std::string path = dir.path() + "/empty.bmx";
+  BitmapIndexBuilder builder({3, 2});
+  ASSERT_TRUE(builder.WriteFile(path, nullptr).ok());
+  auto reader = BitmapIndexReader::Open(path, nullptr);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 0u);
+  EXPECT_EQ((*reader)->words_per_bitmap(), 0u);
+  auto words = (*reader)->BitmapWords(0, 0);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(PopcountWords(*words, 0), 0u);
+}
+
+TEST(BitmapIndexTest, OutOfDomainAccessRejected) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.bmx";
+  BitmapIndexBuilder builder({3, 2});
+  ASSERT_TRUE(builder.AddRow(Row{1, 0}).ok());
+  ASSERT_TRUE(builder.WriteFile(path, nullptr).ok());
+  auto reader = BitmapIndexReader::Open(path, nullptr);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->BitmapWords(0, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*reader)->BitmapWords(2, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*reader)->BitmapWords(0, -1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: checksum forge / detect.
+// ---------------------------------------------------------------------------
+
+TEST(BitmapIndexTest, CorruptPayloadDetectedAsDataLoss) {
+  TempDir dir;
+  ChecksumToggle verify(true);
+  Schema schema = MakeSchema({4, 4}, 2);
+  std::vector<Row> rows = RandomRows(schema, 500, 7);
+  const std::string path = dir.path() + "/t.bmx";
+  BitmapIndexBuilder builder(Cardinalities(schema));
+  for (const Row& row : rows) ASSERT_TRUE(builder.AddRow(row).ok());
+  ASSERT_TRUE(builder.WriteFile(path, nullptr).ok());
+
+  // Rot one byte in the last bitmap's payload.
+  FlipByte(path, -3);
+
+  IoCounters io;
+  auto reader = BitmapIndexReader::Open(path, &io);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();  // header is fine
+  // Some bitmap must fail verification; all others still read fine.
+  int failures = 0;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    for (uint32_t v = 0; v < (*reader)->cardinality(c); ++v) {
+      auto words = (*reader)->BitmapWords(c, static_cast<Value>(v));
+      if (!words.ok()) {
+        EXPECT_EQ(words.status().code(), StatusCode::kDataLoss);
+        ++failures;
+      }
+    }
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(io.checksum_failures, 1u);
+}
+
+TEST(BitmapIndexTest, CorruptPayloadIgnoredWhenVerificationDisabled) {
+  TempDir dir;
+  Schema schema = MakeSchema({4, 4}, 2);
+  std::vector<Row> rows = RandomRows(schema, 500, 7);
+  const std::string path = dir.path() + "/t.bmx";
+  BitmapIndexBuilder builder(Cardinalities(schema));
+  for (const Row& row : rows) ASSERT_TRUE(builder.AddRow(row).ok());
+  ASSERT_TRUE(builder.WriteFile(path, nullptr).ok());
+  FlipByte(path, -3);
+
+  ChecksumToggle verify(false);
+  auto reader = BitmapIndexReader::Open(path, nullptr);
+  ASSERT_TRUE(reader.ok());
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    for (uint32_t v = 0; v < (*reader)->cardinality(c); ++v) {
+      EXPECT_TRUE((*reader)->BitmapWords(c, static_cast<Value>(v)).ok());
+    }
+  }
+}
+
+TEST(BitmapIndexTest, CorruptHeaderDetectedAtOpen) {
+  TempDir dir;
+  ChecksumToggle verify(true);
+  const std::string path = dir.path() + "/t.bmx";
+  BitmapIndexBuilder builder({5, 3});
+  ASSERT_TRUE(builder.AddRow(Row{2, 1}).ok());
+  ASSERT_TRUE(builder.WriteFile(path, nullptr).ok());
+
+  // Rot the num_rows field (offset 16, past magic/version/columns/reserved).
+  FlipByte(path, 16);
+  IoCounters io;
+  auto reader = BitmapIndexReader::Open(path, &io);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(io.checksum_failures, 1u);
+}
+
+TEST(BitmapIndexTest, BadMagicIsIoError) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.bmx";
+  BitmapIndexBuilder builder({2});
+  ASSERT_TRUE(builder.AddRow(Row{1}).ok());
+  ASSERT_TRUE(builder.WriteFile(path, nullptr).ok());
+  FlipByte(path, 0);
+  auto reader = BitmapIndexReader::Open(path, nullptr);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// BitmapCountScan: CC identity against the brute-force row scan.
+// ---------------------------------------------------------------------------
+
+class BitmapScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSchema({5, 3, 4, 6}, 3);
+    rows_ = RandomRows(schema_, 3000, 99);
+    path_ = dir_.path() + "/t.bmx";
+    BitmapIndexBuilder builder(Cardinalities(schema_));
+    for (const Row& row : rows_) ASSERT_TRUE(builder.AddRow(row).ok());
+    ASSERT_TRUE(builder.WriteFile(path_, nullptr).ok());
+    auto reader = BitmapIndexReader::Open(path_, nullptr);
+    ASSERT_TRUE(reader.ok());
+    reader_ = std::move(reader).value();
+  }
+
+  /// Runs one bitmap-served CC request and checks it against BruteForceCc.
+  void CheckPredicate(std::unique_ptr<Expr> predicate,
+                      const std::vector<int>& attrs) {
+    if (predicate != nullptr) {
+      ASSERT_TRUE(predicate->Bind(schema_).ok());
+    }
+    ASSERT_TRUE(BitmapCountScan::Servable(predicate.get()));
+    CcTable cc(3);
+    std::vector<BitmapCountScan::Node> nodes(1);
+    std::vector<int> attrs_copy = attrs;
+    nodes[0].predicate = predicate.get();
+    nodes[0].active_attrs = &attrs_copy;
+    nodes[0].cc = &cc;
+    CostCounters cost;
+    ASSERT_TRUE(
+        BitmapCountScan::Run(reader_.get(), schema_, &nodes, &cost).ok());
+    CcTable expected = BruteForceCc(rows_, predicate.get(), attrs_copy,
+                                    schema_.class_column(), 3);
+    EXPECT_TRUE(cc == expected)
+        << "bitmap:\n" << cc.ToString() << "\nrow scan:\n"
+        << expected.ToString();
+    EXPECT_EQ(nodes[0].node_rows,
+              static_cast<uint64_t>(expected.TotalRows()));
+    EXPECT_GT(cost.mw_bitmap_words_read.load(), 0u);
+    EXPECT_GT(cost.mw_bitmap_popcounts.load(), 0u);
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::string path_;
+  std::unique_ptr<BitmapIndexReader> reader_;
+};
+
+TEST_F(BitmapScanTest, RootPredicateMatchesRowScan) {
+  CheckPredicate(nullptr, {0, 1, 2, 3});
+  CheckPredicate(Expr::True(), {0, 1, 2, 3});
+}
+
+TEST_F(BitmapScanTest, EqualityChainsMatchRowScan) {
+  CheckPredicate(Expr::ColEq("A1", 2), {1, 2, 3});
+  CheckPredicate(AndOf(Expr::ColEq("A1", 2), Expr::ColEq("A2", 0)), {2, 3});
+  CheckPredicate(AndOf(AndOf(Expr::ColEq("A1", 4), Expr::ColEq("A3", 3)),
+                       Expr::ColEq("A2", 1)),
+                 {3});
+}
+
+TEST_F(BitmapScanTest, InequalityAndMixedShapesMatchRowScan) {
+  CheckPredicate(Expr::ColNe("A4", 5), {0, 1, 2});
+  CheckPredicate(AndOf(Expr::ColEq("A1", 1), Expr::ColNe("A4", 0)),
+                 {1, 2, 3});
+  CheckPredicate(AndOf(AndOf(Expr::ColNe("A1", 0), Expr::ColNe("A1", 1)),
+                       AndOf(Expr::ColEq("A2", 2), Expr::ColNe("A4", 3))),
+                 {0, 2});
+}
+
+TEST_F(BitmapScanTest, EmptyNodeProducesEmptyTable) {
+  // A contradiction: A1 = 0 AND A1 = 1.
+  CheckPredicate(AndOf(Expr::ColEq("A1", 0), Expr::ColEq("A1", 1)),
+                 {1, 2, 3});
+}
+
+TEST_F(BitmapScanTest, RepeatRunsChargeIdenticalCosts) {
+  auto predicate = AndOf(Expr::ColEq("A1", 2), Expr::ColNe("A2", 1));
+  ASSERT_TRUE(predicate->Bind(schema_).ok());
+  std::vector<int> attrs = {2, 3};
+  uint64_t first_words = 0;
+  for (int round = 0; round < 2; ++round) {
+    CcTable cc(3);
+    std::vector<BitmapCountScan::Node> nodes(1);
+    nodes[0].predicate = predicate.get();
+    nodes[0].active_attrs = &attrs;
+    nodes[0].cc = &cc;
+    CostCounters cost;
+    // Same reader both rounds: round two is fully cached, yet the logical
+    // charges must not change (simulated cost is cache-state-invariant).
+    ASSERT_TRUE(
+        BitmapCountScan::Run(reader_.get(), schema_, &nodes, &cost).ok());
+    if (round == 0) {
+      first_words = cost.mw_bitmap_words_read.load();
+    } else {
+      EXPECT_EQ(cost.mw_bitmap_words_read.load(), first_words);
+    }
+  }
+}
+
+TEST(BitmapServableTest, ClassifiesPredicateShapes) {
+  EXPECT_TRUE(BitmapCountScan::Servable(nullptr));
+  EXPECT_TRUE(BitmapCountScan::Servable(Expr::True().get()));
+  EXPECT_TRUE(BitmapCountScan::Servable(Expr::ColEq("a", 1).get()));
+  EXPECT_TRUE(BitmapCountScan::Servable(
+      AndOf(Expr::ColEq("a", 1), Expr::ColNe("b", 2)).get()));
+  std::vector<std::unique_ptr<Expr>> ors;
+  ors.push_back(Expr::ColEq("a", 1));
+  ors.push_back(Expr::ColEq("a", 2));
+  EXPECT_FALSE(BitmapCountScan::Servable(Expr::Or(std::move(ors)).get()));
+  EXPECT_FALSE(
+      BitmapCountScan::Servable(Expr::Not(Expr::ColEq("a", 1)).get()));
+}
+
+TEST(BitmapKnobTest, EnvOverridesConfiguredValue) {
+  {
+    EnvVarScope env("SQLCLASS_BITMAP_INDEX", nullptr);
+    EXPECT_TRUE(ResolveUseBitmapIndex(true));
+    EXPECT_FALSE(ResolveUseBitmapIndex(false));
+  }
+  for (const char* off : {"0", "false", "off"}) {
+    EnvVarScope env("SQLCLASS_BITMAP_INDEX", off);
+    EXPECT_FALSE(ResolveUseBitmapIndex(true));
+  }
+  EnvVarScope env("SQLCLASS_BITMAP_INDEX", "1");
+  EXPECT_TRUE(ResolveUseBitmapIndex(false));
+}
+
+// ---------------------------------------------------------------------------
+// Server-side index lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(ServerBitmapIndexTest, BuildQueryInvalidateDrop) {
+  TempDir dir;
+  Schema schema = MakeSchema({4, 3}, 2);
+  std::vector<Row> rows = RandomRows(schema, 400, 3);
+  SqlServer server(dir.path());
+  ASSERT_TRUE(server.CreateTable("t", schema).ok());
+  ASSERT_TRUE(server.LoadRows("t", rows).ok());
+
+  EXPECT_FALSE(server.HasBitmapIndex("t"));
+  EXPECT_FALSE(server.BitmapIndexPath("t").ok());
+  ASSERT_TRUE(server.BuildBitmapIndex("t").ok());
+  EXPECT_TRUE(server.HasBitmapIndex("t"));
+  EXPECT_FALSE(server.BuildBitmapIndex("t").ok());  // AlreadyExists
+
+  auto path = server.BitmapIndexPath("t");
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(std::filesystem::exists(*path));
+  auto reader = BitmapIndexReader::Open(*path, nullptr);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), rows.size());
+  reader->reset();
+
+  // INSERT invalidates: the stale index must disappear, not mislead.
+  ASSERT_TRUE(server.AppendRows("t", {rows[0]}).ok());
+  EXPECT_FALSE(server.HasBitmapIndex("t"));
+  EXPECT_FALSE(std::filesystem::exists(*path));
+
+  // Rebuild over the appended data, then drop.
+  ASSERT_TRUE(server.BuildBitmapIndex("t").ok());
+  EXPECT_TRUE(server.HasBitmapIndex("t"));
+  ASSERT_TRUE(server.DropBitmapIndex("t").ok());
+  EXPECT_FALSE(server.HasBitmapIndex("t"));
+  EXPECT_FALSE(std::filesystem::exists(*path));
+}
+
+// ---------------------------------------------------------------------------
+// Middleware: Rule 0 routing, byte-identity across paths, fault recovery.
+// ---------------------------------------------------------------------------
+
+class MiddlewareBitmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 6;
+    params.num_leaves = 12;
+    params.cases_per_leaf = 30;
+    params.num_classes = 3;
+    params.seed = 9;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(LoadIntoServer(server_.get(), "data", dataset_->schema(),
+                               [&](const RowSink& sink) {
+                                 return dataset_->Generate(sink);
+                               })
+                    .ok());
+    staging_ = dir_.path() + "/staging";
+    std::filesystem::create_directories(staging_);
+  }
+
+  MiddlewareConfig Config(bool use_bitmap) {
+    MiddlewareConfig config;
+    config.staging_dir = staging_;
+    config.use_bitmap_index = use_bitmap;
+    config.scan_retry.initial_backoff_us = 0;
+    return config;
+  }
+
+  struct GrowOutput {
+    std::string tree;
+    ClassificationMiddleware::Stats stats;
+    std::vector<ClassificationMiddleware::BatchTrace> trace;
+    double simulated_seconds = 0;
+  };
+
+  GrowOutput Grow(const MiddlewareConfig& config) {
+    GrowOutput out;
+    server_->ResetCostCounters();
+    auto mw = ClassificationMiddleware::Create(server_.get(), "data", config);
+    EXPECT_TRUE(mw.ok()) << mw.status().ToString();
+    DecisionTreeClient client(dataset_->schema(), TreeClientConfig());
+    auto tree = client.Grow(mw->get(), dataset_->TotalRows());
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    if (tree.ok()) out.tree = tree->ToString(1 << 20);
+    out.stats = (*mw)->stats();
+    out.trace = (*mw)->trace();
+    out.simulated_seconds = server_->SimulatedSeconds();
+    return out;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<RandomTreeDataset> dataset_;
+  std::unique_ptr<SqlServer> server_;
+  std::string staging_;
+};
+
+TEST_F(MiddlewareBitmapTest, BitmapPathGrowsIdenticalTree) {
+  GrowOutput row_serial = Grow(Config(false));
+
+  // With no index built, the knob alone must not change anything.
+  GrowOutput no_index = Grow(Config(true));
+  EXPECT_EQ(no_index.tree, row_serial.tree);
+  EXPECT_EQ(no_index.stats.bitmap_scans.load(), 0u);
+
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+
+  GrowOutput bitmap = Grow(Config(true));
+  EXPECT_EQ(bitmap.tree, row_serial.tree);
+  EXPECT_GT(bitmap.stats.bitmap_scans.load(), 0u);
+  EXPECT_EQ(bitmap.stats.bitmap_fallbacks.load(), 0u);
+  EXPECT_EQ(bitmap.stats.server_scans.load(), 0u);
+  bool any_bitmap_batch = false;
+  for (const auto& trace : bitmap.trace) {
+    if (trace.served_from_bitmap) {
+      any_bitmap_batch = true;
+      EXPECT_EQ(trace.rows_scanned, 0u);  // counts, not rows
+    }
+  }
+  EXPECT_TRUE(any_bitmap_batch);
+
+  // Index present but knob off: plain row scans, same tree.
+  GrowOutput knob_off = Grow(Config(false));
+  EXPECT_EQ(knob_off.tree, row_serial.tree);
+  EXPECT_EQ(knob_off.stats.bitmap_scans.load(), 0u);
+
+  // Index present, knob on, but env kill-switch thrown.
+  EnvVarScope env("SQLCLASS_BITMAP_INDEX", "0");
+  GrowOutput env_off = Grow(Config(true));
+  EXPECT_EQ(env_off.tree, row_serial.tree);
+  EXPECT_EQ(env_off.stats.bitmap_scans.load(), 0u);
+}
+
+TEST_F(MiddlewareBitmapTest, BitmapPathMatchesParallelRowScan) {
+  MiddlewareConfig parallel = Config(false);
+  parallel.parallel_scan_threads = 4;
+  parallel.parallel_scan_min_rows = 1;
+  GrowOutput row_parallel = Grow(parallel);
+
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+  GrowOutput bitmap = Grow(Config(true));
+  EXPECT_EQ(bitmap.tree, row_parallel.tree);
+}
+
+TEST_F(MiddlewareBitmapTest, BitmapCostIsDeterministicAcrossRuns) {
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+  GrowOutput first = Grow(Config(true));
+  GrowOutput second = Grow(Config(true));
+  EXPECT_EQ(first.tree, second.tree);
+  EXPECT_EQ(first.simulated_seconds, second.simulated_seconds);
+  EXPECT_GT(first.simulated_seconds, 0.0);
+}
+
+TEST_F(MiddlewareBitmapTest, BitmapIsCheaperThanRowScan) {
+  GrowOutput rows = Grow(Config(false));
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+  GrowOutput bitmap = Grow(Config(true));
+  EXPECT_EQ(bitmap.tree, rows.tree);
+  EXPECT_LT(bitmap.simulated_seconds, rows.simulated_seconds);
+}
+
+TEST_F(MiddlewareBitmapTest, TransientBitmapFaultsFallBackToRowScans) {
+  FaultScope guard;
+  GrowOutput baseline = Grow(Config(false));
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+
+  for (const char* point : {faults::kBitmapOpen, faults::kBitmapRead}) {
+    SCOPED_TRACE(point);
+    FaultInjector::Global().Reset();
+    FaultInjector::PointConfig fault;
+    fault.times = 1;
+    FaultInjector::Global().Arm(point, fault);
+    GrowOutput result = Grow(Config(true));
+    EXPECT_EQ(result.tree, baseline.tree);
+    EXPECT_EQ(FaultInjector::Global().Fires(point), 1u);
+    EXPECT_GE(result.stats.bitmap_fallbacks.load(), 1u);
+    // Only the faulted batch degrades; later batches reopen the index.
+    EXPECT_GT(result.stats.bitmap_scans.load(), 0u);
+  }
+  FaultInjector::Global().Reset();
+}
+
+TEST_F(MiddlewareBitmapTest, PersistentBitmapFaultStillGrowsExactTree) {
+  FaultScope guard;
+  GrowOutput baseline = Grow(Config(false));
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+
+  for (const char* point : {faults::kBitmapOpen, faults::kBitmapRead}) {
+    SCOPED_TRACE(point);
+    FaultInjector::Global().Reset();
+    // Unbounded fires: every bitmap pass fails, every batch must degrade.
+    FaultInjector::Global().Arm(point, FaultInjector::PointConfig());
+    GrowOutput result = Grow(Config(true));
+    EXPECT_EQ(result.tree, baseline.tree);
+    EXPECT_GT(FaultInjector::Global().Fires(point), 0u);
+    EXPECT_GT(result.stats.bitmap_fallbacks.load(), 0u);
+    EXPECT_EQ(result.stats.bitmap_scans.load(), 0u);
+  }
+  FaultInjector::Global().Reset();
+}
+
+TEST_F(MiddlewareBitmapTest, CorruptIndexDegradesToRowScans) {
+  ChecksumToggle verify(true);
+  GrowOutput baseline = Grow(Config(false));
+  ASSERT_TRUE(server_->BuildBitmapIndex("data").ok());
+  auto path = server_->BitmapIndexPath("data");
+  ASSERT_TRUE(path.ok());
+  FlipByte(*path, -3);
+
+  GrowOutput result = Grow(Config(true));
+  EXPECT_EQ(result.tree, baseline.tree);
+  EXPECT_GE(result.stats.bitmap_fallbacks.load(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service layer: shared scans served from the index.
+// ---------------------------------------------------------------------------
+
+class ServiceBitmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 8;
+    params.num_leaves = 20;
+    params.cases_per_leaf = 40;
+    params.num_classes = 4;
+    params.seed = 777;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    schema_ = (*dataset)->schema();
+    ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+  }
+
+  std::unique_ptr<ClassificationService> MakeService(ServiceConfig config,
+                                                     bool build_index) {
+    auto service = ClassificationService::Create(dir_.path(), config);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_TRUE((*service)->CreateAndLoadTable("data", schema_, rows_).ok());
+    if (build_index) {
+      MutexLock lock(*(*service)->server_mutex());
+      EXPECT_TRUE((*service)->server()->BuildBitmapIndex("data").ok());
+    }
+    return std::move(service).value();
+  }
+
+  static SessionSpec TreeSpec() {
+    SessionSpec spec;
+    spec.table = "data";
+    spec.task = SessionSpec::Task::kDecisionTree;
+    return spec;
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+TEST_F(ServiceBitmapTest, SessionsServeFromBitmapIndex) {
+  std::string reference;
+  {
+    ServiceConfig config;
+    config.use_bitmap_index = false;
+    auto service = MakeService(config, /*build_index=*/false);
+    SessionResult result = service->Run(TreeSpec());
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    reference = result.tree->Signature();
+  }
+
+  ServiceConfig config;
+  config.worker_threads = 2;
+  auto service = MakeService(config, /*build_index=*/true);
+  SessionResult a = service->Run(TreeSpec());
+  SessionResult b = service->Run(TreeSpec());
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  EXPECT_EQ(a.tree->Signature(), reference);
+  EXPECT_EQ(b.tree->Signature(), reference);
+
+  ServiceMetrics metrics = service->Metrics();
+  EXPECT_GT(metrics.bitmap_scans, 0u);
+  EXPECT_EQ(metrics.bitmap_fallbacks, 0u);
+  EXPECT_EQ(metrics.rows_scanned, 0u);  // every scan came from the index
+}
+
+TEST_F(ServiceBitmapTest, ServiceBitmapFaultFallsBackWithinTheScan) {
+  FaultScope guard;
+  std::string reference;
+  {
+    ServiceConfig config;
+    config.use_bitmap_index = false;
+    auto service = MakeService(config, /*build_index=*/false);
+    SessionResult result = service->Run(TreeSpec());
+    ASSERT_TRUE(result.status.ok());
+    reference = result.tree->Signature();
+  }
+
+  auto service = MakeService(ServiceConfig(), /*build_index=*/true);
+  FaultInjector::PointConfig fault;
+  fault.times = 1;
+  FaultInjector::Global().Arm(faults::kBitmapOpen, fault);
+  SessionResult result = service->Run(TreeSpec());
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.tree->Signature(), reference);
+  EXPECT_EQ(FaultInjector::Global().Fires(faults::kBitmapOpen), 1u);
+  ServiceMetrics metrics = service->Metrics();
+  EXPECT_GE(metrics.bitmap_fallbacks, 1u);
+  EXPECT_GT(metrics.bitmap_scans, 0u);  // later scans reopen the index
+}
+
+}  // namespace
+}  // namespace sqlclass

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -312,6 +313,43 @@ TEST(FaultInjectorTest, SpecParsesScheduleAndCode) {
   ASSERT_FALSE(injected.ok());
   EXPECT_EQ(injected.code(), StatusCode::kDataLoss);
   EXPECT_TRUE(fi.OnHit("storage/fread").ok());  // times:1 exhausted
+}
+
+// SQLCLASS_FAULTS must arm points in a process that never touches the
+// injector API: the fast-path macro consults Global() only once g_enabled
+// is set, so env parsing has to happen at process start, not lazily.
+// Re-execs this binary (probe branch below) with the env set and checks the
+// injected fault actually fires at a storage boundary.
+TEST(FaultInjectorTest, EnvSpecArmsWithoutApiTouch) {
+  if (std::getenv("SQLCLASS_ENV_PROBE") != nullptr) {
+    // Probe branch: no FaultInjector API call anywhere on this path. The
+    // writer's fopen is hit 1 (passes, after:1); the reader's fopen is hit
+    // 2 and must fail with the injected code — a healthy open of this
+    // freshly written file would succeed, and nothing but injection
+    // returns kNotFound here.
+    TempDir dir;
+    const std::string path = dir.path() + "/probe.heap";
+    WriteHeap(path, {{0, 0}}, 2);
+    auto reader = HeapFileReader::Open(path, 2, nullptr);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(reader.status().ToString().find(faults::kStorageOpen),
+              std::string::npos);
+    return;
+  }
+  // Resolve the self-exe link here: handed to the shell verbatim it would
+  // name the shell's own binary, not this test.
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  ASSERT_FALSE(ec) << ec.message();
+  const std::string cmd =
+      "SQLCLASS_ENV_PROBE=1 "
+      "SQLCLASS_FAULTS='storage/fopen=after:1,times:1,code:notfound' '" +
+      self.string() +
+      "' --gtest_filter=FaultInjectorTest.EnvSpecArmsWithoutApiTouch "
+      ">/dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
 }
 
 TEST(FaultInjectorTest, SpecRejectsMalformedEntries) {

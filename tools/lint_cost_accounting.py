@@ -15,6 +15,7 @@ Primitives (call sites that move rows/bytes):
     .Encode( / ->Encode(       row encode into a page image
     ->Next( / .Next(           cursor / row-source advance
     ->NextBatch( / .NextBatch(
+    ->BitmapWords( / .BitmapWords(   bitmap-index word fetch
 
 Charges (anything that mutates a counter field): ++x or x += where x names
 a field of CostCounters or IoCounters (the field lists are parsed out of
@@ -57,6 +58,7 @@ PRIMITIVE_RE = re.compile(
       | (?:\.|->)Encode\s*\(
       | (?:\.|->)Next\s*\(
       | (?:\.|->)NextBatch\s*\(
+      | (?:\.|->)BitmapWords\s*\(
     """,
     re.VERBOSE,
 )
@@ -357,7 +359,9 @@ def run_check(root, subdirs, charge_re):
 def self_test(root, charge_re):
     """Proves the checker detects an uncharged write: copies heap_file.cc,
     injects a function with a bare fwrite, and requires a violation. Also
-    proves the fault-injected waiver silences a failure-path primitive."""
+    proves the fault-injected waiver silences a failure-path primitive, and
+    that an uncharged bitmap-index word fetch (BitmapWords with no
+    mw_bitmap_* / IoCounters charge) is caught in bitmap_scan.cc."""
     source = os.path.join(root, "src", "storage", "heap_file.cc")
     with open(source, encoding="utf-8") as f:
         text = f.read()
@@ -372,17 +376,35 @@ def self_test(root, charge_re):
         "}\n"
         "}  // namespace sqlclass\n"
     )
+    bitmap_source = os.path.join(root, "src", "middleware", "bitmap_scan.cc")
+    with open(bitmap_source, encoding="utf-8") as f:
+        bitmap_text = f.read()
+    bitmap_injected = bitmap_text + (
+        "\nnamespace sqlclass {\n"
+        "uint64_t UnchargedBitmapReadForLintSelfTest(BitmapIndexReader* r) {\n"
+        "  auto words = r->BitmapWords(0, 0);\n"
+        "  return words.ok() ? **words : 0;\n"
+        "}\n"
+        "}  // namespace sqlclass\n"
+    )
     with tempfile.TemporaryDirectory() as tmp:
         mutated = os.path.join(tmp, "heap_file.cc")
         with open(mutated, "w", encoding="utf-8") as f:
             f.write(injected)
+        bitmap_mutated = os.path.join(tmp, "bitmap_scan.cc")
+        with open(bitmap_mutated, "w", encoding="utf-8") as f:
+            f.write(bitmap_injected)
         baseline = check_file_regex(source, charge_re)
+        baseline += check_file_regex(bitmap_source, charge_re)
         found = check_file_regex(mutated, charge_re)
+        bitmap_found = check_file_regex(bitmap_mutated, charge_re)
     new = [v for v in found if v[2] == "UnchargedAppendForLintSelfTest"]
     waived = [v for v in found if v[2] == "WaivedFaultPathForLintSelfTest"]
+    bitmap_new = [v for v in bitmap_found
+                  if v[2] == "UnchargedBitmapReadForLintSelfTest"]
     if baseline:
-        print("self-test: FAIL — pristine heap_file.cc already has "
-              f"{len(baseline)} violation(s); fix those first")
+        print("self-test: FAIL — pristine heap_file.cc / bitmap_scan.cc "
+              f"already has {len(baseline)} violation(s); fix those first")
         return 1
     if not new:
         print("self-test: FAIL — injected uncharged fwrite was not detected")
@@ -391,8 +413,14 @@ def self_test(root, charge_re):
         print("self-test: FAIL — fault-injected waiver did not silence the "
               "waived fwrite")
         return 1
+    if not bitmap_new:
+        print("self-test: FAIL — injected uncharged BitmapWords fetch was "
+              "not detected")
+        return 1
     print("self-test: OK — injected uncharged fwrite detected "
-          f"({new[0][2]} at line {new[0][1]}), fault-injected waiver honored")
+          f"({new[0][2]} at line {new[0][1]}), fault-injected waiver "
+          "honored, uncharged BitmapWords fetch detected "
+          f"(line {bitmap_new[0][1]})")
     return 0
 
 
