@@ -8,7 +8,11 @@
 #   faults   -fsanitize=address,undefined build + the fault-injection ctest
 #            subset (ctest -L faults): every registered fault point driven
 #            through its failure path under ASan
-#   lint     cost-accounting lint + self-test (ctest -L lint, werror build)
+#   approx   -fsanitize=address,undefined build + the approximate-counting
+#            ctest subset (ctest -L approx): scramble files, the sample gate,
+#            and its fault fallbacks under ASan
+#   lint     invariant lints: cost accounting + env-knob docs (ctest -L lint,
+#            werror build)
 #
 # Each leg builds into build-analysis/<leg> so an incremental rerun is
 # cheap. Select legs by name: scripts/run_analysis_matrix.sh asan tsan
@@ -23,7 +27,7 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 BASE=build-analysis
 LEGS=("$@")
 if [[ ${#LEGS[@]} -eq 0 ]]; then
-  LEGS=(werror tidy asan tsan faults lint)
+  LEGS=(werror tidy asan tsan faults approx lint)
 fi
 
 note() { printf '\n== %s ==\n' "$*"; }
@@ -80,8 +84,21 @@ run_leg() {
       ctest --test-dir "$faults_dir" --output-on-failure -j "$JOBS" \
         --no-tests=error -L faults
       ;;
+    approx)
+      note "approx: -fsanitize=address,undefined + ctest -L approx"
+      # Shares the asan tree when present, like the faults leg: the sample
+      # path's escalation and fallback code must be clean under ASan, not
+      # just produce the right tree.
+      local approx_dir="$BASE/asan"
+      if [[ ! -d "$approx_dir" ]]; then
+        approx_dir="$dir"
+      fi
+      configure_and_build "$approx_dir" -DSQLCLASS_SANITIZE=address,undefined
+      ctest --test-dir "$approx_dir" --output-on-failure -j "$JOBS" \
+        --no-tests=error -L approx
+      ;;
     lint)
-      note "lint: cost-accounting invariant + self-test"
+      note "lint: cost-accounting + env-knob-docs invariants + self-tests"
       # Reuses the werror tree when present; configures a plain one if not.
       local lint_dir="$BASE/werror"
       if [[ ! -d "$lint_dir" ]]; then
@@ -91,7 +108,7 @@ run_leg() {
       ctest --test-dir "$lint_dir" --output-on-failure -L lint
       ;;
     *)
-      echo "unknown leg: $leg (expected: werror tidy asan tsan faults lint)" >&2
+      echo "unknown leg: $leg (expected: werror tidy asan tsan faults approx lint)" >&2
       return 2
       ;;
   esac

@@ -70,7 +70,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kStorageWrite,       faults::kStorageClose,
       faults::kBufferPoolFetch,    faults::kServerCursorAdvance,
       faults::kStagingAppend,      faults::kBitmapOpen,
-      faults::kBitmapRead,
+      faults::kBitmapRead,         faults::kSampleOpen,
+      faults::kSampleRead,
   };
   return *points;
 }

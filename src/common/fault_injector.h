@@ -29,6 +29,8 @@ inline constexpr char kServerCursorAdvance[] = "server/cursor_advance";
 inline constexpr char kStagingAppend[] = "staging/append";
 inline constexpr char kBitmapOpen[] = "bitmap/open";
 inline constexpr char kBitmapRead[] = "bitmap/read";
+inline constexpr char kSampleOpen[] = "sample/open";
+inline constexpr char kSampleRead[] = "sample/read";
 }  // namespace faults
 
 namespace internal_faults {

@@ -15,15 +15,49 @@ struct RetryPolicy {
   uint64_t initial_backoff_us = 200;
   double backoff_multiplier = 2.0;
   uint64_t max_backoff_us = 100000;
+
+  /// Deterministic jitter: each delay is scaled by a factor drawn from
+  /// [1 - jitter, 1] using a hash of (jitter_seed, attempt). 0 (the
+  /// default) reproduces the unjittered schedule exactly; the same
+  /// (seed, attempt) always yields the same delay, so faulty runs replay
+  /// bit-identically.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
 };
 
+namespace retry_internal {
+
+/// SplitMix64 finalizer — a cheap, well-mixed 64-bit hash.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace retry_internal
+
 /// Delay before retry number `attempt` (1-based: the delay after the
-/// attempt-th failure), capped at max_backoff_us.
+/// attempt-th failure), capped at max_backoff_us. The exponential growth is
+/// computed in double and saturates at the cap, so large attempt numbers
+/// cannot overflow.
 inline uint64_t BackoffDelayUs(const RetryPolicy& policy, int attempt) {
   double delay = static_cast<double>(policy.initial_backoff_us);
-  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
   const double cap = static_cast<double>(policy.max_backoff_us);
+  for (int i = 1; i < attempt && delay < cap; ++i) {
+    delay *= policy.backoff_multiplier;
+  }
   if (delay > cap) delay = cap;
+  if (policy.jitter > 0.0) {
+    const uint64_t h =
+        retry_internal::Mix64(policy.jitter_seed ^
+                              (static_cast<uint64_t>(attempt) * 0x2545F4914F6CDD1Dull));
+    // Uniform in [0, 1) from the top 53 bits; scale into [1 - jitter, 1].
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    const double fraction = policy.jitter > 1.0 ? 1.0 : policy.jitter;
+    delay *= 1.0 - fraction * u;
+  }
   return static_cast<uint64_t>(delay);
 }
 

@@ -6,8 +6,49 @@
 #include <string>
 
 #include "common/retry.h"
+#include "mining/split.h"
 
 namespace sqlclass {
+
+/// Knobs of the approximate counting path (scheduler Rule 7, DESIGN.md
+/// "Approximate counting"): split-selection CC requests are served from the
+/// table's persistent scramble (SqlServer::BuildSampleTable) and escalated
+/// to the exact path only when the impurity gap between the two best
+/// candidate splits does not clear its sampling confidence interval.
+struct ApproxConfig {
+  /// Master switch. Off (the default) leaves every path byte-identical to
+  /// the exact middleware. Overridable via SQLCLASS_APPROX=0/1.
+  bool enable = false;
+
+  /// Fraction of the table the scramble holds. Only consulted when the
+  /// middleware has to build the scramble itself; a pre-built scramble
+  /// carries its own ratio. Overridable via SQLCLASS_APPROX_RATIO.
+  double sampling_ratio = 0.01;
+
+  /// Confidence level of the split-selection gate: a sampled answer is
+  /// accepted when P(best split really is best) >= confidence under the
+  /// delta-method normal approximation. Overridable via
+  /// SQLCLASS_APPROX_CONFIDENCE.
+  double confidence = 0.95;
+
+  /// Dial from "trust the sample" (0.0) to "exact only" (1.0): the gate's
+  /// acceptance threshold is divided by (1 - exactness), so larger values
+  /// escalate more nodes; >= 1.0 disables Rule 7 entirely and the run is
+  /// byte-identical to an exact one. Overridable via
+  /// SQLCLASS_APPROX_EXACTNESS.
+  double exactness = 0.0;
+
+  /// Nodes with fewer (estimated) rows than this never route to the
+  /// scramble: their exact scan is already cheap and their sample slice is
+  /// too thin to gate on.
+  uint64_t min_node_rows = 5000;
+
+  /// Impurity criterion the gate mirrors. Must match the client's split
+  /// criterion for the gate's "best split" to be the client's best split;
+  /// kGainRatio is gated as kEntropy (the gate compares impurity gaps, not
+  /// ratios).
+  SplitCriterion gate_criterion = SplitCriterion::kEntropy;
+};
 
 /// Ordering policy for eligible nodes within a scheduled batch. The paper's
 /// Rule 3 is smallest-estimated-CC-first; the alternatives exist for the
@@ -87,6 +128,9 @@ struct MiddlewareConfig {
   /// retried in place — the store is invalidated and the batch degrades to
   /// the server, which is where this policy then applies.
   RetryPolicy scan_retry;
+
+  /// Approximate counting via the table's scramble (scheduler Rule 7).
+  ApproxConfig approx;
 };
 
 }  // namespace sqlclass

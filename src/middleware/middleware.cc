@@ -1,6 +1,7 @@
 #include "middleware/middleware.h"
 
 #include "middleware/bitmap_scan.h"
+#include "middleware/sample_scan.h"
 
 #include <algorithm>
 #include <cassert>
@@ -157,6 +158,24 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::FulfillSome() {
   SQLCLASS_RETURN_IF_ERROR(GarbageCollectStores());
   SQLCLASS_RETURN_IF_ERROR(EvictMemoryStoresUnderPressure());
 
+  // A sample batch in which the gate escalates every node delivers nothing;
+  // the escalated requests are back in the queue with sample routing off,
+  // so planning again in the same call is guaranteed to make progress —
+  // FulfillSome never returns empty-handed while requests are pending.
+  while (true) {
+    SQLCLASS_ASSIGN_OR_RETURN(results, PlanAndExecuteOne());
+    ++stats_.batches;
+    stats_.nodes_fulfilled += results.size();
+    if (!results.empty() || pending_.empty()) return results;
+  }
+}
+
+StatusOr<std::vector<CcResult>> ClassificationMiddleware::PlanAndExecuteOne() {
+  std::vector<CcResult> results;
+  const bool sample_routing =
+      ResolveApproxEnabled(config_.approx.enable) &&
+      ResolveApproxExactness(config_.approx.exactness) < 1.0 &&
+      server_->HasSampleTable(table_);
   const bool bitmap_routing =
       ResolveUseBitmapIndex(config_.use_bitmap_index) &&
       server_->HasBitmapIndex(table_);
@@ -174,6 +193,11 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::FulfillSome() {
     item.bitmap_servable =
         bitmap_routing && pending.location.kind == LocationKind::kServer &&
         BitmapCountScan::Servable(pending.request.predicate.get());
+    item.sample_servable =
+        sample_routing && !pending.no_sample &&
+        !pending.request.prefer_exact &&
+        pending.location.kind == LocationKind::kServer &&
+        pending.request.data_size >= config_.approx.min_node_rows;
     items.push_back(item);
     if (pending.location.kind != LocationKind::kServer &&
         store_rows.count(pending.location) == 0) {
@@ -220,8 +244,6 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::FulfillSome() {
   }
 
   SQLCLASS_ASSIGN_OR_RETURN(results, ExecuteBatch(local, std::move(batch)));
-  ++stats_.batches;
-  stats_.nodes_fulfilled += results.size();
   return results;
 }
 
@@ -246,9 +268,12 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   DataLocation source = plan.source;
   bool staging_enabled = !plan.staging.empty();
   bool use_bitmap = plan.from_bitmap;
+  bool use_sample = plan.from_sample;
   std::vector<CcTable> ccs;
   std::vector<bool> fallback(n, false);
   std::vector<bool> requeue(n, false);
+  std::vector<bool> escalate(n, false);
+  std::vector<uint64_t> sample_matched(n, 0);
   std::vector<size_t> observed_bytes(n, 0);
   int live_ccs = n;
   std::vector<std::optional<DataLocation>> stage_into(n);
@@ -269,6 +294,8 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
     for (int i = 0; i < n; ++i) ccs.emplace_back(num_classes_);
     std::fill(fallback.begin(), fallback.end(), false);
     std::fill(requeue.begin(), requeue.end(), false);
+    std::fill(escalate.begin(), escalate.end(), false);
+    std::fill(sample_matched.begin(), sample_matched.end(), 0);
     std::fill(observed_bytes.begin(), observed_bytes.end(), 0);
     live_ccs = n;
     trace.rows_scanned = 0;
@@ -401,6 +428,27 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   // counting"); overflow is checked once after the merge instead of
   // mid-scan, which staging-free batches tolerate.
   auto run_pass = [&]() -> Status {
+    // Rule 7 service: build every node's *sample* CC from the table's
+    // scramble. Whether a sampled answer is good enough is decided per
+    // node after the pass (the confidence gate); any failure here — open
+    // fault, read fault, checksum mismatch — drops to the exact rungs of
+    // the recovery ladder below and the same batch is served exactly in
+    // this same FulfillSome call.
+    if (use_sample && source.kind == LocationKind::kServer) {
+      SQLCLASS_ASSIGN_OR_RETURN(SampleFileReader * reader, SampleReader());
+      std::vector<SampleCountScan::Node> nodes(n);
+      for (int i = 0; i < n; ++i) {
+        nodes[i].predicate = batch[i].request.predicate.get();
+        nodes[i].active_attrs = &batch[i].request.active_attrs;
+        nodes[i].cc = &ccs[i];
+      }
+      SQLCLASS_RETURN_IF_ERROR(
+          SampleCountScan::Run(reader, schema_, &nodes, &cost));
+      for (int i = 0; i < n; ++i) sample_matched[i] = nodes[i].sample_rows;
+      trace.rows_scanned = reader->num_rows();
+      trace.served_from_sample = true;
+      return Status::OK();
+    }
     // Rule 0 service: answer every admitted node straight from the bitmap
     // index. No rows are delivered — the per-word charges in
     // BitmapCountScan::Run replace the per-row scan costs entirely. Any
@@ -575,6 +623,19 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
                              pass.code() == StatusCode::kDataLoss ||
                              pass.code() == StatusCode::kNotFound;
     if (!recoverable) return pass;
+    if (use_sample) {
+      // Sample rung: the scramble failed mid-pass. Rule 7 is an
+      // optimisation, never a correctness dependency — serve the same
+      // batch exactly in this pass, and drop the reader so a later batch
+      // reopens the scramble from scratch.
+      use_sample = false;
+      sample_reader_.reset();
+      ++stats_.sample_fallbacks;
+      trace.sample_fallback = true;
+      SQLCLASS_LOG(kWarning) << "sample pass failed for batch " << trace.batch
+                             << ", serving exactly: " << pass.ToString();
+      continue;
+    }
     if (use_bitmap) {
       // Bitmap rung: the index failed (or rotted) mid-pass. Degrade
       // transparently to the row-scan path — same source, same nodes,
@@ -625,7 +686,9 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   if (source.kind == LocationKind::kFile && plan.file_split) {
     ++stats_.file_splits;
   }
-  check_overflow();
+  // Sample CCs are bounded by the scramble, not the node: overflow handling
+  // (requeue / SQL fallback) applies only to exact passes.
+  if (!trace.served_from_sample) check_overflow();
 
   // Seal staged files; record locations so descendants inherit them. A seal
   // failure after a successful scan costs only the store, never the counts:
@@ -658,10 +721,44 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
     }
   }
 
+  // Rule 7 gate: decide per node whether the sampled CC identifies the
+  // exact best split at the configured confidence. Accepted nodes are
+  // scaled up to their (possibly estimated) data size and delivered as
+  // approximate; rejected nodes re-enter the queue as exact requests and
+  // never route back to the scramble.
+  if (trace.served_from_sample) {
+    const double confidence =
+        ResolveApproxConfidence(config_.approx.confidence);
+    const double exactness = ResolveApproxExactness(config_.approx.exactness);
+    for (int pos = 0; pos < n; ++pos) {
+      const SampleGateResult gate = EvaluateSampleGate(
+          ccs[pos], batch[pos].request.active_attrs,
+          config_.approx.gate_criterion, sample_matched[pos], confidence,
+          exactness);
+      sample_decisions_.push_back({batch[pos].request.node_id, gate.accept,
+                                   gate.gap, gate.threshold});
+      if (gate.accept) {
+        ccs[pos] = ScaleCcToTotal(ccs[pos], batch[pos].request.active_attrs,
+                                  batch[pos].request.data_size);
+        ++stats_.sample_served_nodes;
+      } else {
+        escalate[pos] = true;
+        ++stats_.sample_escalations;
+      }
+    }
+  }
+
   // Fallback nodes: count at the server via the UNION GROUP BY query.
   std::vector<CcResult> results;
   results.reserve(n);
   for (int pos = 0; pos < n; ++pos) {
+    if (escalate[pos]) {
+      Pending retry = std::move(batch[pos]);
+      retry.no_sample = true;
+      pending_.push_back(std::move(retry));
+      ++trace.escalated;
+      continue;
+    }
     if (requeue[pos]) {
       // Evicted under memory pressure: return to the queue with a corrected
       // estimate (monotone growth guarantees termination — once alone in a
@@ -685,21 +782,27 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
       ++trace.sql_fallbacks;
     }
     const Pending& pending = batch[pos];
-    if (static_cast<uint64_t>(ccs[pos].TotalRows()) !=
-        pending.request.data_size) {
+    // An estimated data size (the node descends from a sample-served CC)
+    // cannot be asserted against: the exact count delivered here *is* the
+    // truth the client reconciles with. Exact-sized requests keep the
+    // strict invariant.
+    if (!pending.request.data_size_is_estimate &&
+        static_cast<uint64_t>(ccs[pos].TotalRows()) !=
+            pending.request.data_size) {
       return Status::Internal(
           "counted " + std::to_string(ccs[pos].TotalRows()) +
           " rows for node " + std::to_string(pending.request.node_id) +
           ", expected " + std::to_string(pending.request.data_size));
     }
     estimator_.RecordCounted(pending.request.node_id, ccs[pos],
-                             pending.request.data_size,
+                             static_cast<uint64_t>(ccs[pos].TotalRows()),
                              pending.request.active_attrs);
     estimator_.SetLocation(pending.request.node_id,
                            stage_into[pos].has_value() ? *stage_into[pos]
                                                        : source);
     unreleased_.insert(pending.request.node_id);
     results.emplace_back(pending.request.node_id, std::move(ccs[pos]));
+    results.back().approximate = trace.served_from_sample;
   }
   trace_.push_back(trace);
   return results;
@@ -735,6 +838,17 @@ StatusOr<BitmapIndexReader*> ClassificationMiddleware::BitmapReader() {
         BitmapIndexReader::Open(path, &server_->io_counters()));
   }
   return bitmap_reader_.get();
+}
+
+StatusOr<SampleFileReader*> ClassificationMiddleware::SampleReader() {
+  if (sample_reader_ == nullptr) {
+    SQLCLASS_ASSIGN_OR_RETURN(const std::string path,
+                              server_->SampleTablePath(table_));
+    SQLCLASS_ASSIGN_OR_RETURN(
+        sample_reader_,
+        SampleFileReader::Open(path, &server_->io_counters()));
+  }
+  return sample_reader_.get();
 }
 
 StatusOr<CcTable> ClassificationMiddleware::SqlFallback(

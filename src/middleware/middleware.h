@@ -18,6 +18,7 @@
 #include "mining/cc_provider.h"
 #include "server/server.h"
 #include "storage/bitmap/bitmap_index.h"
+#include "storage/sample/sample_file.h"
 
 namespace sqlclass {
 
@@ -61,6 +62,9 @@ class ClassificationMiddleware : public CcProvider {
     std::atomic<uint64_t> checksum_failures{0};  // kDataLoss passes observed
     std::atomic<uint64_t> bitmap_scans{0};  // batches served from the bitmap index
     std::atomic<uint64_t> bitmap_fallbacks{0};  // bitmap passes degraded to row scans
+    std::atomic<uint64_t> sample_served_nodes{0};  // nodes whose CC the gate accepted
+    std::atomic<uint64_t> sample_escalations{0};  // gate rejections requeued exact
+    std::atomic<uint64_t> sample_fallbacks{0};  // sample passes degraded to exact scans
 
     Stats() = default;
     Stats(const Stats& other) { *this = other; }
@@ -86,6 +90,9 @@ class ClassificationMiddleware : public CcProvider {
       copy(checksum_failures, other.checksum_failures);
       copy(bitmap_scans, other.bitmap_scans);
       copy(bitmap_fallbacks, other.bitmap_fallbacks);
+      copy(sample_served_nodes, other.sample_served_nodes);
+      copy(sample_escalations, other.sample_escalations);
+      copy(sample_fallbacks, other.sample_fallbacks);
       return *this;
     }
   };
@@ -108,6 +115,19 @@ class ClassificationMiddleware : public CcProvider {
     bool staging_aborted = false;     // staging dropped mid-batch
     bool served_from_bitmap = false;  // Rule 0: counts came from the index
     bool bitmap_fallback = false;     // bitmap pass failed; row scan served
+    bool served_from_sample = false;  // Rule 7: counts came from the scramble
+    bool sample_fallback = false;     // sample pass failed; exact path served
+    int escalated = 0;                // gate rejections requeued as exact
+  };
+
+  /// One gate verdict per sample-served request, in delivery order — the
+  /// raw material for per-level escalation-rate analysis (bench_approx maps
+  /// node ids back to tree depths).
+  struct SampleDecision {
+    int node_id = -1;
+    bool accepted = false;
+    double gap = 0.0;        // impurity gap between the two best splits
+    double threshold = 0.0;  // confidence bound the gap had to clear
   };
 
   /// `server` and the named table must outlive the middleware. The table's
@@ -128,6 +148,9 @@ class ClassificationMiddleware : public CcProvider {
 
   const Stats& stats() const { return stats_; }
   const std::vector<BatchTrace>& trace() const { return trace_; }
+  const std::vector<SampleDecision>& sample_decisions() const {
+    return sample_decisions_;
+  }
   const StagingManager& staging() const { return *staging_; }
   const Estimator& estimator() const { return estimator_; }
   const MiddlewareConfig& config() const { return config_; }
@@ -138,6 +161,10 @@ class ClassificationMiddleware : public CcProvider {
     uint64_t seq = 0;
     size_t est_cc_bytes = 0;
     DataLocation location;
+    /// Escalated by the Rule 7 gate (or riding a batch that was): the
+    /// request must be answered by the exact path and never routes back to
+    /// the scramble.
+    bool no_sample = false;
   };
 
   ClassificationMiddleware(SqlServer* server, std::string table,
@@ -179,6 +206,17 @@ class ClassificationMiddleware : public CcProvider {
   /// Reset after a failed bitmap pass so the next batch reopens cleanly.
   StatusOr<BitmapIndexReader*> BitmapReader();
 
+  /// Lazily opens (and caches) the reader over the table's scramble.
+  /// Reset after a failed sample pass so the next batch reopens cleanly.
+  StatusOr<SampleFileReader*> SampleReader();
+
+  /// Plans and executes one batch against the current queue. Factored out
+  /// of FulfillSome so an escalation-only batch (every sampled node
+  /// rejected by the gate) can be followed by another round in the same
+  /// call — the CcProvider contract promises progress whenever requests
+  /// are pending.
+  StatusOr<std::vector<CcResult>> PlanAndExecuteOne();
+
   SqlServer* server_;
   std::string table_;
   Schema schema_;
@@ -195,6 +233,8 @@ class ClassificationMiddleware : public CcProvider {
   std::vector<BatchTrace> trace_;
   std::unique_ptr<ThreadPool> scan_pool_;  // lazily created, see ScanPool()
   std::unique_ptr<BitmapIndexReader> bitmap_reader_;  // see BitmapReader()
+  std::unique_ptr<SampleFileReader> sample_reader_;   // see SampleReader()
+  std::vector<SampleDecision> sample_decisions_;
 };
 
 }  // namespace sqlclass

@@ -1,0 +1,214 @@
+#include "middleware/sample_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "middleware/batch_matcher.h"
+
+namespace sqlclass {
+
+namespace {
+
+bool EnvFlagOff(const char* env) {
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+         std::strcmp(env, "off") == 0;
+}
+
+/// Parses `name` as a double; returns `configured` when unset or unparsable
+/// or when the parsed value fails `valid`.
+template <typename Pred>
+double ResolveDoubleEnv(const char* name, double configured, Pred valid) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return configured;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !std::isfinite(parsed)) return configured;
+  return valid(parsed) ? parsed : configured;
+}
+
+/// Largest-remainder apportionment: scales `counts` (non-negative, summing
+/// to `source_total` > 0) to integers summing to exactly `target`,
+/// preserving proportions. Ties on the fractional remainder go to the lower
+/// index. Cells with zero count never receive units, so the scaled table
+/// has cells exactly where the sample does.
+std::vector<int64_t> Apportion(const std::vector<int64_t>& counts,
+                               int64_t source_total, int64_t target) {
+  std::vector<int64_t> out(counts.size(), 0);
+  if (source_total <= 0 || target <= 0) return out;
+  std::vector<int64_t> rem(counts.size(), 0);
+  int64_t assigned = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t scaled = counts[i] * target;
+    out[i] = scaled / source_total;
+    rem[i] = scaled % source_total;
+    assigned += out[i];
+  }
+  int64_t leftover = target - assigned;
+  std::vector<size_t> order(counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (rem[a] != rem[b]) return rem[a] > rem[b];
+    return a < b;
+  });
+  for (size_t i = 0; i < order.size() && leftover > 0; ++i) {
+    if (rem[order[i]] == 0) break;  // only fractional cells earn a unit
+    ++out[order[i]];
+    --leftover;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ResolveApproxEnabled(bool configured) {
+  const char* env = std::getenv("SQLCLASS_APPROX");
+  if (env == nullptr || env[0] == '\0') return configured;
+  return !EnvFlagOff(env);
+}
+
+double ResolveApproxRatio(double configured) {
+  return ResolveDoubleEnv("SQLCLASS_APPROX_RATIO", configured,
+                          [](double v) { return v > 0.0 && v <= 1.0; });
+}
+
+double ResolveApproxConfidence(double configured) {
+  return ResolveDoubleEnv("SQLCLASS_APPROX_CONFIDENCE", configured,
+                          [](double v) { return v > 0.0 && v < 1.0; });
+}
+
+double ResolveApproxExactness(double configured) {
+  return ResolveDoubleEnv("SQLCLASS_APPROX_EXACTNESS", configured,
+                          [](double v) { return v >= 0.0 && v <= 1.0; });
+}
+
+Status SampleCountScan::Run(SampleFileReader* reader, const Schema& schema,
+                            std::vector<Node>* nodes, CostCounters* cost) {
+  const int class_column = schema.class_column();
+  if (class_column < 0) {
+    return Status::InvalidArgument("sample scan needs a class column");
+  }
+  if (reader->num_columns() != static_cast<uint32_t>(schema.num_columns())) {
+    return Status::InvalidArgument("scramble column count mismatch");
+  }
+  CostCounters scratch;  // charge sink when the caller passes none
+  CostCounters& charges = cost != nullptr ? *cost : scratch;
+
+  std::vector<const Expr*> predicates;
+  predicates.reserve(nodes->size());
+  for (Node& node : *nodes) {
+    if (node.cc == nullptr || node.active_attrs == nullptr) {
+      return Status::InvalidArgument("sample scan node missing cc/attrs");
+    }
+    node.sample_rows = 0;
+    predicates.push_back(node.predicate);
+  }
+  BatchMatcher matcher(predicates);
+
+  SQLCLASS_ASSIGN_OR_RETURN(const Value* rows, reader->SampleRows());
+  const uint64_t sample_rows = reader->num_rows();
+  const int width = schema.num_columns();
+
+  // Every node's predicate is evaluated against every sample row, so the
+  // logical charge is per node and independent of how requests were
+  // batched — the same invariance contract the bitmap path keeps.
+  charges.mw_sample_rows_read += sample_rows * nodes->size();
+
+  std::vector<int> matches;
+  for (uint64_t r = 0; r < sample_rows; ++r) {
+    const Value* values = rows + r * width;
+    matcher.Match(values, &matches);
+    for (int pos : matches) {
+      Node& node = (*nodes)[pos];
+      node.cc->AddRow(values, *node.active_attrs, class_column);
+      ++node.sample_rows;
+    }
+  }
+  return Status::OK();
+}
+
+SampleGateResult EvaluateSampleGate(const CcTable& sample_cc,
+                                    const std::vector<int>& active_attrs,
+                                    SplitCriterion criterion,
+                                    uint64_t sample_rows, double confidence,
+                                    double exactness) {
+  SampleGateResult result;
+  // The gate's normal approximation needs a moderate slice to mean
+  // anything; below this, even a "clear" gap is an artifact of a handful
+  // of rows (z ~ 0 settings would otherwise rubber-stamp them). Escalation
+  // is cheap for such nodes — they ride the next exact batch.
+  constexpr uint64_t kMinGateSampleRows = 50;
+  if (sample_rows < kMinGateSampleRows) return result;
+  if (IsPure(sample_cc)) {
+    // A pure sample does not prove a pure node: a rare class may simply
+    // have been missed. Leaf decisions always escalate.
+    return result;
+  }
+  const SplitCriterion gate_criterion =
+      criterion == SplitCriterion::kGainRatio ? SplitCriterion::kEntropy
+                                              : criterion;
+  std::optional<TopTwoSplits> top = ChooseTopTwoBinarySplits(
+      sample_cc, active_attrs, gate_criterion,
+      static_cast<int64_t>(sample_rows));
+  if (!top.has_value() || !top->has_second) {
+    // Unsplittable (or only one candidate) in the sample: the exact data
+    // may still hold states the sample missed, so the decision escalates.
+    return result;
+  }
+  result.gap = top->gap;
+  result.threshold =
+      NormalQuantile(confidence) * std::sqrt(top->gap_variance);
+  if (exactness > 0.0 && exactness < 1.0) {
+    result.threshold /= 1.0 - exactness;
+  }
+  result.accept = result.gap > result.threshold;
+  return result;
+}
+
+CcTable ScaleCcToTotal(const CcTable& sample_cc,
+                       const std::vector<int>& active_attrs,
+                       uint64_t target_total) {
+  const int num_classes = sample_cc.num_classes();
+  CcTable scaled(num_classes);
+  const int64_t sample_total = sample_cc.TotalRows();
+  const int64_t target = static_cast<int64_t>(target_total);
+  if (sample_total <= 0 || target <= 0) return scaled;
+
+  const std::vector<int64_t> class_totals =
+      Apportion(sample_cc.ClassTotals(), sample_total, target);
+  for (int k = 0; k < num_classes; ++k) {
+    if (class_totals[k] > 0) scaled.AddClassTotal(k, class_totals[k]);
+  }
+
+  // Each attribute partitions the node's rows, so per class the cell counts
+  // across an attribute's values sum to the class total — apportion each
+  // (attribute, class) column to its scaled class total and the structural
+  // invariants of an exact CC all hold.
+  std::vector<int64_t> column;
+  for (int attr : active_attrs) {
+    const auto states = sample_cc.AttributeStates(attr);
+    if (states.empty()) continue;
+    for (int k = 0; k < num_classes; ++k) {
+      if (class_totals[k] <= 0) continue;
+      column.clear();
+      column.reserve(states.size());
+      for (const auto& [value, counts] : states) {
+        (void)value;
+        column.push_back((*counts)[k]);
+      }
+      const std::vector<int64_t> scaled_column = Apportion(
+          column, sample_cc.ClassTotals()[k], class_totals[k]);
+      for (size_t i = 0; i < states.size(); ++i) {
+        if (scaled_column[i] > 0) {
+          scaled.Add(attr, states[i].first, static_cast<Value>(k),
+                     scaled_column[i]);
+        }
+      }
+    }
+  }
+  return scaled;
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,98 @@
+#ifndef SQLCLASS_MIDDLEWARE_SAMPLE_SCAN_H_
+#define SQLCLASS_MIDDLEWARE_SAMPLE_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "middleware/config.h"
+#include "mining/cc_table.h"
+#include "mining/split.h"
+#include "server/cost_model.h"
+#include "sql/expr.h"
+#include "storage/sample/sample_file.h"
+
+namespace sqlclass {
+
+/// SQLCLASS_APPROX environment override for ApproxConfig::enable:
+/// "0"/"false"/"off" forces the approximate path off, any other value forces
+/// it on, unset keeps the configured value.
+bool ResolveApproxEnabled(bool configured);
+
+/// SQLCLASS_APPROX_RATIO override for ApproxConfig::sampling_ratio. Values
+/// outside (0, 1] (or unparsable) keep the configured value.
+double ResolveApproxRatio(double configured);
+
+/// SQLCLASS_APPROX_CONFIDENCE override for ApproxConfig::confidence. Values
+/// outside (0, 1) keep the configured value.
+double ResolveApproxConfidence(double configured);
+
+/// SQLCLASS_APPROX_EXACTNESS override for ApproxConfig::exactness. Values
+/// outside [0, 1] (or unparsable) keep the configured value.
+double ResolveApproxExactness(double configured);
+
+/// Answers CC requests from the table's scramble (storage/sample): one pass
+/// over the pre-shuffled sample rows builds every batch node's *sample* CC
+/// table, at mw_sample_row_read_us per sample row per node instead of
+/// server-cursor cost per base row. The resulting counts estimate the exact
+/// CC scaled down by the sampling fraction; the split-selection gate below
+/// decides per node whether that estimate is decision-equivalent to the
+/// exact answer.
+class SampleCountScan {
+ public:
+  /// One CC request inside a sample batch.
+  struct Node {
+    const Expr* predicate = nullptr;  // bound; null means TRUE
+    const std::vector<int>* active_attrs = nullptr;
+    CcTable* cc = nullptr;        // out: sample counts, unscaled
+    uint64_t sample_rows = 0;     // out: sample rows matching the predicate
+  };
+
+  /// Builds every node's sample CC from `reader`. `cost` (nullable) takes
+  /// mw_sample_rows_read charges — one per sample row *per node*, so the
+  /// simulated cost is batching-invariant; physical page reads land on the
+  /// counters the reader was opened with.
+  static Status Run(SampleFileReader* reader, const Schema& schema,
+                    std::vector<Node>* nodes, CostCounters* cost);
+};
+
+/// Outcome of the confidence-bounded split-selection gate for one node.
+struct SampleGateResult {
+  /// True: the sampled CC identifies the same best split the exact CC
+  /// would, at the configured confidence — serve the node from the sample.
+  /// False: escalate the node to the exact path.
+  bool accept = false;
+  double gap = 0.0;        // impurity gap between the two best splits
+  double threshold = 0.0;  // z * sqrt(Var(gap)) / (1 - exactness)
+};
+
+/// The Rule 7 gate: accept a node's sampled CC iff the impurity gap between
+/// its two best binary splits clears the gap's delta-method confidence
+/// interval at `confidence`, widened by 1 / (1 - exactness). Escalates
+/// (accept = false) conservatively whenever the sample cannot speak for the
+/// exact data: a pure sample slice, fewer than 50 matching sample rows
+/// (`sample_rows` — below that the normal approximation is meaningless and
+/// low-confidence settings would rubber-stamp noise), or fewer than two
+/// candidate splits. kGainRatio gates as kEntropy.
+SampleGateResult EvaluateSampleGate(const CcTable& sample_cc,
+                                    const std::vector<int>& active_attrs,
+                                    SplitCriterion criterion,
+                                    uint64_t sample_rows, double confidence,
+                                    double exactness);
+
+/// Scales a sampled CC up to `target_total` rows by largest-remainder
+/// apportionment: class totals are scaled first (they sum to exactly
+/// `target_total`), then each attribute's per-class count vector is scaled
+/// to sum to its class total. The result satisfies every structural
+/// invariant of an exact CC — TotalRows() == target_total and each
+/// attribute's cells sum to the class totals — so downstream consumers
+/// (split scoring, the estimator) need no special casing. Ties break on
+/// lower value for determinism.
+CcTable ScaleCcToTotal(const CcTable& sample_cc,
+                       const std::vector<int>& active_attrs,
+                       uint64_t target_total);
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_SAMPLE_SCAN_H_

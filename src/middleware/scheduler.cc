@@ -69,6 +69,25 @@ BatchPlan Scheduler::PlanBatch(
     return cc_planned;
   };
 
+  // ---- Rule 7 (scramble routing): requests the approximate path may
+  // answer are cheaper still than bitmap service — a pass over the (small)
+  // scramble instead of index words — so they batch ahead of everything.
+  // Like bitmap batches they never stage: an accepted node yields counts
+  // only, and a rejected one re-enters the queue as a normal exact request.
+  {
+    std::vector<const SchedItem*> sample_group;
+    for (const SchedItem& item : items) {
+      if (item.sample_servable) sample_group.push_back(&item);
+    }
+    if (!sample_group.empty()) {
+      plan.source = DataLocation{LocationKind::kServer, 0};
+      plan.from_sample = true;
+      std::vector<const SchedItem*> admitted;
+      admit_group(&sample_group, &admitted);
+      return plan;
+    }
+  }
+
   // ---- Rule 0 (bitmap routing): requests answerable from the server's
   // bitmap index are cheaper than any staged row store — AND + popcount
   // over a few index words versus a per-row pass — so they form their own

@@ -21,6 +21,11 @@ struct SchedItem {
   /// index (conjunctive shape, index built, knob on). Only ever set for
   /// server-located items.
   bool bitmap_servable = false;
+  /// The request may be answered approximately from the table's scramble
+  /// (Rule 7: approx knob on, scramble built, node large enough, and not
+  /// already escalated to the exact path). Only ever set for server-located
+  /// items.
+  bool sample_servable = false;
 };
 
 /// Memory / file space state the scheduler plans against.
@@ -48,11 +53,20 @@ struct BatchPlan {
   /// rather than a row scan. Bitmap batches never stage — the pass yields
   /// counts, not a row stream.
   bool from_bitmap = false;
+  /// Rule 7: the batch is served (tentatively) from the table's scramble.
+  /// Like bitmap batches, sample batches never stage; nodes whose sampled
+  /// answer fails the confidence gate are escalated back into the queue
+  /// with sample routing off.
+  bool from_sample = false;
 };
 
 /// The priority scheduler of §4.2. Stateless: each call plans one batch
 /// from the current queue snapshot.
 ///
+///  Rule 7: requests servable from the table's scramble (see
+///          middleware/sample_scan.h) batch together ahead of everything —
+///          a sampled answer costs a fraction of any exact path, and the
+///          nodes it cannot decide re-enter the queue for Rules 0-6.
 ///  Rule 0: requests servable from the server's bitmap index (see
 ///          middleware/bitmap_scan.h) batch together ahead of everything
 ///          else and are answered by AND + popcount, with no staging.

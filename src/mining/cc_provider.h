@@ -34,6 +34,20 @@ struct CcRequest {
   /// precisely); for the root the provider may overwrite it from table
   /// metadata.
   uint64_t data_size = 0;
+
+  /// True when `data_size` was derived from an *approximate* (sample-served)
+  /// parent CC table and is therefore an estimate, not the exact row count.
+  /// Providers must not enforce exact-total invariants against it; an exact
+  /// scan for this node reports the true count and the client reconciles.
+  bool data_size_is_estimate = false;
+
+  /// True when the client needs *exact* counts for this node and approximate
+  /// providers (the sample path) must not substitute estimates. The tree
+  /// client sets it for the last splittable level: those nodes' CC tables
+  /// become their children's leaf class labels verbatim, so sampling noise
+  /// there lands directly on classification accuracy with no deeper pass to
+  /// correct it.
+  bool prefer_exact = false;
 };
 
 /// A fulfilled request: the node's CC table.
@@ -43,6 +57,12 @@ struct CcResult {
 
   int node_id;
   CcTable cc;
+
+  /// True when the CC was served from the table's scramble (scheduler
+  /// Rule 7) and scaled up to the node's data size: cell counts are
+  /// estimates. Clients must treat data sizes derived from it as estimates
+  /// (CcRequest::data_size_is_estimate) on any follow-up requests.
+  bool approximate = false;
 };
 
 /// The middleware-facing contract of §3: the client queues a *batch* of

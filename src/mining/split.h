@@ -65,6 +65,47 @@ std::optional<BinarySplit> ChooseBestBinarySplit(
     const CcTable& cc, const std::vector<int>& attr_columns,
     SplitCriterion criterion);
 
+// ------------------------------------------------- approximate counting
+// Helpers for the confidence-bounded split-selection gate of scheduler
+// Rule 7 (middleware/sample_scan.h, DESIGN.md "Approximate counting").
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error < 1.2e-9). Domain (0, 1); used for the one-sided z of the
+/// configured confidence level.
+double NormalQuantile(double p);
+
+/// Delta-method sampling variance of the weighted-children impurity
+/// I = sum_b w_b * Impurity(branch b) of one binary split, when the CC
+/// cell counts come from `sample_rows` iid sampled rows. The multinomial
+/// cells are (branch, class); gradients are log2(w_b / q_bk) for entropy
+/// and sum_j (q_bj / w_b)^2 - 2 q_bk / w_b for Gini. Only kEntropy and
+/// kGini are meaningful (map kGainRatio to kEntropy — the gate compares
+/// impurity gaps, not ratios).
+double SplitImpurityVariance(const CcTable& cc, const BinarySplit& split,
+                             SplitCriterion criterion, int64_t sample_rows);
+
+/// The two highest-gain binary splits under ChooseBestBinarySplit's exact
+/// ordering (identical tie-breaks, so `best` always equals what the exact
+/// chooser would pick on the same CC), plus the impurity gap between them
+/// and its conservative sampling variance Var(best) + Var(second).
+struct TopTwoSplits {
+  BinarySplit best;
+  bool has_second = false;
+  BinarySplit second;
+  /// children-impurity(second) - children-impurity(best), >= 0. The parent
+  /// impurity cancels, so this equals best.gain - second.gain.
+  double gap = 0.0;
+  double gap_variance = 0.0;
+};
+
+/// Scores every candidate like ChooseBestBinarySplit but keeps the top two
+/// and their gap variance for a sample of `sample_rows` rows. nullopt when
+/// no attribute can split the node. `criterion` should be kEntropy or
+/// kGini (callers on kGainRatio pass kEntropy).
+std::optional<TopTwoSplits> ChooseTopTwoBinarySplits(
+    const CcTable& cc, const std::vector<int>& attr_columns,
+    SplitCriterion criterion, int64_t sample_rows);
+
 }  // namespace sqlclass
 
 #endif  // SQLCLASS_MINING_SPLIT_H_

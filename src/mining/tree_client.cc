@@ -47,6 +47,7 @@ StatusOr<DecisionTree> DecisionTreeClient::Grow(CcProvider* provider,
   }
   requests_issued_ = 0;
   rounds_ = 0;
+  estimated_nodes_.clear();
 
   DecisionTree tree(schema_);
   tree.CreateRoot(table_rows);
@@ -57,6 +58,7 @@ StatusOr<DecisionTree> DecisionTreeClient::Grow(CcProvider* provider,
   root_request.predicate = Expr::True();
   root_request.active_attrs = tree.node(0).active_attrs;
   root_request.data_size = table_rows;
+  root_request.prefer_exact = config_.max_depth == 1;
   SQLCLASS_RETURN_IF_ERROR(provider->QueueRequest(std::move(root_request)));
   ++requests_issued_;
 
@@ -71,8 +73,8 @@ StatusOr<DecisionTree> DecisionTreeClient::Grow(CcProvider* provider,
           "provider made no progress with pending requests");
     }
     for (CcResult& result : results) {
-      SQLCLASS_RETURN_IF_ERROR(
-          ProcessNode(&tree, result.node_id, result.cc, provider));
+      SQLCLASS_RETURN_IF_ERROR(ProcessNode(&tree, result.node_id, result.cc,
+                                           result.approximate, provider));
       // Children (if any) are queued by ProcessNode, so the provider may
       // now reclaim whatever it pinned for this node (Fig. 3's "processed
       // nodes" notification).
@@ -83,7 +85,7 @@ StatusOr<DecisionTree> DecisionTreeClient::Grow(CcProvider* provider,
 }
 
 Status DecisionTreeClient::ProcessNode(DecisionTree* tree, int node_id,
-                                       const CcTable& cc,
+                                       const CcTable& cc, bool approximate,
                                        CcProvider* provider) {
   TreeNode& node = tree->node(node_id);
   if (node.state != NodeState::kActive) {
@@ -91,6 +93,11 @@ Status DecisionTreeClient::ProcessNode(DecisionTree* tree, int node_id,
   }
   node.class_counts = cc.ClassTotals();
   node.majority_class = MajorityClass(node.class_counts);
+  if (!approximate && estimated_nodes_.erase(node_id) > 0) {
+    // Exact escalation under a sample-served ancestor: the node's estimated
+    // data size is reconciled with the true count the exact scan reports.
+    node.data_size = static_cast<uint64_t>(cc.TotalRows());
+  }
   if (static_cast<uint64_t>(cc.TotalRows()) != node.data_size) {
     return Status::Internal(
         "CC row total " + std::to_string(cc.TotalRows()) +
@@ -104,7 +111,7 @@ Status DecisionTreeClient::ProcessNode(DecisionTree* tree, int node_id,
     return Status::OK();
   }
   if (config_.multiway_splits) {
-    return PartitionMultiway(tree, node_id, cc, provider);
+    return PartitionMultiway(tree, node_id, cc, approximate, provider);
   }
   std::optional<BinarySplit> split =
       ChooseBestBinarySplit(cc, node.active_attrs, config_.criterion);
@@ -145,15 +152,16 @@ Status DecisionTreeClient::ProcessNode(DecisionTree* tree, int node_id,
 
   SQLCLASS_RETURN_IF_ERROR(CreateAndQueueChild(
       tree, node_id, Expr::ColEq(attr_name, split->value),
-      std::move(left_attrs), left_counts, provider));
+      std::move(left_attrs), left_counts, approximate, provider));
   SQLCLASS_RETURN_IF_ERROR(CreateAndQueueChild(
       tree, node_id, Expr::ColNe(attr_name, split->value),
-      std::move(right_attrs), right_counts, provider));
+      std::move(right_attrs), right_counts, approximate, provider));
   return Status::OK();
 }
 
 Status DecisionTreeClient::PartitionMultiway(DecisionTree* tree, int node_id,
                                              const CcTable& cc,
+                                             bool approximate,
                                              CcProvider* provider) {
   TreeNode& node = tree->node(node_id);
   std::optional<MultiwaySplit> split =
@@ -177,7 +185,7 @@ Status DecisionTreeClient::PartitionMultiway(DecisionTree* tree, int node_id,
     (void)rows;
     SQLCLASS_RETURN_IF_ERROR(CreateAndQueueChild(
         tree, node_id, Expr::ColEq(attr_name, value), child_attrs,
-        cc.GetCounts(split->attr, value), provider));
+        cc.GetCounts(split->attr, value), approximate, provider));
   }
   return Status::OK();
 }
@@ -185,7 +193,7 @@ Status DecisionTreeClient::PartitionMultiway(DecisionTree* tree, int node_id,
 Status DecisionTreeClient::CreateAndQueueChild(
     DecisionTree* tree, int parent_id, std::unique_ptr<Expr> edge,
     std::vector<int> active_attrs, const std::vector<int64_t>& class_counts,
-    CcProvider* provider) {
+    bool estimate, CcProvider* provider) {
   const uint64_t data_size = static_cast<uint64_t>(SumCounts(class_counts));
   assert(data_size > 0);
   int child_id = tree->CreateChild(parent_id, std::move(edge),
@@ -221,6 +229,12 @@ Status DecisionTreeClient::CreateAndQueueChild(
   request.predicate = tree->NodePredicate(child_id);
   request.active_attrs = child.active_attrs;
   request.data_size = data_size;
+  request.data_size_is_estimate = estimate;
+  // The children of this node inherit their leaf labels straight from its
+  // CC table when they hit the depth limit; demand exact counts there.
+  request.prefer_exact =
+      config_.max_depth > 0 && child.depth + 1 >= config_.max_depth;
+  if (estimate) estimated_nodes_.insert(child_id);
   SQLCLASS_RETURN_IF_ERROR(provider->QueueRequest(std::move(request)));
   ++requests_issued_;
   return Status::OK();

@@ -2,6 +2,7 @@
 #define SQLCLASS_MINING_TREE_CLIENT_H_
 
 #include <cstdint>
+#include <set>
 
 #include "catalog/schema.h"
 #include "common/status.h"
@@ -61,27 +62,33 @@ class DecisionTreeClient {
 
  private:
   /// Consumes one fulfilled CC table: settles the node as leaf or split,
-  /// creates children, and queues child requests.
+  /// creates children, and queues child requests. `approximate` marks a
+  /// sample-served (scaled) CC: the node's data size is reconciled rather
+  /// than asserted, and child sizes are tracked as estimates.
   Status ProcessNode(DecisionTree* tree, int node_id, const CcTable& cc,
-                     CcProvider* provider);
+                     bool approximate, CcProvider* provider);
 
   /// Complete-split variant of the partitioning step.
   Status PartitionMultiway(DecisionTree* tree, int node_id, const CcTable& cc,
-                           CcProvider* provider);
+                           bool approximate, CcProvider* provider);
 
   /// Creates one child; immediately settles it as a leaf when termination
   /// criteria are already decidable from the parent's CC table (pure /
-  /// depth / min-rows), else queues its CC request.
+  /// depth / min-rows), else queues its CC request. `estimate` marks the
+  /// child's data size as derived from an approximate CC.
   Status CreateAndQueueChild(DecisionTree* tree, int parent_id,
                              std::unique_ptr<Expr> edge,
                              std::vector<int> active_attrs,
                              const std::vector<int64_t>& class_counts,
-                             CcProvider* provider);
+                             bool estimate, CcProvider* provider);
 
   Schema schema_;
   TreeClientConfig config_;
   uint64_t requests_issued_ = 0;
   uint64_t rounds_ = 0;
+  /// Nodes whose data_size came from a sample-served parent CC and has not
+  /// yet been reconciled against an exact count.
+  std::set<int> estimated_nodes_;
 };
 
 }  // namespace sqlclass

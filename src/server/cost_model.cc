@@ -26,6 +26,7 @@ void ForEachField(Self& a, Other& b, Fn fn) {
   fn(a.mw_bitmap_words_read, b.mw_bitmap_words_read);
   fn(a.mw_bitmap_and_ops, b.mw_bitmap_and_ops);
   fn(a.mw_bitmap_popcounts, b.mw_bitmap_popcounts);
+  fn(a.mw_sample_rows_read, b.mw_sample_rows_read);
 }
 
 }  // namespace
@@ -87,7 +88,8 @@ std::string CostCounters::ToString() const {
       << " mw_cc_updates=" << mw_cc_updates
       << " mw_bitmap_words_read=" << mw_bitmap_words_read
       << " mw_bitmap_and_ops=" << mw_bitmap_and_ops
-      << " mw_bitmap_popcounts=" << mw_bitmap_popcounts;
+      << " mw_bitmap_popcounts=" << mw_bitmap_popcounts
+      << " mw_sample_rows_read=" << mw_sample_rows_read;
   return out.str();
 }
 
@@ -113,6 +115,7 @@ double CostModel::SimulatedSeconds(const CostCounters& c) const {
   us += mw_bitmap_word_and_us * static_cast<double>(c.mw_bitmap_and_ops);
   us += mw_bitmap_word_popcount_us *
         static_cast<double>(c.mw_bitmap_popcounts);
+  us += mw_sample_row_read_us * static_cast<double>(c.mw_sample_rows_read);
   return us / 1e6;
 }
 

@@ -40,6 +40,7 @@ struct CostCounters {
   std::atomic<uint64_t> mw_bitmap_words_read{0};  // bitmap-index words fetched
   std::atomic<uint64_t> mw_bitmap_and_ops{0};   // word-wise AND/ANDNOT operations
   std::atomic<uint64_t> mw_bitmap_popcounts{0};  // word popcounts folded into counts
+  std::atomic<uint64_t> mw_sample_rows_read{0};  // scramble rows counted (Rule 7)
 
   CostCounters() = default;
   CostCounters(const CostCounters& other) { *this = other; }
@@ -88,6 +89,10 @@ struct CostModel {
   double mw_bitmap_word_read_us = 0.004;
   double mw_bitmap_word_and_us = 0.002;
   double mw_bitmap_word_popcount_us = 0.002;
+  /// Scramble rows are middleware-local reads of an already-decoded cached
+  /// payload: same order of magnitude as an in-memory row, priced like a
+  /// staged-file row's decode share (DESIGN.md "Approximate counting").
+  double mw_sample_row_read_us = 2.5;
 
   double SimulatedSeconds(const CostCounters& counters) const;
 };

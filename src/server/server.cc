@@ -7,6 +7,7 @@
 #include "common/fault_injector.h"
 #include "sql/parser.h"
 #include "storage/bitmap/bitmap_index.h"
+#include "storage/sample/sample_file.h"
 
 namespace sqlclass {
 
@@ -143,6 +144,11 @@ Status SqlServer::DropTable(const std::string& name) {
     std::remove(bmx->second.c_str());
     bitmap_indexes_.erase(bmx);
   }
+  auto smp = sample_tables_.find(name);
+  if (smp != sample_tables_.end()) {
+    std::remove(smp->second.c_str());
+    sample_tables_.erase(smp);
+  }
   stats_.erase(name);
   for (auto index_it = indexes_.begin(); index_it != indexes_.end();) {
     if (index_it->first.first == name) {
@@ -266,6 +272,12 @@ Status SqlServer::AppendRows(const std::string& name,
   if (bmx != bitmap_indexes_.end()) {
     std::remove(bmx->second.c_str());
     bitmap_indexes_.erase(bmx);
+  }
+  // Likewise the scramble: its sample no longer covers the appended rows.
+  auto smp = sample_tables_.find(name);
+  if (smp != sample_tables_.end()) {
+    std::remove(smp->second.c_str());
+    sample_tables_.erase(smp);
   }
   buffer_pool_.InvalidateFile(info->id);  // cached pages changed on disk
   return Status::OK();
@@ -537,6 +549,53 @@ Status SqlServer::DropBitmapIndex(const std::string& table) {
   }
   std::remove(it->second.c_str());
   bitmap_indexes_.erase(it);
+  return Status::OK();
+}
+
+Status SqlServer::BuildSampleTable(const std::string& table,
+                                   double sampling_ratio, uint64_t seed) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  if (state->loading) return Status::Internal("loader open: " + table);
+  if (sample_tables_.count(table) > 0) {
+    return Status::AlreadyExists("sample table exists on " + table);
+  }
+  if (!(sampling_ratio > 0.0) || sampling_ratio > 1.0) {
+    return Status::InvalidArgument("sampling ratio must be in (0, 1]");
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  SampleFileBuilder builder(info->schema.num_columns(), state->row_count,
+                            sampling_ratio, seed);
+  SQLCLASS_RETURN_IF_ERROR(
+      ServerSideScan(table, nullptr, [&](Tid, const Row& row) -> Status {
+        ++cost_counters_.index_rows_inserted;
+        return builder.AddRow(row);
+      }));
+  const std::string path = SampleFilePathFor(state->path);
+  SQLCLASS_RETURN_IF_ERROR(builder.WriteFile(path, &io_counters_));
+  sample_tables_[table] = path;
+  return Status::OK();
+}
+
+bool SqlServer::HasSampleTable(const std::string& table) const {
+  return sample_tables_.count(table) > 0;
+}
+
+StatusOr<std::string> SqlServer::SampleTablePath(
+    const std::string& table) const {
+  auto it = sample_tables_.find(table);
+  if (it == sample_tables_.end()) {
+    return Status::NotFound("no sample table on " + table);
+  }
+  return it->second;
+}
+
+Status SqlServer::DropSampleTable(const std::string& table) {
+  auto it = sample_tables_.find(table);
+  if (it == sample_tables_.end()) {
+    return Status::NotFound("no sample table on " + table);
+  }
+  std::remove(it->second.c_str());
+  sample_tables_.erase(it);
   return Status::OK();
 }
 

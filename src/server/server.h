@@ -177,6 +177,21 @@ class SqlServer : public TableProvider {
   StatusOr<std::string> BitmapIndexPath(const std::string& table) const;
   Status DropBitmapIndex(const std::string& table);
 
+  /// Builds the table's persistent scramble (uniform pre-shuffled row
+  /// sample at `sampling_ratio`, one metered scan plus per-row insertion
+  /// cost) and persists it alongside the heap file. The middleware's
+  /// approximate counting (scheduler Rule 7) serves split-selection CC
+  /// requests from it. Appending rows invalidates the scramble — rebuild
+  /// after bulk INSERTs.
+  Status BuildSampleTable(const std::string& table, double sampling_ratio,
+                          uint64_t seed);
+  bool HasSampleTable(const std::string& table) const;
+
+  /// Path of the table's scramble file, for scanners that open their own
+  /// SampleFileReader. Errors when no scramble exists.
+  StatusOr<std::string> SampleTablePath(const std::string& table) const;
+  Status DropSampleTable(const std::string& table);
+
   /// ANALYZE: builds optimizer statistics with one metered scan.
   Status AnalyzeTable(const std::string& table);
   StatusOr<const TableStats*> GetStats(const std::string& table) const;
@@ -269,6 +284,7 @@ class SqlServer : public TableProvider {
   std::map<std::string, TableState> tables_;
   std::map<std::pair<std::string, std::string>, SecondaryIndex> indexes_;
   std::map<std::string, std::string> bitmap_indexes_;  // table -> index path
+  std::map<std::string, std::string> sample_tables_;   // table -> scramble path
   std::map<std::string, TableStats> stats_;
   std::map<std::string, std::vector<Tid>> tid_lists_;
   std::map<uint64_t, Keyset> keysets_;

@@ -8,6 +8,7 @@
 
 #include "common/retry.h"
 #include "common/status.h"
+#include "middleware/config.h"
 #include "mining/naive_bayes.h"
 #include "mining/tree.h"
 #include "mining/tree_client.h"
@@ -126,6 +127,17 @@ struct ServiceConfig {
   /// fails every rider with a descriptive Status; sessions not riding that
   /// scan are unaffected.
   RetryPolicy scan_retry;
+
+  /// Approximate-counting knobs (scheduler Rule 7), accepted here so one
+  /// config object can describe a whole deployment. The shared-scan
+  /// batcher itself always counts exactly and ignores everything but
+  /// `approx.exactness >= 1.0` semantics: a cross-session scan serves
+  /// riders with *different* accuracy contracts, and the only answer that
+  /// satisfies every contract at once is the exact one. Sessions that want
+  /// sample-served split selection run against a dedicated
+  /// ClassificationMiddleware (middleware/middleware.h) with
+  /// MiddlewareConfig::approx enabled.
+  ApproxConfig approx;
 };
 
 /// Point-in-time view of service health, safe to take while sessions run.

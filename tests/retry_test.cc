@@ -1,0 +1,120 @@
+// RetryPolicy backoff schedule: exponential growth, cap saturation without
+// overflow at absurd attempt numbers, degenerate policies, and the
+// deterministic jitter band.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/retry.h"
+
+namespace sqlclass {
+namespace {
+
+TEST(RetryTest, ExponentialScheduleUpToTheCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 1000;
+  EXPECT_EQ(BackoffDelayUs(policy, 1), 100u);
+  EXPECT_EQ(BackoffDelayUs(policy, 2), 200u);
+  EXPECT_EQ(BackoffDelayUs(policy, 3), 400u);
+  EXPECT_EQ(BackoffDelayUs(policy, 4), 800u);
+  EXPECT_EQ(BackoffDelayUs(policy, 5), 1000u);  // capped, not 1600
+  EXPECT_EQ(BackoffDelayUs(policy, 6), 1000u);
+}
+
+TEST(RetryTest, HugeAttemptNumbersSaturateInsteadOfOverflowing) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_us = 50000;
+  // 10^999 overflows every integer type and even double's range; the loop
+  // must stop multiplying once past the cap.
+  EXPECT_EQ(BackoffDelayUs(policy, 1000), 50000u);
+  EXPECT_EQ(BackoffDelayUs(policy, std::numeric_limits<int>::max()), 50000u);
+}
+
+TEST(RetryTest, DegeneratePolicies) {
+  // Zero initial backoff stays zero at every attempt.
+  RetryPolicy zero;
+  zero.initial_backoff_us = 0;
+  EXPECT_EQ(BackoffDelayUs(zero, 1), 0u);
+  EXPECT_EQ(BackoffDelayUs(zero, 50), 0u);
+
+  // max_attempts = 0 simply means BackoffDelayUs is never consulted; the
+  // policy struct itself must still produce sane delays if asked.
+  RetryPolicy none;
+  none.max_attempts = 0;
+  EXPECT_EQ(BackoffDelayUs(none, 1), none.initial_backoff_us);
+
+  // Cap below the initial delay clamps immediately.
+  RetryPolicy clamped;
+  clamped.initial_backoff_us = 500;
+  clamped.max_backoff_us = 100;
+  EXPECT_EQ(BackoffDelayUs(clamped, 1), 100u);
+
+  // Multiplier 1.0 never grows and never loops forever.
+  RetryPolicy flat;
+  flat.initial_backoff_us = 300;
+  flat.backoff_multiplier = 1.0;
+  flat.max_backoff_us = 1000;
+  EXPECT_EQ(BackoffDelayUs(flat, 1000000), 300u);
+}
+
+TEST(RetryTest, ZeroJitterReproducesTheExactSchedule) {
+  RetryPolicy plain;
+  plain.initial_backoff_us = 128;
+  RetryPolicy seeded = plain;
+  seeded.jitter = 0.0;
+  seeded.jitter_seed = 0xDEADBEEF;  // seed alone must change nothing
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    EXPECT_EQ(BackoffDelayUs(plain, attempt),
+              BackoffDelayUs(seeded, attempt))
+        << attempt;
+  }
+}
+
+TEST(RetryTest, JitterIsDeterministicWithinBandAndSeedSensitive) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 10000;
+  policy.backoff_multiplier = 1.0;  // isolate the jitter factor
+  policy.max_backoff_us = 10000;
+  policy.jitter = 0.25;
+  policy.jitter_seed = 42;
+
+  bool any_below_full = false;
+  for (int attempt = 1; attempt <= 64; ++attempt) {
+    const uint64_t a = BackoffDelayUs(policy, attempt);
+    const uint64_t b = BackoffDelayUs(policy, attempt);
+    EXPECT_EQ(a, b) << "same (seed, attempt) must replay identically";
+    // Scaled by a factor in [1 - jitter, 1].
+    EXPECT_GE(a, 7500u) << attempt;
+    EXPECT_LE(a, 10000u) << attempt;
+    if (a < 10000u) any_below_full = true;
+  }
+  EXPECT_TRUE(any_below_full) << "jitter must actually perturb delays";
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  bool any_diff = false;
+  for (int attempt = 1; attempt <= 64 && !any_diff; ++attempt) {
+    any_diff = BackoffDelayUs(other, attempt) != BackoffDelayUs(policy, attempt);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must yield different schedules";
+}
+
+TEST(RetryTest, JitterAboveOneClampsToFullBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_us = 1000;
+  policy.jitter = 5.0;  // treated as 1.0: delays in [0, 1000]
+  policy.jitter_seed = 7;
+  for (int attempt = 1; attempt <= 32; ++attempt) {
+    EXPECT_LE(BackoffDelayUs(policy, attempt), 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace sqlclass

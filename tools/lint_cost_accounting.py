@@ -16,6 +16,7 @@ Primitives (call sites that move rows/bytes):
     ->Next( / .Next(           cursor / row-source advance
     ->NextBatch( / .NextBatch(
     ->BitmapWords( / .BitmapWords(   bitmap-index word fetch
+    ->SampleRows( / .SampleRows(     scramble (sample file) payload fetch
 
 Charges (anything that mutates a counter field): ++x or x += where x names
 a field of CostCounters or IoCounters (the field lists are parsed out of
@@ -59,6 +60,7 @@ PRIMITIVE_RE = re.compile(
       | (?:\.|->)Next\s*\(
       | (?:\.|->)NextBatch\s*\(
       | (?:\.|->)BitmapWords\s*\(
+      | (?:\.|->)SampleRows\s*\(
     """,
     re.VERBOSE,
 )
@@ -361,7 +363,9 @@ def self_test(root, charge_re):
     injects a function with a bare fwrite, and requires a violation. Also
     proves the fault-injected waiver silences a failure-path primitive, and
     that an uncharged bitmap-index word fetch (BitmapWords with no
-    mw_bitmap_* / IoCounters charge) is caught in bitmap_scan.cc."""
+    mw_bitmap_* / IoCounters charge) is caught in bitmap_scan.cc, and that
+    an uncharged scramble fetch (SampleRows with no mw_sample_* charge) is
+    caught in sample_scan.cc."""
     source = os.path.join(root, "src", "storage", "heap_file.cc")
     with open(source, encoding="utf-8") as f:
         text = f.read()
@@ -387,6 +391,17 @@ def self_test(root, charge_re):
         "}\n"
         "}  // namespace sqlclass\n"
     )
+    sample_source = os.path.join(root, "src", "middleware", "sample_scan.cc")
+    with open(sample_source, encoding="utf-8") as f:
+        sample_text = f.read()
+    sample_injected = sample_text + (
+        "\nnamespace sqlclass {\n"
+        "uint64_t UnchargedSampleFetchForLintSelfTest(SampleFileReader* r) {\n"
+        "  auto rows = r->SampleRows();\n"
+        "  return rows.ok() ? r->num_rows() : 0;\n"
+        "}\n"
+        "}  // namespace sqlclass\n"
+    )
     with tempfile.TemporaryDirectory() as tmp:
         mutated = os.path.join(tmp, "heap_file.cc")
         with open(mutated, "w", encoding="utf-8") as f:
@@ -394,17 +409,25 @@ def self_test(root, charge_re):
         bitmap_mutated = os.path.join(tmp, "bitmap_scan.cc")
         with open(bitmap_mutated, "w", encoding="utf-8") as f:
             f.write(bitmap_injected)
+        sample_mutated = os.path.join(tmp, "sample_scan.cc")
+        with open(sample_mutated, "w", encoding="utf-8") as f:
+            f.write(sample_injected)
         baseline = check_file_regex(source, charge_re)
         baseline += check_file_regex(bitmap_source, charge_re)
+        baseline += check_file_regex(sample_source, charge_re)
         found = check_file_regex(mutated, charge_re)
         bitmap_found = check_file_regex(bitmap_mutated, charge_re)
+        sample_found = check_file_regex(sample_mutated, charge_re)
     new = [v for v in found if v[2] == "UnchargedAppendForLintSelfTest"]
     waived = [v for v in found if v[2] == "WaivedFaultPathForLintSelfTest"]
     bitmap_new = [v for v in bitmap_found
                   if v[2] == "UnchargedBitmapReadForLintSelfTest"]
+    sample_new = [v for v in sample_found
+                  if v[2] == "UnchargedSampleFetchForLintSelfTest"]
     if baseline:
-        print("self-test: FAIL — pristine heap_file.cc / bitmap_scan.cc "
-              f"already has {len(baseline)} violation(s); fix those first")
+        print("self-test: FAIL — pristine heap_file.cc / bitmap_scan.cc / "
+              f"sample_scan.cc already has {len(baseline)} violation(s); "
+              "fix those first")
         return 1
     if not new:
         print("self-test: FAIL — injected uncharged fwrite was not detected")
@@ -417,10 +440,15 @@ def self_test(root, charge_re):
         print("self-test: FAIL — injected uncharged BitmapWords fetch was "
               "not detected")
         return 1
+    if not sample_new:
+        print("self-test: FAIL — injected uncharged SampleRows fetch was "
+              "not detected")
+        return 1
     print("self-test: OK — injected uncharged fwrite detected "
           f"({new[0][2]} at line {new[0][1]}), fault-injected waiver "
           "honored, uncharged BitmapWords fetch detected "
-          f"(line {bitmap_new[0][1]})")
+          f"(line {bitmap_new[0][1]}), uncharged SampleRows fetch detected "
+          f"(line {sample_new[0][1]})")
     return 0
 
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Environment-knob documentation lint.
+
+The README knob table and DESIGN.md drifted from the code more than once
+(SQLCLASS_PAGE_CHECKSUMS and SQLCLASS_FAULTS_SEED both shipped undocumented
+for a while). This checker makes that drift a test failure:
+
+  1. Every runtime environment knob the code reads — a quoted
+     `"SQLCLASS_..."` string literal in src/ or bench/ — must be documented:
+     src/ knobs in BOTH README.md and DESIGN.md, bench-only knobs (e.g.
+     SQLCLASS_BENCH_SCALE) at least in README.md.
+  2. Every `SQLCLASS_*` token the docs mention must exist somewhere in the
+     tree (src/, bench/, tests/, tools/, scripts/, CMake files), so the docs
+     cannot advertise knobs that no longer exist.
+
+Exit status: 0 clean, 1 drift, 2 internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CODE_KNOB_RE = re.compile(r'"(SQLCLASS_[A-Z0-9_]+)"')
+DOC_TOKEN_RE = re.compile(r"(SQLCLASS_[A-Z0-9_]+)")
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def collect_code_knobs(root, subdir):
+    """Quoted SQLCLASS_ literals under `subdir` — the runtime env knobs."""
+    knobs = set()
+    for dirpath, _, names in os.walk(os.path.join(root, subdir)):
+        for name in sorted(names):
+            if name.endswith((".cc", ".h", ".cpp")):
+                knobs |= set(CODE_KNOB_RE.findall(
+                    read(os.path.join(dirpath, name))))
+    return knobs
+
+
+def collect_tree_tokens(root):
+    """Every SQLCLASS_ token in the non-doc tree (code, build, scripts)."""
+    tokens = set()
+    for subdir in ("src", "bench", "tests", "tools", "scripts", "examples"):
+        base = os.path.join(root, subdir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".cc", ".h", ".cpp", ".py", ".sh", ".txt",
+                                  ".cmake")):
+                    tokens |= set(DOC_TOKEN_RE.findall(
+                        read(os.path.join(dirpath, name))))
+    tokens |= set(DOC_TOKEN_RE.findall(
+        read(os.path.join(root, "CMakeLists.txt"))))
+    return tokens
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repo root (default: parent of tools/)")
+    args = parser.parse_args()
+    root = args.root
+
+    try:
+        src_knobs = collect_code_knobs(root, "src")
+        bench_knobs = collect_code_knobs(root, "bench") - src_knobs
+        readme = read(os.path.join(root, "README.md"))
+        design = read(os.path.join(root, "DESIGN.md"))
+        tree_tokens = collect_tree_tokens(root)
+    except Exception as e:  # noqa: BLE001
+        print(f"lint_env_docs: internal error: {e}", file=sys.stderr)
+        return 2
+
+    problems = []
+    for knob in sorted(src_knobs):
+        if knob not in readme:
+            problems.append(f"{knob}: read by src/ but missing from README.md")
+        if knob not in design:
+            problems.append(f"{knob}: read by src/ but missing from DESIGN.md")
+    for knob in sorted(bench_knobs):
+        if knob not in readme:
+            problems.append(
+                f"{knob}: read by bench/ but missing from README.md")
+
+    for doc_name, doc_text in (("README.md", readme), ("DESIGN.md", design)):
+        for token in sorted(set(DOC_TOKEN_RE.findall(doc_text))):
+            if token not in tree_tokens:
+                problems.append(
+                    f"{token}: mentioned in {doc_name} but absent from the "
+                    "tree — stale documentation")
+
+    if problems:
+        print(f"env-knob doc lint: {len(problems)} drift(s):")
+        for p in problems:
+            print(f"  {p}")
+        print("\nFix: document runtime knobs in README.md's knob table and "
+              "the owning DESIGN.md section, and delete doc rows for knobs "
+              "that no longer exist.")
+        return 1
+    print(f"env-knob doc lint: clean — {len(src_knobs)} src knob(s), "
+          f"{len(bench_knobs)} bench-only knob(s) documented, no stale "
+          "doc tokens")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
