@@ -22,7 +22,7 @@ trap 'rm -rf "$tmp"' EXIT
 for threads in 1 4; do
   echo "== middleware suite with SQLCLASS_PARALLEL_SCAN_THREADS=$threads =="
   for test_bin in middleware_test middleware_property_test parallel_scan_test \
-                  bitmap_test; do
+                  bitmap_test shard_test; do
     SQLCLASS_PARALLEL_SCAN_THREADS=$threads \
       "$BUILD_DIR/tests/$test_bin" --gtest_brief=1
   done
@@ -50,3 +50,17 @@ for run in 1 2; do
 done
 diff "$tmp/bitmap_invariant_1.json" "$tmp/bitmap_invariant_2.json"
 echo "OK: bitmap-served trees and simulated cost identical across runs"
+
+# Sharded scan-out (Rule 8): the bench grows the same tree over a shard-
+# count x worker-thread grid and fails itself unless every cell is byte-
+# identical to the unsharded serial run with identical simulated seconds.
+# Two full runs must additionally agree on everything but wall time.
+for run in 1 2; do
+  echo "== sharded scan-out bench, run $run =="
+  "$BUILD_DIR/bench/bench_shard" --smoke \
+    --dump="$tmp/shard_$run.json" >/dev/null
+  sed -E 's/"wall_seconds":[0-9.e+-]+/"wall_seconds":_/g' \
+    "$tmp/shard_$run.json" >"$tmp/shard_invariant_$run.json"
+done
+diff "$tmp/shard_invariant_1.json" "$tmp/shard_invariant_2.json"
+echo "OK: shard-served trees and simulated cost identical across runs"

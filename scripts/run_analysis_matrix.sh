@@ -11,6 +11,9 @@
 #   approx   -fsanitize=address,undefined build + the approximate-counting
 #            ctest subset (ctest -L approx): scramble files, the sample gate,
 #            and its fault fallbacks under ASan
+#   shards   -fsanitize=address,undefined build + the sharded-scan-out ctest
+#            subset (ctest -L shards): partitioner roundtrip, deterministic
+#            CC merge, and shard-fault recovery under ASan
 #   lint     invariant lints: cost accounting + env-knob docs (ctest -L lint,
 #            werror build)
 #
@@ -27,7 +30,7 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 BASE=build-analysis
 LEGS=("$@")
 if [[ ${#LEGS[@]} -eq 0 ]]; then
-  LEGS=(werror tidy asan tsan faults approx lint)
+  LEGS=(werror tidy asan tsan faults approx shards lint)
 fi
 
 note() { printf '\n== %s ==\n' "$*"; }
@@ -97,6 +100,19 @@ run_leg() {
       ctest --test-dir "$approx_dir" --output-on-failure -j "$JOBS" \
         --no-tests=error -L approx
       ;;
+    shards)
+      note "shards: -fsanitize=address,undefined + ctest -L shards"
+      # Shares the asan tree when present, like the faults and approx legs:
+      # the fan-out, merge, and rescan paths must be clean under ASan, not
+      # just grow the right tree.
+      local shards_dir="$BASE/asan"
+      if [[ ! -d "$shards_dir" ]]; then
+        shards_dir="$dir"
+      fi
+      configure_and_build "$shards_dir" -DSQLCLASS_SANITIZE=address,undefined
+      ctest --test-dir "$shards_dir" --output-on-failure -j "$JOBS" \
+        --no-tests=error -L shards
+      ;;
     lint)
       note "lint: cost-accounting + env-knob-docs invariants + self-tests"
       # Reuses the werror tree when present; configures a plain one if not.
@@ -108,7 +124,7 @@ run_leg() {
       ctest --test-dir "$lint_dir" --output-on-failure -L lint
       ;;
     *)
-      echo "unknown leg: $leg (expected: werror tidy asan tsan faults approx lint)" >&2
+      echo "unknown leg: $leg (expected: werror tidy asan tsan faults approx shards lint)" >&2
       return 2
       ;;
   esac

@@ -28,6 +28,7 @@ BENCHES=(
   "bench_faults:BENCH_faults.json"
   "bench_bitmap:BENCH_bitmap.json"
   "bench_approx:BENCH_approx.json"
+  "bench_shard:BENCH_shard.json"
 )
 
 for entry in "${BENCHES[@]}"; do

@@ -71,7 +71,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kBufferPoolFetch,    faults::kServerCursorAdvance,
       faults::kStagingAppend,      faults::kBitmapOpen,
       faults::kBitmapRead,         faults::kSampleOpen,
-      faults::kSampleRead,
+      faults::kSampleRead,         faults::kShardOpen,
+      faults::kShardRead,          faults::kShardWorker,
   };
   return *points;
 }

@@ -31,6 +31,9 @@ inline constexpr char kBitmapOpen[] = "bitmap/open";
 inline constexpr char kBitmapRead[] = "bitmap/read";
 inline constexpr char kSampleOpen[] = "sample/open";
 inline constexpr char kSampleRead[] = "sample/read";
+inline constexpr char kShardOpen[] = "shard/open";
+inline constexpr char kShardRead[] = "shard/read";
+inline constexpr char kShardWorker[] = "shard/worker";
 }  // namespace faults
 
 namespace internal_faults {

@@ -50,6 +50,29 @@ struct ApproxConfig {
   SplitCriterion gate_criterion = SplitCriterion::kEntropy;
 };
 
+/// Knobs of the sharded scan-out path (scheduler Rule 8, DESIGN.md "Sharded
+/// scan-out"): server-located CC batches are fanned out to per-shard
+/// workers over the table's partitioned heap shards
+/// (SqlServer::BuildShardSet) and the partial CC tables merged in fixed
+/// shard order, so trees are byte-identical to the unsharded path at every
+/// shard count.
+struct ShardingConfig {
+  /// Master switch. Off (the default) leaves every path byte-identical to
+  /// the unsharded middleware. Overridable via SQLCLASS_SHARDS=0/1.
+  bool enable = false;
+
+  /// Worker threads driving the per-shard fan-out. 0 = resolve to hardware
+  /// concurrency (overridable via SQLCLASS_SHARDS_WORKERS); 1 = scan the
+  /// shards serially in shard order. Thread count never changes results or
+  /// simulated cost, only wall time.
+  int worker_threads = 0;
+
+  /// Nodes with fewer (estimated) rows than this never route to the shard
+  /// set: the fan-out's per-shard startup outweighs the scan. Overridable
+  /// via SQLCLASS_SHARDS_MIN_ROWS.
+  uint64_t min_node_rows = 4096;
+};
+
 /// Ordering policy for eligible nodes within a scheduled batch. The paper's
 /// Rule 3 is smallest-estimated-CC-first; the alternatives exist for the
 /// scheduling ablation (DESIGN.md A1).
@@ -131,6 +154,9 @@ struct MiddlewareConfig {
 
   /// Approximate counting via the table's scramble (scheduler Rule 7).
   ApproxConfig approx;
+
+  /// Sharded scan-out over the table's shard set (scheduler Rule 8).
+  ShardingConfig sharding;
 };
 
 }  // namespace sqlclass

@@ -40,6 +40,9 @@ ClassificationMiddleware::Create(SqlServer* server, const std::string& table,
   if (config.parallel_scan_threads < 0) {
     return Status::InvalidArgument("parallel scan threads must be >= 0");
   }
+  if (config.sharding.worker_threads < 0) {
+    return Status::InvalidArgument("shard worker threads must be >= 0");
+  }
   return std::unique_ptr<ClassificationMiddleware>(
       new ClassificationMiddleware(server, table, *schema, rows,
                                    std::move(config)));
@@ -179,6 +182,11 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::PlanAndExecuteOne() {
   const bool bitmap_routing =
       ResolveUseBitmapIndex(config_.use_bitmap_index) &&
       server_->HasBitmapIndex(table_);
+  const bool shard_routing =
+      ResolveShardingEnabled(config_.sharding.enable) &&
+      server_->HasShardSet(table_);
+  const uint64_t shard_min_rows =
+      ResolveShardMinRows(config_.sharding.min_node_rows);
   std::vector<SchedItem> items;
   items.reserve(pending_.size());
   std::map<DataLocation, uint64_t> store_rows;
@@ -198,6 +206,9 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::PlanAndExecuteOne() {
         !pending.request.prefer_exact &&
         pending.location.kind == LocationKind::kServer &&
         pending.request.data_size >= config_.approx.min_node_rows;
+    item.shard_servable =
+        shard_routing && pending.location.kind == LocationKind::kServer &&
+        pending.request.data_size >= shard_min_rows;
     items.push_back(item);
     if (pending.location.kind != LocationKind::kServer &&
         store_rows.count(pending.location) == 0) {
@@ -269,6 +280,7 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
   bool staging_enabled = !plan.staging.empty();
   bool use_bitmap = plan.from_bitmap;
   bool use_sample = plan.from_sample;
+  bool use_shards = plan.from_shards;
   std::vector<CcTable> ccs;
   std::vector<bool> fallback(n, false);
   std::vector<bool> requeue(n, false);
@@ -470,6 +482,36 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
       ++stats_.bitmap_scans;
       return Status::OK();
     }
+    // Rule 8 service: fan the batch out over the table's shard set and
+    // merge the per-shard partial CC tables in fixed shard order —
+    // byte-identical to the row-scan paths below at every shard and worker
+    // count. A dead shard is re-scanned from the primary heap file inside
+    // the coordinator; only a pass the coordinator itself cannot recover
+    // (map fault, primary re-scan fault) drops to the shard rung of the
+    // recovery ladder, which re-serves the batch by an ordinary row scan.
+    if (use_shards && source.kind == LocationKind::kServer) {
+      SQLCLASS_ASSIGN_OR_RETURN(ShardCoordinator * coordinator, ShardSet());
+      std::vector<ShardCoordinator::Node> nodes(n);
+      for (int i = 0; i < n; ++i) {
+        nodes[i].predicate = batch[i].request.predicate.get();
+        nodes[i].active_attrs = &batch[i].request.active_attrs;
+        nodes[i].cc = &ccs[i];
+      }
+      const int workers = ResolveShardWorkers(config_.sharding.worker_threads);
+      const int resolved =
+          workers == 0 ? static_cast<int>(ThreadPool::HardwareConcurrency())
+                       : workers;
+      ShardCoordinator::Result shard_result;
+      SQLCLASS_RETURN_IF_ERROR(
+          coordinator->Run(resolved > 1 ? ScanPool(resolved) : nullptr,
+                           &shard_transport_, &nodes, &cost, &shard_result));
+      trace.rows_scanned = shard_result.rows_scanned;
+      trace.served_from_shards = true;
+      trace.shard_rescans += shard_result.rescans;
+      stats_.shard_rescans += shard_result.rescans;
+      ++stats_.shard_scans;
+      return Status::OK();
+    }
     const int scan_threads =
         ResolveParallelThreads(config_.parallel_scan_threads);
     uint64_t source_rows = table_rows_;
@@ -646,6 +688,21 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
       ++stats_.bitmap_fallbacks;
       trace.bitmap_fallback = true;
       SQLCLASS_LOG(kWarning) << "bitmap pass failed for batch " << trace.batch
+                             << ", falling back to row scan: "
+                             << pass.ToString();
+      continue;
+    }
+    if (use_shards) {
+      // Shard rung: the fan-out failed beyond the coordinator's own
+      // per-shard recovery (distribution-map fault, primary re-scan
+      // fault). Degrade transparently to the row-scan path — same source,
+      // same nodes, byte-identical results — and drop the coordinator so a
+      // later batch reopens the distribution map from scratch.
+      use_shards = false;
+      shard_coordinator_.reset();
+      ++stats_.shard_fallbacks;
+      trace.shard_fallback = true;
+      SQLCLASS_LOG(kWarning) << "shard pass failed for batch " << trace.batch
                              << ", falling back to row scan: "
                              << pass.ToString();
       continue;
@@ -849,6 +906,18 @@ StatusOr<SampleFileReader*> ClassificationMiddleware::SampleReader() {
         SampleFileReader::Open(path, &server_->io_counters()));
   }
   return sample_reader_.get();
+}
+
+StatusOr<ShardCoordinator*> ClassificationMiddleware::ShardSet() {
+  if (shard_coordinator_ == nullptr) {
+    SQLCLASS_ASSIGN_OR_RETURN(const std::string heap_path,
+                              server_->TableHeapPath(table_));
+    SQLCLASS_ASSIGN_OR_RETURN(
+        shard_coordinator_,
+        ShardCoordinator::Open(heap_path, schema_,
+                               &server_->io_counters()));
+  }
+  return shard_coordinator_.get();
 }
 
 StatusOr<CcTable> ClassificationMiddleware::SqlFallback(

@@ -14,6 +14,7 @@
 #include "middleware/config.h"
 #include "middleware/estimator.h"
 #include "middleware/scheduler.h"
+#include "middleware/shard_scan.h"
 #include "middleware/staging.h"
 #include "mining/cc_provider.h"
 #include "server/server.h"
@@ -65,6 +66,9 @@ class ClassificationMiddleware : public CcProvider {
     std::atomic<uint64_t> sample_served_nodes{0};  // nodes whose CC the gate accepted
     std::atomic<uint64_t> sample_escalations{0};  // gate rejections requeued exact
     std::atomic<uint64_t> sample_fallbacks{0};  // sample passes degraded to exact scans
+    std::atomic<uint64_t> shard_scans{0};  // batches served by the sharded fan-out
+    std::atomic<uint64_t> shard_fallbacks{0};  // shard passes degraded to row scans
+    std::atomic<uint64_t> shard_rescans{0};  // dead shards recovered from the primary
 
     Stats() = default;
     Stats(const Stats& other) { *this = other; }
@@ -93,6 +97,9 @@ class ClassificationMiddleware : public CcProvider {
       copy(sample_served_nodes, other.sample_served_nodes);
       copy(sample_escalations, other.sample_escalations);
       copy(sample_fallbacks, other.sample_fallbacks);
+      copy(shard_scans, other.shard_scans);
+      copy(shard_fallbacks, other.shard_fallbacks);
+      copy(shard_rescans, other.shard_rescans);
       return *this;
     }
   };
@@ -118,6 +125,9 @@ class ClassificationMiddleware : public CcProvider {
     bool served_from_sample = false;  // Rule 7: counts came from the scramble
     bool sample_fallback = false;     // sample pass failed; exact path served
     int escalated = 0;                // gate rejections requeued as exact
+    bool served_from_shards = false;  // Rule 8: counts merged from shards
+    bool shard_fallback = false;      // shard pass failed; row scan served
+    int shard_rescans = 0;            // dead shards recovered from the primary
   };
 
   /// One gate verdict per sample-served request, in delivery order — the
@@ -210,6 +220,11 @@ class ClassificationMiddleware : public CcProvider {
   /// Reset after a failed sample pass so the next batch reopens cleanly.
   StatusOr<SampleFileReader*> SampleReader();
 
+  /// Lazily opens (and caches) the coordinator over the table's shard set.
+  /// Reset after a failed shard pass so the next batch reopens the
+  /// distribution map from scratch.
+  StatusOr<ShardCoordinator*> ShardSet();
+
   /// Plans and executes one batch against the current queue. Factored out
   /// of FulfillSome so an escalation-only batch (every sampled node
   /// rejected by the gate) can be followed by another round in the same
@@ -234,6 +249,8 @@ class ClassificationMiddleware : public CcProvider {
   std::unique_ptr<ThreadPool> scan_pool_;  // lazily created, see ScanPool()
   std::unique_ptr<BitmapIndexReader> bitmap_reader_;  // see BitmapReader()
   std::unique_ptr<SampleFileReader> sample_reader_;   // see SampleReader()
+  std::unique_ptr<ShardCoordinator> shard_coordinator_;  // see ShardSet()
+  InProcessShardTransport shard_transport_;
   std::vector<SampleDecision> sample_decisions_;
 };
 

@@ -146,6 +146,26 @@ BatchPlan Scheduler::PlanBatch(
   std::vector<const SchedItem*> admitted;
   const size_t cc_planned = admit_group(&group, &admitted);
 
+  // ---- Rule 8 (sharded scan-out): a server-sourced batch whose admitted
+  // nodes are all shard-servable fans out over the table's shard set. The
+  // source choice and admission above are untouched — sharding changes who
+  // performs the scan, not which nodes ride it — but sharded batches never
+  // stage: the fan-out yields merged counts at the coordinator, not a row
+  // stream the staging tiers could capture.
+  if (plan.source.kind == LocationKind::kServer && !admitted.empty()) {
+    bool all_shard_servable = true;
+    for (const SchedItem* item : admitted) {
+      if (!item->shard_servable) {
+        all_shard_servable = false;
+        break;
+      }
+    }
+    if (all_shard_servable) {
+      plan.from_shards = true;
+      return plan;
+    }
+  }
+
   // ---- Rules 4-6 + file splitting: staging decisions for admitted nodes.
   std::vector<const SchedItem*> by_size = admitted;
   std::sort(by_size.begin(), by_size.end(),

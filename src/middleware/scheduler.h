@@ -26,6 +26,10 @@ struct SchedItem {
   /// already escalated to the exact path). Only ever set for server-located
   /// items.
   bool sample_servable = false;
+  /// The request may be served by the sharded scan-out (Rule 8: sharding
+  /// knob on, shard set built, node large enough). Only ever set for
+  /// server-located items.
+  bool shard_servable = false;
 };
 
 /// Memory / file space state the scheduler plans against.
@@ -58,6 +62,13 @@ struct BatchPlan {
   /// answer fails the confidence gate are escalated back into the queue
   /// with sample routing off.
   bool from_sample = false;
+  /// Rule 8: the batch is fanned out over the table's shard set and the
+  /// per-shard partial CC tables merged in fixed shard order. Source
+  /// choice, ordering and admission are exactly the server row-scan path's
+  /// (Rules 1-3) — sharding changes who performs the scan, not which nodes
+  /// ride it — but sharded batches never stage: the fan-out yields merged
+  /// counts at the coordinator, not a row stream through the middleware.
+  bool from_shards = false;
 };
 
 /// The priority scheduler of §4.2. Stateless: each call plans one batch
@@ -81,6 +92,10 @@ struct BatchPlan {
 ///  Rule 5: stage largest-data-size-first while space remains.
 ///  Rule 6: file space is allocated before the remaining memory is
 ///          offered for direct staging.
+///  Rule 8: a server batch whose admitted nodes are all servable by the
+///          sharded scan-out (see middleware/shard_scan.h) is fanned out
+///          over the table's shard set instead of row-scanned, with no
+///          staging — source choice and admission stay Rules 1-3's.
 /// File splitting (§4.3.2): when the batch covers at most
 /// `file_split_threshold` of its source file, each batch node gets its own
 /// smaller file.

@@ -1,0 +1,260 @@
+#include "middleware/shard_scan.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/fault_injector.h"
+#include "storage/heap_file.h"
+#include "storage/row_batch.h"
+
+namespace sqlclass {
+
+namespace {
+
+bool EnvFlagOff(const char* env) {
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+         std::strcmp(env, "off") == 0;
+}
+
+/// Scans one shard heap file, folding matching rows into the task's
+/// partial CC tables. Runs on a pool thread: everything it touches is
+/// task-private or read-only shared. The `shard/read` fault point guards
+/// the scan; any failure marks the shard dead and the coordinator
+/// re-scans it from the primary heap file.
+Status ScanShardHeap(const ShardTask& task) {
+  SQLCLASS_FAULT_POINT(faults::kShardRead);
+  // cost: charged-by-caller(ShardCoordinator::Run) — logical mw_shard_*
+  // charges are applied once post-merge so simulated cost is shard- and
+  // worker-count-invariant; physical pages land on the task's private
+  // IoCounters inside the reader.
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(task.shard_heap_path, task.num_columns, task.io));
+  if (reader->num_rows() != task.expected_rows) {
+    return Status::DataLoss("shard heap row count disagrees with map for " +
+                            task.shard_heap_path);
+  }
+  RowBatch batch;
+  std::vector<int> matches;
+  uint64_t rows = 0;
+  while (true) {
+    SQLCLASS_ASSIGN_OR_RETURN(bool more, reader->NextBatch(&batch));
+    if (!more) break;
+    const size_t batch_rows = batch.num_rows();
+    for (size_t r = 0; r < batch_rows; ++r) {
+      const Value* values = batch.RowAt(r);
+      task.matcher->Match(values, &matches);
+      for (int pos : matches) {
+        (*task.partials)[pos].AddRow(values, *(*task.node_attrs)[pos],
+                                     task.class_column);
+      }
+      ++rows;
+    }
+  }
+  *task.rows_scanned = rows;
+  return Status::OK();
+}
+
+}  // namespace
+
+bool ResolveShardingEnabled(bool configured) {
+  const char* env = std::getenv("SQLCLASS_SHARDS");
+  if (env == nullptr || env[0] == '\0') return configured;
+  return !EnvFlagOff(env);
+}
+
+int ResolveShardWorkers(int configured) {
+  const char* env = std::getenv("SQLCLASS_SHARDS_WORKERS");
+  if (env == nullptr || env[0] == '\0') return configured;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) return configured;
+  return static_cast<int>(parsed);
+}
+
+uint64_t ResolveShardMinRows(uint64_t configured) {
+  const char* env = std::getenv("SQLCLASS_SHARDS_MIN_ROWS");
+  if (env == nullptr || env[0] == '\0') return configured;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) return configured;
+  return static_cast<uint64_t>(parsed);
+}
+
+Status InProcessShardTransport::RunShard(const ShardTask& task) {
+  SQLCLASS_FAULT_POINT(faults::kShardWorker);
+  return ScanShardHeap(task);
+}
+
+uint64_t ShardMerger::ShardMergeCells(CcTable* into, const CcTable& partial) {
+  into->Merge(partial);
+  return partial.NumEntries();
+}
+
+ShardCoordinator::ShardCoordinator(std::string heap_path, const Schema* schema,
+                                   std::unique_ptr<ShardMapReader> map,
+                                   IoCounters* io)
+    : heap_path_(std::move(heap_path)),
+      schema_(schema),
+      map_(std::move(map)),
+      io_(io) {}
+
+StatusOr<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Open(
+    const std::string& heap_path, const Schema& schema, IoCounters* io) {
+  if (schema.class_column() < 0) {
+    return Status::InvalidArgument("sharded scan needs a class column");
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardMapReader> map,
+      ShardMapReader::Open(ShardMapPathFor(heap_path), io));
+  if (map->num_columns() != static_cast<uint32_t>(schema.num_columns())) {
+    return Status::InvalidArgument("shard map column count mismatch for " +
+                                   heap_path);
+  }
+  return std::unique_ptr<ShardCoordinator>(
+      new ShardCoordinator(heap_path, &schema, std::move(map), io));
+}
+
+Status ShardCoordinator::Run(ThreadPool* pool, ShardTransport* transport,
+                             std::vector<Node>* nodes, CostCounters* cost,
+                             Result* result) {
+  const int class_column = schema_->class_column();
+  const int num_classes = schema_->attribute(class_column).cardinality;
+  CostCounters scratch;  // charge sink when the caller passes none
+  CostCounters& charges = cost != nullptr ? *cost : scratch;
+
+  std::vector<const Expr*> predicates;
+  std::vector<const std::vector<int>*> node_attrs;
+  predicates.reserve(nodes->size());
+  node_attrs.reserve(nodes->size());
+  for (Node& node : *nodes) {
+    if (node.cc == nullptr || node.active_attrs == nullptr) {
+      return Status::InvalidArgument("shard scan node missing cc/attrs");
+    }
+    predicates.push_back(node.predicate);
+    node_attrs.push_back(node.active_attrs);
+  }
+  BatchMatcher matcher(predicates);
+
+  SQLCLASS_ASSIGN_OR_RETURN(const ShardInfo* entries, map_->ShardRows());
+  const uint32_t shards = map_->num_shards();
+  const size_t n = nodes->size();
+
+  // Per-shard private state: partial CC tables, row tallies, physical IO,
+  // and the outcome status. Workers write only their own shard's slots.
+  std::vector<std::vector<CcTable>> partials(shards);
+  std::vector<uint64_t> shard_rows(shards, 0);
+  std::vector<IoCounters> shard_io(shards);
+  std::vector<Status> shard_status(shards);
+  std::vector<ShardTask> tasks(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    partials[s].reserve(n);
+    for (size_t i = 0; i < n; ++i) partials[s].emplace_back(num_classes);
+    ShardTask& task = tasks[s];
+    task.shard = s;
+    task.shard_heap_path = ShardHeapPathFor(heap_path_, s);
+    task.expected_rows = entries[s].rows;
+    task.num_columns = schema_->num_columns();
+    task.class_column = class_column;
+    task.num_classes = num_classes;
+    task.matcher = &matcher;
+    task.node_attrs = &node_attrs;
+    task.partials = &partials[s];
+    task.rows_scanned = &shard_rows[s];
+    task.io = &shard_io[s];
+  }
+
+  auto run_shard = [&](int s) {
+    shard_status[s] = transport->RunShard(tasks[s]);
+  };
+  if (pool != nullptr && pool->size() > 1 && shards > 1) {
+    pool->RunTasks(static_cast<int>(shards), run_shard);
+  } else {
+    for (uint32_t s = 0; s < shards; ++s) run_shard(static_cast<int>(s));
+  }
+
+  // Replica-style exclusion: a dead shard (worker fault, shard-file fault,
+  // stale row count) is rebuilt from the primary heap file, restricted to
+  // the rows the scheme routed to it. Only a failed *primary* re-scan
+  // fails the pass — that is the middleware's shard-fallback rung.
+  int rescans = 0;
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (shard_status[s].ok()) continue;
+    partials[s].clear();
+    for (size_t i = 0; i < n; ++i) partials[s].emplace_back(num_classes);
+    shard_rows[s] = 0;
+    SQLCLASS_RETURN_IF_ERROR(RescanFromPrimary(s, tasks[s]));
+    ++rescans;
+  }
+
+  // Fixed shard order makes the merge independent of worker scheduling:
+  // the merged tables are byte-identical to an unsharded scan's at every
+  // shard and thread count.
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t s = 0; s < shards; ++s) {
+      ShardMerger::ShardMergeCells((*nodes)[i].cc, partials[s][i]);
+    }
+  }
+
+  uint64_t total_rows_scanned = 0;
+  for (uint32_t s = 0; s < shards; ++s) total_rows_scanned += shard_rows[s];
+  uint64_t merged_cells = 0;
+  for (size_t i = 0; i < n; ++i) merged_cells += (*nodes)[i].cc->NumEntries();
+
+  // Logical charges, once post-merge: every base row is counted against
+  // every node exactly once across all shards, and merge cells meter the
+  // *final* merged tables — both totals are the same at every shard count
+  // (the Rule 8 invariance contract; recovery re-reads show up only in
+  // the physical IoCounters).
+  charges.mw_shard_rows_read += total_rows_scanned * static_cast<uint64_t>(n);
+  charges.mw_shard_merge_cells += merged_cells;
+
+  if (io_ != nullptr) {
+    for (uint32_t s = 0; s < shards; ++s) io_->Add(shard_io[s]);
+  }
+  if (result != nullptr) {
+    result->rows_scanned = total_rows_scanned;
+    result->rescans = rescans;
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::RescanFromPrimary(uint32_t shard,
+                                           const ShardTask& task) {
+  // cost: charged-by-caller(ShardCoordinator::Run) — same contract as the
+  // worker scan; the extra physical pages of the recovery read land on the
+  // task's IoCounters.
+  SQLCLASS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HeapFileReader> reader,
+      HeapFileReader::Open(heap_path_, task.num_columns, task.io));
+  const ShardScheme scheme = map_->scheme();
+  const uint32_t shards = map_->num_shards();
+  RowBatch batch;
+  std::vector<int> matches;
+  uint64_t ordinal = 0;
+  uint64_t rows = 0;
+  while (true) {
+    SQLCLASS_ASSIGN_OR_RETURN(bool more, reader->NextBatch(&batch));
+    if (!more) break;
+    const size_t batch_rows = batch.num_rows();
+    for (size_t r = 0; r < batch_rows; ++r, ++ordinal) {
+      if (ShardForRow(scheme, ordinal, shards) != shard) continue;
+      const Value* values = batch.RowAt(r);
+      task.matcher->Match(values, &matches);
+      for (int pos : matches) {
+        (*task.partials)[pos].AddRow(values, *(*task.node_attrs)[pos],
+                                     task.class_column);
+      }
+      ++rows;
+    }
+  }
+  if (rows != task.expected_rows) {
+    return Status::DataLoss(
+        "primary re-scan row count disagrees with shard map for shard " +
+        std::to_string(shard) + " of " + heap_path_);
+  }
+  *task.rows_scanned = rows;
+  return Status::OK();
+}
+
+}  // namespace sqlclass

@@ -1,0 +1,147 @@
+#ifndef SQLCLASS_MIDDLEWARE_SHARD_SCAN_H_
+#define SQLCLASS_MIDDLEWARE_SHARD_SCAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "middleware/batch_matcher.h"
+#include "middleware/config.h"
+#include "mining/cc_table.h"
+#include "server/cost_model.h"
+#include "shard/shard_map.h"
+#include "sql/expr.h"
+#include "storage/io_counters.h"
+
+namespace sqlclass {
+
+/// SQLCLASS_SHARDS environment override for ShardingConfig::enable:
+/// "0"/"false"/"off" forces the sharded path off, any other value forces it
+/// on, unset keeps the configured value.
+bool ResolveShardingEnabled(bool configured);
+
+/// SQLCLASS_SHARDS_WORKERS override for ShardingConfig::worker_threads.
+/// Negative or unparsable values keep the configured value; the resolved 0
+/// means hardware concurrency (applied by the coordinator).
+int ResolveShardWorkers(int configured);
+
+/// SQLCLASS_SHARDS_MIN_ROWS override for ShardingConfig::min_node_rows.
+/// Negative or unparsable values keep the configured value.
+uint64_t ResolveShardMinRows(uint64_t configured);
+
+/// The work order one shard worker executes: scan the shard heap file and
+/// build a partial CC table per batch node. Everything a worker touches is
+/// either owned by it (`partials`, `rows_scanned`, `io`) or read-only and
+/// shared (`matcher`, `node_attrs`), so tasks for distinct shards run
+/// concurrently without synchronization.
+struct ShardTask {
+  uint32_t shard = 0;
+  std::string shard_heap_path;
+  uint64_t expected_rows = 0;  // from the distribution map; mismatch = stale
+  int num_columns = 0;
+  int class_column = 0;
+  int num_classes = 0;
+  const BatchMatcher* matcher = nullptr;
+  const std::vector<const std::vector<int>*>* node_attrs = nullptr;
+  std::vector<CcTable>* partials = nullptr;  // out: one per node, zeroed
+  uint64_t* rows_scanned = nullptr;          // out
+  IoCounters* io = nullptr;                  // out: worker-private physical IO
+};
+
+/// How the coordinator reaches a shard's scan executor. The in-process
+/// implementation below runs the scan on the calling (pool) thread; a
+/// subprocess implementation would serialize the task over a pipe or
+/// socketpair to a per-shard worker process and deserialize the partial CC
+/// tables back — the seam is this interface, nothing in the coordinator
+/// assumes shared memory beyond the ShardTask out-fields it owns.
+/// Implementations must be safe to call concurrently from multiple worker
+/// threads.
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Executes `task`'s shard scan, filling its out-fields. A non-OK status
+  /// marks the shard dead; the coordinator then re-scans that shard's rows
+  /// from the primary heap file (replica-style exclusion).
+  virtual Status RunShard(const ShardTask& task) = 0;
+};
+
+/// Runs the shard scan in the calling thread — the shared-nothing layout
+/// without the process boundary. The `shard/worker` fault point guards the
+/// task entry, `shard/read` the shard heap scan itself.
+class InProcessShardTransport : public ShardTransport {
+ public:
+  Status RunShard(const ShardTask& task) override;
+};
+
+/// Deterministic fixed-order merge of per-shard partial CC tables.
+class ShardMerger {
+ public:
+  /// Folds `partial` into `into`, returning the number of (attribute,
+  /// value) cells moved — the unit mw_shard_merge_cells meters. Cell
+  /// counts are int64 sums over disjoint row partitions, so merging the
+  /// partials in fixed shard order yields exactly the table an unsharded
+  /// scan would build.
+  static uint64_t ShardMergeCells(CcTable* into, const CcTable& partial);
+};
+
+/// Fans one CC batch out across the table's shard set (scheduler Rule 8)
+/// and merges the partial tables in fixed shard order, so the result is
+/// byte-identical to the unsharded row-scan path at every shard count and
+/// worker-thread count. A dead shard — worker fault, shard-file fault, or
+/// a row count disagreeing with the distribution map — is re-scanned from
+/// the primary heap file, restricted to the rows the scheme routed to that
+/// shard; the pass fails only when the primary re-scan fails too.
+class ShardCoordinator {
+ public:
+  /// One CC request inside a sharded batch.
+  struct Node {
+    const Expr* predicate = nullptr;  // bound; null means TRUE
+    const std::vector<int>* active_attrs = nullptr;
+    CcTable* cc = nullptr;  // out: populated by Run
+  };
+
+  struct Result {
+    uint64_t rows_scanned = 0;  // base rows counted across all shards
+    int rescans = 0;            // dead shards recovered from the primary
+  };
+
+  /// Opens and validates the distribution map for the table whose primary
+  /// heap file is at `heap_path`. Physical reads land on `io` (nullable).
+  static StatusOr<std::unique_ptr<ShardCoordinator>> Open(
+      const std::string& heap_path, const Schema& schema, IoCounters* io);
+
+  uint32_t num_shards() const { return map_->num_shards(); }
+  uint64_t total_rows() const { return map_->total_rows(); }
+
+  /// Builds every node's CC table. Per-shard tasks run over `pool` via
+  /// `transport` (both serial when pool is null or single-threaded).
+  /// `cost` (nullable) takes the logical mw_shard_* charges — per base row
+  /// per node and per final merged cell, so simulated cost is invariant
+  /// across shard and worker counts; physical reads land on per-worker
+  /// counters folded into the Open-time `io`.
+  Status Run(ThreadPool* pool, ShardTransport* transport,
+             std::vector<Node>* nodes, CostCounters* cost, Result* result);
+
+ private:
+  ShardCoordinator(std::string heap_path, const Schema* schema,
+                   std::unique_ptr<ShardMapReader> map, IoCounters* io);
+
+  /// Serial re-scan of dead shard `shard`'s rows out of the primary heap
+  /// file: row ordinal r belongs to the shard iff ShardForRow(scheme, r, N)
+  /// says so. Rebuilds that shard's partials from scratch.
+  Status RescanFromPrimary(uint32_t shard, const ShardTask& task);
+
+  std::string heap_path_;
+  const Schema* schema_;
+  std::unique_ptr<ShardMapReader> map_;
+  IoCounters* io_;  // may be null
+};
+
+}  // namespace sqlclass
+
+#endif  // SQLCLASS_MIDDLEWARE_SHARD_SCAN_H_

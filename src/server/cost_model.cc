@@ -27,6 +27,8 @@ void ForEachField(Self& a, Other& b, Fn fn) {
   fn(a.mw_bitmap_and_ops, b.mw_bitmap_and_ops);
   fn(a.mw_bitmap_popcounts, b.mw_bitmap_popcounts);
   fn(a.mw_sample_rows_read, b.mw_sample_rows_read);
+  fn(a.mw_shard_rows_read, b.mw_shard_rows_read);
+  fn(a.mw_shard_merge_cells, b.mw_shard_merge_cells);
 }
 
 }  // namespace
@@ -89,7 +91,9 @@ std::string CostCounters::ToString() const {
       << " mw_bitmap_words_read=" << mw_bitmap_words_read
       << " mw_bitmap_and_ops=" << mw_bitmap_and_ops
       << " mw_bitmap_popcounts=" << mw_bitmap_popcounts
-      << " mw_sample_rows_read=" << mw_sample_rows_read;
+      << " mw_sample_rows_read=" << mw_sample_rows_read
+      << " mw_shard_rows_read=" << mw_shard_rows_read
+      << " mw_shard_merge_cells=" << mw_shard_merge_cells;
   return out.str();
 }
 
@@ -116,6 +120,8 @@ double CostModel::SimulatedSeconds(const CostCounters& c) const {
   us += mw_bitmap_word_popcount_us *
         static_cast<double>(c.mw_bitmap_popcounts);
   us += mw_sample_row_read_us * static_cast<double>(c.mw_sample_rows_read);
+  us += mw_shard_row_read_us * static_cast<double>(c.mw_shard_rows_read);
+  us += mw_shard_merge_cell_us * static_cast<double>(c.mw_shard_merge_cells);
   return us / 1e6;
 }
 

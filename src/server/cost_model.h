@@ -41,6 +41,8 @@ struct CostCounters {
   std::atomic<uint64_t> mw_bitmap_and_ops{0};   // word-wise AND/ANDNOT operations
   std::atomic<uint64_t> mw_bitmap_popcounts{0};  // word popcounts folded into counts
   std::atomic<uint64_t> mw_sample_rows_read{0};  // scramble rows counted (Rule 7)
+  std::atomic<uint64_t> mw_shard_rows_read{0};  // shard-partition rows counted (Rule 8)
+  std::atomic<uint64_t> mw_shard_merge_cells{0};  // CC cells merged across shard partials
 
   CostCounters() = default;
   CostCounters(const CostCounters& other) { *this = other; }
@@ -93,6 +95,14 @@ struct CostModel {
   /// payload: same order of magnitude as an in-memory row, priced like a
   /// staged-file row's decode share (DESIGN.md "Approximate counting").
   double mw_sample_row_read_us = 2.5;
+  /// Shard rows are middleware-local heap-file reads, priced like a staged
+  /// file row; charged per base row per node across all shards, so the
+  /// total is the same at every shard count. Merge cells are charged per
+  /// cell of the *final* merged CC table — the logical merge output, not
+  /// the per-partial work — keeping simulated cost shard-count-invariant
+  /// (DESIGN.md "Sharded scan-out").
+  double mw_shard_row_read_us = 2.5;
+  double mw_shard_merge_cell_us = 0.05;
 
   double SimulatedSeconds(const CostCounters& counters) const;
 };

@@ -149,6 +149,11 @@ Status SqlServer::DropTable(const std::string& name) {
     std::remove(smp->second.c_str());
     sample_tables_.erase(smp);
   }
+  auto shm = shard_sets_.find(name);
+  if (shm != shard_sets_.end()) {
+    RemoveShardSetFiles(TablePath(name), shm->second.num_shards);
+    shard_sets_.erase(shm);
+  }
   stats_.erase(name);
   for (auto index_it = indexes_.begin(); index_it != indexes_.end();) {
     if (index_it->first.first == name) {
@@ -278,6 +283,14 @@ Status SqlServer::AppendRows(const std::string& name,
   if (smp != sample_tables_.end()) {
     std::remove(smp->second.c_str());
     sample_tables_.erase(smp);
+  }
+  // And the shard set: its distribution map no longer accounts for the new
+  // rows, so a sharded scan would silently undercount. Drop map + shards;
+  // rebuild is an explicit BuildShardSet.
+  auto shm = shard_sets_.find(name);
+  if (shm != shard_sets_.end()) {
+    RemoveShardSetFiles(state->path, shm->second.num_shards);
+    shard_sets_.erase(shm);
   }
   buffer_pool_.InvalidateFile(info->id);  // cached pages changed on disk
   return Status::OK();
@@ -596,6 +609,56 @@ Status SqlServer::DropSampleTable(const std::string& table) {
   }
   std::remove(it->second.c_str());
   sample_tables_.erase(it);
+  return Status::OK();
+}
+
+Status SqlServer::BuildShardSet(const std::string& table, uint32_t num_shards,
+                                ShardScheme scheme) {
+  SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
+  if (state->loading) return Status::Internal("loader open: " + table);
+  if (shard_sets_.count(table) > 0) {
+    return Status::AlreadyExists("shard set exists on " + table);
+  }
+  SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  ShardSetWriter writer(state->path, info->schema.num_columns(), num_shards,
+                        scheme);
+  SQLCLASS_RETURN_IF_ERROR(writer.Open(&io_counters_));
+  Status scan =
+      ServerSideScan(table, nullptr, [&](Tid, const Row& row) -> Status {
+        ++cost_counters_.index_rows_inserted;
+        return writer.AddRow(row);
+      });
+  if (!scan.ok()) {
+    RemoveShardSetFiles(state->path, num_shards);
+    return scan;
+  }
+  SQLCLASS_RETURN_IF_ERROR(writer.Finish());
+  shard_sets_[table] = {ShardMapPathFor(state->path), num_shards};
+  return Status::OK();
+}
+
+bool SqlServer::HasShardSet(const std::string& table) const {
+  return shard_sets_.count(table) > 0;
+}
+
+StatusOr<std::string> SqlServer::ShardSetPath(const std::string& table) const {
+  auto it = shard_sets_.find(table);
+  if (it == shard_sets_.end()) {
+    return Status::NotFound("no shard set on " + table);
+  }
+  return it->second.map_path;
+}
+
+Status SqlServer::DropShardSet(const std::string& table) {
+  auto it = shard_sets_.find(table);
+  if (it == shard_sets_.end()) {
+    return Status::NotFound("no shard set on " + table);
+  }
+  auto state = GetState(table);
+  if (state.ok()) {
+    RemoveShardSetFiles((*state)->path, it->second.num_shards);
+  }
+  shard_sets_.erase(it);
   return Status::OK();
 }
 

@@ -15,6 +15,7 @@
 #include "server/cost_model.h"
 #include "server/index.h"
 #include "server/table_stats.h"
+#include "shard/shard_map.h"
 #include "sql/executor.h"
 #include "sql/expr.h"
 #include "sql/result_set.h"
@@ -192,6 +193,20 @@ class SqlServer : public TableProvider {
   StatusOr<std::string> SampleTablePath(const std::string& table) const;
   Status DropSampleTable(const std::string& table);
 
+  /// Partitions the table's heap file into `num_shards` shard heap files
+  /// under a persisted, checksummed distribution map (one metered scan plus
+  /// per-row insertion cost). The middleware's sharded scan-out (scheduler
+  /// Rule 8) fans CC batches out over the shard set. Appending rows
+  /// invalidates the shard set — rebuild after bulk INSERTs.
+  Status BuildShardSet(const std::string& table, uint32_t num_shards,
+                       ShardScheme scheme = ShardScheme::kHashRowId);
+  bool HasShardSet(const std::string& table) const;
+
+  /// Path of the table's shard distribution map (`.shm`), for coordinators
+  /// that open their own ShardMapReader. Errors when no shard set exists.
+  StatusOr<std::string> ShardSetPath(const std::string& table) const;
+  Status DropShardSet(const std::string& table);
+
   /// ANALYZE: builds optimizer statistics with one metered scan.
   Status AnalyzeTable(const std::string& table);
   StatusOr<const TableStats*> GetStats(const std::string& table) const;
@@ -285,6 +300,14 @@ class SqlServer : public TableProvider {
   std::map<std::pair<std::string, std::string>, SecondaryIndex> indexes_;
   std::map<std::string, std::string> bitmap_indexes_;  // table -> index path
   std::map<std::string, std::string> sample_tables_;   // table -> scramble path
+
+  /// table -> its shard set. The shard count is kept alongside the map path
+  /// so invalidation removes exactly the files the build created.
+  struct ShardSetEntry {
+    std::string map_path;
+    uint32_t num_shards = 0;
+  };
+  std::map<std::string, ShardSetEntry> shard_sets_;
   std::map<std::string, TableStats> stats_;
   std::map<std::string, std::vector<Tid>> tid_lists_;
   std::map<uint64_t, Keyset> keysets_;

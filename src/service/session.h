@@ -138,6 +138,14 @@ struct ServiceConfig {
   /// ClassificationMiddleware (middleware/middleware.h) with
   /// MiddlewareConfig::approx enabled.
   ApproxConfig approx;
+
+  /// Sharded scan-out knobs (scheduler Rule 8). When the table carries a
+  /// shard set (SqlServer::BuildShardSet) and `sharding.enable` is on, a
+  /// shared scan is fanned out to per-shard workers and the partial CC
+  /// tables merged in fixed shard order — byte-identical results at every
+  /// shard and worker count, so every rider's accuracy contract is met. A
+  /// failed shard pass falls back transparently to the row scan.
+  ShardingConfig sharding;
 };
 
 /// Point-in-time view of service health, safe to take while sessions run.
@@ -163,6 +171,9 @@ struct ServiceMetrics {
   uint64_t scan_failures = 0;  // scans that failed after exhausting retries
   uint64_t bitmap_scans = 0;   // scans served from the bitmap index
   uint64_t bitmap_fallbacks = 0;  // bitmap passes degraded to row scans
+  uint64_t shard_scans = 0;       // scans served by the sharded fan-out
+  uint64_t shard_fallbacks = 0;   // shard passes degraded to row scans
+  uint64_t shard_rescans = 0;     // dead shards recovered from the primary
   std::map<std::string, uint64_t> scans_by_table;  // per-location scan counts
 
   /// Average CC requests served per scan. With N sessions growing identical

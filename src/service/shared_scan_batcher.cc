@@ -9,6 +9,7 @@
 #include "common/retry.h"
 #include "middleware/batch_matcher.h"
 #include "middleware/parallel_scan.h"
+#include "middleware/shard_scan.h"
 
 namespace sqlclass {
 
@@ -297,6 +298,9 @@ void SharedScanBatcher::RunScan(const std::string& table,
   scan_retries_ += out.retries;
   if (out.from_bitmap) ++bitmap_scans_;
   if (out.bitmap_fallback) ++bitmap_fallbacks_;
+  if (out.from_shards) ++shard_scans_;
+  if (out.shard_fallback) ++shard_fallbacks_;
+  shard_rescans_ += out.shard_rescans;
   if (!out.scan_status.ok()) ++scan_failures_;
 
   if (!only_session) t.scan_in_progress = false;
@@ -411,14 +415,71 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScanOnce(
     }
   }
 
+  // Sharded scan-out (scheduler Rule 8 at the service layer): when the
+  // table carries a shard set, the whole cross-session batch fans out to
+  // per-shard workers and the partial CC tables merge in fixed shard order
+  // — byte-identical to the row-scan paths below at every shard and worker
+  // count. Any failure inside the shard pass (map fault, dead shard whose
+  // primary re-scan also fails) falls back transparently to the row scan,
+  // with the partially built tables rebuilt from scratch.
+  bool shard_served = false;
+  if (!bitmap_served && ResolveShardingEnabled(config_.sharding.enable) &&
+      server_->HasShardSet(table) &&
+      table_rows >= ResolveShardMinRows(config_.sharding.min_node_rows)) {
+    Status shard_pass = [&]() -> Status {
+      SQLCLASS_ASSIGN_OR_RETURN(const std::string heap_path,
+                                server_->TableHeapPath(table));
+      // A fresh coordinator per scan: the shard set may have been rebuilt
+      // since the last scan, and the map re-read is one page.
+      SQLCLASS_ASSIGN_OR_RETURN(
+          std::unique_ptr<ShardCoordinator> coordinator,
+          ShardCoordinator::Open(heap_path, schema, &server_->io_counters()));
+      std::vector<ShardCoordinator::Node> nodes(n);
+      for (int i = 0; i < n; ++i) {
+        nodes[i].predicate = batch[i].request.predicate.get();
+        nodes[i].active_attrs = &batch[i].request.active_attrs;
+        nodes[i].cc = &ccs[i];
+      }
+      const int workers = ResolveShardWorkers(config_.sharding.worker_threads);
+      const int resolved =
+          workers == 0 ? static_cast<int>(ThreadPool::HardwareConcurrency())
+                       : workers;
+      if (resolved > 1 &&
+          (scan_pool_ == nullptr || scan_pool_->size() != resolved)) {
+        scan_pool_ = std::make_unique<ThreadPool>(resolved);
+      }
+      InProcessShardTransport transport;
+      ShardCoordinator::Result result;
+      SQLCLASS_RETURN_IF_ERROR(
+          coordinator->Run(resolved > 1 ? scan_pool_.get() : nullptr,
+                           &transport, &nodes, &cost, &result));
+      out.rows_scanned = result.rows_scanned;
+      out.shard_rescans = result.rescans;
+      return Status::OK();
+    }();
+    if (shard_pass.ok()) {
+      shard_served = true;
+      out.from_shards = true;
+      // Like the bitmap path, no per-session CC-update work exists to
+      // credit exactly: the merge charges mw_shard_* primitives, which the
+      // delta splits proportionally across riders.
+    } else {
+      out.shard_fallback = true;
+      out.rows_scanned = 0;
+      out.shard_rescans = 0;
+      for (int i = 0; i < n; ++i) ccs[i] = CcTable(num_classes);
+    }
+  }
+
   // One pass over the table for the whole cross-session batch (§4.1.1
   // lifted across sessions). Large tables go through the morsel-parallel
   // counting scan, which charges the identical logical costs.
   const int scan_threads =
       ResolveParallelThreads(config_.parallel_scan_threads);
-  if (bitmap_served) {
-    // Counts, not rows, flowed from the source; out.rows_scanned stays 0
-    // and no per-session CC-update work exists to credit exactly.
+  if (bitmap_served || shard_served) {
+    // Counts, not rows, flowed to the riders; no per-session CC-update
+    // work exists to credit exactly (the shard path reports the physical
+    // rows its workers scanned, the bitmap path none at all).
   } else if (scan_threads > 1 && table_rows >= config_.parallel_scan_min_rows) {
     ParallelScanOptions options;
     options.class_column = class_column;
@@ -568,6 +629,9 @@ void SharedScanBatcher::FillMetrics(ServiceMetrics* out) const {
   out->scan_failures = scan_failures_;
   out->bitmap_scans = bitmap_scans_;
   out->bitmap_fallbacks = bitmap_fallbacks_;
+  out->shard_scans = shard_scans_;
+  out->shard_fallbacks = shard_fallbacks_;
+  out->shard_rescans = shard_rescans_;
   out->scans_by_table = scans_by_table_;
 }
 

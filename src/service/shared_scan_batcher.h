@@ -152,6 +152,9 @@ class SharedScanBatcher {
     uint64_t retries = 0;                    // failed passes retried
     bool from_bitmap = false;       // counts came from the bitmap index
     bool bitmap_fallback = false;   // bitmap pass failed; row scan served
+    bool from_shards = false;       // counts merged from the shard set
+    bool shard_fallback = false;    // shard pass failed; row scan served
+    uint64_t shard_rescans = 0;     // dead shards recovered from the primary
   };
 
   /// Runs ExecuteScanOnce under ServiceConfig::scan_retry: transient
@@ -192,6 +195,9 @@ class SharedScanBatcher {
   uint64_t scan_failures_ GUARDED_BY(mu_) = 0;
   uint64_t bitmap_scans_ GUARDED_BY(mu_) = 0;
   uint64_t bitmap_fallbacks_ GUARDED_BY(mu_) = 0;
+  uint64_t shard_scans_ GUARDED_BY(mu_) = 0;
+  uint64_t shard_fallbacks_ GUARDED_BY(mu_) = 0;
+  uint64_t shard_rescans_ GUARDED_BY(mu_) = 0;
   std::map<std::string, uint64_t> scans_by_table_ GUARDED_BY(mu_);
 };
 

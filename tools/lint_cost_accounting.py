@@ -4,9 +4,10 @@
 Every row or byte the engine moves must be charged to the cost model:
 logical work to a CostCounters field (src/server/cost_model.h), physical
 I/O to an IoCounters field (src/storage/io_counters.h). This checker walks
-the metered subsystems (src/storage, src/server, src/middleware) and fails
-if any I/O or row-movement primitive call site sits in a function that
-neither charges a counter nor carries an explicit waiver.
+the metered subsystems (src/storage, src/server, src/middleware,
+src/shard) and fails if any I/O or row-movement primitive call site sits
+in a function that neither charges a counter nor carries an explicit
+waiver.
 
 Primitives (call sites that move rows/bytes):
     fread( / fwrite(           physical page traffic
@@ -17,6 +18,8 @@ Primitives (call sites that move rows/bytes):
     ->NextBatch( / .NextBatch(
     ->BitmapWords( / .BitmapWords(   bitmap-index word fetch
     ->SampleRows( / .SampleRows(     scramble (sample file) payload fetch
+    ->ShardRows( / .ShardRows(       shard distribution-map entry fetch
+    ShardMerger::ShardMergeCells(    partial-CC merge cell movement
 
 Charges (anything that mutates a counter field): ++x or x += where x names
 a field of CostCounters or IoCounters (the field lists are parsed out of
@@ -49,7 +52,7 @@ import re
 import sys
 import tempfile
 
-DEFAULT_SUBDIRS = ("src/storage", "src/server", "src/middleware")
+DEFAULT_SUBDIRS = ("src/storage", "src/server", "src/middleware", "src/shard")
 
 PRIMITIVE_RE = re.compile(
     r"""(?:\bstd::)?\bfread\s*\(
@@ -61,6 +64,8 @@ PRIMITIVE_RE = re.compile(
       | (?:\.|->)NextBatch\s*\(
       | (?:\.|->)BitmapWords\s*\(
       | (?:\.|->)SampleRows\s*\(
+      | (?:\.|->|::)ShardRows\s*\(
+      | (?:\.|->|::)ShardMergeCells\s*\(
     """,
     re.VERBOSE,
 )
@@ -363,9 +368,10 @@ def self_test(root, charge_re):
     injects a function with a bare fwrite, and requires a violation. Also
     proves the fault-injected waiver silences a failure-path primitive, and
     that an uncharged bitmap-index word fetch (BitmapWords with no
-    mw_bitmap_* / IoCounters charge) is caught in bitmap_scan.cc, and that
-    an uncharged scramble fetch (SampleRows with no mw_sample_* charge) is
-    caught in sample_scan.cc."""
+    mw_bitmap_* / IoCounters charge) is caught in bitmap_scan.cc, that an
+    uncharged scramble fetch (SampleRows with no mw_sample_* charge) is
+    caught in sample_scan.cc, and that an uncharged shard-map fetch
+    (ShardRows with no mw_shard_* charge) is caught in shard_scan.cc."""
     source = os.path.join(root, "src", "storage", "heap_file.cc")
     with open(source, encoding="utf-8") as f:
         text = f.read()
@@ -402,6 +408,17 @@ def self_test(root, charge_re):
         "}\n"
         "}  // namespace sqlclass\n"
     )
+    shard_source = os.path.join(root, "src", "middleware", "shard_scan.cc")
+    with open(shard_source, encoding="utf-8") as f:
+        shard_text = f.read()
+    shard_injected = shard_text + (
+        "\nnamespace sqlclass {\n"
+        "uint64_t UnchargedShardFetchForLintSelfTest(ShardMapReader* r) {\n"
+        "  auto rows = r->ShardRows();\n"
+        "  return rows.ok() ? r->total_rows() : 0;\n"
+        "}\n"
+        "}  // namespace sqlclass\n"
+    )
     with tempfile.TemporaryDirectory() as tmp:
         mutated = os.path.join(tmp, "heap_file.cc")
         with open(mutated, "w", encoding="utf-8") as f:
@@ -412,22 +429,29 @@ def self_test(root, charge_re):
         sample_mutated = os.path.join(tmp, "sample_scan.cc")
         with open(sample_mutated, "w", encoding="utf-8") as f:
             f.write(sample_injected)
+        shard_mutated = os.path.join(tmp, "shard_scan.cc")
+        with open(shard_mutated, "w", encoding="utf-8") as f:
+            f.write(shard_injected)
         baseline = check_file_regex(source, charge_re)
         baseline += check_file_regex(bitmap_source, charge_re)
         baseline += check_file_regex(sample_source, charge_re)
+        baseline += check_file_regex(shard_source, charge_re)
         found = check_file_regex(mutated, charge_re)
         bitmap_found = check_file_regex(bitmap_mutated, charge_re)
         sample_found = check_file_regex(sample_mutated, charge_re)
+        shard_found = check_file_regex(shard_mutated, charge_re)
     new = [v for v in found if v[2] == "UnchargedAppendForLintSelfTest"]
     waived = [v for v in found if v[2] == "WaivedFaultPathForLintSelfTest"]
     bitmap_new = [v for v in bitmap_found
                   if v[2] == "UnchargedBitmapReadForLintSelfTest"]
     sample_new = [v for v in sample_found
                   if v[2] == "UnchargedSampleFetchForLintSelfTest"]
+    shard_new = [v for v in shard_found
+                 if v[2] == "UnchargedShardFetchForLintSelfTest"]
     if baseline:
         print("self-test: FAIL — pristine heap_file.cc / bitmap_scan.cc / "
-              f"sample_scan.cc already has {len(baseline)} violation(s); "
-              "fix those first")
+              f"sample_scan.cc / shard_scan.cc already has {len(baseline)} "
+              "violation(s); fix those first")
         return 1
     if not new:
         print("self-test: FAIL — injected uncharged fwrite was not detected")
@@ -444,11 +468,16 @@ def self_test(root, charge_re):
         print("self-test: FAIL — injected uncharged SampleRows fetch was "
               "not detected")
         return 1
+    if not shard_new:
+        print("self-test: FAIL — injected uncharged ShardRows fetch was "
+              "not detected")
+        return 1
     print("self-test: OK — injected uncharged fwrite detected "
           f"({new[0][2]} at line {new[0][1]}), fault-injected waiver "
           "honored, uncharged BitmapWords fetch detected "
           f"(line {bitmap_new[0][1]}), uncharged SampleRows fetch detected "
-          f"(line {sample_new[0][1]})")
+          f"(line {sample_new[0][1]}), uncharged ShardRows fetch detected "
+          f"(line {shard_new[0][1]})")
     return 0
 
 
