@@ -262,8 +262,10 @@ int main(int argc, char** argv) {
     }
     json.EndArray();
     json.EndObject();
-    if (!json.WriteToFile(dump_path)) {
-      std::fprintf(stderr, "failed to write %s\n", dump_path.c_str());
+    const Status dump_status = json.WriteToFile(dump_path);
+    if (!dump_status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", dump_path.c_str(),
+                   dump_status.ToString().c_str());
       return 1;
     }
     std::printf("wrote %s\n", dump_path.c_str());

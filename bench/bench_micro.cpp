@@ -113,7 +113,7 @@ std::vector<std::unique_ptr<Expr>> FrontierPredicates(const Schema& schema,
       conj.push_back(equals ? Expr::ColEq(name, v) : Expr::ColNe(name, v));
     }
     auto pred = Expr::And(std::move(conj));
-    pred->Bind(schema);
+    bench::CheckOk(pred->Bind(schema));
     preds.push_back(std::move(pred));
   }
   return preds;
@@ -160,7 +160,7 @@ void BM_ExprEval(benchmark::State& state) {
   Schema schema = BenchSchema(25, 8, 4);
   auto pred = ParsePredicate(
       "(A1 = 1 AND A2 <> 3 AND A5 = 2) OR (A7 <> 0 AND A9 = 4)");
-  pred.value()->Bind(schema);
+  bench::CheckOk(pred.value()->Bind(schema));
   std::vector<Row> rows = BenchRows(schema, 1024, 4);
   size_t i = 0;
   for (auto _ : state) {
@@ -191,8 +191,8 @@ void BM_HeapFileScan(benchmark::State& state) {
   {
     auto writer = HeapFileWriter::Create(path, schema.num_columns(), nullptr);
     std::vector<Row> rows = BenchRows(schema, state.range(0), 5);
-    for (const Row& row : rows) writer.value()->Append(row);
-    writer.value()->Finish();
+    for (const Row& row : rows) bench::CheckOk(writer.value()->Append(row));
+    bench::CheckOk(writer.value()->Finish());
   }
   for (auto _ : state) {
     auto reader = HeapFileReader::Open(path, schema.num_columns(), nullptr);

@@ -19,6 +19,17 @@
 namespace sqlclass {
 namespace bench {
 
+/// Aborts the bench process when setup work fails. Benchmarks must not keep
+/// timing after a failed fixture step — the numbers would silently describe
+/// a different (often empty) workload.
+inline void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
 /// Scratch directory for one bench process, removed on destruction.
 class ScopedDir {
  public:

@@ -14,8 +14,10 @@
 #   shards   -fsanitize=address,undefined build + the sharded-scan-out ctest
 #            subset (ctest -L shards): partitioner roundtrip, deterministic
 #            CC merge, and shard-fault recovery under ASan
-#   lint     invariant lints: cost accounting + env-knob docs (ctest -L lint,
-#            werror build)
+#   lint     invariant lints: cost accounting, env-knob docs, unchecked
+#            Status, fault-point coverage, determinism — each with a
+#            self-test leg proving it still detects its injected violation
+#            (ctest -L lint, werror build)
 #
 # Each leg builds into build-analysis/<leg> so an incremental rerun is
 # cheap. Select legs by name: scripts/run_analysis_matrix.sh asan tsan
@@ -114,14 +116,18 @@ run_leg() {
         --no-tests=error -L shards
       ;;
     lint)
-      note "lint: cost-accounting + env-knob-docs invariants + self-tests"
+      note "lint: cost / env-docs / status / fault-coverage / determinism" \
+           "invariants + self-tests"
       # Reuses the werror tree when present; configures a plain one if not.
+      # --no-tests=error: if the label set ever regresses to zero tests the
+      # leg must fail loudly, not pass vacuously.
       local lint_dir="$BASE/werror"
       if [[ ! -d "$lint_dir" ]]; then
         lint_dir="$BASE/lint"
         cmake -B "$lint_dir" -S . >/dev/null
       fi
-      ctest --test-dir "$lint_dir" --output-on-failure -L lint
+      ctest --test-dir "$lint_dir" --output-on-failure --no-tests=error \
+        -L lint
       ;;
     *)
       echo "unknown leg: $leg (expected: werror tidy asan tsan faults approx shards lint)" >&2

@@ -44,11 +44,11 @@ struct AuxConfig {
 /// don't beat plain scans-with-WHERE even under idealized assumptions.
 class AuxStructureProvider : public CcProvider {
  public:
-  static StatusOr<std::unique_ptr<AuxStructureProvider>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<AuxStructureProvider>> Create(
       SqlServer* server, const std::string& table, AuxConfig config);
 
-  Status QueueRequest(CcRequest request) override;
-  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  [[nodiscard]] Status QueueRequest(CcRequest request) override;
+  [[nodiscard]] StatusOr<std::vector<CcResult>> FulfillSome() override;
   size_t PendingRequests() const override { return queue_.size(); }
 
   int structures_built() const { return structures_built_; }
@@ -61,7 +61,7 @@ class AuxStructureProvider : public CcProvider {
   static std::unique_ptr<Expr> UnionPredicate(
       const std::vector<CcRequest>& batch);
 
-  Status MaybeBuildStructure(uint64_t active_rows, const Expr* predicate);
+  [[nodiscard]] Status MaybeBuildStructure(uint64_t active_rows, const Expr* predicate);
 
   SqlServer* server_;
   std::string table_;

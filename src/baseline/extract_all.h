@@ -30,14 +30,14 @@ namespace sqlclass {
 class ExtractAllProvider : public CcProvider {
  public:
   /// `dir` must exist; the extracted copy lives there until destruction.
-  static StatusOr<std::unique_ptr<ExtractAllProvider>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ExtractAllProvider>> Create(
       SqlServer* server, const std::string& table, const std::string& dir,
       bool batch_counting = false);
 
   ~ExtractAllProvider() override;
 
-  Status QueueRequest(CcRequest request) override;
-  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  [[nodiscard]] Status QueueRequest(CcRequest request) override;
+  [[nodiscard]] StatusOr<std::vector<CcResult>> FulfillSome() override;
   size_t PendingRequests() const override { return queue_.size(); }
 
   uint64_t file_scans() const { return file_scans_; }
@@ -49,7 +49,7 @@ class ExtractAllProvider : public CcProvider {
                      bool batch_counting);
 
   /// One-time full-table pull through an unfiltered cursor.
-  Status ExtractOnce();
+  [[nodiscard]] Status ExtractOnce();
 
   SqlServer* server_;
   std::string table_;

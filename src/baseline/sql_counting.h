@@ -18,11 +18,11 @@ namespace sqlclass {
 /// "SQL Based Counting" curve exhibits and the middleware exists to avoid.
 class SqlCountingProvider : public CcProvider {
  public:
-  static StatusOr<std::unique_ptr<SqlCountingProvider>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<SqlCountingProvider>> Create(
       SqlServer* server, const std::string& table);
 
-  Status QueueRequest(CcRequest request) override;
-  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  [[nodiscard]] Status QueueRequest(CcRequest request) override;
+  [[nodiscard]] StatusOr<std::vector<CcResult>> FulfillSome() override;
   size_t PendingRequests() const override { return queue_.size(); }
 
   uint64_t queries_executed() const { return queries_executed_; }

@@ -34,14 +34,14 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Registers a table; fails with AlreadyExists on a duplicate name.
-  StatusOr<TableId> CreateTable(const std::string& name, const Schema& schema,
+  [[nodiscard]] StatusOr<TableId> CreateTable(const std::string& name, const Schema& schema,
                                 bool is_temp = false);
 
   /// Removes a table by name.
-  Status DropTable(const std::string& name);
+  [[nodiscard]] Status DropTable(const std::string& name);
 
-  StatusOr<const TableInfo*> GetTable(const std::string& name) const;
-  StatusOr<const TableInfo*> GetTable(TableId id) const;
+  [[nodiscard]] StatusOr<const TableInfo*> GetTable(const std::string& name) const;
+  [[nodiscard]] StatusOr<const TableInfo*> GetTable(TableId id) const;
 
   std::vector<std::string> TableNames() const;
   size_t size() const { return by_name_.size(); }

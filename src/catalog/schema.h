@@ -31,7 +31,7 @@ class Schema {
 
   /// Validates names are unique and non-empty, cardinalities positive, and
   /// the class column index is in range (or -1 for "no class column").
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   int num_columns() const { return static_cast<int>(attributes_.size()); }
   const AttributeDef& attribute(int i) const { return attributes_[i]; }

@@ -100,7 +100,7 @@ class FaultInjector {
 
   /// Parses a SQLCLASS_FAULTS-style spec ("point=key:val,...;point=...")
   /// and arms each listed point.
-  Status LoadFromSpec(const std::string& spec) EXCLUDES(mu_);
+  [[nodiscard]] Status LoadFromSpec(const std::string& spec) EXCLUDES(mu_);
 
   bool enabled() const {
     return internal_faults::g_enabled.load(std::memory_order_relaxed);
@@ -108,7 +108,7 @@ class FaultInjector {
 
   /// Slow path of SQLCLASS_FAULT_POINT: records the hit and decides whether
   /// this crossing fails. Only called when enabled().
-  Status OnHit(const char* point) EXCLUDES(mu_);
+  [[nodiscard]] Status OnHit(const char* point) EXCLUDES(mu_);
 
   /// Observability for tests: crossings of an *armed* point, and how many
   /// of them fired. Both 0 for unarmed or unknown points.

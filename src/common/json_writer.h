@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <string>
 
+#include "common/fault_injector.h"
+#include "common/status.h"
+
 namespace sqlclass {
 
 /// Tiny append-only JSON writer for flat records (bench artifacts, metric
@@ -49,13 +52,30 @@ class JsonWriter {
 
   const std::string& str() const { return buf_; }
 
-  bool WriteToFile(const std::string& path) const {
+  /// Writes the buffer (plus a trailing newline) to `path`. Every stdio
+  /// result is checked: buffered writes can first fail at flush/close time,
+  /// and a truncated metrics dump reported as success poisons whatever
+  /// consumes it downstream (this returned bool and ignored fputc/fclose
+  /// failures until the fault-coverage lint flagged it).
+  [[nodiscard]] Status WriteToFile(const std::string& path) const {
+    SQLCLASS_FAULT_POINT(faults::kStorageOpen);
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const bool ok = std::fwrite(buf_.data(), 1, buf_.size(), f) == buf_.size();
-    std::fputc('\n', f);
-    std::fclose(f);
-    return ok;
+    if (f == nullptr) {
+      return Status::IoError("cannot create json dump: " + path);
+    }
+    auto write_all = [&]() -> Status {
+      SQLCLASS_FAULT_POINT(faults::kStorageWrite);
+      if (std::fwrite(buf_.data(), 1, buf_.size(), f) != buf_.size() ||
+          std::fputc('\n', f) == EOF) {
+        return Status::IoError("short write to json dump: " + path);
+      }
+      return Status::OK();
+    };
+    Status status = write_all();
+    if (std::fclose(f) != 0 && status.ok()) {
+      status = Status::IoError("close failed for json dump: " + path);
+    }
+    return status;
   }
 
  private:

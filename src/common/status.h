@@ -31,7 +31,14 @@ const char* StatusCodeName(StatusCode code);
 
 /// A cheap value type describing the outcome of an operation. `Status::OK()`
 /// carries no allocation; error statuses carry a code and a message.
-class Status {
+///
+/// The class is `[[nodiscard]]`: any call that returns a Status and ignores
+/// it is a compile-time warning (an error under SQLCLASS_WERROR) — silently
+/// dropped failures are how byte-identity contracts rot. The few legitimate
+/// discard sites (best-effort cleanup in destructors and the like) must cast
+/// to void and carry a `// status: ignored(<reason>)` waiver, which
+/// tools/lint_status_checks.py audits.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -87,8 +94,10 @@ class Status {
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// error StatusOr aborts (assert) — callers must check `ok()` first.
+/// `[[nodiscard]]` for the same reason as Status: a discarded StatusOr is a
+/// dropped error *and* wasted work.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT: implicit by design for `return status;`
       : status_(std::move(status)) {

@@ -31,7 +31,7 @@ struct CensusParams {
 
 class CensusDataset {
  public:
-  static StatusOr<std::unique_ptr<CensusDataset>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<CensusDataset>> Create(
       const CensusParams& params);
 
   /// Columns: age(9), workclass(8), education(16), marital(7),
@@ -41,7 +41,7 @@ class CensusDataset {
 
   uint64_t TotalRows() const { return params_.rows; }
 
-  Status Generate(const RowSink& sink) const;
+  [[nodiscard]] Status Generate(const RowSink& sink) const;
 
  private:
   explicit CensusDataset(CensusParams params);

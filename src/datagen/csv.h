@@ -28,23 +28,23 @@ struct CsvDataset {
 /// Parses CSV text. `class_column` names the class column (must exist if
 /// non-empty; "" = no class column). Quoted fields with "" escapes are
 /// supported; rows with the wrong field count are an error.
-StatusOr<CsvDataset> ReadCsvText(const std::string& text,
+[[nodiscard]] StatusOr<CsvDataset> ReadCsvText(const std::string& text,
                                  const std::string& class_column,
                                  const CsvOptions& options = CsvOptions());
 
 /// Reads a CSV file from disk.
-StatusOr<CsvDataset> ReadCsvFile(const std::string& path,
+[[nodiscard]] StatusOr<CsvDataset> ReadCsvFile(const std::string& path,
                                  const std::string& class_column,
                                  const CsvOptions& options = CsvOptions());
 
 /// Renders rows back to CSV using the schema's value labels (ids when a
 /// column has no labels).
-StatusOr<std::string> WriteCsvText(const Schema& schema,
+[[nodiscard]] StatusOr<std::string> WriteCsvText(const Schema& schema,
                                    const std::vector<Row>& rows,
                                    const CsvOptions& options = CsvOptions());
 
 /// Writes a CSV file to disk.
-Status WriteCsvFile(const std::string& path, const Schema& schema,
+[[nodiscard]] Status WriteCsvFile(const std::string& path, const Schema& schema,
                     const std::vector<Row>& rows,
                     const CsvOptions& options = CsvOptions());
 

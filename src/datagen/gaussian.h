@@ -34,7 +34,7 @@ struct GaussianMixtureParams {
 
 class GaussianMixtureDataset {
  public:
-  static StatusOr<std::unique_ptr<GaussianMixtureDataset>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<GaussianMixtureDataset>> Create(
       const GaussianMixtureParams& params);
 
   /// Schema: "G1".."Gd" (each `bins` values) plus class column "class".
@@ -46,13 +46,13 @@ class GaussianMixtureDataset {
   }
 
   /// Streams samples class-by-class; deterministic per seed.
-  Status Generate(const RowSink& sink) const;
+  [[nodiscard]] Status Generate(const RowSink& sink) const;
 
   /// Raw (undiscretized) samples, for exercising the discretizers in
   /// mining/discretize.h on genuinely continuous data. Emits the same
   /// underlying draws as Generate(): Generate(sink) == Discretize() mapped
   /// over GenerateContinuous(sink).
-  Status GenerateContinuous(
+  [[nodiscard]] Status GenerateContinuous(
       const std::function<Status(const std::vector<double>& values,
                                  Value label)>& sink) const;
 

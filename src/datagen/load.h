@@ -19,7 +19,7 @@ namespace sqlclass {
 ///                  [&](const RowSink& sink) { return ds->Generate(sink); });
 ///
 /// Loading is setup work and is not metered by the cost model.
-Status LoadIntoServer(SqlServer* server, const std::string& table,
+[[nodiscard]] Status LoadIntoServer(SqlServer* server, const std::string& table,
                       const Schema& schema,
                       const std::function<Status(const RowSink&)>& generate);
 

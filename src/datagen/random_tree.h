@@ -47,7 +47,7 @@ struct RandomTreeParams {
 /// any number of rows; the same seed regenerates the same tree and data.
 class RandomTreeDataset {
  public:
-  static StatusOr<std::unique_ptr<RandomTreeDataset>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<RandomTreeDataset>> Create(
       const RandomTreeParams& params);
 
   /// Schema: attributes "A1".."Am" plus class column "class" (last).
@@ -64,7 +64,7 @@ class RandomTreeDataset {
 
   /// Streams the whole data set (leaf by leaf) into `sink`. Deterministic
   /// given the construction seed; successive calls emit identical rows.
-  Status Generate(const RowSink& sink) const;
+  [[nodiscard]] Status Generate(const RowSink& sink) const;
 
  private:
   struct GenNode {
@@ -80,8 +80,8 @@ class RandomTreeDataset {
 
   RandomTreeDataset(RandomTreeParams params, Schema schema);
 
-  Status Build();
-  Status EmitLeaf(const GenNode& leaf, Random* rng, const RowSink& sink) const;
+  [[nodiscard]] Status Build();
+  [[nodiscard]] Status EmitLeaf(const GenNode& leaf, Random* rng, const RowSink& sink) const;
 
   RandomTreeParams params_;
   Schema schema_;

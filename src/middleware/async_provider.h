@@ -46,11 +46,11 @@ class AsyncCcProvider : public CcProvider {
   AsyncCcProvider(const AsyncCcProvider&) = delete;
   AsyncCcProvider& operator=(const AsyncCcProvider&) = delete;
 
-  Status QueueRequest(CcRequest request) override EXCLUDES(mutex_);
+  [[nodiscard]] Status QueueRequest(CcRequest request) override EXCLUDES(mutex_);
 
   /// Blocks until the worker has fulfilled something (or everything
   /// outstanding has already been delivered / an error occurred).
-  StatusOr<std::vector<CcResult>> FulfillSome() override EXCLUDES(mutex_);
+  [[nodiscard]] StatusOr<std::vector<CcResult>> FulfillSome() override EXCLUDES(mutex_);
 
   void ReleaseNode(int node_id) override EXCLUDES(mutex_);
 

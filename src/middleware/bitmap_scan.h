@@ -44,7 +44,7 @@ class BitmapCountScan {
   /// the index reader was opened with. Charges are per node and
   /// independent of the reader's cache state, so simulated cost is
   /// deterministic across batchings and repeat runs.
-  static Status Run(BitmapIndexReader* index, const Schema& schema,
+  [[nodiscard]] static Status Run(BitmapIndexReader* index, const Schema& schema,
                     std::vector<Node>* nodes, CostCounters* cost);
 };
 

@@ -142,12 +142,12 @@ class ClassificationMiddleware : public CcProvider {
 
   /// `server` and the named table must outlive the middleware. The table's
   /// schema must have a class column. `config.staging_dir` must exist.
-  static StatusOr<std::unique_ptr<ClassificationMiddleware>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ClassificationMiddleware>> Create(
       SqlServer* server, const std::string& table, MiddlewareConfig config);
 
   // CcProvider:
-  Status QueueRequest(CcRequest request) override;
-  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  [[nodiscard]] Status QueueRequest(CcRequest request) override;
+  [[nodiscard]] StatusOr<std::vector<CcResult>> FulfillSome() override;
   /// Marks a delivered node as fully consumed; until then the staged store
   /// holding its data is pinned (its future children may still need it).
   /// This makes store reclamation independent of when, relative to the
@@ -184,22 +184,22 @@ class ClassificationMiddleware : public CcProvider {
   /// Frees staged stores no pending request can reach (§4.2.2's "flushing
   /// D out of memory"). Runs at the start of each batch, after the client
   /// has queued all follow-up requests.
-  Status GarbageCollectStores();
+  [[nodiscard]] Status GarbageCollectStores();
 
   /// When staged memory leaves too little room for even the smallest
   /// pending CC estimate, evicts memory stores (largest first) and points
   /// the affected subtrees back at the server. Keeps estimation errors
   /// from cascading into SQL fallbacks.
-  Status EvictMemoryStoresUnderPressure();
+  [[nodiscard]] Status EvictMemoryStoresUnderPressure();
 
   /// Runs one planned batch: opens the source, counts all batch nodes in a
   /// single pass, stages planned nodes, handles CC-memory overflow via the
   /// SQL fallback, and updates the estimator.
-  StatusOr<std::vector<CcResult>> ExecuteBatch(const BatchPlan& plan,
+  [[nodiscard]] StatusOr<std::vector<CcResult>> ExecuteBatch(const BatchPlan& plan,
                                                std::vector<Pending> batch);
 
   /// Builds the node's CC table entirely at the server (§4.1.1 fallback).
-  StatusOr<CcTable> SqlFallback(const Pending& pending);
+  [[nodiscard]] StatusOr<CcTable> SqlFallback(const Pending& pending);
 
   /// Drops a staged store that failed mid-scan: frees it (tolerantly),
   /// repoints the estimator's subtree and any pending requests that
@@ -214,23 +214,23 @@ class ClassificationMiddleware : public CcProvider {
 
   /// Lazily opens (and caches) the reader over the server's bitmap index.
   /// Reset after a failed bitmap pass so the next batch reopens cleanly.
-  StatusOr<BitmapIndexReader*> BitmapReader();
+  [[nodiscard]] StatusOr<BitmapIndexReader*> BitmapReader();
 
   /// Lazily opens (and caches) the reader over the table's scramble.
   /// Reset after a failed sample pass so the next batch reopens cleanly.
-  StatusOr<SampleFileReader*> SampleReader();
+  [[nodiscard]] StatusOr<SampleFileReader*> SampleReader();
 
   /// Lazily opens (and caches) the coordinator over the table's shard set.
   /// Reset after a failed shard pass so the next batch reopens the
   /// distribution map from scratch.
-  StatusOr<ShardCoordinator*> ShardSet();
+  [[nodiscard]] StatusOr<ShardCoordinator*> ShardSet();
 
   /// Plans and executes one batch against the current queue. Factored out
   /// of FulfillSome so an escalation-only batch (every sampled node
   /// rejected by the gate) can be followed by another round in the same
   /// call — the CcProvider contract promises progress whenever requests
   /// are pending.
-  StatusOr<std::vector<CcResult>> PlanAndExecuteOne();
+  [[nodiscard]] StatusOr<std::vector<CcResult>> PlanAndExecuteOne();
 
   SqlServer* server_;
   std::string table_;

@@ -81,13 +81,13 @@ class ParallelCountScan {
   /// Scans the heap file at `path` (a server table or a sealed staged
   /// file). Workers bypass any buffer pool — each opens its own pool-less
   /// reader — so every page is physically read exactly once per scan.
-  static StatusOr<ParallelScanResult> OverHeapFile(
+  [[nodiscard]] static StatusOr<ParallelScanResult> OverHeapFile(
       ThreadPool* pool, const std::string& path, int num_columns,
       const ParallelScanOptions& options, CostCounters* cost, IoCounters* io);
 
   /// Scans an in-memory staged store; rows are already decoded, so workers
   /// count straight off the store's contiguous values.
-  static StatusOr<ParallelScanResult> OverMemoryStore(
+  [[nodiscard]] static StatusOr<ParallelScanResult> OverMemoryStore(
       ThreadPool* pool, const InMemoryRowStore& store,
       const ParallelScanOptions& options, CostCounters* cost);
 };

@@ -53,7 +53,7 @@ class SampleCountScan {
   /// mw_sample_rows_read charges — one per sample row *per node*, so the
   /// simulated cost is batching-invariant; physical page reads land on the
   /// counters the reader was opened with.
-  static Status Run(SampleFileReader* reader, const Schema& schema,
+  [[nodiscard]] static Status Run(SampleFileReader* reader, const Schema& schema,
                     std::vector<Node>* nodes, CostCounters* cost);
 };
 

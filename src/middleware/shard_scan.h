@@ -67,7 +67,7 @@ class ShardTransport {
   /// Executes `task`'s shard scan, filling its out-fields. A non-OK status
   /// marks the shard dead; the coordinator then re-scans that shard's rows
   /// from the primary heap file (replica-style exclusion).
-  virtual Status RunShard(const ShardTask& task) = 0;
+  [[nodiscard]] virtual Status RunShard(const ShardTask& task) = 0;
 };
 
 /// Runs the shard scan in the calling thread — the shared-nothing layout
@@ -75,7 +75,7 @@ class ShardTransport {
 /// task entry, `shard/read` the shard heap scan itself.
 class InProcessShardTransport : public ShardTransport {
  public:
-  Status RunShard(const ShardTask& task) override;
+  [[nodiscard]] Status RunShard(const ShardTask& task) override;
 };
 
 /// Deterministic fixed-order merge of per-shard partial CC tables.
@@ -112,7 +112,7 @@ class ShardCoordinator {
 
   /// Opens and validates the distribution map for the table whose primary
   /// heap file is at `heap_path`. Physical reads land on `io` (nullable).
-  static StatusOr<std::unique_ptr<ShardCoordinator>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShardCoordinator>> Open(
       const std::string& heap_path, const Schema& schema, IoCounters* io);
 
   uint32_t num_shards() const { return map_->num_shards(); }
@@ -124,7 +124,7 @@ class ShardCoordinator {
   /// per node and per final merged cell, so simulated cost is invariant
   /// across shard and worker counts; physical reads land on per-worker
   /// counters folded into the Open-time `io`.
-  Status Run(ThreadPool* pool, ShardTransport* transport,
+  [[nodiscard]] Status Run(ThreadPool* pool, ShardTransport* transport,
              std::vector<Node>* nodes, CostCounters* cost, Result* result);
 
  private:
@@ -134,7 +134,7 @@ class ShardCoordinator {
   /// Serial re-scan of dead shard `shard`'s rows out of the primary heap
   /// file: row ordinal r belongs to the shard iff ShardForRow(scheme, r, N)
   /// says so. Rebuilds that shard's partials from scratch.
-  Status RescanFromPrimary(uint32_t shard, const ShardTask& task);
+  [[nodiscard]] Status RescanFromPrimary(uint32_t shard, const ShardTask& task);
 
   std::string heap_path_;
   const Schema* schema_;

@@ -39,10 +39,10 @@ class StagingManager {
   // ------------------------------------------------------------- writing
 
   /// Starts a new staged file; rows are appended during the current scan.
-  StatusOr<uint64_t> BeginFileStore();
-  Status AppendToFileStore(uint64_t id, const Row& row);
+  [[nodiscard]] StatusOr<uint64_t> BeginFileStore();
+  [[nodiscard]] Status AppendToFileStore(uint64_t id, const Row& row);
   /// Seals a staged file so it can be scanned.
-  Status FinishFileStore(uint64_t id);
+  [[nodiscard]] Status FinishFileStore(uint64_t id);
 
   /// Starts a new in-memory store.
   uint64_t BeginMemoryStore();
@@ -52,17 +52,17 @@ class StagingManager {
 
   /// Sequential scan over a finished staged file; each row read is charged
   /// as a middleware file read.
-  StatusOr<std::unique_ptr<RowSource>> OpenFileStore(uint64_t id);
+  [[nodiscard]] StatusOr<std::unique_ptr<RowSource>> OpenFileStore(uint64_t id);
 
   /// Direct access to an in-memory store (iteration is charged by the
   /// caller as memory reads).
-  StatusOr<const InMemoryRowStore*> GetMemoryStore(uint64_t id) const;
+  [[nodiscard]] StatusOr<const InMemoryRowStore*> GetMemoryStore(uint64_t id) const;
 
   /// Path of a sealed staged file, for readers that bypass OpenFileStore
   /// (the parallel counting scan opens one reader per worker and charges
   /// mw_file_rows_read itself). Errors while the file is still being
   /// written.
-  StatusOr<std::string> FileStorePath(uint64_t id) const;
+  [[nodiscard]] StatusOr<std::string> FileStorePath(uint64_t id) const;
 
   /// Physical I/O of staged files (not part of the simulated cost model);
   /// parallel scans merge their per-worker counters into this.
@@ -70,7 +70,7 @@ class StagingManager {
 
   // ---------------------------------------------------------- accounting
 
-  StatusOr<uint64_t> StoreRows(const DataLocation& loc) const;
+  [[nodiscard]] StatusOr<uint64_t> StoreRows(const DataLocation& loc) const;
   size_t file_bytes_used() const { return file_bytes_used_; }
   size_t memory_bytes_used() const { return memory_bytes_used_; }
   size_t RowBytes() const { return num_columns_ * sizeof(Value); }
@@ -79,7 +79,7 @@ class StagingManager {
   int memory_stores_created() const { return memory_stores_created_; }
 
   /// Releases a staged store (deletes the file / frees the memory).
-  Status Free(const DataLocation& loc);
+  [[nodiscard]] Status Free(const DataLocation& loc);
 
   /// Locations of all live staged stores (both tiers), for garbage
   /// collection sweeps.

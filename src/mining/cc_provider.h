@@ -75,12 +75,12 @@ class CcProvider {
   virtual ~CcProvider() = default;
 
   /// Enqueues a request. The provider takes ownership.
-  virtual Status QueueRequest(CcRequest request) = 0;
+  [[nodiscard]] virtual Status QueueRequest(CcRequest request) = 0;
 
   /// Services one scheduler-chosen batch of pending requests and returns
   /// their CC tables. Returns an empty vector only when no requests are
   /// pending. Never returns results for requests that were not queued.
-  virtual StatusOr<std::vector<CcResult>> FulfillSome() = 0;
+  [[nodiscard]] virtual StatusOr<std::vector<CcResult>> FulfillSome() = 0;
 
   /// Fig. 3's "processed nodes" arrow: the client calls this once it has
   /// consumed a delivered CC table and queued any follow-up requests for

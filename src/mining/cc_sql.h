@@ -28,7 +28,7 @@ std::string BuildCcQuerySql(const std::string& table, const Schema& schema,
 /// `class_totals_attr` names the attribute whose rows are used to derive the
 /// per-class node totals (any attribute works; each branch partitions the
 /// node's rows). Expects columns (attr_name, value, class, count).
-StatusOr<CcTable> CcFromResultSet(const ResultSet& result,
+[[nodiscard]] StatusOr<CcTable> CcFromResultSet(const ResultSet& result,
                                   const Schema& schema, int num_classes,
                                   const std::string& class_totals_attr);
 

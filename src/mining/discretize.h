@@ -25,17 +25,17 @@ namespace sqlclass {
 class Discretizer {
  public:
   /// Buckets of equal width spanning [lo, hi]; values outside clamp.
-  static StatusOr<Discretizer> EquiWidth(double lo, double hi, int buckets);
+  [[nodiscard]] static StatusOr<Discretizer> EquiWidth(double lo, double hi, int buckets);
 
   /// Buckets holding (approximately) equal numbers of the sample values.
   /// Duplicate cut points are merged, so the result may have fewer buckets.
-  static StatusOr<Discretizer> EquiDepth(std::vector<double> sample,
+  [[nodiscard]] static StatusOr<Discretizer> EquiDepth(std::vector<double> sample,
                                          int buckets);
 
   /// Fayyad-Irani recursive minimum-entropy partitioning with the MDL
   /// acceptance test. `values` and `labels` are parallel; `num_classes`
   /// bounds the labels. May return a single bucket (no informative cut).
-  static StatusOr<Discretizer> EntropyMdl(std::vector<double> values,
+  [[nodiscard]] static StatusOr<Discretizer> EntropyMdl(std::vector<double> values,
                                           std::vector<Value> labels,
                                           int num_classes);
 

@@ -58,7 +58,7 @@ struct CrossValidationResult {
 
 /// k-fold cross-validation: shuffles rows (seeded), trains on k-1 folds,
 /// scores the held-out fold.
-StatusOr<CrossValidationResult> CrossValidate(const std::vector<Row>& rows,
+[[nodiscard]] StatusOr<CrossValidationResult> CrossValidate(const std::vector<Row>& rows,
                                               int class_column, int folds,
                                               uint64_t seed,
                                               const TrainerFn& trainer);

@@ -20,8 +20,8 @@ class InMemoryCcProvider : public CcProvider {
   /// `rows` must outlive the provider; `schema` is copied.
   InMemoryCcProvider(const Schema& schema, const std::vector<Row>* rows);
 
-  Status QueueRequest(CcRequest request) override;
-  StatusOr<std::vector<CcResult>> FulfillSome() override;
+  [[nodiscard]] Status QueueRequest(CcRequest request) override;
+  [[nodiscard]] StatusOr<std::vector<CcResult>> FulfillSome() override;
   size_t PendingRequests() const override { return queue_.size(); }
 
   /// Full passes over the row set made so far.

@@ -19,12 +19,12 @@ class NaiveBayesModel {
  public:
   /// Trains from the root CC table over `schema`'s predictor columns with
   /// Laplace (add-one) smoothing.
-  static StatusOr<NaiveBayesModel> Train(const Schema& schema,
+  [[nodiscard]] static StatusOr<NaiveBayesModel> Train(const Schema& schema,
                                          const CcTable& root_cc);
 
   /// Convenience: queues the single root request on `provider` and trains
   /// from the result.
-  static StatusOr<NaiveBayesModel> TrainWith(const Schema& schema,
+  [[nodiscard]] static StatusOr<NaiveBayesModel> TrainWith(const Schema& schema,
                                              CcProvider* provider,
                                              uint64_t table_rows);
 

@@ -24,7 +24,7 @@ struct PruneStats {
 /// Reduced-error pruning (Quinlan): routes a *holdout* set through the tree
 /// and collapses, bottom-up, every subtree whose majority-class leaf makes
 /// no more holdout errors than the subtree does.
-StatusOr<PruneStats> ReducedErrorPrune(DecisionTree* tree,
+[[nodiscard]] StatusOr<PruneStats> ReducedErrorPrune(DecisionTree* tree,
                                        const std::vector<Row>& holdout);
 
 /// Pessimistic (C4.5-style) error-based pruning: estimates each node's true
@@ -32,7 +32,7 @@ StatusOr<PruneStats> ReducedErrorPrune(DecisionTree* tree,
 /// counts and collapses subtrees whose leaf estimate is no worse than the
 /// sum of their leaves' estimates. `z` is the normal deviate of the
 /// confidence level (C4.5's default CF = 25% corresponds to z ~ 0.674).
-StatusOr<PruneStats> PessimisticPrune(DecisionTree* tree, double z = 0.674);
+[[nodiscard]] StatusOr<PruneStats> PessimisticPrune(DecisionTree* tree, double z = 0.674);
 
 }  // namespace sqlclass
 

@@ -80,7 +80,7 @@ class DecisionTree {
 
   /// Reconstructs a tree from deserialized parts (mining/tree_io.h): nodes
   /// must be dense with id == index, and parent/child links consistent.
-  static StatusOr<DecisionTree> FromNodes(const Schema& schema,
+  [[nodiscard]] static StatusOr<DecisionTree> FromNodes(const Schema& schema,
                                           std::deque<TreeNode> nodes);
 
   /// Creates a child of `parent` reached via `edge_predicate`; the child
@@ -105,10 +105,10 @@ class DecisionTree {
 
   /// Routes a row to a leaf and returns its class. Fails if any node on the
   /// path is still active (tree incomplete).
-  StatusOr<Value> Classify(const Row& row) const;
+  [[nodiscard]] StatusOr<Value> Classify(const Row& row) const;
 
   /// Fraction of rows whose predicted class matches the class column.
-  StatusOr<double> Accuracy(const std::vector<Row>& rows) const;
+  [[nodiscard]] StatusOr<double> Accuracy(const std::vector<Row>& rows) const;
 
   int CountLeaves() const;
   int MaxDepth() const;

@@ -52,7 +52,7 @@ class DecisionTreeClient {
 
   /// Grows a complete tree over a table of `table_rows` rows served by
   /// `provider`.
-  StatusOr<DecisionTree> Grow(CcProvider* provider, uint64_t table_rows);
+  [[nodiscard]] StatusOr<DecisionTree> Grow(CcProvider* provider, uint64_t table_rows);
 
   /// CC requests issued during the last Grow (== nodes actually counted).
   uint64_t requests_issued() const { return requests_issued_; }
@@ -65,18 +65,18 @@ class DecisionTreeClient {
   /// creates children, and queues child requests. `approximate` marks a
   /// sample-served (scaled) CC: the node's data size is reconciled rather
   /// than asserted, and child sizes are tracked as estimates.
-  Status ProcessNode(DecisionTree* tree, int node_id, const CcTable& cc,
+  [[nodiscard]] Status ProcessNode(DecisionTree* tree, int node_id, const CcTable& cc,
                      bool approximate, CcProvider* provider);
 
   /// Complete-split variant of the partitioning step.
-  Status PartitionMultiway(DecisionTree* tree, int node_id, const CcTable& cc,
+  [[nodiscard]] Status PartitionMultiway(DecisionTree* tree, int node_id, const CcTable& cc,
                            bool approximate, CcProvider* provider);
 
   /// Creates one child; immediately settles it as a leaf when termination
   /// criteria are already decidable from the parent's CC table (pure /
   /// depth / min-rows), else queues its CC request. `estimate` marks the
   /// child's data size as derived from an approximate CC.
-  Status CreateAndQueueChild(DecisionTree* tree, int parent_id,
+  [[nodiscard]] Status CreateAndQueueChild(DecisionTree* tree, int parent_id,
                              std::unique_ptr<Expr> edge,
                              std::vector<int> active_attrs,
                              const std::vector<int64_t>& class_counts,

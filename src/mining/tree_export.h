@@ -15,13 +15,13 @@ namespace sqlclass {
 
 /// One IF <conjunction> THEN class = <label> line per reachable leaf, in
 /// left-to-right tree order. Pure leaves include their row counts.
-StatusOr<std::string> TreeToRules(const DecisionTree& tree);
+[[nodiscard]] StatusOr<std::string> TreeToRules(const DecisionTree& tree);
 
 /// A single SQL expression of nested CASE WHEN <edge> THEN ... ELSE ... END
 /// evaluating to the predicted class id; apply as
 /// `SELECT <expr> FROM t`. Works on any engine with CASE (ours does not
 /// execute CASE — the export targets real backends).
-StatusOr<std::string> TreeToSqlCase(const DecisionTree& tree);
+[[nodiscard]] StatusOr<std::string> TreeToSqlCase(const DecisionTree& tree);
 
 }  // namespace sqlclass
 

@@ -23,14 +23,14 @@ namespace sqlclass {
 ///   end
 
 /// Serializes a complete tree (no active nodes).
-StatusOr<std::string> SerializeTree(const DecisionTree& tree);
+[[nodiscard]] StatusOr<std::string> SerializeTree(const DecisionTree& tree);
 
 /// Parses a serialized tree; validates structure and schema.
-StatusOr<DecisionTree> DeserializeTree(const std::string& text);
+[[nodiscard]] StatusOr<DecisionTree> DeserializeTree(const std::string& text);
 
 /// File convenience wrappers.
-Status SaveTree(const DecisionTree& tree, const std::string& path);
-StatusOr<DecisionTree> LoadTree(const std::string& path);
+[[nodiscard]] Status SaveTree(const DecisionTree& tree, const std::string& path);
+[[nodiscard]] StatusOr<DecisionTree> LoadTree(const std::string& path);
 
 }  // namespace sqlclass
 

@@ -41,7 +41,7 @@ class ServerCursor {
   ~ServerCursor() = default;
 
   /// Next row that passed the server-side filter; false at end.
-  StatusOr<bool> Next(Row* row);
+  [[nodiscard]] StatusOr<bool> Next(Row* row);
 
   uint64_t rows_transferred() const { return transferred_; }
 
@@ -87,15 +87,15 @@ class SqlServer : public TableProvider {
 
   // ------------------------------------------------------------- DDL/DML
 
-  Status CreateTable(const std::string& name, const Schema& schema);
-  Status DropTable(const std::string& name);
+  [[nodiscard]] Status CreateTable(const std::string& name, const Schema& schema);
+  [[nodiscard]] Status DropTable(const std::string& name);
   bool HasTable(const std::string& name) const;
 
   /// Streaming bulk loader; call Finish() exactly once.
   class Loader {
    public:
-    Status Append(const Row& row);
-    Status Finish();
+    [[nodiscard]] Status Append(const Row& row);
+    [[nodiscard]] Status Finish();
     uint64_t rows() const { return writer_->rows_written(); }
 
    private:
@@ -107,76 +107,76 @@ class SqlServer : public TableProvider {
     std::unique_ptr<HeapFileWriter> writer_;
     const Schema* schema_;
   };
-  StatusOr<std::unique_ptr<Loader>> OpenLoader(const std::string& name);
+  [[nodiscard]] StatusOr<std::unique_ptr<Loader>> OpenLoader(const std::string& name);
 
   /// Convenience wrapper for small tables.
-  Status LoadRows(const std::string& name, const std::vector<Row>& rows);
+  [[nodiscard]] Status LoadRows(const std::string& name, const std::vector<Row>& rows);
 
   /// Appends rows to an already-loaded table (the INSERT path). Secondary
   /// indexes are maintained incrementally; ANALYZE statistics go stale and
   /// are dropped.
-  Status AppendRows(const std::string& name, const std::vector<Row>& rows);
+  [[nodiscard]] Status AppendRows(const std::string& name, const std::vector<Row>& rows);
 
   // ----------------------------------------------------------- metadata
 
-  StatusOr<const Schema*> GetSchema(const std::string& table) override;
-  StatusOr<uint64_t> TableRowCount(const std::string& table) const;
+  [[nodiscard]] StatusOr<const Schema*> GetSchema(const std::string& table) override;
+  [[nodiscard]] StatusOr<uint64_t> TableRowCount(const std::string& table) const;
 
   /// Path of a loaded table's heap file, for scanners that open their own
   /// readers (the morsel-parallel counting scan opens one per worker).
   /// Errors while the table is still loading.
-  StatusOr<std::string> TableHeapPath(const std::string& table) const;
+  [[nodiscard]] StatusOr<std::string> TableHeapPath(const std::string& table) const;
 
   /// Physical scan used by the SQL executor; meters physical I/O only (the
   /// executor's ExecStats carry the logical charges).
-  StatusOr<std::unique_ptr<RowSource>> Scan(const std::string& table) override;
+  [[nodiscard]] StatusOr<std::unique_ptr<RowSource>> Scan(const std::string& table) override;
 
   // ----------------------------------------------------------- SQL path
 
   /// Parses and executes any statement (query / CREATE TABLE / DROP TABLE
   /// / INSERT); logical query work is charged to the cost counters. This is
   /// the path the SQL-counting baseline (§2.3) uses.
-  StatusOr<ResultSet> Execute(const std::string& sql);
+  [[nodiscard]] StatusOr<ResultSet> Execute(const std::string& sql);
 
   /// EXPLAIN: a human-readable plan for a query without executing it — one
   /// line per UNION ALL branch showing the access path the engine/cursor
   /// layer would take (seq scan vs index scan), the estimated selectivity
   /// (when ANALYZE stats exist), grouping, ordering and limit. Charges
   /// nothing.
-  StatusOr<std::string> Explain(const std::string& sql);
+  [[nodiscard]] StatusOr<std::string> Explain(const std::string& sql);
 
   // -------------------------------------------------------- cursor path
 
   /// Opens a filtered forward-only cursor. `filter` may be null (full
   /// table); it is cloned and bound internally.
-  StatusOr<std::unique_ptr<ServerCursor>> OpenCursor(const std::string& table,
+  [[nodiscard]] StatusOr<std::unique_ptr<ServerCursor>> OpenCursor(const std::string& table,
                                                      const Expr* filter);
 
   /// Cursor from SQL text of the form `SELECT * FROM t [WHERE pred]` — the
   /// form the middleware's filter generator emits (§4.3.1).
-  StatusOr<std::unique_ptr<ServerCursor>> OpenCursorSql(
+  [[nodiscard]] StatusOr<std::unique_ptr<ServerCursor>> OpenCursorSql(
       const std::string& select_sql);
 
   // ------------------------------------------- indexes and statistics
 
   /// Builds a posting-list secondary index on one column (one metered scan
   /// plus per-entry insertion cost).
-  Status CreateIndex(const std::string& table, const std::string& column);
+  [[nodiscard]] Status CreateIndex(const std::string& table, const std::string& column);
   bool HasIndex(const std::string& table, const std::string& column) const;
-  Status DropIndex(const std::string& table, const std::string& column);
+  [[nodiscard]] Status DropIndex(const std::string& table, const std::string& column);
 
   /// Builds the per-attribute, per-value bitmap index for every column of
   /// `table` (one metered scan plus per-row insertion cost) and persists it
   /// alongside the heap file. The middleware's bitmap routing (scheduler
   /// Rule 0) and the service layer serve conjunctive CC requests from it.
   /// Appending rows invalidates the index — rebuild after bulk INSERTs.
-  Status BuildBitmapIndex(const std::string& table);
+  [[nodiscard]] Status BuildBitmapIndex(const std::string& table);
   bool HasBitmapIndex(const std::string& table) const;
 
   /// Path of the table's bitmap index file, for scanners that open their
   /// own BitmapIndexReader. Errors when no index exists.
-  StatusOr<std::string> BitmapIndexPath(const std::string& table) const;
-  Status DropBitmapIndex(const std::string& table);
+  [[nodiscard]] StatusOr<std::string> BitmapIndexPath(const std::string& table) const;
+  [[nodiscard]] Status DropBitmapIndex(const std::string& table);
 
   /// Builds the table's persistent scramble (uniform pre-shuffled row
   /// sample at `sampling_ratio`, one metered scan plus per-row insertion
@@ -184,36 +184,36 @@ class SqlServer : public TableProvider {
   /// approximate counting (scheduler Rule 7) serves split-selection CC
   /// requests from it. Appending rows invalidates the scramble — rebuild
   /// after bulk INSERTs.
-  Status BuildSampleTable(const std::string& table, double sampling_ratio,
+  [[nodiscard]] Status BuildSampleTable(const std::string& table, double sampling_ratio,
                           uint64_t seed);
   bool HasSampleTable(const std::string& table) const;
 
   /// Path of the table's scramble file, for scanners that open their own
   /// SampleFileReader. Errors when no scramble exists.
-  StatusOr<std::string> SampleTablePath(const std::string& table) const;
-  Status DropSampleTable(const std::string& table);
+  [[nodiscard]] StatusOr<std::string> SampleTablePath(const std::string& table) const;
+  [[nodiscard]] Status DropSampleTable(const std::string& table);
 
   /// Partitions the table's heap file into `num_shards` shard heap files
   /// under a persisted, checksummed distribution map (one metered scan plus
   /// per-row insertion cost). The middleware's sharded scan-out (scheduler
   /// Rule 8) fans CC batches out over the shard set. Appending rows
   /// invalidates the shard set — rebuild after bulk INSERTs.
-  Status BuildShardSet(const std::string& table, uint32_t num_shards,
+  [[nodiscard]] Status BuildShardSet(const std::string& table, uint32_t num_shards,
                        ShardScheme scheme = ShardScheme::kHashRowId);
   bool HasShardSet(const std::string& table) const;
 
   /// Path of the table's shard distribution map (`.shm`), for coordinators
   /// that open their own ShardMapReader. Errors when no shard set exists.
-  StatusOr<std::string> ShardSetPath(const std::string& table) const;
-  Status DropShardSet(const std::string& table);
+  [[nodiscard]] StatusOr<std::string> ShardSetPath(const std::string& table) const;
+  [[nodiscard]] Status DropShardSet(const std::string& table);
 
   /// ANALYZE: builds optimizer statistics with one metered scan.
-  Status AnalyzeTable(const std::string& table);
-  StatusOr<const TableStats*> GetStats(const std::string& table) const;
+  [[nodiscard]] Status AnalyzeTable(const std::string& table);
+  [[nodiscard]] StatusOr<const TableStats*> GetStats(const std::string& table) const;
 
   /// Cursor via the index on (table, column = value): probes the postings
   /// and applies `residual` (may be null) server-side before transfer.
-  StatusOr<std::unique_ptr<ServerCursor>> ScanViaIndex(
+  [[nodiscard]] StatusOr<std::unique_ptr<ServerCursor>> ScanViaIndex(
       const std::string& table, const std::string& column, Value value,
       const Expr* residual);
 
@@ -221,7 +221,7 @@ class SqlServer : public TableProvider {
   /// usable equality conjunct on an indexed column whose estimated
   /// selectivity (from ANALYZE stats, default 1/distinct) is below
   /// `kIndexSelectivityThreshold`; otherwise a sequential scan.
-  StatusOr<std::unique_ptr<ServerCursor>> OpenCursorAuto(
+  [[nodiscard]] StatusOr<std::unique_ptr<ServerCursor>> OpenCursorAuto(
       const std::string& table, const Expr* filter);
 
   static constexpr double kIndexSelectivityThreshold = 0.2;
@@ -230,32 +230,32 @@ class SqlServer : public TableProvider {
 
   /// (a) Copies the filtered subset of `src` into a new table `temp_name`
   /// (created; fails if it exists). Charges expensive server-side writes.
-  Status CopyToTempTable(const std::string& src, const Expr* filter,
+  [[nodiscard]] Status CopyToTempTable(const std::string& src, const Expr* filter,
                          const std::string& temp_name);
 
   /// (b) Materializes the TIDs of rows matching `filter` into a named TID
   /// list; returns the number of TIDs captured.
-  StatusOr<uint64_t> CreateTidList(const std::string& src, const Expr* filter,
+  [[nodiscard]] StatusOr<uint64_t> CreateTidList(const std::string& src, const Expr* filter,
                                    const std::string& list_name);
 
   /// (b) Scans `src` through the TID list (simulated join on TID), applying
   /// `extra_filter` (may be null) server-side before transfer.
-  StatusOr<std::unique_ptr<ServerCursor>> ScanByTidJoin(
+  [[nodiscard]] StatusOr<std::unique_ptr<ServerCursor>> ScanByTidJoin(
       const std::string& src, const std::string& list_name,
       const Expr* extra_filter);
 
   /// (c) Defines a keyset cursor over the rows of `table` matching
   /// `filter`; returns a keyset id. Cheaper to create than a temp table
   /// (keys stay in server memory).
-  StatusOr<uint64_t> CreateKeyset(const std::string& table,
+  [[nodiscard]] StatusOr<uint64_t> CreateKeyset(const std::string& table,
                                   const Expr* filter);
 
   /// (c) Re-scans the keyset; `proc_filter` models the stored procedure
   /// that filters fetched rows before returning them to the middleware.
-  StatusOr<std::unique_ptr<ServerCursor>> ScanKeyset(uint64_t keyset_id,
+  [[nodiscard]] StatusOr<std::unique_ptr<ServerCursor>> ScanKeyset(uint64_t keyset_id,
                                                      const Expr* proc_filter);
 
-  Status ReleaseKeyset(uint64_t keyset_id);
+  [[nodiscard]] Status ReleaseKeyset(uint64_t keyset_id);
 
   // ------------------------------------------------------------ metering
 
@@ -281,13 +281,13 @@ class SqlServer : public TableProvider {
     std::vector<Tid> tids;
   };
 
-  StatusOr<TableState*> GetState(const std::string& table);
-  StatusOr<const TableState*> GetState(const std::string& table) const;
+  [[nodiscard]] StatusOr<TableState*> GetState(const std::string& table);
+  [[nodiscard]] StatusOr<const TableState*> GetState(const std::string& table) const;
   std::string TablePath(const std::string& name) const;
 
   /// Scans `src` at the server, charging one scan + per-row evaluation, and
   /// invokes `fn(tid, row)` for rows matching `filter` (null = all rows).
-  Status ServerSideScan(const std::string& src, const Expr* filter,
+  [[nodiscard]] Status ServerSideScan(const std::string& src, const Expr* filter,
                         const std::function<Status(Tid, const Row&)>& fn);
 
   std::string base_dir_;

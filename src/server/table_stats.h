@@ -24,7 +24,7 @@ struct ColumnStats {
 class TableStats {
  public:
   /// Consumes `source` entirely.
-  static StatusOr<TableStats> Build(const Schema& schema, RowSource* source);
+  [[nodiscard]] static StatusOr<TableStats> Build(const Schema& schema, RowSource* source);
 
   uint64_t num_rows() const { return num_rows_; }
   const ColumnStats& column(int i) const { return columns_[i]; }

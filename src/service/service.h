@@ -38,7 +38,7 @@ class ClassificationService {
  public:
   /// `base_dir` must exist and be writable (the embedded server's heap
   /// files live there). Workers start immediately.
-  static StatusOr<std::unique_ptr<ClassificationService>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ClassificationService>> Create(
       const std::string& base_dir, ServiceConfig config = ServiceConfig());
 
   ~ClassificationService();
@@ -49,15 +49,15 @@ class ClassificationService {
   /// Creates and bulk-loads a table, then registers it for classification.
   /// Loading is unmetered (the paper measures against a pre-existing
   /// database); cost counters are reset afterwards.
-  Status CreateAndLoadTable(const std::string& name, const Schema& schema,
+  [[nodiscard]] Status CreateAndLoadTable(const std::string& name, const Schema& schema,
                             const std::vector<Row>& rows);
 
   /// Registers a table that already exists on the embedded server.
-  Status RegisterTable(const std::string& name);
+  [[nodiscard]] Status RegisterTable(const std::string& name);
 
   /// Enqueues a session for admission. Fails fast (ResourceExhausted) when
   /// the admission queue is full or the quota exceeds the service budget.
-  StatusOr<SessionId> Submit(SessionSpec spec);
+  [[nodiscard]] StatusOr<SessionId> Submit(SessionSpec spec);
 
   /// Blocks until the session completes (or times out in the queue).
   SessionResult Wait(SessionId id);

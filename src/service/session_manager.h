@@ -42,7 +42,7 @@ class SessionManager {
 
   /// Enqueues a session, or rejects it outright (queue closed or full,
   /// quota > total budget).
-  StatusOr<SessionId> Submit(SessionSpec spec) EXCLUDES(mu_);
+  [[nodiscard]] StatusOr<SessionId> Submit(SessionSpec spec) EXCLUDES(mu_);
 
   /// Blocks until the queue head is admissible (claims it), or the manager
   /// is stopped (returns nullopt). Expired queue entries encountered while

@@ -60,7 +60,7 @@ class SharedScanBatcher {
 
   /// Caches schema and row count; the table must exist on the server and
   /// have a class column.
-  Status RegisterTable(const std::string& table) EXCLUDES(mu_, *server_mu_);
+  [[nodiscard]] Status RegisterTable(const std::string& table) EXCLUDES(mu_, *server_mu_);
 
   const Schema* GetSchema(const std::string& table) const EXCLUDES(mu_);
 
@@ -69,7 +69,7 @@ class SharedScanBatcher {
 
   /// Declares an active session over `table` (must be registered). The
   /// session participates in scan gathering until UnregisterSession.
-  Status RegisterSession(SessionId id, const std::string& table,
+  [[nodiscard]] Status RegisterSession(SessionId id, const std::string& table,
                          size_t quota_bytes) EXCLUDES(mu_);
 
   /// Removes the session; leftover pending requests (aborted grow) are
@@ -77,12 +77,12 @@ class SharedScanBatcher {
   void UnregisterSession(SessionId id) EXCLUDES(mu_);
 
   /// Queues one CC request (binds and validates the predicate).
-  Status Enqueue(SessionId id, CcRequest request) EXCLUDES(mu_);
+  [[nodiscard]] Status Enqueue(SessionId id, CcRequest request) EXCLUDES(mu_);
 
   /// Blocks until some of the session's requests are fulfilled. Empty
   /// result only when the session has nothing outstanding. A session error
   /// (quota exceeded, scan failure) is sticky.
-  StatusOr<std::vector<CcResult>> Fulfill(SessionId id)
+  [[nodiscard]] StatusOr<std::vector<CcResult>> Fulfill(SessionId id)
       EXCLUDES(mu_, *server_mu_);
 
   /// Queued-but-undelivered request count for one session.

@@ -60,6 +60,7 @@ uint32_t ShardForRow(ShardScheme scheme, uint64_t row_ordinal,
 
 StatusOr<uint32_t> ChecksumFileContents(const std::string& path,
                                         IoCounters* counters) {
+  SQLCLASS_FAULT_POINT(faults::kStorageOpen);
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IoError("cannot open file for checksum: " + path);
@@ -67,20 +68,26 @@ StatusOr<uint32_t> ChecksumFileContents(const std::string& path,
   // One-shot checksum over the whole file: chunked Checksum32 chaining
   // would tie the stored value to the chunk size, so the file is read
   // whole. Shard heap files are a fraction of the table by construction.
-  std::vector<char> bytes;
-  char chunk[kPageSize];
-  while (true) {
-    const size_t n = std::fread(chunk, 1, sizeof(chunk), file);
-    bytes.insert(bytes.end(), chunk, chunk + n);
-    if (n < sizeof(chunk)) break;
-  }
-  const bool truncated = std::ferror(file) != 0;
-  std::fclose(file);
-  if (truncated) {
-    return Status::IoError("cannot read file for checksum: " + path);
-  }
-  if (counters != nullptr) counters->pages_read += PagesFor(bytes.size());
-  return Checksum32(bytes.data(), bytes.size());
+  // The read fault point sits in a lambda so an injected failure still
+  // closes the handle on the way out.
+  auto checksum_all = [&]() -> StatusOr<uint32_t> {
+    SQLCLASS_FAULT_POINT(faults::kStorageRead);
+    std::vector<char> bytes;
+    char chunk[kPageSize];
+    while (true) {
+      const size_t n = std::fread(chunk, 1, sizeof(chunk), file);
+      bytes.insert(bytes.end(), chunk, chunk + n);
+      if (n < sizeof(chunk)) break;
+    }
+    if (std::ferror(file) != 0) {
+      return Status::IoError("cannot read file for checksum: " + path);
+    }
+    if (counters != nullptr) counters->pages_read += PagesFor(bytes.size());
+    return Checksum32(bytes.data(), bytes.size());
+  };
+  StatusOr<uint32_t> checksum = checksum_all();
+  std::fclose(file);  // read-only stream: nothing buffered to lose
+  return checksum;
 }
 
 // ---------------------------------------------------------------- writer
@@ -256,6 +263,7 @@ ShardMapReader::ShardMapReader(std::string path, std::FILE* file,
     : path_(std::move(path)), file_(file), counters_(counters) {}
 
 ShardMapReader::~ShardMapReader() {
+  // fault: uncovered(best-effort close in destructor: read-only stream)
   if (file_ != nullptr) std::fclose(file_);
 }
 

@@ -75,7 +75,7 @@ struct ShardInfo {
 /// Checksum32 over the whole file at `path` (streamed in page-sized
 /// chunks). `counters` (nullable) accumulates the physical page reads.
 /// What the map stamps per shard and what VerifyShardFiles recomputes.
-StatusOr<uint32_t> ChecksumFileContents(const std::string& path,
+[[nodiscard]] StatusOr<uint32_t> ChecksumFileContents(const std::string& path,
                                         IoCounters* counters);
 
 /// Streaming partitioner: routes rows to N shard heap writers as they
@@ -96,23 +96,23 @@ class ShardSetWriter {
   /// Creates the shard heap files (truncating). Must be called once before
   /// AddRow. `counters` (nullable) accumulates physical writes for the
   /// writer's whole lifetime.
-  Status Open(IoCounters* counters);
+  [[nodiscard]] Status Open(IoCounters* counters);
 
   /// Routes one row to its shard.
-  Status AddRow(const Row& row);
+  [[nodiscard]] Status AddRow(const Row& row);
 
   /// Rows routed so far.
   uint64_t rows_routed() const { return rows_routed_; }
 
   /// Finishes every shard heap file, checksums each one, and writes the
   /// distribution map. After a failed Finish the shard set is removed.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   /// One-shot backfill: scans the primary heap file at `heap_path` and
   /// writes the complete shard set next to it. Returns the number of rows
   /// partitioned. Physical reads and writes are charged to `counters`
   /// (nullable).
-  static StatusOr<uint64_t> BuildFromHeapFile(const std::string& heap_path,
+  [[nodiscard]] static StatusOr<uint64_t> BuildFromHeapFile(const std::string& heap_path,
                                               int num_columns,
                                               uint32_t num_shards,
                                               ShardScheme scheme,
@@ -151,7 +151,7 @@ class ShardMapReader {
 
   /// `counters` (nullable) accumulates physical page reads and checksum
   /// failures.
-  static StatusOr<std::unique_ptr<ShardMapReader>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShardMapReader>> Open(
       const std::string& path, IoCounters* counters);
 
   uint32_t num_shards() const { return num_shards_; }
@@ -163,7 +163,7 @@ class ShardMapReader {
   /// The per-shard distribution entries (num_shards() of them). First
   /// access reads and checksum-verifies the entry block from disk; later
   /// accesses return the cached copy.
-  StatusOr<const ShardInfo*> ShardRows();
+  [[nodiscard]] StatusOr<const ShardInfo*> ShardRows();
 
   /// Drops the cached entries (the next access re-reads from disk) —
   /// recovery hygiene after a failed pass, and a test hook.
@@ -188,7 +188,7 @@ class ShardMapReader {
 /// map at `map_path`. OK when all match; kDataLoss naming the first shard
 /// that does not. The partitioner's roundtrip guarantee, exposed for tests
 /// and repair tooling.
-Status VerifyShardFiles(const std::string& heap_path,
+[[nodiscard]] Status VerifyShardFiles(const std::string& heap_path,
                         const std::string& map_path, IoCounters* counters);
 
 }  // namespace sqlclass

@@ -41,7 +41,7 @@ struct ExecStats {
 ///  * GROUP BY with any mix of grouped columns, literals, COUNT(*)
 ///  * scalar COUNT(*) without GROUP BY
 /// Group output ordering is deterministic (lexicographic by key).
-StatusOr<ResultSet> ExecuteQuery(const Query& query, TableProvider* provider,
+[[nodiscard]] StatusOr<ResultSet> ExecuteQuery(const Query& query, TableProvider* provider,
                                  ExecStats* stats);
 
 }  // namespace sqlclass

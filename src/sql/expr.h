@@ -49,7 +49,7 @@ class Expr {
 
   /// Resolves column names against `schema`. Fails on unknown columns.
   /// Binding is idempotent.
-  Status Bind(const Schema& schema);
+  [[nodiscard]] Status Bind(const Schema& schema);
   bool bound() const;
 
   /// Resolved column index of a comparison node (-1 before Bind; meaningless

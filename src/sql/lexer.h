@@ -35,7 +35,7 @@ struct Token {
 /// Tokenizes the SQL subset used by the system. Keywords are recognized
 /// case-insensitively and normalized to upper case; anything word-shaped
 /// that is not a keyword is an identifier.
-StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+[[nodiscard]] StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace sqlclass
 

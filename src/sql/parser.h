@@ -29,14 +29,14 @@ namespace sqlclass {
 ///   tuple     := '(' int (',' int)* ')'
 ///
 /// `!=` is accepted as a synonym for `<>`. Keywords are case-insensitive.
-StatusOr<Query> ParseQuery(const std::string& sql);
+[[nodiscard]] StatusOr<Query> ParseQuery(const std::string& sql);
 
 /// Parses any statement (query / CREATE TABLE / DROP TABLE / INSERT).
-StatusOr<Statement> ParseStatement(const std::string& sql);
+[[nodiscard]] StatusOr<Statement> ParseStatement(const std::string& sql);
 
 /// Parses just a predicate expression (the grammar's `pred`), used when the
 /// middleware ships a filter expression on its own.
-StatusOr<std::unique_ptr<Expr>> ParsePredicate(const std::string& sql);
+[[nodiscard]] StatusOr<std::unique_ptr<Expr>> ParsePredicate(const std::string& sql);
 
 }  // namespace sqlclass
 

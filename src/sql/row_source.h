@@ -17,10 +17,10 @@ class RowSource {
   virtual ~RowSource() = default;
 
   /// Fetches the next row; false at end of stream.
-  virtual StatusOr<bool> Next(Row* row) = 0;
+  [[nodiscard]] virtual StatusOr<bool> Next(Row* row) = 0;
 
   /// Rewinds to the first row.
-  virtual Status Reset() = 0;
+  [[nodiscard]] virtual Status Reset() = 0;
 
   /// Total rows this source will yield per full pass (known up front for
   /// all our sources).
@@ -33,8 +33,8 @@ class TableProvider {
  public:
   virtual ~TableProvider() = default;
 
-  virtual StatusOr<const Schema*> GetSchema(const std::string& table) = 0;
-  virtual StatusOr<std::unique_ptr<RowSource>> Scan(
+  [[nodiscard]] virtual StatusOr<const Schema*> GetSchema(const std::string& table) = 0;
+  [[nodiscard]] virtual StatusOr<std::unique_ptr<RowSource>> Scan(
       const std::string& table) = 0;
 };
 

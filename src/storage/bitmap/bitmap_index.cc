@@ -182,6 +182,7 @@ BitmapIndexReader::BitmapIndexReader(std::string path, std::FILE* file,
     : path_(std::move(path)), file_(file), counters_(counters) {}
 
 BitmapIndexReader::~BitmapIndexReader() {
+  // fault: uncovered(best-effort close in destructor: read-only stream; load/read paths report errors)
   if (file_ != nullptr) std::fclose(file_);
 }
 

@@ -53,22 +53,22 @@ class BitmapIndexBuilder {
   explicit BitmapIndexBuilder(std::vector<uint32_t> cardinalities);
 
   /// Folds one row in; values must lie inside each column's domain.
-  Status AddRow(const Row& row);
+  [[nodiscard]] Status AddRow(const Row& row);
 
   /// Pointer-row overload for batch-decoded rows.
-  Status AddRow(const Value* values, size_t num_values);
+  [[nodiscard]] Status AddRow(const Value* values, size_t num_values);
 
   uint64_t num_rows() const { return num_rows_; }
 
   /// Serializes the accumulated bitmaps to `path` (truncating), stamping
   /// per-bitmap and header checksums. `counters` (nullable) accumulates
   /// physical page writes.
-  Status WriteFile(const std::string& path, IoCounters* counters) const;
+  [[nodiscard]] Status WriteFile(const std::string& path, IoCounters* counters) const;
 
   /// One-shot backfill: scans the heap file at `heap_path` and writes the
   /// index to `out_path`. Returns the number of rows indexed. Physical
   /// reads and writes are charged to `counters` (nullable).
-  static StatusOr<uint64_t> BuildFromHeapFile(
+  [[nodiscard]] static StatusOr<uint64_t> BuildFromHeapFile(
       const std::string& heap_path, std::vector<uint32_t> cardinalities,
       const std::string& out_path, IoCounters* counters);
 
@@ -95,7 +95,7 @@ class BitmapIndexReader {
 
   /// `counters` (nullable) accumulates physical page reads and checksum
   /// failures.
-  static StatusOr<std::unique_ptr<BitmapIndexReader>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<BitmapIndexReader>> Open(
       const std::string& path, IoCounters* counters);
 
   uint64_t num_rows() const { return num_rows_; }
@@ -107,7 +107,7 @@ class BitmapIndexReader {
   /// words_per_bitmap() words. First access reads and checksum-verifies the
   /// bitmap from disk; later accesses return the cached copy. Errors on
   /// out-of-domain (column, value).
-  StatusOr<const uint64_t*> BitmapWords(int column, Value value);
+  [[nodiscard]] StatusOr<const uint64_t*> BitmapWords(int column, Value value);
 
   /// Drops every cached bitmap (the next access re-reads from disk) —
   /// recovery hygiene after a failed pass, and a test hook.

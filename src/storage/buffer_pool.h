@@ -70,7 +70,7 @@ class BufferPool {
 
   /// Copies the page's bytes into `dst` (page-size buffer), calling
   /// `loader` on a miss.
-  Status Fetch(uint64_t file_id, uint64_t page_index, const PageLoader& loader,
+  [[nodiscard]] Status Fetch(uint64_t file_id, uint64_t page_index, const PageLoader& loader,
                char* dst) EXCLUDES(mu_);
 
   /// Drops every cached page of `file_id`.

@@ -94,6 +94,7 @@ HeapFileWriter::HeapFileWriter(std::string path, std::FILE* file,
       buffer_(kWriteBufferPages * kPageSize, 0) {}
 
 HeapFileWriter::~HeapFileWriter() {
+  // fault: uncovered(best-effort close in destructor: abandoned writer; Finish() owns flush/close error reporting)
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -250,6 +251,7 @@ HeapFileReader::HeapFileReader(std::string path, std::FILE* file,
       page_(kPageSize, 0) {}
 
 HeapFileReader::~HeapFileReader() {
+  // fault: uncovered(best-effort close in destructor: read-only stream; read paths report errors)
   if (file_ != nullptr) std::fclose(file_);
 }
 

@@ -69,22 +69,22 @@ class HeapFileWriter {
 
   /// Creates (truncating) `path` for rows of `num_columns` values.
   /// `counters` (optional) accumulates physical writes.
-  static StatusOr<std::unique_ptr<HeapFileWriter>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<HeapFileWriter>> Create(
       const std::string& path, int num_columns, IoCounters* counters);
 
   /// Opens an existing heap file for appending: the final partial page is
   /// reloaded and continued. `rows_written()` reports only rows appended by
   /// this writer; `existing_rows()` reports what the file already held.
-  static StatusOr<std::unique_ptr<HeapFileWriter>> OpenForAppend(
+  [[nodiscard]] static StatusOr<std::unique_ptr<HeapFileWriter>> OpenForAppend(
       const std::string& path, int num_columns, IoCounters* counters);
 
   uint64_t existing_rows() const { return existing_rows_; }
 
-  Status Append(const Row& row);
+  [[nodiscard]] Status Append(const Row& row);
 
   /// Flushes the final partial page and closes the file. Must be called;
   /// the destructor only releases resources for an abandoned writer.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   uint64_t rows_written() const { return rows_written_; }
   const std::string& path() const { return path_; }
@@ -98,10 +98,10 @@ class HeapFileWriter {
 
   /// Stamps the current page's header and advances to the next buffer slot,
   /// flushing the buffer once kWriteBufferPages pages are sealed.
-  Status SealPage();
+  [[nodiscard]] Status SealPage();
 
   /// Writes all sealed pages in one contiguous fwrite.
-  Status FlushBuffer();
+  [[nodiscard]] Status FlushBuffer();
 
   std::string path_;
   std::FILE* file_;
@@ -126,30 +126,30 @@ class HeapFileReader {
   /// `pool` (optional) caches pages across readers; `file_id` must then be
   /// a process-unique id for this file's current contents (invalidate on
   /// change).
-  static StatusOr<std::unique_ptr<HeapFileReader>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<HeapFileReader>> Open(
       const std::string& path, int num_columns, IoCounters* counters,
       BufferPool* pool = nullptr, uint64_t file_id = 0);
 
   /// Reads the next row into `*row`; returns false at end of file.
   /// On I/O error returns an error status.
-  StatusOr<bool> Next(Row* row);
+  [[nodiscard]] StatusOr<bool> Next(Row* row);
 
   /// Decodes the remaining rows of the next unread page into `*batch`
   /// (batch is Reset first); returns false at end of file. Charges the
   /// same counters as reading those rows one by one with Next().
-  StatusOr<bool> NextBatch(RowBatch* batch);
+  [[nodiscard]] StatusOr<bool> NextBatch(RowBatch* batch);
 
   /// Decodes all rows of page `page_index` into `*batch` (Reset first).
   /// Positioned read: like ReadAt, it invalidates the sequential scan
   /// position — callers interleaving with Next() must Reset() in between.
-  Status ReadPageInto(uint64_t page_index, RowBatch* batch);
+  [[nodiscard]] Status ReadPageInto(uint64_t page_index, RowBatch* batch);
 
   /// Rewinds to the first row.
-  Status Reset();
+  [[nodiscard]] Status Reset();
 
   /// Random read of the row with the given Tid. Counts one page read per
   /// call unless the Tid falls on the currently buffered page.
-  Status ReadAt(Tid tid, Row* row);
+  [[nodiscard]] Status ReadAt(Tid tid, Row* row);
 
   /// Total rows in the file (from the file size and trailer page count).
   uint64_t num_rows() const { return num_rows_; }
@@ -161,7 +161,7 @@ class HeapFileReader {
   HeapFileReader(std::string path, std::FILE* file, int num_columns,
                  IoCounters* counters);
 
-  Status LoadPage(uint64_t page_index);
+  [[nodiscard]] Status LoadPage(uint64_t page_index);
 
   std::string path_;
   std::FILE* file_;

@@ -191,6 +191,7 @@ SampleFileReader::SampleFileReader(std::string path, std::FILE* file,
     : path_(std::move(path)), file_(file), counters_(counters) {}
 
 SampleFileReader::~SampleFileReader() {
+  // fault: uncovered(best-effort close in destructor: read-only stream; load/read paths report errors)
   if (file_ != nullptr) std::fclose(file_);
 }
 

@@ -57,10 +57,10 @@ class SampleFileBuilder {
                     uint64_t seed);
 
   /// Folds one row into the reservoir.
-  Status AddRow(const Row& row);
+  [[nodiscard]] Status AddRow(const Row& row);
 
   /// Pointer-row overload for batch-decoded rows.
-  Status AddRow(const Value* values, size_t num_values);
+  [[nodiscard]] Status AddRow(const Value* values, size_t num_values);
 
   /// Rows offered to the reservoir so far.
   uint64_t rows_seen() const { return rows_seen_; }
@@ -71,12 +71,12 @@ class SampleFileBuilder {
   /// Shuffles the reservoir and serializes it to `path` (truncating),
   /// stamping payload and header checksums. `counters` (nullable)
   /// accumulates physical page writes.
-  Status WriteFile(const std::string& path, IoCounters* counters);
+  [[nodiscard]] Status WriteFile(const std::string& path, IoCounters* counters);
 
   /// One-shot backfill: scans the heap file at `heap_path` and writes the
   /// scramble to `out_path`. Returns the number of rows sampled. Physical
   /// reads and writes are charged to `counters` (nullable).
-  static StatusOr<uint64_t> BuildFromHeapFile(const std::string& heap_path,
+  [[nodiscard]] static StatusOr<uint64_t> BuildFromHeapFile(const std::string& heap_path,
                                               int num_columns, double ratio,
                                               uint64_t seed,
                                               const std::string& out_path,
@@ -108,7 +108,7 @@ class SampleFileReader {
 
   /// `counters` (nullable) accumulates physical page reads and checksum
   /// failures.
-  static StatusOr<std::unique_ptr<SampleFileReader>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<SampleFileReader>> Open(
       const std::string& path, IoCounters* counters);
 
   uint64_t num_rows() const { return sample_rows_; }
@@ -121,7 +121,7 @@ class SampleFileReader {
   /// The sampled rows, row-major (num_rows() x num_columns() values). First
   /// access reads and checksum-verifies the payload from disk; later
   /// accesses return the cached copy.
-  StatusOr<const Value*> SampleRows();
+  [[nodiscard]] StatusOr<const Value*> SampleRows();
 
   /// Drops the cached payload (the next access re-reads from disk) —
   /// recovery hygiene after a failed pass, and a test hook.

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/fault_injector.h"
+
 namespace sqlclass {
 namespace {
 
@@ -74,7 +76,7 @@ TEST(JsonWriterTest, WriteToFileRoundTrips) {
   w.String("she said \"hi\"");
   w.EndObject();
   const std::string path = testing::TempDir() + "/json_writer_test.json";
-  ASSERT_TRUE(w.WriteToFile(path));
+  ASSERT_TRUE(w.WriteToFile(path).ok());
   std::FILE* f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
   char buf[256] = {};
@@ -83,6 +85,39 @@ TEST(JsonWriterTest, WriteToFileRoundTrips) {
   std::remove(path.c_str());
   EXPECT_EQ(std::string(buf, n),
             "{\"quote\":\"she said \\\"hi\\\"\"}\n");
+}
+
+// Regression for the fault-coverage lint finding: WriteToFile used to
+// return bool and ignore fputc/fclose failures, so a truncated dump could
+// report success — and with no fault point the path was untestable.
+TEST(JsonWriterTest, WriteToFileReportsOpenFailure) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  const Status status =
+      w.WriteToFile(testing::TempDir() + "/no_such_dir/out.json");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(JsonWriterTest, WriteToFileReportsInjectedWriteFault) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Reset();
+  FaultInjector::PointConfig config;
+  config.times = 1;
+  injector.Arm(faults::kStorageWrite, config);
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  const std::string path = testing::TempDir() + "/json_writer_fault.json";
+  const Status status = w.WriteToFile(path);
+  injector.Reset();
+  std::remove(path.c_str());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  // Recovery: the same writer succeeds once the fault clears.
+  EXPECT_TRUE(w.WriteToFile(path).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -38,19 +38,29 @@ function charges any counter. That is deliberately coarse — the goal is to
 catch paths nobody metered at all, not to audit arithmetic.
 
 Engines: uses libclang when the `clang.cindex` python module is importable
-(exact AST function extents); otherwise a regex/brace-scanning fallback
-that understands enough C++ to find function bodies. Both engines apply
-identical primitive/charge/waiver rules; the fallback is the one exercised
-in CI (the build image has no clang).
+(exact AST function extents); otherwise the shared lintlib brace-scanning
+engine. Both engines apply identical primitive/charge/waiver rules; the
+fallback is the one exercised in CI (the build image has no clang).
 
 Exit status: 0 clean, 1 violations, 2 internal error.
 """
 
-import argparse
 import os
 import re
 import sys
-import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import (  # noqa: E402
+    Injection,
+    SourceFile,
+    iter_source_files,
+    line_of,
+    make_parser,
+    run_self_test,
+    strip_code,
+    waiver_regex,
+)
 
 DEFAULT_SUBDIRS = ("src/storage", "src/server", "src/middleware", "src/shard")
 
@@ -70,24 +80,11 @@ PRIMITIVE_RE = re.compile(
     re.VERBOSE,
 )
 
-WAIVER_RE = re.compile(
-    r"//\s*cost:\s*(charged-by-caller|unmetered|fault-injected)"
-    r"\s*\(([^)\n]+)\)"
-)
+WAIVER_RE = waiver_regex(
+    "cost", ["charged-by-caller", "unmetered", "fault-injected"])
 
 # Methods on the counter structs that account in bulk.
 BULK_CHARGE_RE = re.compile(r"(?:\.|->)(?:Add|AddProportional)\s*\(")
-
-KEYWORDS = {
-    "if", "for", "while", "switch", "return", "sizeof", "catch",
-    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
-    "defined", "alignof", "decltype", "noexcept", "assert",
-}
-ANNOTATION_MACROS = {
-    "REQUIRES", "EXCLUDES", "ACQUIRE", "RELEASE", "TRY_ACQUIRE",
-    "GUARDED_BY", "PT_GUARDED_BY", "RETURN_CAPABILITY", "CAPABILITY",
-    "ASSERT_CAPABILITY", "SQLCLASS_THREAD_ANNOTATION",
-}
 
 
 def parse_counter_fields(root):
@@ -120,171 +117,21 @@ def charge_regex(fields):
     )
 
 
-def strip_code(text):
-    """Returns (clean, comments): `clean` has comments and string/char
-    literals blanked (newlines kept, so offsets and line numbers survive);
-    `comments` has everything *except* comments blanked, for waiver scans."""
-    clean = []
-    comments = []
-    i, n = 0, len(text)
-    mode = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode == "code":
-            if c == "/" and nxt == "/":
-                mode = "line_comment"
-                clean.append("  ")
-                comments.append("//")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                mode = "block_comment"
-                clean.append("  ")
-                comments.append("/*")
-                i += 2
-                continue
-            if c == '"':
-                mode = "string"
-                clean.append('"')
-                comments.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                mode = "char"
-                clean.append("'")
-                comments.append(" ")
-                i += 1
-                continue
-            clean.append(c)
-            comments.append(c if c == "\n" else " ")
-            i += 1
-            continue
-        if mode in ("line_comment", "block_comment"):
-            end = (mode == "line_comment" and c == "\n") or (
-                mode == "block_comment" and c == "*" and nxt == "/"
-            )
-            if mode == "block_comment" and end:
-                comments.append("*/")
-                clean.append("  ")
-                i += 2
-                mode = "code"
-                continue
-            if mode == "line_comment" and end:
-                comments.append("\n")
-                clean.append("\n")
-                i += 1
-                mode = "code"
-                continue
-            comments.append(c)
-            clean.append("\n" if c == "\n" else " ")
-            i += 1
-            continue
-        # string / char literal
-        if c == "\\":
-            clean.append("  ")
-            comments.append("  ")
-            i += 2
-            continue
-        if (mode == "string" and c == '"') or (mode == "char" and c == "'"):
-            clean.append(c)
-            comments.append(" ")
-            mode = "code"
-            i += 1
-            continue
-        clean.append("\n" if c == "\n" else " ")
-        comments.append("\n" if c == "\n" else " ")
-        i += 1
-    return "".join(clean), "".join(comments)
-
-
-def function_name_for(clean, body_open):
-    """Best-effort name of the function whose body opens at `body_open`."""
-    # Header text: from the previous ; } or { up to the body brace.
-    start = max(
-        clean.rfind(";", 0, body_open),
-        clean.rfind("}", 0, body_open),
-        clean.rfind("{", 0, body_open),
-    )
-    header = clean[start + 1 : body_open]
-    for m in re.finditer(r"([A-Za-z_~][\w]*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(",
-                         header):
-        name = re.sub(r"\s+", "", m.group(1))
-        base = name.split("::")[-1].lstrip("~")
-        if base in KEYWORDS or base in ANNOTATION_MACROS:
-            continue
-        return name
-    return "<anonymous>"
-
-
-def find_functions(clean):
-    """Yields (name, body_start, body_end) for each function body: a `{`
-    at paren depth 0 whose previous non-space token is `)` (possibly via
-    annotation-macro suffixes, which also end in `)`), not nested inside
-    another function body."""
-    out = []
-    depth_inside = 0  # brace depth within the current function body
-    in_function_until = -1
-    i, n = 0, len(clean)
-    while i < n:
-        c = clean[i]
-        if c == "{":
-            if i < in_function_until:
-                i += 1
-                continue
-            # Walk back over `const` / `noexcept` / `override` / `final`
-            # suffixes so inline methods are recognized too.
-            j = i - 1
-            while True:
-                while j >= 0 and clean[j].isspace():
-                    j -= 1
-                if j >= 0 and (clean[j].isalnum() or clean[j] == "_"):
-                    k = j
-                    while k >= 0 and (clean[k].isalnum() or clean[k] == "_"):
-                        k -= 1
-                    word = clean[k + 1 : j + 1]
-                    if word in ("const", "noexcept", "override", "final"):
-                        j = k
-                        continue
-                break
-            if j >= 0 and clean[j] == ")":
-                # Brace-match to find the body end.
-                depth = 1
-                k = i + 1
-                while k < n and depth > 0:
-                    if clean[k] == "{":
-                        depth += 1
-                    elif clean[k] == "}":
-                        depth -= 1
-                    k += 1
-                out.append((function_name_for(clean, i), i, k))
-                in_function_until = k
-        i += 1
-    return out
-
-
-def line_of(text, offset):
-    return text.count("\n", 0, offset) + 1
-
-
 def check_file_regex(path, charge_re):
-    with open(path, encoding="utf-8") as f:
-        text = f.read()
-    clean, comments = strip_code(text)
+    sf = SourceFile(path)
     violations = []
-    for name, body_start, body_end in find_functions(clean):
-        body = clean[body_start:body_end]
+    for name, body_start, body_end in sf.functions:
+        body = sf.clean[body_start:body_end]
         prims = list(PRIMITIVE_RE.finditer(body))
         if not prims:
             continue
         if charge_re.search(body) or BULK_CHARGE_RE.search(body):
             continue
-        if WAIVER_RE.search(comments[body_start:body_end]):
+        if WAIVER_RE.search(sf.comments[body_start:body_end]):
             continue
         for prim in prims:
-            offset = body_start + prim.start()
             violations.append(
-                (path, line_of(text, offset), name,
+                (path, sf.line_of(body_start + prim.start()), name,
                  prim.group(0).strip().rstrip("(")))
     return violations
 
@@ -344,14 +191,8 @@ def run_check(root, subdirs, charge_re):
         engine = "regex"
 
     violations = []
-    files = []
-    for subdir in subdirs:
-        base = os.path.join(root, subdir)
-        for dirpath, _, names in os.walk(base):
-            for name in sorted(names):
-                if name.endswith(".cc") or name.endswith(".h"):
-                    files.append(os.path.join(dirpath, name))
-    for path in sorted(files):
+    files = iter_source_files(root, subdirs)
+    for path in files:
         if index is not None:
             try:
                 violations.extend(
@@ -364,134 +205,73 @@ def run_check(root, subdirs, charge_re):
 
 
 def self_test(root, charge_re):
-    """Proves the checker detects an uncharged write: copies heap_file.cc,
-    injects a function with a bare fwrite, and requires a violation. Also
-    proves the fault-injected waiver silences a failure-path primitive, and
-    that an uncharged bitmap-index word fetch (BitmapWords with no
-    mw_bitmap_* / IoCounters charge) is caught in bitmap_scan.cc, that an
-    uncharged scramble fetch (SampleRows with no mw_sample_* charge) is
-    caught in sample_scan.cc, and that an uncharged shard-map fetch
-    (ShardRows with no mw_shard_* charge) is caught in shard_scan.cc."""
-    source = os.path.join(root, "src", "storage", "heap_file.cc")
-    with open(source, encoding="utf-8") as f:
-        text = f.read()
-    injected = text + (
-        "\nnamespace sqlclass {\n"
-        "void UnchargedAppendForLintSelfTest(std::FILE* file, const char* b) {\n"
-        "  std::fwrite(b, 1, 42, file);\n"
-        "}\n"
-        "void WaivedFaultPathForLintSelfTest(std::FILE* file, const char* b) {\n"
-        "  // cost: fault-injected(storage/fwrite)\n"
-        "  std::fwrite(b, 1, 42, file);\n"
-        "}\n"
-        "}  // namespace sqlclass\n"
-    )
-    bitmap_source = os.path.join(root, "src", "middleware", "bitmap_scan.cc")
-    with open(bitmap_source, encoding="utf-8") as f:
-        bitmap_text = f.read()
-    bitmap_injected = bitmap_text + (
-        "\nnamespace sqlclass {\n"
-        "uint64_t UnchargedBitmapReadForLintSelfTest(BitmapIndexReader* r) {\n"
-        "  auto words = r->BitmapWords(0, 0);\n"
-        "  return words.ok() ? **words : 0;\n"
-        "}\n"
-        "}  // namespace sqlclass\n"
-    )
-    sample_source = os.path.join(root, "src", "middleware", "sample_scan.cc")
-    with open(sample_source, encoding="utf-8") as f:
-        sample_text = f.read()
-    sample_injected = sample_text + (
-        "\nnamespace sqlclass {\n"
-        "uint64_t UnchargedSampleFetchForLintSelfTest(SampleFileReader* r) {\n"
-        "  auto rows = r->SampleRows();\n"
-        "  return rows.ok() ? r->num_rows() : 0;\n"
-        "}\n"
-        "}  // namespace sqlclass\n"
-    )
-    shard_source = os.path.join(root, "src", "middleware", "shard_scan.cc")
-    with open(shard_source, encoding="utf-8") as f:
-        shard_text = f.read()
-    shard_injected = shard_text + (
-        "\nnamespace sqlclass {\n"
-        "uint64_t UnchargedShardFetchForLintSelfTest(ShardMapReader* r) {\n"
-        "  auto rows = r->ShardRows();\n"
-        "  return rows.ok() ? r->total_rows() : 0;\n"
-        "}\n"
-        "}  // namespace sqlclass\n"
-    )
-    with tempfile.TemporaryDirectory() as tmp:
-        mutated = os.path.join(tmp, "heap_file.cc")
-        with open(mutated, "w", encoding="utf-8") as f:
-            f.write(injected)
-        bitmap_mutated = os.path.join(tmp, "bitmap_scan.cc")
-        with open(bitmap_mutated, "w", encoding="utf-8") as f:
-            f.write(bitmap_injected)
-        sample_mutated = os.path.join(tmp, "sample_scan.cc")
-        with open(sample_mutated, "w", encoding="utf-8") as f:
-            f.write(sample_injected)
-        shard_mutated = os.path.join(tmp, "shard_scan.cc")
-        with open(shard_mutated, "w", encoding="utf-8") as f:
-            f.write(shard_injected)
-        baseline = check_file_regex(source, charge_re)
-        baseline += check_file_regex(bitmap_source, charge_re)
-        baseline += check_file_regex(sample_source, charge_re)
-        baseline += check_file_regex(shard_source, charge_re)
-        found = check_file_regex(mutated, charge_re)
-        bitmap_found = check_file_regex(bitmap_mutated, charge_re)
-        sample_found = check_file_regex(sample_mutated, charge_re)
-        shard_found = check_file_regex(shard_mutated, charge_re)
-    new = [v for v in found if v[2] == "UnchargedAppendForLintSelfTest"]
-    waived = [v for v in found if v[2] == "WaivedFaultPathForLintSelfTest"]
-    bitmap_new = [v for v in bitmap_found
-                  if v[2] == "UnchargedBitmapReadForLintSelfTest"]
-    sample_new = [v for v in sample_found
-                  if v[2] == "UnchargedSampleFetchForLintSelfTest"]
-    shard_new = [v for v in shard_found
-                 if v[2] == "UnchargedShardFetchForLintSelfTest"]
-    if baseline:
-        print("self-test: FAIL — pristine heap_file.cc / bitmap_scan.cc / "
-              f"sample_scan.cc / shard_scan.cc already has {len(baseline)} "
-              "violation(s); fix those first")
-        return 1
-    if not new:
-        print("self-test: FAIL — injected uncharged fwrite was not detected")
-        return 1
-    if waived:
-        print("self-test: FAIL — fault-injected waiver did not silence the "
-              "waived fwrite")
-        return 1
-    if not bitmap_new:
-        print("self-test: FAIL — injected uncharged BitmapWords fetch was "
-              "not detected")
-        return 1
-    if not sample_new:
-        print("self-test: FAIL — injected uncharged SampleRows fetch was "
-              "not detected")
-        return 1
-    if not shard_new:
-        print("self-test: FAIL — injected uncharged ShardRows fetch was "
-              "not detected")
-        return 1
-    print("self-test: OK — injected uncharged fwrite detected "
-          f"({new[0][2]} at line {new[0][1]}), fault-injected waiver "
-          "honored, uncharged BitmapWords fetch detected "
-          f"(line {bitmap_new[0][1]}), uncharged SampleRows fetch detected "
-          f"(line {sample_new[0][1]}), uncharged ShardRows fetch detected "
-          f"(line {shard_new[0][1]})")
-    return 0
+    """Proves the checker detects an uncharged primitive in each scan-out
+    flavor: a bare fwrite in heap_file.cc (plus an honored fault-injected
+    waiver), an uncharged BitmapWords fetch in bitmap_scan.cc, an uncharged
+    SampleRows fetch in sample_scan.cc, and an uncharged ShardRows fetch in
+    shard_scan.cc."""
+    mw = os.path.join(root, "src", "middleware")
+    cases = [
+        Injection(
+            os.path.join(root, "src", "storage", "heap_file.cc"),
+            "\nnamespace sqlclass {\n"
+            "void UnchargedAppendForLintSelfTest(std::FILE* file,"
+            " const char* b) {\n"
+            "  std::fwrite(b, 1, 42, file);\n"
+            "}\n"
+            "void WaivedFaultPathForLintSelfTest(std::FILE* file,"
+            " const char* b) {\n"
+            "  // cost: fault-injected(storage/fwrite)\n"
+            "  std::fwrite(b, 1, 42, file);\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="UnchargedAppendForLintSelfTest",
+            forbid="WaivedFaultPathForLintSelfTest",
+            label="uncharged fwrite + honored fault-injected waiver"),
+        Injection(
+            os.path.join(mw, "bitmap_scan.cc"),
+            "\nnamespace sqlclass {\n"
+            "uint64_t UnchargedBitmapReadForLintSelfTest("
+            "BitmapIndexReader* r) {\n"
+            "  auto words = r->BitmapWords(0, 0);\n"
+            "  return words.ok() ? **words : 0;\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="UnchargedBitmapReadForLintSelfTest",
+            label="uncharged BitmapWords fetch"),
+        Injection(
+            os.path.join(mw, "sample_scan.cc"),
+            "\nnamespace sqlclass {\n"
+            "uint64_t UnchargedSampleFetchForLintSelfTest("
+            "SampleFileReader* r) {\n"
+            "  auto rows = r->SampleRows();\n"
+            "  return rows.ok() ? r->num_rows() : 0;\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="UnchargedSampleFetchForLintSelfTest",
+            label="uncharged SampleRows fetch"),
+        Injection(
+            os.path.join(mw, "shard_scan.cc"),
+            "\nnamespace sqlclass {\n"
+            "uint64_t UnchargedShardFetchForLintSelfTest("
+            "ShardMapReader* r) {\n"
+            "  auto rows = r->ShardRows();\n"
+            "  return rows.ok() ? r->total_rows() : 0;\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="UnchargedShardFetchForLintSelfTest",
+            label="uncharged ShardRows fetch"),
+    ]
+    return run_self_test(
+        cases, lambda path: check_file_regex(path, charge_re),
+        "cost-accounting")
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", default=os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))),
-        help="repo root (default: parent of tools/)")
-    parser.add_argument("--subdir", action="append", dest="subdirs",
-                        help="metered subtree, repeatable "
-                             f"(default: {', '.join(DEFAULT_SUBDIRS)})")
-    parser.add_argument("--self-test", action="store_true",
-                        help="verify the checker catches an injected "
-                             "uncharged fwrite, then exit")
+    parser = make_parser(
+        __doc__, DEFAULT_SUBDIRS,
+        self_test_help="verify the checker catches an injected uncharged "
+                       "fwrite, then exit")
     args = parser.parse_args()
 
     try:

@@ -16,18 +16,16 @@ for a while). This checker makes that drift a test failure:
 Exit status: 0 clean, 1 drift, 2 internal error.
 """
 
-import argparse
 import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import make_parser, read_text  # noqa: E402
+
 CODE_KNOB_RE = re.compile(r'"(SQLCLASS_[A-Z0-9_]+)"')
 DOC_TOKEN_RE = re.compile(r"(SQLCLASS_[A-Z0-9_]+)")
-
-
-def read(path):
-    with open(path, encoding="utf-8") as f:
-        return f.read()
 
 
 def collect_code_knobs(root, subdir):
@@ -37,7 +35,7 @@ def collect_code_knobs(root, subdir):
         for name in sorted(names):
             if name.endswith((".cc", ".h", ".cpp")):
                 knobs |= set(CODE_KNOB_RE.findall(
-                    read(os.path.join(dirpath, name))))
+                    read_text(os.path.join(dirpath, name))))
     return knobs
 
 
@@ -53,30 +51,15 @@ def collect_tree_tokens(root):
                 if name.endswith((".cc", ".h", ".cpp", ".py", ".sh", ".txt",
                                   ".cmake")):
                     tokens |= set(DOC_TOKEN_RE.findall(
-                        read(os.path.join(dirpath, name))))
+                        read_text(os.path.join(dirpath, name))))
     tokens |= set(DOC_TOKEN_RE.findall(
-        read(os.path.join(root, "CMakeLists.txt"))))
+        read_text(os.path.join(root, "CMakeLists.txt"))))
     return tokens
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", default=os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))),
-        help="repo root (default: parent of tools/)")
-    args = parser.parse_args()
-    root = args.root
-
-    try:
-        src_knobs = collect_code_knobs(root, "src")
-        bench_knobs = collect_code_knobs(root, "bench") - src_knobs
-        readme = read(os.path.join(root, "README.md"))
-        design = read(os.path.join(root, "DESIGN.md"))
-        tree_tokens = collect_tree_tokens(root)
-    except Exception as e:  # noqa: BLE001
-        print(f"lint_env_docs: internal error: {e}", file=sys.stderr)
-        return 2
-
+def find_drift(src_knobs, bench_knobs, readme, design, tree_tokens):
+    """The pure rule set, separated from tree-walking so the self-test can
+    drive it with synthetic inputs."""
     problems = []
     for knob in sorted(src_knobs):
         if knob not in readme:
@@ -94,6 +77,79 @@ def main():
                 problems.append(
                     f"{token}: mentioned in {doc_name} but absent from the "
                     "tree — stale documentation")
+    return problems
+
+
+def self_test(root):
+    """Drives find_drift with the real tree plus injected drift in each
+    direction: an undocumented src knob, an undocumented bench knob, and a
+    doc token with no tree counterpart."""
+    src_knobs = collect_code_knobs(root, "src")
+    bench_knobs = collect_code_knobs(root, "bench") - src_knobs
+    readme = read_text(os.path.join(root, "README.md"))
+    design = read_text(os.path.join(root, "DESIGN.md"))
+    tree_tokens = collect_tree_tokens(root)
+
+    baseline = find_drift(src_knobs, bench_knobs, readme, design, tree_tokens)
+    if baseline:
+        print(f"self-test: FAIL — pristine tree already has {len(baseline)} "
+              "drift(s); fix those first")
+        return 1
+
+    # Built by concatenation so the ghost tokens don't appear verbatim in
+    # this file — collect_tree_tokens scans tools/*.py, and a literal here
+    # would make the "stale" token exist in the tree.
+    ghost_src = "SQLCLASS_" + "GHOST_KNOB_FOR_SELF_TEST"
+    ghost_bench = "SQLCLASS_" + "GHOST_BENCH_FOR_SELF_TEST"
+    ghost_doc = "SQLCLASS_" + "STALE_DOC_FOR_SELF_TEST"
+    code = 0
+    cases = [
+        ("undocumented src knob",
+         find_drift(src_knobs | {ghost_src}, bench_knobs, readme, design,
+                    tree_tokens),
+         ghost_src),
+        ("undocumented bench knob",
+         find_drift(src_knobs, bench_knobs | {ghost_bench}, readme, design,
+                    tree_tokens),
+         ghost_bench),
+        ("stale doc token",
+         find_drift(src_knobs, bench_knobs, readme + f"\n{ghost_doc}\n",
+                    design, tree_tokens),
+         ghost_doc),
+    ]
+    for label, drift, token in cases:
+        hits = [p for p in drift if token in p]
+        if hits:
+            print(f"self-test: OK [{label}] — reported: {hits[0]}")
+        else:
+            print(f"self-test: FAIL [{label}] — injected drift not reported")
+            code = 1
+    if code == 0:
+        print("env-docs self-test: all 3 case(s) passed")
+    return code
+
+
+def main():
+    parser = make_parser(
+        __doc__,
+        self_test_help="verify injected doc drift in each direction is "
+                       "reported, then exit")
+    args = parser.parse_args()
+    root = args.root
+
+    try:
+        if args.self_test:
+            return self_test(root)
+        src_knobs = collect_code_knobs(root, "src")
+        bench_knobs = collect_code_knobs(root, "bench") - src_knobs
+        readme = read_text(os.path.join(root, "README.md"))
+        design = read_text(os.path.join(root, "DESIGN.md"))
+        tree_tokens = collect_tree_tokens(root)
+        problems = find_drift(
+            src_knobs, bench_knobs, readme, design, tree_tokens)
+    except Exception as e:  # noqa: BLE001
+        print(f"lint_env_docs: internal error: {e}", file=sys.stderr)
+        return 2
 
     if problems:
         print(f"env-knob doc lint: {len(problems)} drift(s):")

@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""Unchecked-Status invariant lint.
+
+Every fallible operation in this codebase reports through Status /
+StatusOr (common/status.h), and both classes are `[[nodiscard]]`, so the
+compiler flags a plainly discarded result. This checker covers the
+compiler's blind spots and keeps the annotation sweep complete:
+
+  discarded-call      a statement whose entire effect is a call to a
+                      Status/StatusOr-returning API, result unused —
+                      including `x.value()->Method()` chains and discarded
+                      StatusOr temporaries.
+  void-cast           `(void)` cast of a Status/StatusOr call. The cast
+                      silences the compiler, so the lint requires a waiver
+                      explaining *why* the failure is ignorable.
+  missing-nodiscard   a Status/StatusOr-returning function declaration in a
+                      src/ header without `[[nodiscard]]` (the class-level
+                      attribute already warns, but the per-API sweep is the
+                      documented contract and keeps intent visible at the
+                      declaration).
+
+Waiver — on the discard's line or the line directly above:
+
+    // status: ignored(<reason>)      e.g. best-effort cleanup in a
+                                      destructor, where there is no caller
+                                      to report to
+
+The registry of Status-returning API names is parsed from the tree itself
+(headers and sources under --subdir). A name declared with BOTH a Status
+and a non-Status return type anywhere (e.g. `Reset`) is ambiguous and
+excluded — granularity is deliberately coarse; the goal is catching paths
+nobody checked, not building a type checker.
+
+Exit status: 0 clean, 1 violations, 2 internal error.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import (  # noqa: E402
+    Injection,
+    SourceFile,
+    iter_source_files,
+    make_parser,
+    print_violations,
+    render_fixit,
+    run_self_test,
+    waiver_regex,
+)
+
+DEFAULT_SUBDIRS = ("src",)
+
+WAIVER_RE = waiver_regex("status", ["ignored"])
+
+# `TYPE Name(` declaration shapes; NAME is UpperCamelCase (methods), which
+# keeps snake_case locals like `Status st(...)` out of the registry.
+DECL_RE = re.compile(
+    r"\b([A-Za-z_][\w:]*(?:\s*<[^<>;(){}=]*>)?)\s*[*&]?\s+"
+    r"((?:[A-Za-z_]\w*\s*::\s*)*)([A-Z]\w*)\s*\("
+)
+DECL_TYPE_KEYWORDS = {"return", "new", "else", "case", "delete", "throw",
+                      "co_return", "co_await", "co_yield", "using",
+                      "typename", "template", "operator", "goto"}
+
+CALL_RE = re.compile(r"\b([A-Z]\w*)\s*\(")
+
+NODISCARD_BEFORE_RE = re.compile(
+    r"\[\[nodiscard\]\]\s*"
+    r"(?:(?:virtual|static|friend|inline|explicit|constexpr)\s+)*$"
+)
+
+
+def build_registry(files):
+    """(status_names, ambiguous_names): UpperCamelCase function names whose
+    every declaration returns Status/StatusOr, and names that also appear
+    with another return type."""
+    status_names = set()
+    other_names = set()
+    for sf in files:
+        for m in DECL_RE.finditer(sf.clean):
+            type_tok = m.group(1)
+            name = m.group(3)
+            first_word = re.match(r"[A-Za-z_]\w*", type_tok).group(0)
+            if first_word in DECL_TYPE_KEYWORDS:
+                continue
+            if type_tok == "Status" or type_tok.startswith("StatusOr"):
+                status_names.add((name, m.start(3), sf))
+            else:
+                other_names.add(name)
+    names = {n for n, _, _ in status_names}
+    ambiguous = names & other_names
+    return status_names, names - ambiguous, ambiguous
+
+
+def match_paren_forward(clean, open_paren):
+    """Offset just past the `)` matching clean[open_paren] == '('."""
+    depth = 0
+    i = open_paren
+    n = len(clean)
+    while i < n:
+        if clean[i] == "(":
+            depth += 1
+        elif clean[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_paren_back(clean, close_paren):
+    """Offset of the `(` matching clean[close_paren] == ')'."""
+    depth = 0
+    i = close_paren
+    while i >= 0:
+        if clean[i] == ")":
+            depth += 1
+        elif clean[i] == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+        i -= 1
+    return 0
+
+
+def skip_ws_back(clean, i):
+    while i >= 0 and clean[i].isspace():
+        i -= 1
+    return i
+
+
+def expression_start(clean, name_start):
+    """Back-walks the postfix chain (`a.b()->C`) containing the call whose
+    name begins at `name_start`; returns the chain's first offset."""
+    i = name_start
+    while True:
+        # The identifier segment we're currently at starts at i; look at
+        # what precedes it.
+        j = skip_ws_back(clean, i - 1)
+        if j >= 1 and clean[j - 1 : j + 1] == "->":
+            j -= 2
+        elif j >= 0 and clean[j] == ".":
+            j -= 1
+        elif j >= 1 and clean[j - 1 : j + 1] == "::":
+            j -= 2
+        else:
+            return i
+        # Walk back over the preceding postfix primary: optional (...) call
+        # suffixes, then the identifier.
+        j = skip_ws_back(clean, j)
+        while j >= 0 and clean[j] == ")":
+            j = skip_ws_back(clean, match_paren_back(clean, j) - 1)
+        k = j
+        while k >= 0 and (clean[k].isalnum() or clean[k] == "_"):
+            k -= 1
+        if k == j:  # no identifier: not a chain we understand — stop here
+            return i
+        i = k + 1
+
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch"}
+
+
+def statement_context(clean, expr_start):
+    """How the expression starting at `expr_start` is consumed:
+    'statement' (bare expression statement), 'void-cast' ((void)-prefixed
+    statement), or 'used'."""
+    j = skip_ws_back(clean, expr_start - 1)
+    if j < 0:
+        return "statement"
+    c = clean[j]
+    if c in ";{}" :
+        return "statement"
+    if c == ":":
+        # Label / access-specifier / case — but not `::`.
+        if j >= 1 and clean[j - 1] == ":":
+            return "used"
+        return "statement"
+    if c == ")":
+        open_paren = match_paren_back(clean, j)
+        inner = clean[open_paren + 1 : j].strip()
+        if inner == "void":
+            ctx = statement_context(clean, open_paren)
+            return "void-cast" if ctx in ("statement", "void-cast") else "used"
+        k = skip_ws_back(clean, open_paren - 1)
+        word_end = k
+        while k >= 0 and (clean[k].isalnum() or clean[k] == "_"):
+            k -= 1
+        if clean[k + 1 : word_end + 1] in CONTROL_KEYWORDS:
+            return "statement"  # `if (...) Foo();` bodies are statements
+        return "used"
+    if c.isalnum() or c == "_":
+        k = j
+        while k >= 0 and (clean[k].isalnum() or clean[k] == "_"):
+            k -= 1
+        word = clean[k + 1 : j + 1]
+        if word == "else" or word == "do":
+            return "statement"
+        return "used"
+    return "used"
+
+
+def has_nearby_waiver(sf, stmt_start, stmt_end):
+    """Waiver on any line from the one above the statement through its
+    terminating semicolon."""
+    line_above_start = sf.text.rfind("\n", 0, stmt_start)
+    line_above_start = sf.text.rfind("\n", 0, max(line_above_start, 0))
+    end_of_line = sf.comments.find("\n", stmt_end)
+    if end_of_line == -1:
+        end_of_line = len(sf.comments)
+    region = sf.comments[max(line_above_start, 0) : end_of_line]
+    return bool(WAIVER_RE.search(region))
+
+
+def check_discards(sf, registry):
+    """discarded-call and void-cast violations in one file."""
+    violations = []
+    for m in CALL_RE.finditer(sf.clean):
+        name = m.group(1)
+        if name not in registry:
+            continue
+        open_paren = sf.clean.find("(", m.end(1))
+        after = match_paren_forward(sf.clean, open_paren)
+        j = after
+        while j < len(sf.clean) and sf.clean[j].isspace():
+            j += 1
+        if j >= len(sf.clean) or sf.clean[j] != ";":
+            continue  # chained, assigned, compared, or passed on
+        expr_start = expression_start(sf.clean, m.start(1))
+        ctx = statement_context(sf.clean, expr_start)
+        if ctx == "used":
+            continue
+        if has_nearby_waiver(sf, expr_start, j):
+            continue
+        enclosing = sf.enclosing_function(m.start(1))
+        func = enclosing[0] if enclosing else "<file-scope>"
+        what = ("void-cast" if ctx == "void-cast" else "discarded-call")
+        violations.append((sf.path, sf.line_of(m.start(1)), func, what, name))
+    return violations
+
+
+def check_missing_nodiscard(sf):
+    """Status-returning declarations in a header without [[nodiscard]]."""
+    violations = []
+    for m in DECL_RE.finditer(sf.clean):
+        type_tok = m.group(1)
+        if not (type_tok == "Status" or type_tok.startswith("StatusOr")):
+            continue
+        first_word = re.match(r"[A-Za-z_]\w*", type_tok).group(0)
+        if first_word in DECL_TYPE_KEYWORDS:
+            continue
+        if NODISCARD_BEFORE_RE.search(sf.clean[: m.start()]):
+            continue
+        violations.append(
+            (sf.path, sf.line_of(m.start()), m.group(3), "missing-nodiscard",
+             m.group(3)))
+    return violations
+
+
+def make_checker(registry, header_rule=True):
+    def check_file(path):
+        sf = SourceFile(path)
+        violations = check_discards(sf, registry)
+        if header_rule and path.endswith(".h") and not path.endswith(
+                os.path.join("common", "status.h")):
+            violations.extend(check_missing_nodiscard(sf))
+        return violations
+    return check_file
+
+
+def self_test(root, registry):
+    heap_cc = os.path.join(root, "src", "storage", "heap_file.cc")
+    heap_h = os.path.join(root, "src", "storage", "heap_file.h")
+    cases = [
+        Injection(
+            heap_cc,
+            "\nnamespace sqlclass {\n"
+            "void DiscardedStatusForLintSelfTest(HeapFileWriter* w,\n"
+            "                                    const Row& row) {\n"
+            "  w->Finish();\n"
+            "}\n"
+            "void WaivedStatusForLintSelfTest(HeapFileWriter* w) {\n"
+            "  (void)w->Finish();  // status: ignored(self-test waiver)\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="DiscardedStatusForLintSelfTest",
+            forbid="WaivedStatusForLintSelfTest",
+            label="discarded Status call + honored waiver"),
+        Injection(
+            heap_cc,
+            "\nnamespace sqlclass {\n"
+            "void VoidCastStatusForLintSelfTest(HeapFileWriter* w) {\n"
+            "  (void)w->Finish();\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="VoidCastStatusForLintSelfTest",
+            label="(void)-cast Status without waiver"),
+        Injection(
+            heap_cc,
+            "\nnamespace sqlclass {\n"
+            "void DiscardedStatusOrForLintSelfTest(const std::string& p) {\n"
+            "  HeapFileReader::Open(p, 3, nullptr);\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="DiscardedStatusOrForLintSelfTest",
+            label="discarded StatusOr temporary"),
+        Injection(
+            heap_h,
+            "\nnamespace sqlclass {\n"
+            "class LintSelfTestNodiscardSweep {\n"
+            " public:\n"
+            "  Status UnannotatedDeclForLintSelfTest(int x);\n"
+            "};\n"
+            "}  // namespace sqlclass\n",
+            expect="UnannotatedDeclForLintSelfTest",
+            label="Status declaration missing [[nodiscard]]"),
+    ]
+    return run_self_test(cases, make_checker(registry), "unchecked-Status")
+
+
+def main():
+    parser = make_parser(__doc__, DEFAULT_SUBDIRS)
+    args = parser.parse_args()
+
+    try:
+        files = [SourceFile(p) for p in iter_source_files(
+            args.root, args.subdirs or DEFAULT_SUBDIRS)]
+        _, registry, ambiguous = build_registry(files)
+        if args.self_test:
+            return self_test(args.root, registry)
+        check = make_checker(registry)
+        violations = []
+        for sf in files:
+            violations.extend(check(sf.path))
+    except Exception as e:  # noqa: BLE001
+        print(f"lint_status_checks: internal error: {e}", file=sys.stderr)
+        return 2
+
+    def describe(v):
+        kind = v[3]
+        if kind == "missing-nodiscard":
+            return (f"`{v[4]}` returns Status/StatusOr but the declaration "
+                    "has no [[nodiscard]]")
+        if kind == "void-cast":
+            return (f"`(void){v[4]}(...)` in {v[2]}() silences the compiler "
+                    "without a `// status: ignored(...)` waiver")
+        return (f"result of `{v[4]}(...)` discarded in {v[2]}() — Status "
+                "never checked")
+
+    fixits = []
+    if args.fixits:
+        for v in violations:
+            if v[3] == "missing-nodiscard":
+                sf = SourceFile(v[0])
+                lines = sf.text.splitlines()
+                old = lines[v[1] - 1]
+                fixits.append(render_fixit(
+                    v[0], sf.text, v[1],
+                    re.sub(r"^(\s*)", r"\1[[nodiscard]] ", old)))
+
+    code = print_violations(
+        "unchecked-Status lint", violations, args.root, describe,
+        "Fix: check the Status (propagate, log, or recover), or — only "
+        "when the failure is genuinely ignorable, e.g. best-effort cleanup "
+        "in a destructor — cast to void with a waiver:\n"
+        "  (void)expr;  // status: ignored(<reason>)\n"
+        "Annotate Status-returning declarations [[nodiscard]].",
+        fixits)
+    if code == 0:
+        print(f"unchecked-Status lint: clean — {len(files)} files, "
+              f"{len(registry)} Status-returning APIs "
+              f"({len(ambiguous)} ambiguous names excluded)")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Shared analysis core for the repo's invariant lints.
+
+Every checker in tools/ (cost accounting, unchecked Status, fault-point
+coverage, determinism, env-knob docs) is built on this package so they all
+agree on what a comment, a string literal, a function body, and a waiver
+are. The package has four layers:
+
+  source    C++-aware tokenizer (comment/string stripping that preserves
+            offsets) and the brace/scope engine that finds function bodies.
+  waivers   the `// <domain>: <kind>(<arg>)` waiver-comment grammar.
+  fixits    rendering of suggested fixes as unified-diff hunks.
+  selftest  the inject-a-violation-into-a-copy harness behind every lint's
+            --self-test flag.
+  cli       shared argparse plumbing and violation reporting.
+
+Violations flow through the tuple shape the original cost-accounting lint
+established: (path, line, function_name, what) with an optional trailing
+detail element.
+"""
+
+from lintlib.cli import make_parser, print_violations
+from lintlib.fixits import render_fixit
+from lintlib.selftest import Injection, run_self_test
+from lintlib.source import (
+    SourceFile,
+    find_functions,
+    function_name_for,
+    iter_source_files,
+    line_of,
+    read_text,
+    strip_code,
+)
+from lintlib.waivers import find_waivers, waiver_regex
+
+__all__ = [
+    "Injection",
+    "SourceFile",
+    "find_functions",
+    "find_waivers",
+    "function_name_for",
+    "iter_source_files",
+    "line_of",
+    "make_parser",
+    "print_violations",
+    "read_text",
+    "render_fixit",
+    "run_self_test",
+    "strip_code",
+    "waiver_regex",
+]

@@ -1,0 +1,46 @@
+"""Shared argparse plumbing and violation reporting for the lints."""
+
+import argparse
+import os
+
+
+def make_parser(doc, default_subdirs=None, self_test_help=None):
+    """Parser with the flags every lint shares: --root, --self-test,
+    --fixits, and (when `default_subdirs` is given) repeatable --subdir."""
+    parser = argparse.ArgumentParser(description=doc.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        help="repo root (default: parent of tools/)")
+    if default_subdirs is not None:
+        parser.add_argument(
+            "--subdir", action="append", dest="subdirs",
+            help="checked subtree, repeatable "
+                 f"(default: {', '.join(default_subdirs)})")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help=self_test_help or "verify the checker detects its injected "
+                               "violation class, then exit")
+    parser.add_argument(
+        "--fixits", action="store_true",
+        help="print suggested fixes as unified-diff hunks")
+    return parser
+
+
+def print_violations(title, violations, root, describe, fix_hint,
+                     fixits=None):
+    """Standard report: one line per violation via `describe(v)`, then the
+    fix hint, then optional fix-it hunks. Returns the exit code."""
+    if not violations:
+        return 0
+    print(f"{title}: {len(violations)} violation(s):")
+    for v in violations:
+        rel = os.path.relpath(v[0], root)
+        print(f"  {rel}:{v[1]}: {describe(v)}")
+    if fix_hint:
+        print("\n" + fix_hint)
+    for hunk in fixits or []:
+        if hunk:
+            print("\nsuggested fix:\n" + hunk)
+    return 1

@@ -1,0 +1,34 @@
+"""Fix-it rendering: suggested edits as unified-diff hunks.
+
+Lints that know the mechanical fix for a violation (insert a waiver
+comment, prepend `[[nodiscard]]`) can emit it in `patch -p0`-able form so
+the remedy is copy-pasteable from CI logs. Rendering is purely textual —
+nothing here writes to the tree.
+"""
+
+
+def render_fixit(path, text, line, replacement, context=1):
+    """Unified-diff hunk replacing 1-indexed `line` of `text` (the file's
+    current contents) with `replacement` (a string, or list of lines for
+    an expansion such as inserting a waiver comment above the line)."""
+    lines = text.splitlines()
+    if not 1 <= line <= len(lines):
+        return ""
+    if isinstance(replacement, str):
+        replacement = [replacement]
+    lo = max(1, line - context)
+    hi = min(len(lines), line + context)
+    old_count = hi - lo + 1
+    new_count = old_count - 1 + len(replacement)
+    out = [
+        "--- %s" % path,
+        "+++ %s" % path,
+        "@@ -%d,%d +%d,%d @@" % (lo, old_count, lo, new_count),
+    ]
+    for i in range(lo, hi + 1):
+        if i == line:
+            out.append("-" + lines[i - 1])
+            out.extend("+" + r for r in replacement)
+        else:
+            out.append(" " + lines[i - 1])
+    return "\n".join(out)

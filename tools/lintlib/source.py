@@ -1,0 +1,226 @@
+"""C++ source tokenizer and brace/scope engine.
+
+The tokenizer (`strip_code`) blanks comments and string/char literals while
+keeping every newline, so byte offsets and line numbers computed against the
+stripped text are valid against the original. The scope engine
+(`find_functions`) walks the stripped text and returns function bodies — a
+`{` at paren depth zero whose previous non-space token is `)` (allowing
+`const` / `noexcept` / `override` / `final` suffixes), brace-matched to its
+closing `}`.
+
+Both were extracted verbatim from lint_cost_accounting.py (PR 3) so every
+lint shares one definition of "function body" and one set of blind spots.
+"""
+
+import os
+
+import re
+
+# Tokens that look like a function name in a header position but are not.
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+    "defined", "alignof", "decltype", "noexcept", "assert",
+}
+# Thread-safety annotation macros end in `)` and would otherwise be taken
+# for the function name nearest the body brace.
+ANNOTATION_MACROS = {
+    "REQUIRES", "EXCLUDES", "ACQUIRE", "RELEASE", "TRY_ACQUIRE",
+    "GUARDED_BY", "PT_GUARDED_BY", "RETURN_CAPABILITY", "CAPABILITY",
+    "ASSERT_CAPABILITY", "SQLCLASS_THREAD_ANNOTATION",
+}
+
+
+def read_text(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def strip_code(text):
+    """Returns (clean, comments): `clean` has comments and string/char
+    literals blanked (newlines kept, so offsets and line numbers survive);
+    `comments` has everything *except* comments blanked, for waiver scans."""
+    clean = []
+    comments = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                clean.append("  ")
+                comments.append("//")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                clean.append("  ")
+                comments.append("/*")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                clean.append('"')
+                comments.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                clean.append("'")
+                comments.append(" ")
+                i += 1
+                continue
+            clean.append(c)
+            comments.append(c if c == "\n" else " ")
+            i += 1
+            continue
+        if mode in ("line_comment", "block_comment"):
+            end = (mode == "line_comment" and c == "\n") or (
+                mode == "block_comment" and c == "*" and nxt == "/"
+            )
+            if mode == "block_comment" and end:
+                comments.append("*/")
+                clean.append("  ")
+                i += 2
+                mode = "code"
+                continue
+            if mode == "line_comment" and end:
+                comments.append("\n")
+                clean.append("\n")
+                i += 1
+                mode = "code"
+                continue
+            comments.append(c)
+            clean.append("\n" if c == "\n" else " ")
+            i += 1
+            continue
+        # string / char literal
+        if c == "\\":
+            clean.append("  ")
+            comments.append("  ")
+            i += 2
+            continue
+        if (mode == "string" and c == '"') or (mode == "char" and c == "'"):
+            clean.append(c)
+            comments.append(" ")
+            mode = "code"
+            i += 1
+            continue
+        clean.append("\n" if c == "\n" else " ")
+        comments.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(clean), "".join(comments)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def function_name_for(clean, body_open):
+    """Best-effort name of the function whose body opens at `body_open`."""
+    # Header text: from the previous ; } or { up to the body brace.
+    start = max(
+        clean.rfind(";", 0, body_open),
+        clean.rfind("}", 0, body_open),
+        clean.rfind("{", 0, body_open),
+    )
+    header = clean[start + 1 : body_open]
+    for m in re.finditer(r"([A-Za-z_~][\w]*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(",
+                         header):
+        name = re.sub(r"\s+", "", m.group(1))
+        base = name.split("::")[-1].lstrip("~")
+        if base in KEYWORDS or base in ANNOTATION_MACROS:
+            continue
+        return name
+    return "<anonymous>"
+
+
+def find_functions(clean):
+    """Yields (name, body_start, body_end) for each function body: a `{`
+    at paren depth 0 whose previous non-space token is `)` (possibly via
+    annotation-macro suffixes, which also end in `)`), not nested inside
+    another function body."""
+    out = []
+    in_function_until = -1
+    i, n = 0, len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "{":
+            if i < in_function_until:
+                i += 1
+                continue
+            # Walk back over `const` / `noexcept` / `override` / `final`
+            # suffixes so inline methods are recognized too.
+            j = i - 1
+            while True:
+                while j >= 0 and clean[j].isspace():
+                    j -= 1
+                if j >= 0 and (clean[j].isalnum() or clean[j] == "_"):
+                    k = j
+                    while k >= 0 and (clean[k].isalnum() or clean[k] == "_"):
+                        k -= 1
+                    word = clean[k + 1 : j + 1]
+                    if word in ("const", "noexcept", "override", "final"):
+                        j = k
+                        continue
+                break
+            if j >= 0 and clean[j] == ")":
+                # Brace-match to find the body end.
+                depth = 1
+                k = i + 1
+                while k < n and depth > 0:
+                    if clean[k] == "{":
+                        depth += 1
+                    elif clean[k] == "}":
+                        depth -= 1
+                    k += 1
+                out.append((function_name_for(clean, i), i, k))
+                in_function_until = k
+        i += 1
+    return out
+
+
+class SourceFile:
+    """One parsed source file: original text, stripped views, and the
+    function-body index, computed once and shared by every rule that looks
+    at the file."""
+
+    def __init__(self, path, text=None):
+        self.path = path
+        self.text = read_text(path) if text is None else text
+        self.clean, self.comments = strip_code(self.text)
+        self._functions = None
+
+    @property
+    def functions(self):
+        if self._functions is None:
+            self._functions = find_functions(self.clean)
+        return self._functions
+
+    def line_of(self, offset):
+        return line_of(self.text, offset)
+
+    def enclosing_function(self, offset):
+        """(name, body_start, body_end) of the innermost function body
+        containing `offset`, or None for file scope."""
+        hit = None
+        for name, start, end in self.functions:
+            if start <= offset < end:
+                hit = (name, start, end)
+        return hit
+
+
+def iter_source_files(root, subdirs, exts=(".cc", ".h")):
+    """Sorted paths of source files under root/<subdir> for each subdir."""
+    files = []
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(tuple(exts)):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)

@@ -1,0 +1,39 @@
+"""The waiver-comment grammar shared by every invariant lint.
+
+A waiver is a comment of the form
+
+    // <domain>: <kind>(<arg>)
+
+e.g. `// cost: charged-by-caller(RunScan)`, `// status: ignored(best-effort
+destructor cleanup)`, `// fault: uncovered(metadata-only stat)`,
+`// determinism: seeded(rng_)`. The domain names the lint that honors the
+waiver; the kind names the rule being waived; the parenthesized argument is
+a symbol or free-text reason and is mandatory — an unexplained waiver is a
+lint violation waiting to be re-litigated, so the grammar refuses to parse
+one.
+
+Waivers are matched against the `comments` view from
+lintlib.source.strip_code, so a waiver-shaped string literal never silences
+a rule.
+"""
+
+import re
+
+
+def waiver_regex(domain, kinds):
+    """Compiled regex for `// domain: kind(arg)` with `kind` drawn from
+    `kinds`. Group 1 is the kind, group 2 the argument."""
+    alternatives = "|".join(re.escape(k) for k in kinds)
+    return re.compile(
+        r"//\s*%s:\s*(%s)\s*\(([^)\n]+)\)" % (re.escape(domain), alternatives)
+    )
+
+
+def find_waivers(comments, regex, start=0, end=None):
+    """All (kind, arg, offset) waiver matches in comments[start:end]."""
+    if end is None:
+        end = len(comments)
+    return [
+        (m.group(1), m.group(2).strip(), start + m.start())
+        for m in regex.finditer(comments[start:end])
+    ]
