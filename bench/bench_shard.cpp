@@ -1,11 +1,12 @@
 // Sharded shared-nothing scan-out: wall-clock behaviour of the Rule 8
-// fan-out on the Fig-6 census workload. A shard-count x worker-thread grid
+// fan-out on the Fig-6 census workload. A shard-count x worker-thread x
+// transport (in-process vs subprocess workers) x replica (on/off) grid
 // grows the same decision tree through the middleware with the table split
 // into N heap shards, verifying along the way that every configuration
 // produces a tree byte-identical to the unsharded serial run (the merge
 // determinism contract) and identical simulated seconds across every
-// sharded cell (the cost model cannot see shard or worker count — only
-// wall time moves).
+// sharded cell (the cost model cannot see shard count, worker count, the
+// process boundary, or the replica knob — only wall time moves).
 //
 // Flags:
 //   --smoke        tiny grid for the `perf`-labeled ctest smoke run
@@ -18,6 +19,7 @@
 
 #include "bench_util.h"
 #include "datagen/census.h"
+#include "middleware/shard_scan.h"
 
 using namespace sqlclass;
 using namespace sqlclass::bench;
@@ -27,10 +29,14 @@ namespace {
 struct GridCell {
   uint32_t shards = 0;  // 0 = unsharded baseline row
   int workers = 0;
+  const char* transport = "none";  // resolved: "inproc" or "subprocess"
+  bool replicas = false;
   double wall_seconds = 0;
   double sim_seconds = 0;
   uint64_t shard_scans = 0;
   uint64_t shard_fallbacks = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t worker_restarts = 0;
   bool tree_identical = false;
 };
 
@@ -64,7 +70,8 @@ int main(int argc, char** argv) {
   TreeClientConfig client_config;
   client_config.max_depth = smoke ? 4 : 8;
 
-  auto make_config = [&](bool sharded, int workers) {
+  auto make_config = [&](bool sharded, int workers,
+                         ShardTransportKind transport) {
     MiddlewareConfig mw;
     mw.staging_dir = dir.path();
     // Keep every batch on the server so the grid isolates the scan-out:
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
     mw.sharding.enable = sharded;
     mw.sharding.worker_threads = workers;
     mw.sharding.min_node_rows = 1;  // route every level through Rule 8
+    mw.sharding.transport = transport;
     return mw;
   };
 
@@ -82,8 +90,9 @@ int main(int argc, char** argv) {
   std::string ref_signature;
   GridCell baseline;
   {
-    auto mw = ClassificationMiddleware::Create(&server, "census",
-                                               make_config(false, 1));
+    auto mw = ClassificationMiddleware::Create(
+        &server, "census",
+        make_config(false, 1, ShardTransportKind::kInProcess));
     if (!mw.ok()) return 1;
     server.ResetCostCounters();
     Stopwatch watch;
@@ -128,63 +137,90 @@ int main(int argc, char** argv) {
               "hardware_concurrency=%u)\n",
               (unsigned long long)rows, hardware);
   if (single_core) std::printf("# %s\n", skipped_reason.c_str());
-  std::printf("%-8s %-8s %12s %12s %12s %10s %10s\n", "shards", "workers",
-              "wall_sec", "sim_sec", "shard_scans", "fallbacks", "tree_ok");
-  std::printf("%-8s %-8d %12.4f %12.3f %12s %10s %10s\n", "none", 1,
-              baseline.wall_seconds, baseline.sim_seconds, "-", "-", "ref");
+  std::printf("%-8s %-8s %-11s %-9s %12s %12s %12s %10s %10s\n", "shards",
+              "workers", "transport", "replicas", "wall_sec", "sim_sec",
+              "shard_scans", "fallbacks", "tree_ok");
+  std::printf("%-8s %-8d %-11s %-9s %12.4f %12.3f %12s %10s %10s\n", "none",
+              1, "none", "-", baseline.wall_seconds, baseline.sim_seconds,
+              "-", "-", "ref");
 
   std::vector<GridCell> cells;
   cells.push_back(baseline);
 
   double sharded_sim = -1;  // sim seconds every sharded cell must match
   for (uint32_t shards : shard_grid) {
-    if (server.HasShardSet("census")) {
-      if (!server.DropShardSet("census").ok()) return 1;
-    }
-    if (!server.BuildShardSet("census", shards).ok()) {
-      std::fprintf(stderr, "BuildShardSet(%u) failed\n", shards);
-      return 1;
-    }
-    for (int workers : worker_grid) {
-      auto mw = ClassificationMiddleware::Create(&server, "census",
-                                                 make_config(true, workers));
-      if (!mw.ok()) return 1;
-      server.ResetCostCounters();
-      Stopwatch watch;
-      DecisionTreeClient client(schema, client_config);
-      auto tree = client.Grow(mw->get(), rows);
-      if (!tree.ok()) {
-        std::fprintf(stderr, "grow: %s\n", tree.status().ToString().c_str());
+    for (bool replicas : {false, true}) {
+      if (server.HasShardSet("census")) {
+        if (!server.DropShardSet("census").ok()) return 1;
+      }
+      if (!server
+               .BuildShardSet("census", shards, ShardScheme::kHashRowId,
+                              replicas)
+               .ok()) {
+        std::fprintf(stderr, "BuildShardSet(%u) failed\n", shards);
         return 1;
       }
-      GridCell cell;
-      cell.shards = shards;
-      cell.workers = workers;
-      cell.wall_seconds = watch.ElapsedSeconds();
-      cell.sim_seconds = server.SimulatedSeconds();
-      cell.shard_scans = (*mw)->stats().shard_scans.load();
-      cell.shard_fallbacks = (*mw)->stats().shard_fallbacks.load();
-      cell.tree_identical = tree->Signature() == ref_signature;
-      std::printf("%-8u %-8d %12.4f %12.3f %12llu %10llu %10s\n", shards,
-                  workers, cell.wall_seconds, cell.sim_seconds,
-                  (unsigned long long)cell.shard_scans,
-                  (unsigned long long)cell.shard_fallbacks,
-                  cell.tree_identical ? "yes" : "NO");
-      if (!cell.tree_identical) return 1;
-      if (cell.shard_fallbacks != 0) {
-        std::fprintf(stderr, "unexpected shard fallbacks\n");
-        return 1;
+      for (ShardTransportKind transport : {ShardTransportKind::kInProcess,
+                                           ShardTransportKind::kSubprocess}) {
+        for (int workers : worker_grid) {
+          auto mw = ClassificationMiddleware::Create(
+              &server, "census", make_config(true, workers, transport));
+          if (!mw.ok()) return 1;
+          server.ResetCostCounters();
+          Stopwatch watch;
+          DecisionTreeClient client(schema, client_config);
+          auto tree = client.Grow(mw->get(), rows);
+          if (!tree.ok()) {
+            std::fprintf(stderr, "grow: %s\n",
+                         tree.status().ToString().c_str());
+            return 1;
+          }
+          GridCell cell;
+          cell.shards = shards;
+          cell.workers = workers;
+          // Report the transport that actually ran (the
+          // SQLCLASS_SHARDS_TRANSPORT override wins over the config).
+          cell.transport = ResolveShardTransport(transport) ==
+                                   ShardTransportKind::kSubprocess
+                               ? "subprocess"
+                               : "inproc";
+          cell.replicas = replicas;
+          cell.wall_seconds = watch.ElapsedSeconds();
+          cell.sim_seconds = server.SimulatedSeconds();
+          cell.shard_scans = (*mw)->stats().shard_scans.load();
+          cell.shard_fallbacks = (*mw)->stats().shard_fallbacks.load();
+          cell.rpc_timeouts = (*mw)->stats().shard_rpc_timeouts.load();
+          cell.worker_restarts = (*mw)->stats().shard_worker_restarts.load();
+          cell.tree_identical = tree->Signature() == ref_signature;
+          std::printf("%-8u %-8d %-11s %-9s %12.4f %12.3f %12llu %10llu "
+                      "%10s\n",
+                      shards, workers, cell.transport,
+                      replicas ? "yes" : "no", cell.wall_seconds,
+                      cell.sim_seconds, (unsigned long long)cell.shard_scans,
+                      (unsigned long long)cell.shard_fallbacks,
+                      cell.tree_identical ? "yes" : "NO");
+          if (!cell.tree_identical) return 1;
+          if (cell.shard_fallbacks != 0) {
+            std::fprintf(stderr, "unexpected shard fallbacks\n");
+            return 1;
+          }
+          if (cell.rpc_timeouts != 0 || cell.worker_restarts != 0) {
+            std::fprintf(stderr,
+                         "unexpected rpc timeouts/restarts in a clean run\n");
+            return 1;
+          }
+          if (sharded_sim < 0) {
+            sharded_sim = cell.sim_seconds;
+          } else if (cell.sim_seconds != sharded_sim) {
+            std::fprintf(stderr,
+                         "simulated seconds vary with shard/worker/transport/"
+                         "replica configuration (%.6f vs %.6f)\n",
+                         cell.sim_seconds, sharded_sim);
+            return 1;
+          }
+          cells.push_back(cell);
+        }
       }
-      if (sharded_sim < 0) {
-        sharded_sim = cell.sim_seconds;
-      } else if (cell.sim_seconds != sharded_sim) {
-        std::fprintf(stderr,
-                     "simulated seconds vary with shard/worker count "
-                     "(%.6f vs %.6f)\n",
-                     cell.sim_seconds, sharded_sim);
-        return 1;
-      }
-      cells.push_back(cell);
     }
   }
 
@@ -207,7 +243,9 @@ int main(int argc, char** argv) {
     json.String(
         "shards=0 is the unsharded serial reference; every sharded cell "
         "must grow a byte-identical tree and charge identical simulated "
-        "seconds — only wall time may move with shard/worker count");
+        "seconds — only wall time may move with shard count, worker count, "
+        "the transport (in-process vs subprocess workers over pipe RPC), "
+        "or the replica knob");
     json.Key("results");
     json.BeginArray();
     for (const GridCell& cell : cells) {
@@ -216,6 +254,10 @@ int main(int argc, char** argv) {
       json.Int(cell.shards);
       json.Key("workers");
       json.Int(cell.workers);
+      json.Key("transport");
+      json.String(cell.transport);
+      json.Key("replicas");
+      json.Bool(cell.replicas);
       json.Key("wall_seconds");
       json.Double(cell.wall_seconds);
       json.Key("sim_seconds");
@@ -224,6 +266,10 @@ int main(int argc, char** argv) {
       json.Int(cell.shard_scans);
       json.Key("shard_fallbacks");
       json.Int(cell.shard_fallbacks);
+      json.Key("rpc_timeouts");
+      json.Int(cell.rpc_timeouts);
+      json.Key("worker_restarts");
+      json.Int(cell.worker_restarts);
       json.Key("tree_identical_to_serial");
       json.Bool(cell.tree_identical);
       json.EndObject();

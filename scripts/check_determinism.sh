@@ -64,3 +64,28 @@ for run in 1 2; do
 done
 diff "$tmp/shard_invariant_1.json" "$tmp/shard_invariant_2.json"
 echo "OK: shard-served trees and simulated cost identical across runs"
+
+# Out-of-process shard transport: two full runs through real subprocess
+# workers (fork + pipe RPC) must also agree on everything but wall time —
+# the wire codec, the worker scan, and the fixed-order merge are all
+# deterministic, so the process boundary may not be visible in the output.
+for run in 1 2; do
+  echo "== sharded scan-out bench over subprocess workers, run $run =="
+  SQLCLASS_SHARDS_TRANSPORT=subprocess \
+    "$BUILD_DIR/bench/bench_shard" --smoke \
+    --dump="$tmp/shard_oop_$run.json" >/dev/null
+  sed -E 's/"wall_seconds":[0-9.e+-]+/"wall_seconds":_/g' \
+    "$tmp/shard_oop_$run.json" >"$tmp/shard_oop_invariant_$run.json"
+done
+diff "$tmp/shard_oop_invariant_1.json" "$tmp/shard_oop_invariant_2.json"
+echo "OK: subprocess-transport runs identical across runs"
+
+# The transport itself may not leak into the results either: a subprocess
+# run's invariant fields must equal the in-process run's bit for bit
+# (wall-clock fields and the transport label are the only legal deltas).
+sed -E 's/"transport":"[a-z]+"/"transport":_/g' \
+  "$tmp/shard_invariant_1.json" >"$tmp/shard_xport_inproc.json"
+sed -E 's/"transport":"[a-z]+"/"transport":_/g' \
+  "$tmp/shard_oop_invariant_1.json" >"$tmp/shard_xport_oop.json"
+diff "$tmp/shard_xport_inproc.json" "$tmp/shard_xport_oop.json"
+echo "OK: subprocess transport byte-identical to in-process transport"

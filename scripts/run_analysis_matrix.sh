@@ -14,6 +14,10 @@
 #   shards   -fsanitize=address,undefined build + the sharded-scan-out ctest
 #            subset (ctest -L shards): partitioner roundtrip, deterministic
 #            CC merge, and shard-fault recovery under ASan
+#   shards-oop  -fsanitize=address,undefined build + the out-of-process
+#            transport ctest subset (ctest -L shards-oop): wire-codec
+#            fuzzing, subprocess RPC deadlines/crashes/torn frames, and
+#            replica-shard failover under ASan
 #   lint     invariant lints: cost accounting, env-knob docs, unchecked
 #            Status, fault-point coverage, determinism — each with a
 #            self-test leg proving it still detects its injected violation
@@ -32,7 +36,7 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 BASE=build-analysis
 LEGS=("$@")
 if [[ ${#LEGS[@]} -eq 0 ]]; then
-  LEGS=(werror tidy asan tsan faults approx shards lint)
+  LEGS=(werror tidy asan tsan faults approx shards shards-oop lint)
 fi
 
 note() { printf '\n== %s ==\n' "$*"; }
@@ -115,6 +119,20 @@ run_leg() {
       ctest --test-dir "$shards_dir" --output-on-failure -j "$JOBS" \
         --no-tests=error -L shards
       ;;
+    shards-oop)
+      note "shards-oop: -fsanitize=address,undefined + ctest -L shards-oop"
+      # Shares the asan tree when present. The subprocess transport forks
+      # real sqlclass_shard_worker processes, so the whole RPC path — wire
+      # codec, deadline kills, respawns, replica failover — runs under ASan
+      # on both sides of the pipe.
+      local oop_dir="$BASE/asan"
+      if [[ ! -d "$oop_dir" ]]; then
+        oop_dir="$dir"
+      fi
+      configure_and_build "$oop_dir" -DSQLCLASS_SANITIZE=address,undefined
+      ctest --test-dir "$oop_dir" --output-on-failure -j "$JOBS" \
+        --no-tests=error -L shards-oop
+      ;;
     lint)
       note "lint: cost / env-docs / status / fault-coverage / determinism" \
            "invariants + self-tests"
@@ -130,7 +148,7 @@ run_leg() {
         -L lint
       ;;
     *)
-      echo "unknown leg: $leg (expected: werror tidy asan tsan faults approx shards lint)" >&2
+      echo "unknown leg: $leg (expected: werror tidy asan tsan faults approx shards shards-oop lint)" >&2
       return 2
       ;;
   esac

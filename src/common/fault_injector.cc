@@ -73,6 +73,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kBitmapRead,         faults::kSampleOpen,
       faults::kSampleRead,         faults::kShardOpen,
       faults::kShardRead,          faults::kShardWorker,
+      faults::kShardRpcSend,       faults::kShardRpcRecv,
+      faults::kShardWorkerCrash,
   };
   return *points;
 }

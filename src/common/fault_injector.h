@@ -34,6 +34,9 @@ inline constexpr char kSampleRead[] = "sample/read";
 inline constexpr char kShardOpen[] = "shard/open";
 inline constexpr char kShardRead[] = "shard/read";
 inline constexpr char kShardWorker[] = "shard/worker";
+inline constexpr char kShardRpcSend[] = "shard/rpc_send";
+inline constexpr char kShardRpcRecv[] = "shard/rpc_recv";
+inline constexpr char kShardWorkerCrash[] = "shard/worker_crash";
 }  // namespace faults
 
 namespace internal_faults {

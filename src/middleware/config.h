@@ -50,6 +50,17 @@ struct ApproxConfig {
   SplitCriterion gate_criterion = SplitCriterion::kEntropy;
 };
 
+/// How the shard coordinator reaches its per-shard scan executors
+/// (DESIGN.md "Distributed scan-out").
+enum class ShardTransportKind {
+  /// Scan on the coordinator's own pool threads (the default).
+  kInProcess = 0,
+  /// Pre-forked `sqlclass_shard_worker` processes reached over pipes with
+  /// Checksum32-framed messages, per-shard RPC deadlines, and
+  /// SIGKILL-plus-respawn recovery.
+  kSubprocess = 1,
+};
+
 /// Knobs of the sharded scan-out path (scheduler Rule 8, DESIGN.md "Sharded
 /// scan-out"): server-located CC batches are fanned out to per-shard
 /// workers over the table's partitioned heap shards
@@ -71,6 +82,28 @@ struct ShardingConfig {
   /// set: the fan-out's per-shard startup outweighs the scan. Overridable
   /// via SQLCLASS_SHARDS_MIN_ROWS.
   uint64_t min_node_rows = 4096;
+
+  /// How shard scans execute. Transport choice never changes trees or
+  /// simulated cost — only the failure domain (and wall time). Overridable
+  /// via SQLCLASS_SHARDS_TRANSPORT=inproc|subprocess.
+  ShardTransportKind transport = ShardTransportKind::kInProcess;
+
+  /// Per-shard RPC deadline for the subprocess transport: a worker that
+  /// has not replied within this budget is SIGKILLed and respawned, and
+  /// the shard task retried under `rpc_retry`. Overridable via
+  /// SQLCLASS_SHARDS_RPC_DEADLINE_MS.
+  int rpc_deadline_ms = 10000;
+
+  /// Backoff schedule for failed shard RPCs (timeouts, torn or corrupt
+  /// frames, dead workers). A worker-*reported* scan failure is never
+  /// retried here — that is a deterministic shard fault, handled by the
+  /// coordinator's replica / primary-rescan ladder.
+  RetryPolicy rpc_retry;
+
+  /// Path of the `sqlclass_shard_worker` binary. Empty resolves via
+  /// SQLCLASS_SHARD_WORKER_BIN, then well-known locations next to the
+  /// running binary (its directory, then ../tools).
+  std::string worker_binary;
 };
 
 /// Ordering policy for eligible nodes within a scheduled batch. The paper's

@@ -501,14 +501,34 @@ StatusOr<std::vector<CcResult>> ClassificationMiddleware::ExecuteBatch(
       const int resolved =
           workers == 0 ? static_cast<int>(ThreadPool::HardwareConcurrency())
                        : workers;
+      if (shard_transport_ == nullptr) {
+        shard_transport_ = MakeShardTransport(config_.sharding);
+      }
+      const uint64_t timeouts_before = shard_transport_->rpc_timeouts();
+      const uint64_t restarts_before = shard_transport_->worker_restarts();
       ShardCoordinator::Result shard_result;
-      SQLCLASS_RETURN_IF_ERROR(
+      const Status ran =
           coordinator->Run(resolved > 1 ? ScanPool(resolved) : nullptr,
-                           &shard_transport_, &nodes, &cost, &shard_result));
+                           shard_transport_.get(), &nodes, &cost,
+                           &shard_result);
+      // RPC hardening activity is metered even when the pass ultimately
+      // fails — the fault-injection tests reconcile these against the
+      // injected fault counts.
+      const int timeouts = static_cast<int>(shard_transport_->rpc_timeouts() -
+                                            timeouts_before);
+      const int restarts = static_cast<int>(
+          shard_transport_->worker_restarts() - restarts_before);
+      trace.shard_rpc_timeouts += timeouts;
+      trace.shard_worker_restarts += restarts;
+      stats_.shard_rpc_timeouts += timeouts;
+      stats_.shard_worker_restarts += restarts;
+      SQLCLASS_RETURN_IF_ERROR(ran);
       trace.rows_scanned = shard_result.rows_scanned;
       trace.served_from_shards = true;
       trace.shard_rescans += shard_result.rescans;
+      trace.shard_replica_rescans += shard_result.replica_rescans;
       stats_.shard_rescans += shard_result.rescans;
+      stats_.shard_replica_rescans += shard_result.replica_rescans;
       ++stats_.shard_scans;
       return Status::OK();
     }

@@ -69,6 +69,9 @@ class ClassificationMiddleware : public CcProvider {
     std::atomic<uint64_t> shard_scans{0};  // batches served by the sharded fan-out
     std::atomic<uint64_t> shard_fallbacks{0};  // shard passes degraded to row scans
     std::atomic<uint64_t> shard_rescans{0};  // dead shards recovered from the primary
+    std::atomic<uint64_t> shard_replica_rescans{0};  // dead shards recovered from replicas
+    std::atomic<uint64_t> shard_rpc_timeouts{0};  // RPC deadline expiries (subprocess transport)
+    std::atomic<uint64_t> shard_worker_restarts{0};  // worker processes respawned after a kill/crash
 
     Stats() = default;
     Stats(const Stats& other) { *this = other; }
@@ -100,6 +103,9 @@ class ClassificationMiddleware : public CcProvider {
       copy(shard_scans, other.shard_scans);
       copy(shard_fallbacks, other.shard_fallbacks);
       copy(shard_rescans, other.shard_rescans);
+      copy(shard_replica_rescans, other.shard_replica_rescans);
+      copy(shard_rpc_timeouts, other.shard_rpc_timeouts);
+      copy(shard_worker_restarts, other.shard_worker_restarts);
       return *this;
     }
   };
@@ -128,6 +134,9 @@ class ClassificationMiddleware : public CcProvider {
     bool served_from_shards = false;  // Rule 8: counts merged from shards
     bool shard_fallback = false;      // shard pass failed; row scan served
     int shard_rescans = 0;            // dead shards recovered from the primary
+    int shard_replica_rescans = 0;    // dead shards recovered from replicas
+    int shard_rpc_timeouts = 0;       // RPC deadlines expired in this batch
+    int shard_worker_restarts = 0;    // workers respawned in this batch
   };
 
   /// One gate verdict per sample-served request, in delivery order — the
@@ -250,7 +259,10 @@ class ClassificationMiddleware : public CcProvider {
   std::unique_ptr<BitmapIndexReader> bitmap_reader_;  // see BitmapReader()
   std::unique_ptr<SampleFileReader> sample_reader_;   // see SampleReader()
   std::unique_ptr<ShardCoordinator> shard_coordinator_;  // see ShardSet()
-  InProcessShardTransport shard_transport_;
+  /// Transport behind the coordinator, built from config_.sharding on
+  /// first use (MakeShardTransport) and shared across batches so the
+  /// subprocess pool survives between passes.
+  std::unique_ptr<ShardTransport> shard_transport_;
   std::vector<SampleDecision> sample_decisions_;
 };
 

@@ -16,12 +16,13 @@ bool EnvFlagOff(const char* env) {
          std::strcmp(env, "off") == 0;
 }
 
-/// Scans one shard heap file, folding matching rows into the task's
-/// partial CC tables. Runs on a pool thread: everything it touches is
-/// task-private or read-only shared. The `shard/read` fault point guards
-/// the scan; any failure marks the shard dead and the coordinator
-/// re-scans it from the primary heap file.
-Status ScanShardHeap(const ShardTask& task) {
+/// Scans the heap file at `path` — the task's shard heap, or its
+/// byte-identical replica during recovery — folding matching rows into the
+/// task's partial CC tables. Runs on a pool thread: everything it touches
+/// is task-private or read-only shared. The `shard/read` fault point
+/// guards the scan; any failure marks the source dead and the coordinator
+/// climbs its recovery ladder (replica, then primary re-scan).
+Status ScanShardHeapFile(const ShardTask& task, const std::string& path) {
   SQLCLASS_FAULT_POINT(faults::kShardRead);
   // cost: charged-by-caller(ShardCoordinator::Run) — logical mw_shard_*
   // charges are applied once post-merge so simulated cost is shard- and
@@ -29,10 +30,10 @@ Status ScanShardHeap(const ShardTask& task) {
   // IoCounters inside the reader.
   SQLCLASS_ASSIGN_OR_RETURN(
       std::unique_ptr<HeapFileReader> reader,
-      HeapFileReader::Open(task.shard_heap_path, task.num_columns, task.io));
+      HeapFileReader::Open(path, task.num_columns, task.io));
   if (reader->num_rows() != task.expected_rows) {
     return Status::DataLoss("shard heap row count disagrees with map for " +
-                            task.shard_heap_path);
+                            path);
   }
   RowBatch batch;
   std::vector<int> matches;
@@ -81,9 +82,31 @@ uint64_t ResolveShardMinRows(uint64_t configured) {
   return static_cast<uint64_t>(parsed);
 }
 
+ShardTransportKind ResolveShardTransport(ShardTransportKind configured) {
+  const char* env = std::getenv("SQLCLASS_SHARDS_TRANSPORT");
+  if (env == nullptr || env[0] == '\0') return configured;
+  if (std::strcmp(env, "inproc") == 0 || std::strcmp(env, "0") == 0) {
+    return ShardTransportKind::kInProcess;
+  }
+  if (std::strcmp(env, "subprocess") == 0 || std::strcmp(env, "oop") == 0 ||
+      std::strcmp(env, "1") == 0) {
+    return ShardTransportKind::kSubprocess;
+  }
+  return configured;
+}
+
+int ResolveShardRpcDeadlineMs(int configured) {
+  const char* env = std::getenv("SQLCLASS_SHARDS_RPC_DEADLINE_MS");
+  if (env == nullptr || env[0] == '\0') return configured;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed <= 0) return configured;
+  return static_cast<int>(parsed);
+}
+
 Status InProcessShardTransport::RunShard(const ShardTask& task) {
   SQLCLASS_FAULT_POINT(faults::kShardWorker);
-  return ScanShardHeap(task);
+  return ScanShardHeapFile(task, task.shard_heap_path);
 }
 
 uint64_t ShardMerger::ShardMergeCells(CcTable* into, const CcTable& partial) {
@@ -159,6 +182,7 @@ Status ShardCoordinator::Run(ThreadPool* pool, ShardTransport* transport,
     task.num_classes = num_classes;
     task.matcher = &matcher;
     task.node_attrs = &node_attrs;
+    task.predicates = &predicates;
     task.partials = &partials[s];
     task.rows_scanned = &shard_rows[s];
     task.io = &shard_io[s];
@@ -173,13 +197,28 @@ Status ShardCoordinator::Run(ThreadPool* pool, ShardTransport* transport,
     for (uint32_t s = 0; s < shards; ++s) run_shard(static_cast<int>(s));
   }
 
-  // Replica-style exclusion: a dead shard (worker fault, shard-file fault,
-  // stale row count) is rebuilt from the primary heap file, restricted to
-  // the rows the scheme routed to it. Only a failed *primary* re-scan
-  // fails the pass — that is the middleware's shard-fallback rung.
+  // Recovery ladder for a dead shard (worker fault, RPC failure,
+  // shard-file fault, stale row count): first its replica file — a
+  // byte-identical copy written at shard-set build time, scanned exactly
+  // like the shard heap — then a re-scan of the primary heap file
+  // restricted to the rows the scheme routed to it. Only a failed
+  // *primary* re-scan fails the pass — that is the middleware's
+  // shard-fallback rung.
   int rescans = 0;
+  int replica_rescans = 0;
   for (uint32_t s = 0; s < shards; ++s) {
     if (shard_status[s].ok()) continue;
+    partials[s].clear();
+    for (size_t i = 0; i < n; ++i) partials[s].emplace_back(num_classes);
+    shard_rows[s] = 0;
+    const Status from_replica =
+        ScanShardHeapFile(tasks[s], ShardReplicaPathFor(heap_path_, s));
+    if (from_replica.ok()) {
+      ++replica_rescans;
+      continue;
+    }
+    // A missing, corrupt, or stale replica leaves partially-built partials
+    // behind; rebuild them from scratch off the primary.
     partials[s].clear();
     for (size_t i = 0; i < n; ++i) partials[s].emplace_back(num_classes);
     shard_rows[s] = 0;
@@ -215,6 +254,7 @@ Status ShardCoordinator::Run(ThreadPool* pool, ShardTransport* transport,
   if (result != nullptr) {
     result->rows_scanned = total_rows_scanned;
     result->rescans = rescans;
+    result->replica_rescans = replica_rescans;
   }
   return Status::OK();
 }

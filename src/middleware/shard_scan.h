@@ -33,6 +33,17 @@ int ResolveShardWorkers(int configured);
 /// Negative or unparsable values keep the configured value.
 uint64_t ResolveShardMinRows(uint64_t configured);
 
+/// SQLCLASS_SHARDS_TRANSPORT override for ShardingConfig::transport:
+/// "inproc" (also "0") forces the in-process transport, "subprocess" (also
+/// "oop", "1") the out-of-process one; anything else keeps the configured
+/// value.
+ShardTransportKind ResolveShardTransport(ShardTransportKind configured);
+
+/// SQLCLASS_SHARDS_RPC_DEADLINE_MS override for
+/// ShardingConfig::rpc_deadline_ms. Non-positive or unparsable values keep
+/// the configured value.
+int ResolveShardRpcDeadlineMs(int configured);
+
 /// The work order one shard worker executes: scan the shard heap file and
 /// build a partial CC table per batch node. Everything a worker touches is
 /// either owned by it (`partials`, `rows_scanned`, `io`) or read-only and
@@ -47,6 +58,12 @@ struct ShardTask {
   int num_classes = 0;
   const BatchMatcher* matcher = nullptr;
   const std::vector<const std::vector<int>*>* node_attrs = nullptr;
+  /// Per-node bound predicates (null entry = TRUE), parallel to
+  /// `node_attrs`. The in-process transport ignores these (the matcher
+  /// already encodes them); the subprocess transport serializes them so
+  /// the worker process can evaluate rows without the coordinator's
+  /// matcher.
+  const std::vector<const Expr*>* predicates = nullptr;
   std::vector<CcTable>* partials = nullptr;  // out: one per node, zeroed
   uint64_t* rows_scanned = nullptr;          // out
   IoCounters* io = nullptr;                  // out: worker-private physical IO
@@ -65,10 +82,27 @@ class ShardTransport {
   virtual ~ShardTransport() = default;
 
   /// Executes `task`'s shard scan, filling its out-fields. A non-OK status
-  /// marks the shard dead; the coordinator then re-scans that shard's rows
-  /// from the primary heap file (replica-style exclusion).
+  /// marks the shard dead; the coordinator then recovers that shard from
+  /// its replica file when one exists, else re-scans its rows from the
+  /// primary heap file (replica-style exclusion).
   [[nodiscard]] virtual Status RunShard(const ShardTask& task) = 0;
+
+  /// Cumulative RPC deadline expiries across the transport's lifetime.
+  /// Zero for transports without an RPC path.
+  virtual uint64_t rpc_timeouts() const { return 0; }
+
+  /// Cumulative worker-process respawns after a kill or crash (the
+  /// pre-fork of a healthy pool is not a restart). Zero for transports
+  /// without worker processes.
+  virtual uint64_t worker_restarts() const { return 0; }
 };
+
+/// Builds the transport `config` asks for (after SQLCLASS_SHARDS_TRANSPORT
+/// resolution); subprocess options — deadline, retry policy, worker binary
+/// — come from the config plus their env overrides. The result is safe to
+/// share across batches and (like all transports) across pool threads.
+std::unique_ptr<ShardTransport> MakeShardTransport(
+    const ShardingConfig& config);
 
 /// Runs the shard scan in the calling thread — the shared-nothing layout
 /// without the process boundary. The `shard/worker` fault point guards the
@@ -108,6 +142,7 @@ class ShardCoordinator {
   struct Result {
     uint64_t rows_scanned = 0;  // base rows counted across all shards
     int rescans = 0;            // dead shards recovered from the primary
+    int replica_rescans = 0;    // dead shards recovered from their replica
   };
 
   /// Opens and validates the distribution map for the table whose primary

@@ -75,6 +75,14 @@ class CcTable {
   /// Number of (attr, value) entries across all attributes.
   size_t NumEntries() const { return cells_.size(); }
 
+  /// Every (attribute, value) cell with its per-class counts, in key order
+  /// (the map's ordering) — deterministic, so serializing a table and
+  /// rebuilding it via Add/AddClassTotal reproduces it structurally. Used
+  /// by the shard wire codec to ship partial tables across processes.
+  const std::map<std::pair<int, Value>, std::vector<int64_t>>& Cells() const {
+    return cells_;
+  }
+
   /// Approximate heap bytes held — the unit of the middleware's CC-memory
   /// accounting (Rule 3 admission).
   size_t ApproxBytes() const;

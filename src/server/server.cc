@@ -613,7 +613,7 @@ Status SqlServer::DropSampleTable(const std::string& table) {
 }
 
 Status SqlServer::BuildShardSet(const std::string& table, uint32_t num_shards,
-                                ShardScheme scheme) {
+                                ShardScheme scheme, bool with_replicas) {
   SQLCLASS_ASSIGN_OR_RETURN(const TableState* state, GetState(table));
   if (state->loading) return Status::Internal("loader open: " + table);
   if (shard_sets_.count(table) > 0) {
@@ -622,6 +622,7 @@ Status SqlServer::BuildShardSet(const std::string& table, uint32_t num_shards,
   SQLCLASS_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   ShardSetWriter writer(state->path, info->schema.num_columns(), num_shards,
                         scheme);
+  writer.set_write_replicas(ResolveShardReplicas(with_replicas));
   SQLCLASS_RETURN_IF_ERROR(writer.Open(&io_counters_));
   Status scan =
       ServerSideScan(table, nullptr, [&](Tid, const Row& row) -> Status {

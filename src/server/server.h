@@ -198,8 +198,12 @@ class SqlServer : public TableProvider {
   /// per-row insertion cost). The middleware's sharded scan-out (scheduler
   /// Rule 8) fans CC batches out over the shard set. Appending rows
   /// invalidates the shard set — rebuild after bulk INSERTs.
+  /// `with_replicas` (overridable via SQLCLASS_SHARDS_REPLICAS) also writes
+  /// a byte-identical `.s<i>.rep` replica per shard — the coordinator's
+  /// first recovery rung for a dead shard.
   [[nodiscard]] Status BuildShardSet(const std::string& table, uint32_t num_shards,
-                       ShardScheme scheme = ShardScheme::kHashRowId);
+                       ShardScheme scheme = ShardScheme::kHashRowId,
+                       bool with_replicas = false);
   bool HasShardSet(const std::string& table) const;
 
   /// Path of the table's shard distribution map (`.shm`), for coordinators

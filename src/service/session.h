@@ -174,6 +174,9 @@ struct ServiceMetrics {
   uint64_t shard_scans = 0;       // scans served by the sharded fan-out
   uint64_t shard_fallbacks = 0;   // shard passes degraded to row scans
   uint64_t shard_rescans = 0;     // dead shards recovered from the primary
+  uint64_t shard_replica_rescans = 0;  // dead shards recovered from replicas
+  uint64_t shard_rpc_timeouts = 0;     // shard RPC deadline expiries
+  uint64_t shard_worker_restarts = 0;  // shard worker processes respawned
   std::map<std::string, uint64_t> scans_by_table;  // per-location scan counts
 
   /// Average CC requests served per scan. With N sessions growing identical

@@ -301,6 +301,9 @@ void SharedScanBatcher::RunScan(const std::string& table,
   if (out.from_shards) ++shard_scans_;
   if (out.shard_fallback) ++shard_fallbacks_;
   shard_rescans_ += out.shard_rescans;
+  shard_replica_rescans_ += out.shard_replica_rescans;
+  shard_rpc_timeouts_ += out.shard_rpc_timeouts;
+  shard_worker_restarts_ += out.shard_worker_restarts;
   if (!out.scan_status.ok()) ++scan_failures_;
 
   if (!only_session) t.scan_in_progress = false;
@@ -426,6 +429,11 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScanOnce(
   if (!bitmap_served && ResolveShardingEnabled(config_.sharding.enable) &&
       server_->HasShardSet(table) &&
       table_rows >= ResolveShardMinRows(config_.sharding.min_node_rows)) {
+    if (shard_transport_ == nullptr) {
+      shard_transport_ = MakeShardTransport(config_.sharding);
+    }
+    const uint64_t timeouts_before = shard_transport_->rpc_timeouts();
+    const uint64_t restarts_before = shard_transport_->worker_restarts();
     Status shard_pass = [&]() -> Status {
       SQLCLASS_ASSIGN_OR_RETURN(const std::string heap_path,
                                 server_->TableHeapPath(table));
@@ -448,15 +456,20 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScanOnce(
           (scan_pool_ == nullptr || scan_pool_->size() != resolved)) {
         scan_pool_ = std::make_unique<ThreadPool>(resolved);
       }
-      InProcessShardTransport transport;
       ShardCoordinator::Result result;
       SQLCLASS_RETURN_IF_ERROR(
           coordinator->Run(resolved > 1 ? scan_pool_.get() : nullptr,
-                           &transport, &nodes, &cost, &result));
+                           shard_transport_.get(), &nodes, &cost, &result));
       out.rows_scanned = result.rows_scanned;
       out.shard_rescans = result.rescans;
+      out.shard_replica_rescans = result.replica_rescans;
       return Status::OK();
     }();
+    // RPC hardening activity is metered even when the pass fell back — the
+    // fault-injection tests reconcile these against the injected faults.
+    out.shard_rpc_timeouts = shard_transport_->rpc_timeouts() - timeouts_before;
+    out.shard_worker_restarts =
+        shard_transport_->worker_restarts() - restarts_before;
     if (shard_pass.ok()) {
       shard_served = true;
       out.from_shards = true;
@@ -467,6 +480,7 @@ SharedScanBatcher::ScanOutcome SharedScanBatcher::ExecuteScanOnce(
       out.shard_fallback = true;
       out.rows_scanned = 0;
       out.shard_rescans = 0;
+      out.shard_replica_rescans = 0;
       for (int i = 0; i < n; ++i) ccs[i] = CcTable(num_classes);
     }
   }
@@ -632,6 +646,9 @@ void SharedScanBatcher::FillMetrics(ServiceMetrics* out) const {
   out->shard_scans = shard_scans_;
   out->shard_fallbacks = shard_fallbacks_;
   out->shard_rescans = shard_rescans_;
+  out->shard_replica_rescans = shard_replica_rescans_;
+  out->shard_rpc_timeouts = shard_rpc_timeouts_;
+  out->shard_worker_restarts = shard_worker_restarts_;
   out->scans_by_table = scans_by_table_;
 }
 

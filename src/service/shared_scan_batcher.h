@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "middleware/shard_scan.h"
 #include "mining/cc_provider.h"
 #include "server/server.h"
 #include "service/session.h"
@@ -155,6 +156,9 @@ class SharedScanBatcher {
     bool from_shards = false;       // counts merged from the shard set
     bool shard_fallback = false;    // shard pass failed; row scan served
     uint64_t shard_rescans = 0;     // dead shards recovered from the primary
+    uint64_t shard_replica_rescans = 0;  // dead shards recovered from replicas
+    uint64_t shard_rpc_timeouts = 0;     // RPC deadline expiries in this scan
+    uint64_t shard_worker_restarts = 0;  // workers respawned in this scan
   };
 
   /// Runs ExecuteScanOnce under ServiceConfig::scan_retry: transient
@@ -181,6 +185,12 @@ class SharedScanBatcher {
   /// guarded by server_mu_ (scans are single-flight per server anyway).
   std::unique_ptr<ThreadPool> scan_pool_ GUARDED_BY(server_mu_);
 
+  /// Transport behind the service-level shard pass, built from
+  /// config_.sharding on first use and kept across scans so a subprocess
+  /// worker pool survives between passes (its cumulative rpc_timeouts /
+  /// worker_restarts counters feed the per-scan deltas).
+  std::unique_ptr<ShardTransport> shard_transport_ GUARDED_BY(server_mu_);
+
   mutable Mutex mu_;
   CondVar cv_;
   std::map<std::string, TableState> tables_ GUARDED_BY(mu_);
@@ -198,6 +208,9 @@ class SharedScanBatcher {
   uint64_t shard_scans_ GUARDED_BY(mu_) = 0;
   uint64_t shard_fallbacks_ GUARDED_BY(mu_) = 0;
   uint64_t shard_rescans_ GUARDED_BY(mu_) = 0;
+  uint64_t shard_replica_rescans_ GUARDED_BY(mu_) = 0;
+  uint64_t shard_rpc_timeouts_ GUARDED_BY(mu_) = 0;
+  uint64_t shard_worker_restarts_ GUARDED_BY(mu_) = 0;
   std::map<std::string, uint64_t> scans_by_table_ GUARDED_BY(mu_);
 };
 

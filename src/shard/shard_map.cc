@@ -1,5 +1,6 @@
 #include "shard/shard_map.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -36,6 +37,69 @@ uint64_t MixOrdinal(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Existence probe only — an absent replica is a legitimate state (the set
+/// was built without replicas), so no Status and no fault point.
+bool FileExists(const std::string& path) {
+  // fault: uncovered(existence probe; open failure means "absent")
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+/// Byte-for-byte copy of `src` to `dst` (truncating). Whole-file physical
+/// reads and writes are charged to `counters` in the same page unit heap
+/// files meter in. Guarded by the storage fault points so injected faults
+/// exercise the replica-write failure path.
+Status CopyFileContents(const std::string& src, const std::string& dst,
+                        IoCounters* counters) {
+  SQLCLASS_FAULT_POINT(faults::kStorageOpen);
+  std::FILE* in = std::fopen(src.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::IoError("cannot open replica source: " + src);
+  }
+  std::FILE* out = std::fopen(dst.c_str(), "wb");
+  if (out == nullptr) {
+    std::fclose(in);
+    return Status::IoError("cannot create replica: " + dst);
+  }
+  // The copy fault point sits in a lambda so an injected failure still
+  // closes both handles on the way out.
+  auto copy_all = [&]() -> Status {
+    SQLCLASS_FAULT_POINT(faults::kStorageWrite);
+    char chunk[kPageSize];
+    uint64_t total = 0;
+    while (true) {
+      const size_t n = std::fread(chunk, 1, sizeof(chunk), in);
+      if (n > 0 && std::fwrite(chunk, 1, n, out) != n) {
+        return Status::IoError("short write to replica: " + dst);
+      }
+      total += n;
+      if (n < sizeof(chunk)) break;
+    }
+    if (std::ferror(in) != 0) {
+      return Status::IoError("cannot read replica source: " + src);
+    }
+    if (counters != nullptr) {
+      counters->pages_read += PagesFor(total);
+      counters->pages_written += PagesFor(total);
+    }
+    return Status::OK();
+  };
+  Status result = copy_all();
+  std::fclose(in);  // read-only stream: nothing buffered to lose
+  auto close_out = [&]() -> Status {
+    SQLCLASS_FAULT_POINT(faults::kStorageClose);
+    if (std::fclose(out) != 0) {
+      return Status::IoError("cannot close replica: " + dst);
+    }
+    return Status::OK();
+  };
+  const Status closed = close_out();
+  if (result.ok()) result = closed;
+  return result;
+}
+
 }  // namespace
 
 std::string ShardMapPathFor(const std::string& heap_path) {
@@ -44,6 +108,17 @@ std::string ShardMapPathFor(const std::string& heap_path) {
 
 std::string ShardHeapPathFor(const std::string& heap_path, uint32_t shard) {
   return heap_path + ".shard" + std::to_string(shard);
+}
+
+std::string ShardReplicaPathFor(const std::string& heap_path, uint32_t shard) {
+  return heap_path + ".s" + std::to_string(shard) + ".rep";
+}
+
+bool ResolveShardReplicas(bool configured) {
+  const char* env = std::getenv("SQLCLASS_SHARDS_REPLICAS");
+  if (env == nullptr || env[0] == '\0') return configured;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
 }
 
 uint32_t ShardForRow(ShardScheme scheme, uint64_t row_ordinal,
@@ -157,6 +232,22 @@ Status ShardSetWriter::Finish() {
       break;
     }
     entries[s].heap_checksum = checksum.value();
+    if (!write_replicas_) continue;
+    const std::string replica = ShardReplicaPathFor(heap_path_, s);
+    result = CopyFileContents(ShardHeapPathFor(heap_path_, s), replica,
+                              counters_);
+    if (!result.ok()) break;
+    StatusOr<uint32_t> replica_checksum =
+        ChecksumFileContents(replica, counters_);
+    if (!replica_checksum.ok()) {
+      result = replica_checksum.status();
+      break;
+    }
+    if (replica_checksum.value() != entries[s].heap_checksum) {
+      result = Status::DataLoss("replica checksum mismatch for shard " +
+                                std::to_string(s) + " of " + heap_path_);
+      break;
+    }
   }
   writers_.clear();
 
@@ -227,11 +318,12 @@ void ShardSetWriter::RemoveShardSet() {
 
 StatusOr<uint64_t> ShardSetWriter::BuildFromHeapFile(
     const std::string& heap_path, int num_columns, uint32_t num_shards,
-    ShardScheme scheme, IoCounters* counters) {
+    ShardScheme scheme, IoCounters* counters, bool with_replicas) {
   SQLCLASS_ASSIGN_OR_RETURN(
       std::unique_ptr<HeapFileReader> reader,
       HeapFileReader::Open(heap_path, num_columns, counters));
   ShardSetWriter writer(heap_path, num_columns, num_shards, scheme);
+  writer.set_write_replicas(with_replicas);
   SQLCLASS_RETURN_IF_ERROR(writer.Open(counters));
   Row row;
   while (true) {
@@ -253,6 +345,7 @@ void RemoveShardSetFiles(const std::string& heap_path, uint32_t num_shards) {
   if (num_shards > kMaxShards) num_shards = kMaxShards;
   for (uint32_t s = 0; s < num_shards; ++s) {
     std::remove(ShardHeapPathFor(heap_path, s).c_str());
+    std::remove(ShardReplicaPathFor(heap_path, s).c_str());
   }
 }
 
@@ -368,6 +461,14 @@ Status VerifyShardFiles(const std::string& heap_path,
         ChecksumFileContents(ShardHeapPathFor(heap_path, s), counters));
     if (actual != entries[s].heap_checksum) {
       return Status::DataLoss("shard heap checksum mismatch for shard " +
+                              std::to_string(s) + " of " + heap_path);
+    }
+    const std::string replica = ShardReplicaPathFor(heap_path, s);
+    if (!FileExists(replica)) continue;
+    SQLCLASS_ASSIGN_OR_RETURN(uint32_t replica_actual,
+                              ChecksumFileContents(replica, counters));
+    if (replica_actual != entries[s].heap_checksum) {
+      return Status::DataLoss("shard replica checksum mismatch for shard " +
                               std::to_string(s) + " of " + heap_path);
     }
   }

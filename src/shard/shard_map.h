@@ -60,6 +60,18 @@ std::string ShardMapPathFor(const std::string& heap_path);
 /// `heap_path`.
 std::string ShardHeapPathFor(const std::string& heap_path, uint32_t shard);
 
+/// Conventional replica filename (`<heap>.s<i>.rep`) for shard `shard`: a
+/// byte-identical copy of the shard heap file, written when the shard set
+/// is built with replicas. The coordinator's first recovery rung for a
+/// dead shard — cheaper than the primary re-scan and still covered by the
+/// map's per-shard checksum.
+std::string ShardReplicaPathFor(const std::string& heap_path, uint32_t shard);
+
+/// SQLCLASS_SHARDS_REPLICAS override for the build-time replica choice:
+/// "0"/"false"/"off" forces replicas off, any other value forces them on,
+/// unset keeps `configured`.
+bool ResolveShardReplicas(bool configured);
+
 /// The shard that owns row ordinal `row_ordinal` under `scheme`.
 /// Deterministic, pure; the coordinator uses it to re-scan a dead shard's
 /// rows out of the primary heap file.
@@ -93,6 +105,14 @@ class ShardSetWriter {
   ShardSetWriter(std::string heap_path, int num_columns, uint32_t num_shards,
                  ShardScheme scheme);
 
+  /// When enabled (before Finish), Finish also writes a byte-identical
+  /// replica of every shard heap file at ShardReplicaPathFor and verifies
+  /// each copy against the shard's map checksum — the recovery rung the
+  /// coordinator climbs before a primary re-scan.
+  void set_write_replicas(bool write_replicas) {
+    write_replicas_ = write_replicas;
+  }
+
   /// Creates the shard heap files (truncating). Must be called once before
   /// AddRow. `counters` (nullable) accumulates physical writes for the
   /// writer's whole lifetime.
@@ -116,7 +136,8 @@ class ShardSetWriter {
                                               int num_columns,
                                               uint32_t num_shards,
                                               ShardScheme scheme,
-                                              IoCounters* counters);
+                                              IoCounters* counters,
+                                              bool with_replicas = false);
 
  private:
   /// Best-effort removal of the map and every shard heap file.
@@ -126,6 +147,7 @@ class ShardSetWriter {
   int num_columns_;
   uint32_t num_shards_;
   ShardScheme scheme_;
+  bool write_replicas_ = false;
   IoCounters* counters_ = nullptr;  // may be null
   uint64_t rows_routed_ = 0;
   std::vector<std::unique_ptr<HeapFileWriter>> writers_;
@@ -185,9 +207,10 @@ class ShardMapReader {
 };
 
 /// Recomputes every shard heap file's checksum and compares it against the
-/// map at `map_path`. OK when all match; kDataLoss naming the first shard
-/// that does not. The partitioner's roundtrip guarantee, exposed for tests
-/// and repair tooling.
+/// map at `map_path`; replica files, where present, must match the same
+/// per-shard checksum (they are byte-identical copies). OK when all match;
+/// kDataLoss naming the first shard that does not. The partitioner's
+/// roundtrip guarantee, exposed for tests and repair tooling.
 [[nodiscard]] Status VerifyShardFiles(const std::string& heap_path,
                         const std::string& map_path, IoCounters* counters);
 

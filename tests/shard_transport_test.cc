@@ -1,0 +1,818 @@
+// Out-of-process shard transport: conformance across InProcessShardTransport
+// and SubprocessShardTransport (tree byte-identity vs the unsharded serial
+// path, simulated-cost invariance, replica on/off grid), RPC hardening
+// (deadlines, SIGKILL + respawn, torn frames, injected worker crashes), the
+// replica -> primary-rescan degradation ladder, and exact reconciliation of
+// the shard_rpc_timeouts / shard_worker_restarts / shard_replica_rescans
+// counters against the injected fault counts at middleware and service level.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "datagen/load.h"
+#include "datagen/random_tree.h"
+#include "middleware/middleware.h"
+#include "middleware/shard_scan.h"
+#include "middleware/subprocess_shard_transport.h"
+#include "mining/tree_client.h"
+#include "server/server.h"
+#include "service/service.h"
+#include "shard/shard_map.h"
+#include "sql/expr.h"
+#include "storage/heap_file.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+using testing_util::TempDir;
+
+class FaultScope {
+ public:
+  FaultScope() { FaultInjector::Global().Reset(); }
+  ~FaultScope() { FaultInjector::Global().Reset(); }
+};
+
+class EnvVarScope {
+ public:
+  EnvVarScope(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~EnvVarScope() {
+    if (had_prev_) {
+      setenv(name_.c_str(), prev_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteHeap(const std::string& path, const Schema& schema,
+               const std::vector<Row>& rows) {
+  auto writer = HeapFileWriter::Create(path, schema.num_columns(), nullptr);
+  ASSERT_TRUE(writer.ok());
+  for (const Row& row : rows) ASSERT_TRUE((*writer)->Append(row).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Knob resolution and transport selection.
+// ---------------------------------------------------------------------------
+
+TEST(TransportEnvTest, TransportOverride) {
+  {
+    EnvVarScope env("SQLCLASS_SHARDS_TRANSPORT", nullptr);
+    EXPECT_EQ(ResolveShardTransport(ShardTransportKind::kInProcess),
+              ShardTransportKind::kInProcess);
+    EXPECT_EQ(ResolveShardTransport(ShardTransportKind::kSubprocess),
+              ShardTransportKind::kSubprocess);
+  }
+  for (const char* oop : {"subprocess", "oop", "1"}) {
+    EnvVarScope env("SQLCLASS_SHARDS_TRANSPORT", oop);
+    EXPECT_EQ(ResolveShardTransport(ShardTransportKind::kInProcess),
+              ShardTransportKind::kSubprocess)
+        << oop;
+  }
+  for (const char* inproc : {"inproc", "0"}) {
+    EnvVarScope env("SQLCLASS_SHARDS_TRANSPORT", inproc);
+    EXPECT_EQ(ResolveShardTransport(ShardTransportKind::kSubprocess),
+              ShardTransportKind::kInProcess)
+        << inproc;
+  }
+  EnvVarScope env("SQLCLASS_SHARDS_TRANSPORT", "junk");
+  EXPECT_EQ(ResolveShardTransport(ShardTransportKind::kSubprocess),
+            ShardTransportKind::kSubprocess);
+}
+
+TEST(TransportEnvTest, DeadlineAndReplicaOverrides) {
+  {
+    EnvVarScope env("SQLCLASS_SHARDS_RPC_DEADLINE_MS", "250");
+    EXPECT_EQ(ResolveShardRpcDeadlineMs(10000), 250);
+  }
+  for (const char* bad : {"0", "-5", "junk"}) {
+    EnvVarScope env("SQLCLASS_SHARDS_RPC_DEADLINE_MS", bad);
+    EXPECT_EQ(ResolveShardRpcDeadlineMs(10000), 10000) << bad;
+  }
+  {
+    EnvVarScope env("SQLCLASS_SHARDS_REPLICAS", nullptr);
+    EXPECT_TRUE(ResolveShardReplicas(true));
+    EXPECT_FALSE(ResolveShardReplicas(false));
+  }
+  for (const char* off : {"0", "false", "off"}) {
+    EnvVarScope env("SQLCLASS_SHARDS_REPLICAS", off);
+    EXPECT_FALSE(ResolveShardReplicas(true)) << off;
+  }
+  EnvVarScope env("SQLCLASS_SHARDS_REPLICAS", "1");
+  EXPECT_TRUE(ResolveShardReplicas(false));
+}
+
+TEST(TransportEnvTest, WorkerBinaryResolution) {
+  // The build tree's worker binary resolves from the test executable's
+  // location (../tools sibling).
+  const std::string resolved = ResolveShardWorkerBinary("");
+  ASSERT_FALSE(resolved.empty());
+  // An explicit configured path wins; a missing explicit path fails hard
+  // instead of silently falling elsewhere.
+  EXPECT_EQ(ResolveShardWorkerBinary(resolved), resolved);
+  EXPECT_TRUE(ResolveShardWorkerBinary("/nonexistent/worker").empty());
+  {
+    EnvVarScope env("SQLCLASS_SHARD_WORKER_BIN", resolved.c_str());
+    EXPECT_EQ(ResolveShardWorkerBinary(""), resolved);
+  }
+  EnvVarScope env("SQLCLASS_SHARD_WORKER_BIN", "/nonexistent/worker");
+  EXPECT_TRUE(ResolveShardWorkerBinary("").empty());
+}
+
+TEST(TransportFactoryTest, ConfigAndEnvSelectTheImplementation) {
+  ShardingConfig config;
+  config.worker_threads = 1;
+  config.transport = ShardTransportKind::kInProcess;
+  {
+    auto transport = MakeShardTransport(config);
+    EXPECT_NE(dynamic_cast<InProcessShardTransport*>(transport.get()),
+              nullptr);
+  }
+  {
+    EnvVarScope env("SQLCLASS_SHARDS_TRANSPORT", "subprocess");
+    auto transport = MakeShardTransport(config);
+    EXPECT_NE(dynamic_cast<SubprocessShardTransport*>(transport.get()),
+              nullptr);
+  }
+  config.transport = ShardTransportKind::kSubprocess;
+  {
+    EnvVarScope env("SQLCLASS_SHARDS_TRANSPORT", "inproc");
+    auto transport = MakeShardTransport(config);
+    EXPECT_NE(dynamic_cast<InProcessShardTransport*>(transport.get()),
+              nullptr);
+  }
+  auto transport = MakeShardTransport(config);
+  EXPECT_NE(dynamic_cast<SubprocessShardTransport*>(transport.get()), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Direct transport exercises: one shard set, hand-built tasks, exact
+// counter arithmetic per injected fault.
+// ---------------------------------------------------------------------------
+
+class SubprocessDirectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSchema({4, 3, 5}, 3);
+    rows_ = RandomRows(schema_, 600, 7);
+    heap_ = dir_.path() + "/t.heap";
+    WriteHeap(heap_, schema_, rows_);
+    ASSERT_TRUE(ShardSetWriter::BuildFromHeapFile(heap_, schema_.num_columns(),
+                                                  1, ShardScheme::kHashRowId,
+                                                  nullptr)
+                    .ok());
+    predicate_ = Expr::ColEq("A1", 1);
+    ASSERT_TRUE(predicate_->Bind(schema_).ok());
+    attrs_ = {0, 1, 2};
+  }
+
+  SubprocessShardTransport::Options FastOptions(int attempts) {
+    SubprocessShardTransport::Options options;
+    options.pool_size = 1;
+    options.rpc_deadline_ms = 5000;
+    options.retry.max_attempts = attempts;
+    options.retry.initial_backoff_us = 0;
+    return options;
+  }
+
+  /// Owns every out-field and shared vector a ShardTask points at.
+  struct TaskState {
+    std::vector<const Expr*> predicates;
+    std::vector<const std::vector<int>*> node_attrs;
+    std::vector<CcTable> partials;
+    uint64_t rows_scanned = 0;
+    IoCounters io;
+  };
+
+  /// Two-node task over the single shard: node 0 counts everything, node 1
+  /// only rows matching `predicate_`.
+  ShardTask MakeTask(TaskState* state) {
+    state->predicates = {nullptr, predicate_.get()};
+    state->node_attrs = {&attrs_, &attrs_};
+    state->partials.clear();
+    state->partials.emplace_back(3);
+    state->partials.emplace_back(3);
+    state->rows_scanned = 0;
+    ShardTask task;
+    task.shard = 0;
+    task.shard_heap_path = ShardHeapPathFor(heap_, 0);
+    task.expected_rows = rows_.size();
+    task.num_columns = schema_.num_columns();
+    task.class_column = schema_.class_column();
+    task.num_classes = 3;
+    task.predicates = &state->predicates;
+    task.node_attrs = &state->node_attrs;
+    task.partials = &state->partials;
+    task.rows_scanned = &state->rows_scanned;
+    task.io = &state->io;
+    return task;
+  }
+
+  CcTable Expected(const Expr* predicate) {
+    CcTable cc(3);
+    for (const Row& row : rows_) {
+      if (predicate == nullptr || predicate->Eval(row.data())) {
+        cc.AddRow(row.data(), attrs_, schema_.class_column());
+      }
+    }
+    return cc;
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::string heap_;
+  std::unique_ptr<Expr> predicate_;
+  std::vector<int> attrs_;
+};
+
+TEST_F(SubprocessDirectTest, ScanShipsExactCcTables) {
+  SubprocessShardTransport transport(FastOptions(2));
+  TaskState state;
+  const ShardTask task = MakeTask(&state);
+  ASSERT_TRUE(transport.RunShard(task).ok());
+  EXPECT_EQ(state.rows_scanned, rows_.size());
+  EXPECT_TRUE(state.partials[0] == Expected(nullptr));
+  EXPECT_TRUE(state.partials[1] == Expected(predicate_.get()));
+  EXPECT_GT(state.io.pages_read, 0u);
+  EXPECT_EQ(transport.rpc_timeouts(), 0u);
+  EXPECT_EQ(transport.worker_restarts(), 0u);
+
+  // The pooled worker serves a second task without respawning.
+  TaskState again;
+  ASSERT_TRUE(transport.RunShard(MakeTask(&again)).ok());
+  EXPECT_TRUE(again.partials[0] == state.partials[0]);
+  EXPECT_EQ(transport.worker_restarts(), 0u);
+}
+
+TEST_F(SubprocessDirectTest, MissingWorkerBinaryIsNotFound) {
+  SubprocessShardTransport::Options options = FastOptions(2);
+  options.worker_binary = "/nonexistent/sqlclass_shard_worker";
+  SubprocessShardTransport transport(options);
+  TaskState state;
+  const Status run = transport.RunShard(MakeTask(&state));
+  EXPECT_EQ(run.code(), StatusCode::kNotFound);
+}
+
+TEST_F(SubprocessDirectTest, HangingWorkerIsKilledAtTheDeadline) {
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/hang");
+  SubprocessShardTransport::Options options = FastOptions(2);
+  options.rpc_deadline_ms = 80;
+  SubprocessShardTransport transport(options);
+  TaskState state;
+  const Status run = transport.RunShard(MakeTask(&state));
+  EXPECT_EQ(run.code(), StatusCode::kIoError);
+  // Both attempts timed out; only the second attempt's spawn replaced a
+  // dead worker (the first used the pre-forked pool).
+  EXPECT_EQ(transport.rpc_timeouts(), 2u);
+  EXPECT_EQ(transport.worker_restarts(), 1u);
+}
+
+TEST_F(SubprocessDirectTest, CrashAfterScanIsRetriedThenSurfaced) {
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/worker_crash");
+  SubprocessShardTransport transport(FastOptions(3));
+  TaskState state;
+  const Status run = transport.RunShard(MakeTask(&state));
+  EXPECT_EQ(run.code(), StatusCode::kIoError);
+  EXPECT_EQ(transport.rpc_timeouts(), 0u);
+  EXPECT_EQ(transport.worker_restarts(), 2u);  // attempts 2 and 3 respawned
+  EXPECT_EQ(state.rows_scanned, 0u);
+}
+
+TEST_F(SubprocessDirectTest, CrashBeforeScanIsRetriedThenSurfaced) {
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/rpc_recv");
+  SubprocessShardTransport transport(FastOptions(2));
+  TaskState state;
+  const Status run = transport.RunShard(MakeTask(&state));
+  EXPECT_EQ(run.code(), StatusCode::kIoError);
+  EXPECT_EQ(transport.worker_restarts(), 1u);
+}
+
+TEST_F(SubprocessDirectTest, TornReplyFrameNeverDecodes) {
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/rpc_send");
+  SubprocessShardTransport transport(FastOptions(2));
+  TaskState state;
+  const Status run = transport.RunShard(MakeTask(&state));
+  EXPECT_EQ(run.code(), StatusCode::kIoError);
+  EXPECT_EQ(transport.worker_restarts(), 1u);
+  // The half-written reply frame must have been rejected wholesale — no
+  // partial CC data may leak into the out-fields.
+  EXPECT_EQ(state.partials[0].NumEntries(), 0u);
+  EXPECT_EQ(state.partials[1].NumEntries(), 0u);
+  EXPECT_EQ(state.rows_scanned, 0u);
+}
+
+TEST_F(SubprocessDirectTest, EverySecondTaskCrashRecoversTransparently) {
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/worker_crash,after:1");
+  SubprocessShardTransport transport(FastOptions(2));
+  const CcTable expected = Expected(nullptr);
+  for (int i = 0; i < 4; ++i) {
+    TaskState state;
+    ASSERT_TRUE(transport.RunShard(MakeTask(&state)).ok()) << "task " << i;
+    EXPECT_TRUE(state.partials[0] == expected) << "task " << i;
+  }
+  // Each worker instance serves exactly one task and crashes on its second,
+  // so tasks 2..4 each needed one respawn.
+  EXPECT_EQ(transport.worker_restarts(), 3u);
+  EXPECT_EQ(transport.rpc_timeouts(), 0u);
+}
+
+TEST_F(SubprocessDirectTest, WorkerReportedScanFailureIsNotRetried) {
+  SubprocessShardTransport transport(FastOptions(3));
+  TaskState state;
+  ShardTask task = MakeTask(&state);
+  task.expected_rows = rows_.size() + 1;  // map disagreement -> kShardError
+  const Status run = transport.RunShard(task);
+  EXPECT_EQ(run.code(), StatusCode::kDataLoss);
+  // Deterministic worker-side failure: same worker, no respawns, and it is
+  // still healthy enough to serve a corrected task.
+  EXPECT_EQ(transport.worker_restarts(), 0u);
+  TaskState fixed;
+  ASSERT_TRUE(transport.RunShard(MakeTask(&fixed)).ok());
+  EXPECT_EQ(transport.worker_restarts(), 0u);
+}
+
+TEST_F(SubprocessDirectTest, CoordinatorSideWireFaultsRetryAndSurface) {
+  FaultScope guard;
+  SubprocessShardTransport transport(FastOptions(2));
+  {
+    FaultInjector::PointConfig fault;  // every coordinator send fails
+    FaultInjector::Global().Arm(faults::kShardRpcSend, fault);
+    TaskState state;
+    EXPECT_FALSE(transport.RunShard(MakeTask(&state)).ok());
+    FaultInjector::Global().Reset();
+  }
+  {
+    FaultInjector::PointConfig fault;
+    fault.times = 1;  // one receive fails; the retry succeeds
+    FaultInjector::Global().Arm(faults::kShardRpcRecv, fault);
+    TaskState state;
+    ASSERT_TRUE(transport.RunShard(MakeTask(&state)).ok());
+    EXPECT_TRUE(state.partials[0] == Expected(nullptr));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replica files on disk.
+// ---------------------------------------------------------------------------
+
+TEST(ShardReplicaTest, ReplicasAreByteIdenticalAndVerified) {
+  TempDir dir;
+  Schema schema = MakeSchema({4, 3}, 2);
+  std::vector<Row> rows = RandomRows(schema, 257, 13);
+  const std::string heap = dir.path() + "/t.heap";
+  WriteHeap(heap, schema, rows);
+
+  ASSERT_TRUE(ShardSetWriter::BuildFromHeapFile(heap, schema.num_columns(), 3,
+                                                ShardScheme::kHashRowId,
+                                                nullptr,
+                                                /*with_replicas=*/true)
+                  .ok());
+  for (uint32_t s = 0; s < 3; ++s) {
+    const std::string replica = ShardReplicaPathFor(heap, s);
+    ASSERT_TRUE(std::filesystem::exists(replica)) << replica;
+    EXPECT_EQ(ReadFileBytes(replica), ReadFileBytes(ShardHeapPathFor(heap, s)))
+        << "shard " << s;
+  }
+  ASSERT_TRUE(VerifyShardFiles(heap, ShardMapPathFor(heap), nullptr).ok());
+
+  // A doctored replica fails verification even though the primaries are
+  // intact.
+  {
+    std::ofstream replica(ShardReplicaPathFor(heap, 1),
+                          std::ios::binary | std::ios::app);
+    replica << "x";
+  }
+  EXPECT_EQ(VerifyShardFiles(heap, ShardMapPathFor(heap), nullptr).code(),
+            StatusCode::kDataLoss);
+
+  RemoveShardSetFiles(heap, 3);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_FALSE(std::filesystem::exists(ShardReplicaPathFor(heap, s)));
+  }
+}
+
+TEST(ShardReplicaTest, ReplicalessSetsStillVerify) {
+  TempDir dir;
+  Schema schema = MakeSchema({3}, 2);
+  std::vector<Row> rows = RandomRows(schema, 64, 5);
+  const std::string heap = dir.path() + "/t.heap";
+  WriteHeap(heap, schema, rows);
+  ASSERT_TRUE(ShardSetWriter::BuildFromHeapFile(heap, schema.num_columns(), 2,
+                                                ShardScheme::kRoundRobin,
+                                                nullptr)
+                  .ok());
+  EXPECT_FALSE(std::filesystem::exists(ShardReplicaPathFor(heap, 0)));
+  EXPECT_TRUE(VerifyShardFiles(heap, ShardMapPathFor(heap), nullptr).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Middleware conformance: both transports against the unsharded serial
+// reference, with exact failure-mode accounting.
+// ---------------------------------------------------------------------------
+
+class TransportMiddlewareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 6;
+    params.num_leaves = 10;
+    params.cases_per_leaf = 200.0;
+    params.num_classes = 3;
+    params.seed = 21;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).value();
+    server_ = std::make_unique<SqlServer>(dir_.path());
+    ASSERT_TRUE(LoadIntoServer(server_.get(), "data", dataset_->schema(),
+                               [&](const RowSink& sink) {
+                                 return dataset_->Generate(sink);
+                               })
+                    .ok());
+    staging_ = dir_.path() + "/staging";
+    std::filesystem::create_directories(staging_);
+  }
+
+  MiddlewareConfig Config(bool shards_on, ShardTransportKind transport =
+                                              ShardTransportKind::kInProcess) {
+    MiddlewareConfig config;
+    config.staging_dir = staging_;
+    config.scan_retry.initial_backoff_us = 0;
+    config.sharding.enable = shards_on;
+    config.sharding.worker_threads = 1;
+    config.sharding.min_node_rows = 1;
+    config.sharding.transport = transport;
+    config.sharding.rpc_retry.max_attempts = 2;
+    config.sharding.rpc_retry.initial_backoff_us = 0;
+    return config;
+  }
+
+  struct GrowOutput {
+    std::string tree;
+    ClassificationMiddleware::Stats stats;
+    std::vector<ClassificationMiddleware::BatchTrace> trace;
+    double simulated_seconds = 0;
+  };
+
+  GrowOutput Grow(const MiddlewareConfig& config) {
+    GrowOutput out;
+    server_->ResetCostCounters();
+    auto mw = ClassificationMiddleware::Create(server_.get(), "data", config);
+    EXPECT_TRUE(mw.ok()) << mw.status().ToString();
+    DecisionTreeClient client(dataset_->schema(), TreeClientConfig());
+    auto tree = client.Grow(mw->get(), dataset_->TotalRows());
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    if (tree.ok()) out.tree = tree->ToString(1 << 20);
+    out.stats = (*mw)->stats();
+    out.trace = (*mw)->trace();
+    out.simulated_seconds = server_->SimulatedSeconds();
+    return out;
+  }
+
+  void RebuildShardSet(uint32_t shards) {
+    if (server_->HasShardSet("data")) {
+      ASSERT_TRUE(server_->DropShardSet("data").ok());
+    }
+    ASSERT_TRUE(server_->BuildShardSet("data", shards).ok());
+  }
+
+  /// Sums a per-batch trace counter for reconciliation against stats.
+  template <typename Getter>
+  uint64_t TraceSum(const GrowOutput& out, Getter getter) {
+    uint64_t sum = 0;
+    for (const auto& trace : out.trace) {
+      sum += static_cast<uint64_t>(getter(trace));
+    }
+    return sum;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<RandomTreeDataset> dataset_;
+  std::unique_ptr<SqlServer> server_;
+  std::string staging_;
+};
+
+TEST_F(TransportMiddlewareTest, GridIsByteIdenticalAndCostInvariant) {
+  GrowOutput serial = Grow(Config(false));
+  ASSERT_FALSE(serial.tree.empty());
+
+  double reference_sim = -1;
+  for (bool replicas : {false, true}) {
+    EnvVarScope rep("SQLCLASS_SHARDS_REPLICAS", replicas ? "1" : nullptr);
+    RebuildShardSet(4);
+    if (replicas) {
+      const std::string heap = *server_->TableHeapPath("data");
+      for (uint32_t s = 0; s < 4; ++s) {
+        ASSERT_TRUE(
+            std::filesystem::exists(ShardReplicaPathFor(heap, s)));
+      }
+    }
+    for (ShardTransportKind transport : {ShardTransportKind::kInProcess,
+                                         ShardTransportKind::kSubprocess}) {
+      GrowOutput out = Grow(Config(true, transport));
+      const std::string label =
+          std::string(transport == ShardTransportKind::kInProcess
+                          ? "inproc"
+                          : "subprocess") +
+          (replicas ? "+replicas" : "");
+      EXPECT_EQ(out.tree, serial.tree) << label;
+      EXPECT_GT(out.stats.shard_scans.load(), 0u) << label;
+      EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u) << label;
+      EXPECT_EQ(out.stats.shard_rescans.load(), 0u) << label;
+      EXPECT_EQ(out.stats.shard_replica_rescans.load(), 0u) << label;
+      EXPECT_EQ(out.stats.shard_rpc_timeouts.load(), 0u) << label;
+      EXPECT_EQ(out.stats.shard_worker_restarts.load(), 0u) << label;
+      // Simulated cost may not see the transport or the replica knob.
+      if (reference_sim < 0) {
+        reference_sim = out.simulated_seconds;
+      } else {
+        EXPECT_DOUBLE_EQ(out.simulated_seconds, reference_sim) << label;
+      }
+    }
+  }
+}
+
+TEST_F(TransportMiddlewareTest, EverySecondTaskCrashIsRetriedInPlace) {
+  GrowOutput baseline = Grow(Config(false));
+  RebuildShardSet(2);
+
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/worker_crash,after:1");
+  GrowOutput out = Grow(Config(true, ShardTransportKind::kSubprocess));
+
+  EXPECT_EQ(out.tree, baseline.tree);
+  const uint64_t scans = out.stats.shard_scans.load();
+  ASSERT_GT(scans, 0u);
+  EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u);
+  EXPECT_EQ(out.stats.shard_rescans.load(), 0u);
+  EXPECT_EQ(out.stats.shard_replica_rescans.load(), 0u);
+  EXPECT_EQ(out.stats.shard_rpc_timeouts.load(), 0u);
+  // 2 shards x scans tasks in all; every worker instance serves one task
+  // and crashes on its second, so every task but the first needed exactly
+  // one respawn — all absorbed by the RPC retry, invisible to the ladder.
+  EXPECT_EQ(out.stats.shard_worker_restarts.load(), 2 * scans - 1);
+  EXPECT_EQ(TraceSum(out, [](const auto& t) { return t.shard_worker_restarts; }),
+            out.stats.shard_worker_restarts.load());
+}
+
+TEST_F(TransportMiddlewareTest, PersistentCrashRecoversFromPrimary) {
+  GrowOutput baseline = Grow(Config(false));
+  RebuildShardSet(2);
+
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/worker_crash");
+  GrowOutput out = Grow(Config(true, ShardTransportKind::kSubprocess));
+
+  EXPECT_EQ(out.tree, baseline.tree);
+  const uint64_t scans = out.stats.shard_scans.load();
+  ASSERT_GT(scans, 0u);
+  EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u);
+  // Every task crashed through both RPC attempts: each of the 2 shards per
+  // scan died and was recovered from the primary heap file (no replicas).
+  EXPECT_EQ(out.stats.shard_rescans.load(), 2 * scans);
+  EXPECT_EQ(out.stats.shard_replica_rescans.load(), 0u);
+  EXPECT_EQ(out.stats.shard_rpc_timeouts.load(), 0u);
+  // 2 attempts x 2 shards x scans exchanges, every one fatal; every
+  // exchange after the very first respawned a dead worker first.
+  EXPECT_EQ(out.stats.shard_worker_restarts.load(), 4 * scans - 1);
+  EXPECT_EQ(TraceSum(out, [](const auto& t) { return t.shard_rescans; }),
+            out.stats.shard_rescans.load());
+  EXPECT_EQ(TraceSum(out, [](const auto& t) { return t.shard_worker_restarts; }),
+            out.stats.shard_worker_restarts.load());
+}
+
+TEST_F(TransportMiddlewareTest, PersistentCrashRecoversFromReplicas) {
+  GrowOutput baseline = Grow(Config(false));
+  {
+    EnvVarScope rep("SQLCLASS_SHARDS_REPLICAS", "1");
+    RebuildShardSet(2);
+  }
+
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/worker_crash");
+  GrowOutput out = Grow(Config(true, ShardTransportKind::kSubprocess));
+
+  EXPECT_EQ(out.tree, baseline.tree);
+  const uint64_t scans = out.stats.shard_scans.load();
+  ASSERT_GT(scans, 0u);
+  EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u);
+  // The replica rung caught every dead shard before the primary rescan.
+  EXPECT_EQ(out.stats.shard_replica_rescans.load(), 2 * scans);
+  EXPECT_EQ(out.stats.shard_rescans.load(), 0u);
+  EXPECT_EQ(out.stats.shard_worker_restarts.load(), 4 * scans - 1);
+  EXPECT_EQ(
+      TraceSum(out, [](const auto& t) { return t.shard_replica_rescans; }),
+      out.stats.shard_replica_rescans.load());
+}
+
+TEST_F(TransportMiddlewareTest, TornFramesNeverCorruptTheTree) {
+  GrowOutput baseline = Grow(Config(false));
+  RebuildShardSet(2);
+
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/rpc_send");
+  GrowOutput out = Grow(Config(true, ShardTransportKind::kSubprocess));
+
+  // Every reply was a torn frame; all were rejected by short read, every
+  // shard recovered from the primary, and the tree is still byte-identical.
+  EXPECT_EQ(out.tree, baseline.tree);
+  const uint64_t scans = out.stats.shard_scans.load();
+  ASSERT_GT(scans, 0u);
+  EXPECT_EQ(out.stats.shard_rescans.load(), 2 * scans);
+  EXPECT_EQ(out.stats.shard_worker_restarts.load(), 4 * scans - 1);
+  EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u);
+}
+
+TEST_F(TransportMiddlewareTest, HangsHitTheDeadlineAndRecover) {
+  GrowOutput baseline = Grow(Config(false));
+  RebuildShardSet(2);
+
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/hang");
+  MiddlewareConfig config = Config(true, ShardTransportKind::kSubprocess);
+  config.sharding.rpc_deadline_ms = 60;
+  // Shard only the root-level batches so the deadline waits stay cheap.
+  config.sharding.min_node_rows = dataset_->TotalRows();
+  GrowOutput out = Grow(config);
+
+  EXPECT_EQ(out.tree, baseline.tree);
+  const uint64_t scans = out.stats.shard_scans.load();
+  ASSERT_GT(scans, 0u);
+  EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u);
+  // Every exchange hung and was SIGKILLed at the deadline: 2 attempts x
+  // 2 shards per scan, one timeout each, then the primary rescan ladder.
+  EXPECT_EQ(out.stats.shard_rpc_timeouts.load(), 4 * scans);
+  EXPECT_EQ(out.stats.shard_worker_restarts.load(), 4 * scans - 1);
+  EXPECT_EQ(out.stats.shard_rescans.load(), 2 * scans);
+  EXPECT_EQ(TraceSum(out, [](const auto& t) { return t.shard_rpc_timeouts; }),
+            out.stats.shard_rpc_timeouts.load());
+}
+
+TEST_F(TransportMiddlewareTest, DeletedShardHeapFailsOverToItsReplica) {
+  GrowOutput baseline = Grow(Config(false));
+  {
+    EnvVarScope rep("SQLCLASS_SHARDS_REPLICAS", "1");
+    RebuildShardSet(2);
+  }
+  const std::string heap = *server_->TableHeapPath("data");
+  ASSERT_TRUE(std::filesystem::remove(ShardHeapPathFor(heap, 1)));
+
+  // Both transports serve the vanished shard from its replica.
+  for (ShardTransportKind transport : {ShardTransportKind::kInProcess,
+                                       ShardTransportKind::kSubprocess}) {
+    GrowOutput out = Grow(Config(true, transport));
+    EXPECT_EQ(out.tree, baseline.tree);
+    const uint64_t scans = out.stats.shard_scans.load();
+    ASSERT_GT(scans, 0u);
+    EXPECT_EQ(out.stats.shard_replica_rescans.load(), scans);
+    EXPECT_EQ(out.stats.shard_rescans.load(), 0u);
+    EXPECT_EQ(out.stats.shard_fallbacks.load(), 0u);
+  }
+
+  // Without the replica the primary rescan serves the shard instead.
+  ASSERT_TRUE(std::filesystem::remove(ShardReplicaPathFor(heap, 1)));
+  GrowOutput out = Grow(Config(true, ShardTransportKind::kSubprocess));
+  EXPECT_EQ(out.tree, baseline.tree);
+  EXPECT_EQ(out.stats.shard_replica_rescans.load(), 0u);
+  EXPECT_EQ(out.stats.shard_rescans.load(), out.stats.shard_scans.load());
+}
+
+// ---------------------------------------------------------------------------
+// Service-level conformance and counter surfacing.
+// ---------------------------------------------------------------------------
+
+class TransportServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomTreeParams params;
+    params.num_attributes = 8;
+    params.num_leaves = 20;
+    params.cases_per_leaf = 40;
+    params.num_classes = 4;
+    params.seed = 555;
+    auto dataset = RandomTreeDataset::Create(params);
+    ASSERT_TRUE(dataset.ok());
+    schema_ = (*dataset)->schema();
+    ASSERT_TRUE((*dataset)->Generate(CollectInto(&rows_)).ok());
+  }
+
+  std::unique_ptr<ClassificationService> MakeService(ServiceConfig config,
+                                                     uint32_t shards) {
+    auto service = ClassificationService::Create(dir_.path(), config);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_TRUE((*service)->CreateAndLoadTable("data", schema_, rows_).ok());
+    if (shards > 0) {
+      MutexLock lock(*(*service)->server_mutex());
+      EXPECT_TRUE((*service)->server()->BuildShardSet("data", shards).ok());
+    }
+    return std::move(service).value();
+  }
+
+  std::string ReferenceSignature() {
+    TempDir ref_dir;
+    auto service = ClassificationService::Create(ref_dir.path());
+    EXPECT_TRUE(service.ok());
+    EXPECT_TRUE((*service)->CreateAndLoadTable("data", schema_, rows_).ok());
+    SessionResult result = (*service)->Run(TreeSpec());
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_NE(result.tree, nullptr);
+    return result.tree != nullptr ? result.tree->Signature() : "";
+  }
+
+  static SessionSpec TreeSpec() {
+    SessionSpec spec;
+    spec.table = "data";
+    spec.task = SessionSpec::Task::kDecisionTree;
+    return spec;
+  }
+
+  static ServiceConfig OopConfig() {
+    ServiceConfig config;
+    config.sharding.enable = true;
+    config.sharding.min_node_rows = 1;
+    config.sharding.worker_threads = 1;
+    config.sharding.transport = ShardTransportKind::kSubprocess;
+    config.sharding.rpc_retry.max_attempts = 2;
+    config.sharding.rpc_retry.initial_backoff_us = 0;
+    config.scan_retry.initial_backoff_us = 0;
+    return config;
+  }
+
+  TempDir dir_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+TEST_F(TransportServiceTest, SubprocessSessionsMatchUnshardedService) {
+  const std::string reference = ReferenceSignature();
+  ASSERT_FALSE(reference.empty());
+
+  auto service = MakeService(OopConfig(), /*shards=*/2);
+  for (int i = 0; i < 2; ++i) {
+    SessionResult result = service->Run(TreeSpec());
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    ASSERT_NE(result.tree, nullptr);
+    EXPECT_EQ(result.tree->Signature(), reference);
+  }
+  ServiceMetrics metrics = service->Metrics();
+  EXPECT_GT(metrics.shard_scans, 0u);
+  EXPECT_EQ(metrics.shard_fallbacks, 0u);
+  EXPECT_EQ(metrics.shard_rescans, 0u);
+  EXPECT_EQ(metrics.shard_replica_rescans, 0u);
+  EXPECT_EQ(metrics.shard_rpc_timeouts, 0u);
+  EXPECT_EQ(metrics.shard_worker_restarts, 0u);
+}
+
+TEST_F(TransportServiceTest, CrashStormRecoversViaReplicasWithExactMetering) {
+  const std::string reference = ReferenceSignature();
+  EnvVarScope rep("SQLCLASS_SHARDS_REPLICAS", "1");
+  auto service = MakeService(OopConfig(), /*shards=*/2);
+
+  EnvVarScope crash("SQLCLASS_CRASH_AT", "shard/worker_crash");
+  SessionResult result = service->Run(TreeSpec());
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_NE(result.tree, nullptr);
+  EXPECT_EQ(result.tree->Signature(), reference);
+
+  ServiceMetrics metrics = service->Metrics();
+  const uint64_t scans = metrics.shard_scans;
+  ASSERT_GT(scans, 0u);
+  EXPECT_EQ(metrics.shard_fallbacks, 0u);
+  // Every shard of every scan died through both RPC attempts and was
+  // recovered from its replica; the restart arithmetic is the middleware
+  // test's, now surfaced through ServiceMetrics.
+  EXPECT_EQ(metrics.shard_replica_rescans, 2 * scans);
+  EXPECT_EQ(metrics.shard_rescans, 0u);
+  EXPECT_EQ(metrics.shard_rpc_timeouts, 0u);
+  EXPECT_EQ(metrics.shard_worker_restarts, 4 * scans - 1);
+}
+
+}  // namespace
+}  // namespace sqlclass

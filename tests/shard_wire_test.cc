@@ -1,0 +1,403 @@
+// Shard RPC wire layer: frame roundtrips over real pipes, exhaustive
+// single-byte-corruption and truncation sweeps (every mutation must surface
+// as kDataLoss or kIoError — never a wrong payload), deadline expiry,
+// clean-EOF detection, codec roundtrips for tasks / results / statuses, and
+// WirePredicate-vs-Expr evaluation equivalence.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "shard/wire.h"
+#include "sql/expr.h"
+#include "test_util.h"
+
+namespace sqlclass {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::RandomRows;
+
+class FaultScope {
+ public:
+  FaultScope() { FaultInjector::Global().Reset(); }
+  ~FaultScope() { FaultInjector::Global().Reset(); }
+};
+
+/// A unidirectional pipe that closes leftover ends on destruction.
+class Pipe {
+ public:
+  Pipe() {
+    EXPECT_EQ(::pipe(fds_), 0);
+    std::signal(SIGPIPE, SIG_IGN);
+  }
+  ~Pipe() {
+    CloseRead();
+    CloseWrite();
+  }
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+  void CloseRead() {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  void CloseWrite() {
+    if (fds_[1] >= 0) ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+void WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t r = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    ASSERT_GT(r, 0);
+    sent += static_cast<size_t>(r);
+  }
+}
+
+std::string SamplePayload() {
+  std::string payload;
+  for (int i = 0; i < 300; ++i) payload.push_back(static_cast<char>(i * 7));
+  return payload;
+}
+
+TEST(WireFrameTest, SendRecvRoundtripAndCleanEof) {
+  Pipe pipe;
+  const std::string payload = SamplePayload();
+  ASSERT_TRUE(
+      WireSend(pipe.write_fd(), WireFrameType::kShardResult, payload).ok());
+  WireFrame frame;
+  bool clean_eof = false;
+  ASSERT_TRUE(
+      WireRecv(pipe.read_fd(), 0, &frame, nullptr, &clean_eof).ok());
+  EXPECT_FALSE(clean_eof);
+  EXPECT_EQ(frame.type, static_cast<uint32_t>(WireFrameType::kShardResult));
+  EXPECT_EQ(frame.payload, payload);
+
+  // Empty payload frames are legal.
+  ASSERT_TRUE(WireSend(pipe.write_fd(), WireFrameType::kShardTask, "").ok());
+  ASSERT_TRUE(WireRecv(pipe.read_fd(), 0, &frame, nullptr, nullptr).ok());
+  EXPECT_EQ(frame.type, static_cast<uint32_t>(WireFrameType::kShardTask));
+  EXPECT_TRUE(frame.payload.empty());
+
+  // EOF before the first byte is the orderly-shutdown signal.
+  pipe.CloseWrite();
+  clean_eof = false;
+  Status eof = WireRecv(pipe.read_fd(), 0, &frame, nullptr, &clean_eof);
+  EXPECT_EQ(eof.code(), StatusCode::kIoError);
+  EXPECT_TRUE(clean_eof);
+}
+
+TEST(WireFrameTest, EveryByteFlipIsRejected) {
+  const std::string payload = SamplePayload();
+  std::string pristine;
+  WireEncodeFrame(WireFrameType::kShardResult, payload, &pristine);
+
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string mutated = pristine;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+    Pipe pipe;
+    WriteAll(pipe.write_fd(), mutated);
+    pipe.CloseWrite();
+    WireFrame frame;
+    const Status received = WireRecv(pipe.read_fd(), 0, &frame, nullptr,
+                                     nullptr);
+    ASSERT_FALSE(received.ok()) << "flip at byte " << i << " got through";
+    EXPECT_TRUE(received.code() == StatusCode::kDataLoss ||
+                received.code() == StatusCode::kIoError)
+        << "flip at byte " << i << ": " << received.ToString();
+  }
+}
+
+TEST(WireFrameTest, EveryTruncationIsRejected) {
+  const std::string payload = SamplePayload();
+  std::string pristine;
+  WireEncodeFrame(WireFrameType::kShardResult, payload, &pristine);
+
+  for (size_t keep = 0; keep < pristine.size(); ++keep) {
+    Pipe pipe;
+    WriteAll(pipe.write_fd(), pristine.substr(0, keep));
+    pipe.CloseWrite();
+    WireFrame frame;
+    bool clean_eof = false;
+    const Status received =
+        WireRecv(pipe.read_fd(), 0, &frame, nullptr, &clean_eof);
+    ASSERT_FALSE(received.ok()) << "truncation at " << keep << " got through";
+    EXPECT_EQ(received.code(), StatusCode::kIoError) << "at " << keep;
+    // Only the zero-byte case is a clean shutdown; every other prefix is a
+    // torn frame.
+    EXPECT_EQ(clean_eof, keep == 0) << "at " << keep;
+  }
+}
+
+TEST(WireFrameTest, RecvDeadlineExpires) {
+  Pipe pipe;
+  WireFrame frame;
+  bool timed_out = false;
+  const Status received =
+      WireRecv(pipe.read_fd(), 25, &frame, &timed_out, nullptr);
+  EXPECT_EQ(received.code(), StatusCode::kIoError);
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(WireFrameTest, SendDeadlineExpiresOnFullPipe) {
+  Pipe pipe;
+  // Saturate the pipe buffer so POLLOUT never fires.
+  ASSERT_EQ(::fcntl(pipe.write_fd(), F_SETFL, O_NONBLOCK), 0);
+  std::string junk(1 << 16, 'x');
+  while (::write(pipe.write_fd(), junk.data(), junk.size()) > 0) {
+  }
+  ASSERT_EQ(::fcntl(pipe.write_fd(), F_SETFL, 0), 0);
+  bool timed_out = false;
+  const Status sent = WireSend(pipe.write_fd(), WireFrameType::kShardTask,
+                               junk, 25, &timed_out);
+  EXPECT_EQ(sent.code(), StatusCode::kIoError);
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(WireFrameTest, SendToClosedPipeIsEpipeNotCrash) {
+  Pipe pipe;
+  pipe.CloseRead();
+  const Status sent =
+      WireSend(pipe.write_fd(), WireFrameType::kShardTask, "payload");
+  EXPECT_EQ(sent.code(), StatusCode::kIoError);
+}
+
+TEST(WireFrameTest, FaultPointsGuardSendAndRecv) {
+  FaultScope guard;
+  Pipe pipe;
+  {
+    FaultInjector::PointConfig fault;
+    fault.times = 1;
+    FaultInjector::Global().Arm(faults::kShardRpcSend, fault);
+    EXPECT_FALSE(
+        WireSend(pipe.write_fd(), WireFrameType::kShardTask, "x").ok());
+    // The injected failure fired before any byte hit the pipe.
+    EXPECT_TRUE(
+        WireSend(pipe.write_fd(), WireFrameType::kShardTask, "x").ok());
+  }
+  {
+    FaultInjector::PointConfig fault;
+    fault.times = 1;
+    FaultInjector::Global().Arm(faults::kShardRpcRecv, fault);
+    WireFrame frame;
+    EXPECT_FALSE(WireRecv(pipe.read_fd(), 0, &frame, nullptr, nullptr).ok());
+    EXPECT_TRUE(WireRecv(pipe.read_fd(), 0, &frame, nullptr, nullptr).ok());
+    EXPECT_EQ(frame.payload, "x");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+// ---------------------------------------------------------------------------
+
+WireShardTask SampleTask() {
+  WireShardTask task;
+  task.shard = 3;
+  task.shard_heap_path = "/tmp/does-not-matter.heap.shard3";
+  task.expected_rows = 12345;
+  task.num_columns = 5;
+  task.class_column = 4;
+  task.num_classes = 3;
+  task.nodes.resize(2);
+  task.nodes[0].predicate.kind = 0;  // TRUE
+  task.nodes[0].attrs = {0, 1, 2, 3};
+  WirePredicate eq;
+  eq.kind = 1;
+  eq.column = 2;
+  eq.literal = 1;
+  WirePredicate ne;
+  ne.kind = 2;
+  ne.column = 0;
+  ne.literal = 3;
+  WirePredicate andp;
+  andp.kind = 3;
+  andp.children = {eq, ne};
+  WirePredicate notp;
+  notp.kind = 5;
+  notp.children = {andp};
+  task.nodes[1].predicate = notp;
+  task.nodes[1].attrs = {1, 3};
+  return task;
+}
+
+TEST(WireCodecTest, ShardTaskRoundtrip) {
+  const WireShardTask task = SampleTask();
+  std::string payload;
+  EncodeShardTask(task, &payload);
+  WireShardTask decoded;
+  ASSERT_TRUE(DecodeShardTask(payload, &decoded).ok());
+  EXPECT_EQ(decoded.shard, task.shard);
+  EXPECT_EQ(decoded.shard_heap_path, task.shard_heap_path);
+  EXPECT_EQ(decoded.expected_rows, task.expected_rows);
+  EXPECT_EQ(decoded.num_columns, task.num_columns);
+  EXPECT_EQ(decoded.class_column, task.class_column);
+  EXPECT_EQ(decoded.num_classes, task.num_classes);
+  ASSERT_EQ(decoded.nodes.size(), task.nodes.size());
+  EXPECT_EQ(decoded.nodes[0].attrs, task.nodes[0].attrs);
+  EXPECT_EQ(decoded.nodes[1].attrs, task.nodes[1].attrs);
+  // Re-encoding the decoded task must be byte-identical — the codec is
+  // canonical.
+  std::string reencoded;
+  EncodeShardTask(decoded, &reencoded);
+  EXPECT_EQ(reencoded, payload);
+}
+
+TEST(WireCodecTest, EveryShardTaskTruncationIsRejected) {
+  std::string payload;
+  EncodeShardTask(SampleTask(), &payload);
+  for (size_t keep = 0; keep < payload.size(); ++keep) {
+    WireShardTask decoded;
+    const Status status = DecodeShardTask(payload.substr(0, keep), &decoded);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << "at " << keep;
+  }
+  // Trailing garbage is rejected too.
+  WireShardTask decoded;
+  EXPECT_EQ(DecodeShardTask(payload + "x", &decoded).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(WireCodecTest, ShardResultRoundtripRebuildsIdenticalTables) {
+  Schema schema = MakeSchema({4, 3, 5}, 3);
+  std::vector<Row> rows = RandomRows(schema, 400, 17);
+  const std::vector<int> attrs = {0, 1, 2};
+
+  WireShardResult result;
+  result.rows_scanned = rows.size();
+  result.io.pages_read = 7;
+  result.io.rows_read = rows.size();
+  result.partials.emplace_back(3);
+  result.partials.emplace_back(3);
+  for (const Row& row : rows) {
+    result.partials[0].AddRow(row, attrs, schema.class_column());
+    if (row[0] == 1) {
+      result.partials[1].AddRow(row, attrs, schema.class_column());
+    }
+  }
+
+  std::string payload;
+  EncodeShardResult(result, &payload);
+  WireShardResult decoded;
+  ASSERT_TRUE(DecodeShardResult(payload, 3, 2, &decoded).ok());
+  EXPECT_EQ(decoded.rows_scanned, result.rows_scanned);
+  EXPECT_EQ(decoded.io.pages_read, result.io.pages_read);
+  EXPECT_EQ(decoded.io.rows_read, result.io.rows_read);
+  ASSERT_EQ(decoded.partials.size(), 2u);
+  EXPECT_TRUE(decoded.partials[0] == result.partials[0]);
+  EXPECT_TRUE(decoded.partials[1] == result.partials[1]);
+}
+
+TEST(WireCodecTest, ShardResultGeometryMismatchesAreRejected) {
+  WireShardResult result;
+  result.partials.emplace_back(3);
+  std::string payload;
+  EncodeShardResult(result, &payload);
+
+  WireShardResult decoded;
+  // Wrong node count.
+  EXPECT_EQ(DecodeShardResult(payload, 3, 2, &decoded).code(),
+            StatusCode::kDataLoss);
+  // Wrong class count.
+  EXPECT_EQ(DecodeShardResult(payload, 4, 1, &decoded).code(),
+            StatusCode::kDataLoss);
+  // Every truncation.
+  for (size_t keep = 0; keep < payload.size(); ++keep) {
+    EXPECT_EQ(DecodeShardResult(payload.substr(0, keep), 3, 1, &decoded)
+                  .code(),
+              StatusCode::kDataLoss)
+        << "at " << keep;
+  }
+}
+
+TEST(WireCodecTest, StatusPayloadRoundtripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfMemory,
+        StatusCode::kIoError, StatusCode::kParseError, StatusCode::kInternal,
+        StatusCode::kResourceExhausted, StatusCode::kUnimplemented,
+        StatusCode::kDataLoss}) {
+    const Status original(code, "shard scan failed: details");
+    std::string payload;
+    EncodeStatusPayload(original, &payload);
+    Status decoded = Status::OK();
+    ASSERT_TRUE(DecodeStatusPayload(payload, &decoded).ok());
+    EXPECT_EQ(decoded.code(), code);
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+  Status decoded = Status::OK();
+  EXPECT_EQ(DecodeStatusPayload("zz", &decoded).code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Predicate lowering.
+// ---------------------------------------------------------------------------
+
+TEST(WirePredicateTest, EvalMatchesExprOverRandomRows) {
+  Schema schema = MakeSchema({4, 3, 5, 2}, 3);
+  std::vector<Row> rows = RandomRows(schema, 500, 91);
+
+  std::vector<std::unique_ptr<Expr>> exprs;
+  exprs.push_back(Expr::True());
+  exprs.push_back(Expr::ColEq("A1", 2));
+  exprs.push_back(Expr::ColNe("A3", 1));
+  {
+    std::vector<std::unique_ptr<Expr>> clauses;
+    clauses.push_back(Expr::ColEq("A1", 1));
+    clauses.push_back(Expr::ColNe("A2", 0));
+    exprs.push_back(Expr::And(std::move(clauses)));
+  }
+  {
+    std::vector<std::unique_ptr<Expr>> clauses;
+    clauses.push_back(Expr::ColEq("A2", 2));
+    std::vector<std::unique_ptr<Expr>> inner;
+    inner.push_back(Expr::ColEq("A4", 0));
+    inner.push_back(Expr::ColNe("A1", 3));
+    clauses.push_back(Expr::And(std::move(inner)));
+    exprs.push_back(Expr::Or(std::move(clauses)));
+  }
+  exprs.push_back(Expr::Not(Expr::ColEq("A3", 4)));
+
+  for (const auto& expr : exprs) {
+    ASSERT_TRUE(expr->Bind(schema).ok());
+    const WirePredicate lowered = WirePredicateFromExpr(expr.get());
+    for (const Row& row : rows) {
+      EXPECT_EQ(lowered.Eval(row.data()), expr->Eval(row.data()))
+          << expr->ToSql();
+    }
+  }
+
+  // The null-predicate convention (match everything).
+  const WirePredicate everything = WirePredicateFromExpr(nullptr);
+  for (const Row& row : rows) EXPECT_TRUE(everything.Eval(row.data()));
+}
+
+TEST(WirePredicateTest, DeeplyNestedDecodeIsBounded) {
+  // 80 nested NOTs: decoding must refuse (depth cap), not blow the stack.
+  WireShardTask task = SampleTask();
+  WirePredicate deep;
+  deep.kind = 0;
+  for (int i = 0; i < 80; ++i) {
+    WirePredicate wrap;
+    wrap.kind = 5;  // NOT
+    wrap.children = {deep};
+    deep = wrap;
+  }
+  task.nodes[0].predicate = deep;
+  std::string payload;
+  EncodeShardTask(task, &payload);
+  WireShardTask decoded;
+  EXPECT_EQ(DecodeShardTask(payload, &decoded).code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace sqlclass

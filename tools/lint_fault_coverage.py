@@ -160,7 +160,24 @@ def check_registry(root, files, header_text=None):
 
 def self_test(root, files):
     heap_cc = os.path.join(root, "src", "storage", "heap_file.cc")
+    wire_cc = os.path.join(root, "src", "shard", "wire.cc")
     cases = [
+        Injection(
+            wire_cc,
+            "\nnamespace sqlclass {\n"
+            "size_t UnhookedWireFreadForLintSelfTest(std::FILE* f, char* b) {\n"
+            "  return std::fread(b, 1, kWireHeaderBytes, f);\n"
+            "}\n"
+            "Status CoveredWireReadForLintSelfTest(std::FILE* f, char* b) {\n"
+            "  SQLCLASS_FAULT_POINT(faults::kShardRpcRecv);\n"
+            "  if (std::fread(b, 1, kWireHeaderBytes, f) != kWireHeaderBytes)\n"
+            "    return Status::IoError(\"torn frame\");\n"
+            "  return Status::OK();\n"
+            "}\n"
+            "}  // namespace sqlclass\n",
+            expect="UnhookedWireFreadForLintSelfTest",
+            forbid="CoveredWireReadForLintSelfTest",
+            label="wire-layer read outside the rpc fault points is flagged"),
         Injection(
             heap_cc,
             "\nnamespace sqlclass {\n"
@@ -211,6 +228,22 @@ def self_test(root, files):
         print("self-test: FAIL [registry] — ghost fault point was not "
               "reported as dead")
         code = 1
+
+    # The out-of-process transport's crash injection (SQLCLASS_CRASH_AT in
+    # the worker, FaultInjector in the coordinator) leans on these three
+    # points; losing any of them from the registry would silently unhook
+    # the shard RPC failure paths from the KnownPoints() sweep.
+    live = set(parse_known_points(
+        read_text(os.path.join(root, INJECTOR_HEADER))).values())
+    rpc_points = {"shard/rpc_send", "shard/rpc_recv", "shard/worker_crash"}
+    missing = sorted(rpc_points - live)
+    if missing:
+        print("self-test: FAIL [registry] — shard RPC fault points missing "
+              f"from namespace faults: {', '.join(missing)}")
+        code = 1
+    else:
+        print("self-test: OK [registry] — shard RPC fault points "
+              "(rpc_send, rpc_recv, worker_crash) are registered")
     return code
 
 
